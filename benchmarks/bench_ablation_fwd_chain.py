@@ -1,0 +1,46 @@
+"""Ablation — forwarding-chain bound (paper section 3.3.4).
+
+The chain of atomics forwarding to atomics improves lock locality but
+must be bounded to avoid starving remote cores (the paper uses 32).
+Sweep the bound in {1, 4, 32} under free+fwd.
+"""
+
+import dataclasses
+
+from repro.analysis.runner import ExperimentScale, run_benchmark
+from repro.core.policy import FREE_ATOMICS_FWD
+
+SUBSET = ("AS", "TATP", "barnes", "fluidanimate", "radiosity")
+CHAINS = (1, 4, 32)
+
+
+def _sweep(scale: ExperimentScale) -> list[dict]:
+    rows = []
+    for chain in CHAINS:
+        varied = dataclasses.replace(scale, max_forward_chain=chain)
+        total_cycles = 0
+        forwarded = 0
+        atomics = 0
+        for name in SUBSET:
+            result = run_benchmark(name, FREE_ATOMICS_FWD, varied)
+            total_cycles += result.cycles
+            forwarded += result.stats.aggregate("atomics_fwd_from_atomic")
+            atomics += result.committed_atomics
+        rows.append(
+            {
+                "max_chain": chain,
+                "total_cycles": total_cycles,
+                "fba_pct": 100.0 * forwarded / atomics if atomics else 0.0,
+            }
+        )
+    return rows
+
+
+def bench_ablation_fwd_chain(benchmark, scale, archive):
+    rows = benchmark.pedantic(_sweep, args=(scale,), rounds=1, iterations=1)
+    archive("ablation_fwd_chain", rows, "Ablation: forwarding-chain bound")
+    by_chain = {row["max_chain"]: row for row in rows}
+    # Longer chains forward more.
+    assert by_chain[32]["fba_pct"] >= by_chain[1]["fba_pct"]
+    # The paper's 32 bound performs at least as well as a tight bound.
+    assert by_chain[32]["total_cycles"] <= by_chain[1]["total_cycles"] * 1.05

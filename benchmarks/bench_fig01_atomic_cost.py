@@ -1,0 +1,26 @@
+"""Figure 1 — cost of fenced atomic RMWs (Drain_SB + Atomic cycles).
+
+Paper: average cost generally above 100 cycles, dominated by Drain_SB,
+and larger for Icelake (352-entry ROB) than Skylake (224-entry ROB).
+Regenerated with the fenced baseline policy under both core presets.
+"""
+
+from repro.analysis.figures import figure1_rows
+from repro.analysis.report import format_table
+from repro.analysis.tables import table1_rows
+from repro.analysis.runner import bench_system_config
+
+
+def bench_figure1(benchmark, scale, archive):
+    rows = benchmark.pedantic(
+        figure1_rows, args=(scale,), rounds=1, iterations=1
+    )
+    print(format_table(table1_rows(bench_system_config(scale)), "Table 1 (Icelake preset)"))
+    archive("figure01_atomic_cost", rows, "Figure 1: avg cycles per fenced atomic RMW")
+    average = rows[-1]
+    assert average["benchmark"] == "average"
+    # Shape checks from the paper: Drain_SB dominates and the cost grows
+    # with the ROB (Icelake >= Skylake), with a sizeable absolute cost.
+    assert average["icelake_drain_sb"] > average["icelake_atomic"] * 0.3
+    assert average["icelake_total"] >= average["skylake_total"] * 0.9
+    assert average["icelake_total"] > 30

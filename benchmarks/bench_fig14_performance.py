@@ -1,0 +1,26 @@
+"""Figure 14 — normalized execution time of the four designs.
+
+Paper headline: unfencing is the biggest step; Free atomics (+Fwd) cuts
+execution time by 12.5% on average over all workloads and 25.2% over
+the atomic-intensive ones; baseline+spec alone gains almost nothing.
+"""
+
+from repro.analysis.figures import figure14_rows
+
+
+def bench_figure14(benchmark, scale, archive):
+    rows = benchmark.pedantic(figure14_rows, args=(scale,), rounds=1, iterations=1)
+    archive("figure14_performance", rows, "Figure 14: normalized execution time")
+    by_name = {r["benchmark"]: r for r in rows}
+    average = by_name["average"]
+    average_ai = by_name["average-AI"]
+    # Who wins: free designs beat the baseline on average; speculation
+    # alone is nearly neutral (paper 5.5).
+    assert average["free+fwd"] < 1.0
+    assert average["free"] < 1.0
+    assert 0.9 < average["baseline+spec"] < 1.1
+    # Rough factors: >= ~8% average and >= ~18% on atomic-intensive.
+    assert average["free+fwd"] < 0.95
+    assert average_ai["free+fwd"] < 0.85
+    # The AI group benefits more than the overall average.
+    assert average_ai["free+fwd"] < average["free+fwd"]

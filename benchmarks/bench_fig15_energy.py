@@ -1,0 +1,20 @@
+"""Figure 15 — normalized energy of the four designs.
+
+Paper headline: 11% average / 23% atomic-intensive energy savings;
+static savings track runtime, dynamic savings come from less spinning.
+"""
+
+from repro.analysis.figures import figure15_rows
+
+
+def bench_figure15(benchmark, scale, archive):
+    rows = benchmark.pedantic(figure15_rows, args=(scale,), rounds=1, iterations=1)
+    archive("figure15_energy", rows, "Figure 15: normalized energy")
+    by_name = {r["benchmark"]: r for r in rows}
+    average = by_name["average"]
+    average_ai = by_name["average-AI"]
+    assert average["free+fwd"] < 1.0
+    assert average_ai["free+fwd"] < average["free+fwd"]
+    # Both components contribute, as in the paper.
+    assert average_ai["free+fwd_static"] < by_name["average-AI"]["baseline_static"]
+    assert average_ai["free+fwd_dynamic"] < by_name["average-AI"]["baseline_dynamic"]

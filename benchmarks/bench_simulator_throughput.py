@@ -1,0 +1,35 @@
+"""Simulator throughput microbenchmarks (not a paper figure).
+
+Measures host-side simulation speed on a fixed workload, so regressions
+in the event-driven core show up in benchmark history.  These use real
+pytest-benchmark rounds (they are cheap).
+"""
+
+from repro.core.policy import BASELINE, FREE_ATOMICS_FWD
+from repro.system.simulator import run_workload
+from repro.workloads.generator import WorkloadScale, generate_workload
+from tests.conftest import counter_workload, small_system_config
+
+
+def bench_counter_contention(benchmark):
+    workload = counter_workload(num_threads=4, iterations=60)
+    config = small_system_config(4)
+
+    def run():
+        return run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.read_word(0x10000) == 240
+
+
+def bench_generated_workload_baseline(benchmark):
+    workload = generate_workload(
+        "canneal", WorkloadScale(num_threads=2, instructions_per_thread=600)
+    )
+    config = small_system_config(2)
+
+    def run():
+        return run_workload(workload, policy=BASELINE, config=config)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.committed_atomics > 0

@@ -1,0 +1,21 @@
+"""Table 2 — characterization of Free atomics (free+fwd design).
+
+Paper averages: 97.58% of fences omitted, 3.46 timeouts, MDV = 2.19% of
+squashes, FbA = 11.81% of atomics, FbS = 1.41%.
+"""
+
+from repro.analysis.tables import table2_rows
+
+
+def bench_table2(benchmark, scale, archive):
+    rows = benchmark.pedantic(table2_rows, args=(scale,), rounds=1, iterations=1)
+    archive("table02_characterization", rows, "Table 2: Free atomics characterization")
+    average = rows[-1]
+    assert average["benchmark"] == "average"
+    # Virtually all fences are omitted (only explicit mfences remain).
+    assert average["omitted_fences_pct"] > 90
+    # Timeouts are rare; MDV is a minor share of squashes; forwarding
+    # from atomics dwarfs forwarding from plain stores.
+    assert average["timeouts"] < 20
+    assert average["mdv_pct_squashes"] < 30
+    assert average["fba_pct_atomics"] > average["fbs_pct_atomics"]

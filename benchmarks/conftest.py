@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures at the
+harness scale (8 cores, a few thousand instructions per thread — see
+``ExperimentScale.from_env`` for the REPRO_BENCH_* overrides), prints
+the rows as an ASCII table, and archives them as JSON under
+``results/`` so EXPERIMENTS.md can cite them.
+
+Simulation results are memoized per pytest session, so figures sharing
+runs (Table 2 / Figures 13-15 all reuse the free+fwd runs) only pay
+once.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables inline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentScale
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Returns save(name, rows, title): print + persist one experiment."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, rows: list[dict], title: str) -> None:
+        text = format_table(rows, title)
+        print(f"\n{text}\n")
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(rows, indent=2, default=str))
+
+    return save

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: fenced vs Free atomics on a contended shared counter.
+
+Builds a tiny program in the bundled ISA (four threads hammering one
+fetch_add counter), runs it under all four designs the paper evaluates,
+and prints cycles, speedup, and the fence/forwarding statistics that
+explain the difference.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ALL_POLICIES,
+    BASELINE,
+    ProgramBuilder,
+    Workload,
+    icelake_config,
+    run_workload,
+)
+
+COUNTER = 0x1_0000
+THREADS = 4
+ITERATIONS = 100
+
+
+def build_workload() -> Workload:
+    builder = ProgramBuilder("counter")
+    builder.li(1, COUNTER)  # r1 = &counter
+    builder.li(2, 0)  # r2 = i
+    builder.label("loop")
+    builder.fetch_add(dst=3, base=1, imm=1)  # r3 = counter++
+    builder.addi(2, 2, 1)
+    builder.branch_lt(2, ITERATIONS, "loop")
+    return Workload("quickstart", [builder.build()] * THREADS)
+
+
+def main() -> None:
+    workload = build_workload()
+    config = icelake_config(num_cores=THREADS)
+    print(f"{THREADS} threads x {ITERATIONS} fetch_adds on one cacheline\n")
+    baseline_cycles = None
+    for policy in ALL_POLICIES:
+        result = run_workload(workload, policy=policy, config=config)
+        if policy is BASELINE:
+            baseline_cycles = result.cycles
+        counter = result.read_word(COUNTER)
+        assert counter == THREADS * ITERATIONS, "atomicity violated?!"
+        speedup = baseline_cycles / result.cycles
+        forwarded = result.stats.aggregate("atomics_fwd_from_atomic")
+        omitted = result.stats.aggregate("fences_omitted")
+        print(
+            f"{policy.name:14s} cycles={result.cycles:7d}  "
+            f"speedup={speedup:5.2f}x  counter={counter}  "
+            f"fences omitted={omitted:4d}  atomics forwarded={forwarded:4d}"
+        )
+    print("\nThe counter is exact under every design: Free atomics remove")
+    print("the fences, not the atomicity (paper sections 3.2-3.4).")
+
+
+if __name__ == "__main__":
+    main()

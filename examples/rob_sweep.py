@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Figure 1's core claim: fenced atomics get MORE expensive as the
+reorder buffer grows (more in-flight stores to drain before each atomic
+can even issue), while Free atomics' cost stays flat.
+
+Sweeps the ROB from Sandy-Bridge-ish (168) through Skylake (224) to
+Icelake (352) on a store-heavy mutex workload, and prints per-atomic
+Drain_SB / Atomic cycle components for the baseline plus the free+fwd
+execution time.
+
+Run:  python examples/rob_sweep.py
+"""
+
+import dataclasses
+
+from repro import BASELINE, FREE_ATOMICS_FWD, icelake_config, run_workload
+from repro.workloads.generator import WorkloadScale, generate_workload
+
+THREADS = 4
+ROBS = (168, 224, 352)
+
+
+def config_with_rob(rob: int):
+    config = icelake_config(num_cores=THREADS)
+    core = dataclasses.replace(
+        config.core,
+        rob_entries=rob,
+        lq_entries=min(128, rob // 2),
+        sq_entries=min(72, rob // 3),
+    )
+    return config.replace(core=core)
+
+
+def main() -> None:
+    scale = WorkloadScale(num_threads=THREADS, instructions_per_thread=2000, seed=3)
+    workload = generate_workload("radix", scale)  # store-heavy profile
+    print("ROB size vs the cost of fenced atomic RMWs (radix profile)\n")
+    print(f"{'ROB':>5} {'Drain_SB':>9} {'Atomic':>8} {'base cycles':>12} "
+          f"{'free+fwd':>9} {'speedup':>8}")
+    for rob in ROBS:
+        config = config_with_rob(rob)
+        base = run_workload(workload, policy=BASELINE, config=config)
+        free = run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+        drain = base.stats.aggregate_histogram("atomic_drain_sb").mean
+        block = base.stats.aggregate_histogram("atomic_block").mean
+        print(
+            f"{rob:5d} {drain:9.1f} {block:8.1f} {base.cycles:12d} "
+            f"{free.cycles:9d} {base.cycles / free.cycles:7.2f}x"
+        )
+    print("\nThe Drain_SB component grows with the ROB (paper Figure 1);")
+    print("Free atomics never wait for the store buffer at issue.")
+
+
+if __name__ == "__main__":
+    main()

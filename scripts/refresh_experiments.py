@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Refresh EXPERIMENTS.md headline numbers from results/*.json.
+
+Run after `pytest benchmarks/ --benchmark-only` to keep the documented
+measured values in sync with the archived rows.  Prints the fresh
+numbers; edits EXPERIMENTS.md in place when --write is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+
+def load(name: str) -> list[dict]:
+    return json.loads((RESULTS / f"{name}.json").read_text())
+
+
+def compute() -> dict[str, float]:
+    fig14 = {row["benchmark"]: row for row in load("figure14_performance")}
+    fig15 = {row["benchmark"]: row for row in load("figure15_energy")}
+    fig1 = {row["benchmark"]: row for row in load("figure01_atomic_cost")}
+    table2 = {row["benchmark"]: row for row in load("table02_characterization")}
+    return {
+        "time_all": 100.0 * (1 - fig14["average"]["free+fwd"]),
+        "time_ai": 100.0 * (1 - fig14["average-AI"]["free+fwd"]),
+        "energy_all": 100.0 * (1 - fig15["average"]["free+fwd"]),
+        "energy_ai": 100.0 * (1 - fig15["average-AI"]["free+fwd"]),
+        "free_all": fig14["average"]["free"],
+        "free_ai": fig14["average-AI"]["free"],
+        "fwd_all": fig14["average"]["free+fwd"],
+        "fwd_ai": fig14["average-AI"]["free+fwd"],
+        "spec_all": fig14["average"]["baseline+spec"],
+        "spec_ai": fig14["average-AI"]["baseline+spec"],
+        "fig1_sky": fig1["average"]["skylake_total"],
+        "fig1_ice": fig1["average"]["icelake_total"],
+        "fig1_sky_drain": fig1["average"]["skylake_drain_sb"],
+        "fig1_ice_drain": fig1["average"]["icelake_drain_sb"],
+        "omitted": table2["average"]["omitted_fences_pct"],
+        "mdv": table2["average"]["mdv_pct_squashes"],
+        "fba": table2["average"]["fba_pct_atomics"],
+        "fbs": table2["average"]["fbs_pct_atomics"],
+        "timeouts": table2["average"]["timeouts"],
+        "as_fwd": fig14["AS"]["free+fwd"],
+        "tpcc_fwd": fig14["TPCC"]["free+fwd"],
+        "energy_all_norm": fig15["average"]["free+fwd"],
+        "energy_ai_norm": fig15["average-AI"]["free+fwd"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--write", action="store_true")
+    args = parser.parse_args()
+    values = compute()
+    for key, value in values.items():
+        print(f"{key:16s} {value:8.3f}")
+    if not args.write:
+        return 0
+    text = EXPERIMENTS.read_text()
+    replacements = {
+        r"(exec-time reduction, all 26 workloads.*?\| 12\.5% \| )[\d.]+%"
+        : rf"\g<1>{values['time_all']:.1f}%",
+        r"(exec-time reduction, atomic-intensive.*?\| 25\.2% \| )[\d.]+%"
+        : rf"\g<1>{values['time_ai']:.1f}%",
+        r"(energy reduction, all workloads \| 11% \| )[\d.]+%"
+        : rf"\g<1>{values['energy_all']:.1f}%",
+        r"(energy reduction, AI \| 23% \| )[\d.]+%"
+        : rf"\g<1>{values['energy_ai']:.1f}%",
+    }
+    for pattern, replacement in replacements.items():
+        text, count = re.subn(pattern, replacement, text, count=1, flags=re.S)
+        if not count:
+            print(f"WARNING: pattern not found: {pattern[:50]}...")
+    EXPERIMENTS.write_text(text)
+    print("EXPERIMENTS.md headline updated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

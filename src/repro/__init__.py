@@ -1,0 +1,83 @@
+"""repro — a reproduction of "Free Atomics: Hardware Atomic Operations
+without Fences" (ISCA 2022).
+
+Quick start::
+
+    from repro import (
+        ProgramBuilder, Workload, run_workload, BASELINE, FREE_ATOMICS_FWD,
+    )
+
+    b = ProgramBuilder("incr")
+    b.li(1, 0x1000)
+    b.li(2, 0)
+    b.label("loop")
+    b.fetch_add(dst=3, base=1, imm=1)
+    b.addi(2, 2, 1)
+    b.branch_lt(2, 100, "loop")
+    workload = Workload("counter", [b.build()] * 4)
+
+    fenced = run_workload(workload, policy=BASELINE)
+    free = run_workload(workload, policy=FREE_ATOMICS_FWD)
+    print(fenced.cycles, free.cycles)
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    FreeAtomicsConfig,
+    MemoryConfig,
+    SystemConfig,
+    icelake_config,
+    skylake_config,
+)
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.policy import (
+    ALL_POLICIES,
+    BASELINE,
+    BASELINE_SPEC,
+    FREE_ATOMICS,
+    FREE_ATOMICS_FWD,
+    AtomicPolicy,
+    policy_by_name,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.system.simulator import SimulationResult, System, run_workload
+from repro.workloads.base import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_POLICIES",
+    "AtomicPolicy",
+    "BASELINE",
+    "BASELINE_SPEC",
+    "CacheConfig",
+    "ConfigError",
+    "CoreConfig",
+    "DeadlockError",
+    "FREE_ATOMICS",
+    "FREE_ATOMICS_FWD",
+    "FreeAtomicsConfig",
+    "MemoryConfig",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "System",
+    "SystemConfig",
+    "Workload",
+    "icelake_config",
+    "policy_by_name",
+    "run_workload",
+    "skylake_config",
+    "__version__",
+]

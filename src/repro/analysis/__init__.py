@@ -1,0 +1,5 @@
+"""Experiment harness: runners, figure/table computation, ASCII reports."""
+
+from repro.analysis.runner import ExperimentScale, bench_system_config, run_benchmark
+
+__all__ = ["ExperimentScale", "bench_system_config", "run_benchmark"]

@@ -1,0 +1,112 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro.analysis figure14
+    python -m repro.analysis table2 --benchmarks AS TPCC canneal
+    python -m repro.analysis figure1 --threads 4 --instrs 1500
+    python -m repro.analysis all --json-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.figures import (
+    figure1_rows,
+    figure12_rows,
+    figure13_rows,
+    figure14_rows,
+    figure15_rows,
+)
+from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentScale, bench_system_config
+from repro.analysis.tables import table1_rows, table2_rows
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "figure1": ("Figure 1: avg cycles per fenced atomic RMW", figure1_rows),
+    "figure12": ("Figure 12: atomics per kilo-instruction", figure12_rows),
+    "figure13": ("Figure 13: locality ratio of atomics", figure13_rows),
+    "figure14": ("Figure 14: normalized execution time", figure14_rows),
+    "figure15": ("Figure 15: normalized energy", figure15_rows),
+    "table2": ("Table 2: Free atomics characterization", table2_rows),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["table1", "headline", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--instrs", type=int, default=2500)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="benchmark subset (default: all 26)",
+    )
+    parser.add_argument(
+        "--json-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also write rows as JSON into this directory",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str,
+    scale: ExperimentScale,
+    benchmarks: Optional[Sequence[str]],
+    json_dir: Optional[pathlib.Path],
+) -> None:
+    if name == "table1":
+        rows = table1_rows(bench_system_config(scale))
+        title = "Table 1: system configuration"
+    elif name == "headline":
+        from repro.analysis.summary import headline_metrics
+
+        metrics = headline_metrics(scale, benchmarks=benchmarks)
+        rows = metrics.as_rows()
+        title = "Headline: paper abstract vs measured (free+fwd savings, %)"
+    else:
+        title, compute = EXPERIMENTS[name]
+        rows = compute(scale, benchmarks=benchmarks)
+    print()
+    print(format_table(rows, title))
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        path = json_dir / f"{name}.json"
+        path.write_text(json.dumps(rows, indent=2, default=str))
+        print(f"[saved {path}]")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = ExperimentScale(
+        num_threads=args.threads,
+        instructions_per_thread=args.instrs,
+        seed=args.seed,
+    )
+    names = (
+        ["table1", *sorted(EXPERIMENTS), "headline"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        run_experiment(name, scale, args.benchmarks, args.json_dir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Per-figure row computation for the paper's evaluation plots.
+
+Each ``figureN_rows`` function returns a list of dicts, one per
+benchmark bar (plus averages where the paper draws them), in the
+paper's x-axis order.  The benchmark harness prints them as ASCII
+tables and EXPERIMENTS.md archives paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.runner import ExperimentScale, run_benchmark
+from repro.core.policy import (
+    ALL_POLICIES,
+    BASELINE,
+    FREE_ATOMICS_FWD,
+)
+from repro.energy.model import EnergyModel
+from repro.system.simulator import SimulationResult
+from repro.workloads.profiles import ATOMIC_INTENSIVE, BENCHMARK_ORDER
+
+Row = dict[str, object]
+
+
+def _benchmarks(subset: Sequence[str] | None) -> tuple[str, ...]:
+    return tuple(subset) if subset else BENCHMARK_ORDER
+
+
+def _geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+# ----------------------------------------------------------------------
+# Figure 1: cost of fenced atomic RMWs, Skylake vs Icelake
+
+
+def figure1_rows(
+    scale: ExperimentScale, benchmarks: Sequence[str] | None = None
+) -> list[Row]:
+    """Average per-atomic cycles split into Drain_SB and Atomic.
+
+    Paper: >100 cycles on average, dominated by Drain_SB, growing with
+    ROB size (Icelake > Skylake).
+    """
+    rows: list[Row] = []
+    for name in _benchmarks(benchmarks):
+        row: Row = {"benchmark": name}
+        for preset in ("skylake", "icelake"):
+            result = run_benchmark(name, BASELINE, scale, core_preset=preset)
+            drain = result.stats.aggregate_histogram("atomic_drain_sb")
+            block = result.stats.aggregate_histogram("atomic_block")
+            row[f"{preset}_drain_sb"] = drain.mean
+            row[f"{preset}_atomic"] = block.mean
+            row[f"{preset}_total"] = drain.mean + block.mean
+        rows.append(row)
+    rows.append(
+        {
+            "benchmark": "average",
+            **{
+                key: sum(float(r[key]) for r in rows) / len(rows)  # type: ignore[arg-type]
+                for key in rows[0]
+                if key != "benchmark"
+            },
+        }
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12: atomics per kilo-instruction
+
+
+def figure12_rows(
+    scale: ExperimentScale, benchmarks: Sequence[str] | None = None
+) -> list[Row]:
+    """Committed APKI per benchmark plus the atomic-intensive flag."""
+    rows = []
+    for name in _benchmarks(benchmarks):
+        result = run_benchmark(name, BASELINE, scale)
+        rows.append(
+            {
+                "benchmark": name,
+                "apki": result.apki,
+                "atomic_intensive": name in ATOMIC_INTENSIVE,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13: lock locality
+
+
+def _locality(result: SimulationResult) -> tuple[float, float]:
+    """(l1_l2_ratio, forwarded_ratio) of committed atomics."""
+    forwarded = result.stats.aggregate("atomic_locality.forwarded")
+    write_hit = result.stats.aggregate("atomic_locality.write_hit")
+    miss = result.stats.aggregate("atomic_locality.miss")
+    total = forwarded + write_hit + miss
+    if not total:
+        return 0.0, 0.0
+    return write_hit / total, forwarded / total
+
+
+def figure13_rows(
+    scale: ExperimentScale, benchmarks: Sequence[str] | None = None
+) -> list[Row]:
+    """Locality ratio: baseline atomics vs Free atomics (+Fwd).
+
+    Locality = the load_lock found its data in the SQ (forwarding) or
+    with write permission in the private L1/L2.
+    """
+    rows = []
+    for name in _benchmarks(benchmarks):
+        base = run_benchmark(name, BASELINE, scale)
+        free = run_benchmark(name, FREE_ATOMICS_FWD, scale)
+        base_l1l2, base_fwd = _locality(base)
+        free_l1l2, free_fwd = _locality(free)
+        rows.append(
+            {
+                "benchmark": name,
+                "baseline_l1l2": base_l1l2,
+                "baseline_total": base_l1l2 + base_fwd,
+                "free_l1l2": free_l1l2,
+                "free_forwarded": free_fwd,
+                "free_total": free_l1l2 + free_fwd,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14: normalized execution time, four designs
+
+
+def figure14_rows(
+    scale: ExperimentScale, benchmarks: Sequence[str] | None = None
+) -> list[Row]:
+    """Execution time of each policy normalized to the fenced baseline.
+
+    The active/sleep split follows the slowest thread, like the paper's
+    shaded bars.  Paper headline: FreeAtomics(+Fwd) cuts 12.5% on
+    average over all workloads and 25.2% over atomic-intensive ones.
+    """
+    rows = []
+    for name in _benchmarks(benchmarks):
+        results = {p.name: run_benchmark(name, p, scale) for p in ALL_POLICIES}
+        base_cycles = results[BASELINE.name].cycles
+        row: Row = {"benchmark": name}
+        for policy in ALL_POLICIES:
+            result = results[policy.name]
+            slowest = result.slowest_core
+            busy = slowest.active_cycles + slowest.quiescent_cycles
+            active_fraction = slowest.active_cycles / busy if busy else 1.0
+            normalized = result.cycles / base_cycles if base_cycles else 1.0
+            row[policy.name] = normalized
+            row[f"{policy.name}_active_frac"] = active_fraction
+        rows.append(row)
+    rows.extend(_average_rows(rows, [p.name for p in ALL_POLICIES]))
+    return rows
+
+
+def _average_rows(rows: list[Row], keys: list[str]) -> list[Row]:
+    averages: list[Row] = []
+    for label, subset in (
+        ("average", rows),
+        ("average-AI", [r for r in rows if r["benchmark"] in ATOMIC_INTENSIVE]),
+    ):
+        if not subset:
+            continue
+        entry: Row = {"benchmark": label}
+        for key in keys:
+            entry[key] = _geomean([float(r[key]) for r in subset])  # type: ignore[arg-type]
+        averages.append(entry)
+    return averages
+
+
+# ----------------------------------------------------------------------
+# Figure 15: normalized energy, four designs
+
+
+def figure15_rows(
+    scale: ExperimentScale, benchmarks: Sequence[str] | None = None
+) -> list[Row]:
+    """Energy of each policy normalized to the fenced baseline.
+
+    Paper headline: 11% average / 23% atomic-intensive savings, split
+    into dynamic (bottom) and static (top).
+    """
+    model = EnergyModel()
+    rows = []
+    for name in _benchmarks(benchmarks):
+        breakdowns = {
+            p.name: model.breakdown(run_benchmark(name, p, scale))
+            for p in ALL_POLICIES
+        }
+        base = breakdowns[BASELINE.name]
+        row: Row = {"benchmark": name}
+        for policy in ALL_POLICIES:
+            total, dynamic, static = breakdowns[policy.name].normalized_to(base)
+            row[policy.name] = total
+            row[f"{policy.name}_dynamic"] = dynamic
+            row[f"{policy.name}_static"] = static
+        rows.append(row)
+    rows.extend(_average_rows(rows, [p.name for p in ALL_POLICIES]))
+    return rows

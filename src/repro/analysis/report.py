@@ -1,0 +1,39 @@
+"""ASCII rendering of figure/table rows for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+Row = Mapping[str, object]
+
+
+def format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], title: str = "") -> str:
+    """Render rows (same keys each) as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    headers = list(rows[0].keys())
+    cells = [[format_cell(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Row], title: str = "") -> None:
+    print()
+    print(format_table(rows, title))

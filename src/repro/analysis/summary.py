@@ -1,0 +1,85 @@
+"""Headline metrics: the paper's abstract numbers from our runs.
+
+The paper's abstract claims Free atomics improve performance by 12.5%
+on average (25.2% for atomic-intensive workloads) and energy by 11%
+(23% AI).  ``headline_metrics`` computes the same four numbers from the
+figure-14/15 rows so a single call (or ``python -m repro.analysis
+headline``) answers "did the reproduction hold?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.figures import figure14_rows, figure15_rows
+from repro.analysis.runner import ExperimentScale
+
+#: The paper's headline values, for side-by-side reporting.
+PAPER_HEADLINES = {
+    "time_reduction_all_pct": 12.5,
+    "time_reduction_ai_pct": 25.2,
+    "energy_reduction_all_pct": 11.0,
+    "energy_reduction_ai_pct": 23.0,
+}
+
+
+@dataclass(frozen=True)
+class HeadlineMetrics:
+    """Measured paper-abstract numbers (percent reductions, free+fwd)."""
+
+    time_reduction_all_pct: float
+    time_reduction_ai_pct: float
+    energy_reduction_all_pct: float
+    energy_reduction_ai_pct: float
+
+    def as_rows(self) -> list[dict]:
+        rows = []
+        for key, paper_value in PAPER_HEADLINES.items():
+            rows.append(
+                {
+                    "metric": key,
+                    "paper": paper_value,
+                    "measured": getattr(self, key),
+                }
+            )
+        return rows
+
+    @property
+    def shape_holds(self) -> bool:
+        """The qualitative result: both dimensions improve, AI more."""
+        return (
+            self.time_reduction_all_pct > 0
+            and self.time_reduction_ai_pct > self.time_reduction_all_pct
+            and self.energy_reduction_all_pct > 0
+            and self.energy_reduction_ai_pct > self.energy_reduction_all_pct
+        )
+
+
+def headline_metrics(
+    scale: ExperimentScale,
+    benchmarks: Optional[Sequence[str]] = None,
+    time_rows: Optional[list[dict]] = None,
+    energy_rows: Optional[list[dict]] = None,
+) -> HeadlineMetrics:
+    """Compute the four headline numbers (runs are memoized upstream).
+
+    Precomputed figure rows can be passed to avoid recomputation when
+    the caller already regenerated Figures 14/15.
+    """
+    if time_rows is None:
+        time_rows = figure14_rows(scale, benchmarks=benchmarks)
+    if energy_rows is None:
+        energy_rows = figure15_rows(scale, benchmarks=benchmarks)
+    time_by_name = {row["benchmark"]: row for row in time_rows}
+    energy_by_name = {row["benchmark"]: row for row in energy_rows}
+
+    def reduction(by_name: dict, label: str) -> float:
+        return 100.0 * (1.0 - float(by_name[label]["free+fwd"]))
+
+    return HeadlineMetrics(
+        time_reduction_all_pct=reduction(time_by_name, "average"),
+        time_reduction_ai_pct=reduction(time_by_name, "average-AI"),
+        energy_reduction_all_pct=reduction(energy_by_name, "average"),
+        energy_reduction_ai_pct=reduction(energy_by_name, "average-AI"),
+    )

@@ -1,0 +1,105 @@
+"""Table computation: the paper's Table 2 (and Table 1 echo).
+
+Table 2 characterizes Free atomics (the free+fwd design): the fraction
+of fences removed, watchdog timeout counts, memory-dependence violations
+as a share of squashes, and how often atomics resolved by store-to-load
+forwarding from a store_unlock (FbA) or an ordinary store (FbS).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.runner import ExperimentScale, run_benchmark
+from repro.common.config import SystemConfig
+from repro.core.policy import FREE_ATOMICS_FWD
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+Row = dict[str, object]
+
+
+def table2_rows(
+    scale: ExperimentScale, benchmarks: Sequence[str] | None = None
+) -> list[Row]:
+    """Characterization of Free atomics (paper Table 2).
+
+    Paper averages: 97.58% fences omitted, 3.46 timeouts, 2.19% MDV,
+    11.81% FbA, 1.41% FbS.
+    """
+    rows: list[Row] = []
+    names = tuple(benchmarks) if benchmarks else BENCHMARK_ORDER
+    for name in names:
+        result = run_benchmark(name, FREE_ATOMICS_FWD, scale)
+        stats = result.stats
+        omitted = stats.aggregate("fences_omitted")
+        executed = stats.aggregate("fences_executed")
+        squashes = stats.aggregate("squashes")
+        mdv = stats.aggregate("squash.mem_dep")
+        atomics = stats.aggregate("atomics_committed")
+        fba = stats.aggregate("atomics_fwd_from_atomic")
+        fbs = stats.aggregate("atomics_fwd_from_store")
+        rows.append(
+            {
+                "benchmark": name,
+                "omitted_fences_pct": 100.0 * omitted / (omitted + executed)
+                if (omitted + executed)
+                else 0.0,
+                "timeouts": result.timeouts,
+                "mdv_pct_squashes": 100.0 * mdv / squashes if squashes else 0.0,
+                "fba_pct_atomics": 100.0 * fba / atomics if atomics else 0.0,
+                "fbs_pct_atomics": 100.0 * fbs / atomics if atomics else 0.0,
+            }
+        )
+    if rows:
+        rows.append(
+            {
+                "benchmark": "average",
+                **{
+                    key: sum(float(r[key]) for r in rows) / len(rows)  # type: ignore[arg-type]
+                    for key in rows[0]
+                    if key != "benchmark"
+                },
+            }
+        )
+    return rows
+
+
+def table1_rows(config: SystemConfig) -> list[Row]:
+    """Echo the simulated system configuration (paper Table 1)."""
+    core, memory = config.core, config.memory
+    return [
+        {"parameter": "Cores", "value": str(config.num_cores)},
+        {"parameter": "Fetch width", "value": f"{core.fetch_width} instr"},
+        {"parameter": "Issue/Commit width", "value": f"{core.commit_width} uops"},
+        {
+            "parameter": "ROB / LQ / SQ",
+            "value": f"{core.rob_entries} / {core.lq_entries} / {core.sq_entries}",
+        },
+        {
+            "parameter": "L1D",
+            "value": f"{memory.l1d.size_bytes // 1024}KB {memory.l1d.ways}w "
+            f"{memory.l1d.hit_latency}cy",
+        },
+        {
+            "parameter": "L2",
+            "value": f"{memory.l2.size_bytes // 1024}KB {memory.l2.ways}w "
+            f"{memory.l2.hit_latency}cy",
+        },
+        {
+            "parameter": "L3 (shared)",
+            "value": f"{memory.l3.size_bytes // (1024 * 1024)}MB {memory.l3.ways}w "
+            f"{memory.l3.hit_latency}cy",
+        },
+        {
+            "parameter": "Directory",
+            "value": f"{int(memory.directory.coverage * 100)}% coverage, "
+            f"{memory.directory.ways} ways",
+        },
+        {"parameter": "DRAM", "value": f"{memory.dram_latency} cycles"},
+        {
+            "parameter": "AQ / watchdog / chain",
+            "value": f"{config.free_atomics.aq_entries} entries / "
+            f"{config.free_atomics.watchdog_cycles} cycles / "
+            f"{config.free_atomics.max_forward_chain}",
+        },
+    ]

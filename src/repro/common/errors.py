@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by the simulator derive from
+:class:`ReproError` so callers can catch simulator problems without
+accidentally swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProgramError(ReproError):
+    """A workload program is malformed (bad label, bad register, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This is always a bug in the simulator (or a genuinely unrecoverable
+    modeled deadlock when the watchdog is disabled), never a user error.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The system made no forward progress for a configured interval.
+
+    Raised only when the deadlock watchdog is disabled or cannot help
+    (e.g., all cores idle but programs unfinished).
+    """

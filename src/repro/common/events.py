@@ -1,0 +1,98 @@
+"""Discrete-event simulation kernel.
+
+The whole multicore system runs on one :class:`EventQueue`: a binary heap
+of ``(cycle, sequence, callback)`` entries.  Ties on cycle are broken by
+insertion order, which makes every run fully deterministic.
+
+Components never busy-poll; they schedule a callback for the cycle at
+which something happens (a cache response arrives, an instruction's
+operands become ready, the watchdog expires, ...).  Squash safety is the
+caller's concern: callbacks touching speculative state must check that
+the instruction they refer to is still alive (see ``uarch.core``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+Callback = Callable[[], None]
+
+
+class Event:
+    """One scheduled callback.  ``cancel()`` turns it into a no-op."""
+
+    __slots__ = ("cycle", "order", "callback", "cancelled")
+
+    def __init__(self, cycle: int, order: int, callback: Callback) -> None:
+        self.cycle = cycle
+        self.order = order
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.cycle != other.cycle:
+            return self.cycle < other.cycle
+        return self.order < other.order
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(cycle={self.cycle}, order={self.order}, {state})"
+
+
+class EventQueue:
+    """Deterministic binary-heap event queue with a current-cycle clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._order = 0
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: int, callback: Callback) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, self._order, callback)
+        self._order += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, cycle: int, callback: Callback) -> Event:
+        """Schedule ``callback`` at an absolute cycle (>= now)."""
+        return self.schedule(cycle - self._now, callback)
+
+    def run_next(self) -> bool:
+        """Pop and run the next non-cancelled event.
+
+        Returns False when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.cycle
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, limit_cycle: int) -> None:
+        """Run all events scheduled at or before ``limit_cycle``."""
+        while self._heap and self._heap[0].cycle <= limit_cycle:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.cycle
+            event.callback()
+        if self._now < limit_cycle:
+            self._now = limit_cycle

@@ -1,0 +1,150 @@
+"""Statistics collection: counters, histograms, and a registry.
+
+Simulator components record into a shared :class:`StatsRegistry`.  The
+registry is deliberately schemaless (string keys) so that adding a new
+counter is a one-liner at the recording site, but it supports namespacing
+(``core0.rob_full_stalls``) and merging across cores for reporting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator, Mapping
+
+
+class Histogram:
+    """A sparse integer histogram with mean/percentile helpers."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self._buckets[value] += weight
+        self._count += weight
+        self._total += value * weight
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self._buckets) if self._buckets else 0
+
+    @property
+    def min(self) -> int:
+        return min(self._buckets) if self._buckets else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v such that >= fraction of samples are <= v."""
+        if not self._count:
+            return 0
+        target = fraction * self._count
+        seen = 0
+        for value in sorted(self._buckets):
+            seen += self._buckets[value]
+            if seen >= target:
+                return value
+        return max(self._buckets)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._buckets.items()))
+
+    def merge(self, other: "Histogram") -> None:
+        for value, weight in other._buckets.items():
+            self.add(value, weight)
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self._count}, mean={self.mean:.2f})"
+
+
+class StatsRegistry:
+    """Named counters and histograms, optionally namespaced.
+
+    Counter keys are plain strings; a ``scope`` prefix gives per-component
+    namespacing.  ``aggregate`` collapses a suffix across all scopes, which
+    is how per-core counters become system totals in the reports.
+    """
+
+    def __init__(self, scope: str = "") -> None:
+        self._scope = scope
+        self._counters: dict[str, int] = defaultdict(int)
+        self._histograms: dict[str, Histogram] = {}
+
+    def scoped(self, scope: str) -> "StatsRegistry":
+        """A view writing into this registry under an extra prefix."""
+        view = StatsRegistry.__new__(StatsRegistry)
+        view._scope = f"{self._scope}{scope}." if self._scope else f"{scope}."
+        view._counters = self._counters
+        view._histograms = self._histograms
+        return view
+
+    def _key(self, name: str) -> str:
+        return f"{self._scope}{name}"
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counters[self._key(name)] += amount
+
+    def set(self, name: str, value: int) -> None:
+        self._counters[self._key(name)] = value
+
+    def peak(self, name: str, value: int) -> None:
+        """Record the maximum value ever seen for ``name``."""
+        key = self._key(name)
+        if value > self._counters[key]:
+            self._counters[key] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._counters.get(self._key(name), default)
+
+    def histogram(self, name: str) -> Histogram:
+        key = self._key(name)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = Histogram()
+            self._histograms[key] = hist
+        return hist
+
+    def observe(self, name: str, value: int, weight: int = 1) -> None:
+        self.histogram(name).add(value, weight)
+
+    # -- reporting ----------------------------------------------------
+
+    def counters(self) -> Mapping[str, int]:
+        return dict(self._counters)
+
+    def histograms(self) -> Mapping[str, Histogram]:
+        return dict(self._histograms)
+
+    def aggregate(self, suffix: str) -> int:
+        """Sum every counter whose key ends with ``.suffix`` or equals it."""
+        dotted = f".{suffix}"
+        return sum(
+            value
+            for key, value in self._counters.items()
+            if key == suffix or key.endswith(dotted)
+        )
+
+    def aggregate_histogram(self, suffix: str) -> Histogram:
+        dotted = f".{suffix}"
+        merged = Histogram()
+        for key, hist in self._histograms.items():
+            if key == suffix or key.endswith(dotted):
+                merged.merge(hist)
+        return merged
+
+    def matching(self, prefix: str) -> Mapping[str, int]:
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def __repr__(self) -> str:
+        return f"StatsRegistry(scope={self._scope!r}, counters={len(self._counters)})"

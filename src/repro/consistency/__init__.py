@@ -1,0 +1,27 @@
+"""Memory-consistency validation: litmus tests, TSO model, invariants."""
+
+from repro.consistency.litmus import (
+    LITMUS_TESTS,
+    LitmusResult,
+    LitmusTest,
+    run_litmus,
+    sweep_litmus,
+)
+from repro.consistency.model import (
+    CheckResult,
+    OpKind,
+    Operation,
+    TsoChecker,
+)
+
+__all__ = [
+    "CheckResult",
+    "LITMUS_TESTS",
+    "LitmusResult",
+    "LitmusTest",
+    "OpKind",
+    "Operation",
+    "TsoChecker",
+    "run_litmus",
+    "sweep_litmus",
+]

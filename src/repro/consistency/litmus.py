@@ -1,0 +1,278 @@
+"""Litmus tests for x86-TSO and type-1 atomicity.
+
+Each :class:`LitmusTest` builds a small multi-threaded workload with
+timing-perturbation knobs (per-thread nop padding), runs it across all
+padding combinations and policies, and classifies the final memory
+state.  ``forbidden`` outcomes must never appear under any policy —
+that is the paper's correctness claim (section 3.4).  ``interesting``
+outcomes are relaxed behaviours TSO *allows* (e.g., store buffering);
+observing them at least once shows the simulator is genuinely TSO and
+not accidentally sequentially consistent.
+
+The catalogue:
+
+- ``store_buffering``: classic SB; r0==0 && r1==0 is allowed by TSO.
+- ``store_buffering_fenced``: SB with mfences; 0/0 is forbidden.
+- ``dekker_atomics``: the paper's Figure 10 — atomic RMWs as fences;
+  0/0 forbidden (type-1 atomicity).
+- ``message_passing``: MP; stale data after seeing the flag forbidden.
+- ``atomic_increment``: N threads x K fetch_adds; any lost update
+  forbidden (atomicity of the RMW itself).
+- ``coherence_rr``: CoRR; a core must not read values of one location
+  out of coherence order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.common.config import SystemConfig, icelake_config
+from repro.core.policy import ALL_POLICIES, AtomicPolicy
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import Workload
+
+# NOTE: repro.system.simulator is imported lazily inside run_litmus —
+# the simulator itself imports repro.consistency.model for trace
+# recording, and a module-level import here would close that cycle.
+
+#: Shared locations used by the tests (all on distinct cachelines).
+X = 0x40000
+Y = 0x40040
+SCRATCH0 = 0x40080
+SCRATCH1 = 0x400C0
+OUT_BASE = 0x41000  # per-thread observation slots, one line apart
+
+
+def out_slot(thread: int, index: int = 0) -> int:
+    return OUT_BASE + thread * 0x100 + index * 8
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test with a workload factory and classifiers."""
+
+    name: str
+    description: str
+    num_threads: int
+    build: Callable[[Sequence[int]], Workload]
+    #: Outcome must never be observed (violates TSO/atomicity).
+    forbidden: Callable[[Mapping[str, int]], bool]
+    #: Relaxed outcome TSO permits; seeing it shows real reordering.
+    interesting: Optional[Callable[[Mapping[str, int]], bool]] = None
+    #: Named final values to extract: label -> address.
+    observations: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class LitmusResult:
+    """Aggregate outcome of a litmus sweep."""
+
+    test: LitmusTest
+    runs: int = 0
+    forbidden_count: int = 0
+    interesting_count: int = 0
+    outcomes: dict[tuple[tuple[str, int], ...], int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.forbidden_count == 0
+
+
+def _padded(builder: ProgramBuilder, count: int) -> None:
+    for _ in range(count):
+        builder.nop()
+
+
+# ----------------------------------------------------------------------
+# test definitions
+
+
+def _store_buffering(pads: Sequence[int], fenced: bool) -> Workload:
+    programs = []
+    for thread, (mine, theirs) in enumerate(((X, Y), (Y, X))):
+        b = ProgramBuilder(f"sb{thread}")
+        b.li(1, mine)
+        b.li(2, theirs)
+        b.li(3, out_slot(thread))
+        _padded(b, pads[thread])
+        b.store(imm=1, base=1)  # st mine, 1
+        if fenced:
+            b.fence()
+        b.load(4, base=2)  # ld theirs
+        b.store(src=4, base=3)  # publish observation
+        programs.append(b.build())
+    name = "sb_fenced" if fenced else "sb"
+    return Workload(name, programs)
+
+
+def _dekker_atomics(pads: Sequence[int]) -> Workload:
+    """Paper Figure 10a: st mine,1; RMW scratch; ld theirs."""
+    programs = []
+    plan = ((X, Y, SCRATCH0), (Y, X, SCRATCH1))
+    for thread, (mine, theirs, scratch) in enumerate(plan):
+        b = ProgramBuilder(f"dekker{thread}")
+        b.li(1, mine)
+        b.li(2, theirs)
+        b.li(3, scratch)
+        b.li(5, out_slot(thread))
+        _padded(b, pads[thread])
+        b.store(imm=1, base=1)  # st mine, 1
+        b.fetch_add(dst=4, base=3, imm=1)  # atomic RMW (the "barrier")
+        b.load(6, base=2)  # ld theirs
+        b.store(src=6, base=5)
+        programs.append(b.build())
+    return Workload("dekker_atomics", programs)
+
+
+def _message_passing(pads: Sequence[int]) -> Workload:
+    writer = ProgramBuilder("mp_writer")
+    writer.li(1, X)
+    writer.li(2, Y)
+    _padded(writer, pads[0])
+    writer.store(imm=42, base=1)  # data
+    writer.store(imm=1, base=2)  # flag (TSO: ordered after data)
+    reader = ProgramBuilder("mp_reader")
+    reader.li(1, X)
+    reader.li(2, Y)
+    reader.li(3, out_slot(1, 0))
+    reader.li(5, out_slot(1, 1))
+    _padded(reader, pads[1])
+    reader.load(4, base=2)  # flag
+    reader.load(6, base=1)  # data
+    reader.store(src=4, base=3)
+    reader.store(src=6, base=5)
+    return Workload("mp", [writer.build(), reader.build()])
+
+
+def _atomic_increment(pads: Sequence[int]) -> Workload:
+    iterations = 24
+    programs = []
+    for thread in range(len(pads)):
+        b = ProgramBuilder(f"inc{thread}")
+        b.li(1, X)
+        b.li(2, 0)
+        _padded(b, pads[thread])
+        loop = b.fresh_label("loop")
+        b.label(loop)
+        b.fetch_add(dst=3, base=1, imm=1)
+        b.addi(2, 2, 1)
+        b.branch_lt(2, iterations, loop)
+        programs.append(b.build())
+    return Workload("atomic_increment", programs, meta={"iterations": iterations})
+
+
+def _coherence_rr(pads: Sequence[int]) -> Workload:
+    writer = ProgramBuilder("corr_writer")
+    writer.li(1, X)
+    _padded(writer, pads[0])
+    writer.store(imm=1, base=1)
+    reader = ProgramBuilder("corr_reader")
+    reader.li(1, X)
+    reader.li(3, out_slot(1, 0))
+    reader.li(5, out_slot(1, 1))
+    _padded(reader, pads[1])
+    reader.load(2, base=1)
+    reader.load(4, base=1)
+    reader.store(src=2, base=3)
+    reader.store(src=4, base=5)
+    return Workload("corr", [writer.build(), reader.build()])
+
+
+LITMUS_TESTS: dict[str, LitmusTest] = {
+    t.name: t
+    for t in [
+        LitmusTest(
+            name="store_buffering",
+            description="SB without fences: 0/0 allowed under TSO",
+            num_threads=2,
+            build=lambda pads: _store_buffering(pads, fenced=False),
+            observations={"r0": out_slot(0), "r1": out_slot(1)},
+            forbidden=lambda obs: False,
+            interesting=lambda obs: obs["r0"] == 0 and obs["r1"] == 0,
+        ),
+        LitmusTest(
+            name="store_buffering_fenced",
+            description="SB with mfences: 0/0 forbidden",
+            num_threads=2,
+            build=lambda pads: _store_buffering(pads, fenced=True),
+            observations={"r0": out_slot(0), "r1": out_slot(1)},
+            forbidden=lambda obs: obs["r0"] == 0 and obs["r1"] == 0,
+        ),
+        LitmusTest(
+            name="dekker_atomics",
+            description="Paper Fig. 10: atomics as barriers, 0/0 forbidden",
+            num_threads=2,
+            build=_dekker_atomics,
+            observations={"r0": out_slot(0), "r1": out_slot(1)},
+            forbidden=lambda obs: obs["r0"] == 0 and obs["r1"] == 0,
+        ),
+        LitmusTest(
+            name="message_passing",
+            description="MP: flag observed but data stale is forbidden",
+            num_threads=2,
+            build=_message_passing,
+            observations={"flag": out_slot(1, 0), "data": out_slot(1, 1)},
+            forbidden=lambda obs: obs["flag"] == 1 and obs["data"] != 42,
+        ),
+        LitmusTest(
+            name="atomic_increment",
+            description="N x K fetch_adds: lost updates forbidden",
+            num_threads=4,
+            build=_atomic_increment,
+            observations={"counter": X},
+            forbidden=lambda obs: obs["counter"] != 4 * 24,
+        ),
+        LitmusTest(
+            name="coherence_rr",
+            description="CoRR: reads of one location respect coherence order",
+            num_threads=2,
+            build=_coherence_rr,
+            observations={"first": out_slot(1, 0), "second": out_slot(1, 1)},
+            forbidden=lambda obs: obs["first"] == 1 and obs["second"] == 0,
+        ),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# runners
+
+
+def run_litmus(
+    test: LitmusTest,
+    policy: AtomicPolicy,
+    pads: Sequence[int],
+    config: Optional[SystemConfig] = None,
+) -> Mapping[str, int]:
+    """One litmus execution; returns the named observations."""
+    from repro.system.simulator import run_workload
+
+    if config is None:
+        config = icelake_config(num_cores=test.num_threads)
+    workload = test.build(pads)
+    result = run_workload(workload, policy=policy, config=config)
+    return {label: result.read_word(addr) for label, addr in test.observations.items()}
+
+
+def sweep_litmus(
+    test: LitmusTest,
+    policies: Sequence[AtomicPolicy] = ALL_POLICIES,
+    pad_values: Sequence[int] = (0, 2, 5, 9, 14),
+    config: Optional[SystemConfig] = None,
+) -> LitmusResult:
+    """Run a test over the timing-padding cross product and policies."""
+    result = LitmusResult(test=test)
+    for policy in policies:
+        for pad0 in pad_values:
+            for pad1 in pad_values:
+                pads = [pad0, pad1] + [0] * max(0, test.num_threads - 2)
+                observations = run_litmus(test, policy, pads, config)
+                result.runs += 1
+                key = tuple(sorted(observations.items()))
+                result.outcomes[key] = result.outcomes.get(key, 0) + 1
+                if test.forbidden(observations):
+                    result.forbidden_count += 1
+                if test.interesting is not None and test.interesting(observations):
+                    result.interesting_count += 1
+    return result

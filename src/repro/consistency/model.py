@@ -1,0 +1,249 @@
+"""An operational x86-TSO reference model and admissibility checker.
+
+The abstract machine (Sewell et al., "x86-TSO: A Rigorous and Usable
+Programmer's Model", CACM 2010) gives each hardware thread a FIFO store
+buffer in front of a single shared memory:
+
+- a *store* enqueues into the thread's own buffer;
+- a *load* reads the youngest same-address entry of its own buffer, or
+  memory if none exists;
+- a *buffer drain* step moves the oldest entry of some buffer to memory
+  (this is the nondeterminism of the model);
+- an *atomic RMW* requires its thread's buffer to be empty and performs
+  its read and write against memory in one indivisible step (type-1
+  atomicity — exactly the guarantee the paper claims Free atomics keep,
+  section 3.4);
+- an *mfence* requires the thread's buffer to be empty.
+
+``TsoChecker.admissible`` decides, by memoized depth-first search over
+the machine's nondeterminism, whether an *observed* execution — per-core
+committed memory operations with the values they read and wrote — could
+have been produced by this machine.  Traces are recorded by the
+simulator when tracing is enabled (``System(..., trace=True)``), so the
+whole out-of-order, speculative, unfenced implementation can be checked
+against the sequential model on real executions.
+
+Complexity is exponential in trace length; keep checked traces litmus-
+sized (tens of operations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+class OpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+    FENCE = "fence"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One committed memory operation, as observed on the simulator."""
+
+    kind: OpKind
+    address: Optional[int] = None  # word-aligned byte address
+    value_read: Optional[int] = None
+    value_written: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.FENCE:
+            return
+        if self.address is None:
+            raise ValueError(f"{self.kind.value} needs an address")
+        if self.kind in (OpKind.LOAD, OpKind.RMW) and self.value_read is None:
+            raise ValueError(f"{self.kind.value} needs value_read")
+        if self.kind in (OpKind.STORE, OpKind.RMW) and self.value_written is None:
+            raise ValueError(f"{self.kind.value} needs value_written")
+
+    @staticmethod
+    def load(address: int, value: int) -> "Operation":
+        return Operation(OpKind.LOAD, address, value_read=value)
+
+    @staticmethod
+    def store(address: int, value: int) -> "Operation":
+        return Operation(OpKind.STORE, address, value_written=value)
+
+    @staticmethod
+    def rmw(address: int, read: int, written: int) -> "Operation":
+        return Operation(OpKind.RMW, address, value_read=read, value_written=written)
+
+    @staticmethod
+    def fence() -> "Operation":
+        return Operation(OpKind.FENCE)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an admissibility check."""
+
+    admissible: bool
+    states_explored: int
+    #: One witness interleaving (thread ids of op/drain steps), if found.
+    witness: Optional[tuple[str, ...]] = None
+
+    def __bool__(self) -> bool:
+        return self.admissible
+
+
+_State = tuple[
+    tuple[int, ...],  # per-thread position
+    tuple[tuple[tuple[int, int], ...], ...],  # per-thread store buffer
+    frozenset,  # memory contents
+]
+
+
+class TsoChecker:
+    """Decides whether observed traces fit the x86-TSO abstract machine."""
+
+    def __init__(
+        self,
+        initial_memory: Optional[Mapping[int, int]] = None,
+        max_states: int = 2_000_000,
+    ) -> None:
+        self._initial_memory = dict(initial_memory or {})
+        self._max_states = max_states
+
+    def admissible(
+        self,
+        threads: Sequence[Sequence[Operation]],
+        final_memory: Optional[Mapping[int, int]] = None,
+    ) -> CheckResult:
+        """Search for a TSO execution producing exactly these traces.
+
+        ``final_memory``, when given, must additionally match the shared
+        memory after all operations commit and all buffers drain (only
+        the given addresses are compared).
+        """
+        traces = [tuple(t) for t in threads]
+        memory0 = frozenset(self._initial_memory.items())
+        start: _State = (
+            tuple(0 for _ in traces),
+            tuple(() for _ in traces),
+            memory0,
+        )
+        seen: set[_State] = set()
+        explored = 0
+        path: list[str] = []
+
+        def mem_get(memory: frozenset, address: int) -> int:
+            for key, value in memory:
+                if key == address:
+                    return value
+            return 0
+
+        def mem_set(memory: frozenset, address: int, value: int) -> frozenset:
+            return frozenset(
+                {(k, v) for k, v in memory if k != address} | {(address, value)}
+            )
+
+        def finished(state: _State) -> bool:
+            positions, buffers, memory = state
+            if any(pos < len(traces[i]) for i, pos in enumerate(positions)):
+                return False
+            if any(buffers):
+                return False
+            if final_memory is not None:
+                for address, value in final_memory.items():
+                    if mem_get(memory, address) != value:
+                        return False
+            return True
+
+        def successors(state: _State) -> Iterable[tuple[str, _State]]:
+            positions, buffers, memory = state
+            for thread in range(len(traces)):
+                buffer = buffers[thread]
+                # Drain step.
+                if buffer:
+                    address, value = buffer[0]
+                    yield (
+                        f"drain{thread}",
+                        (
+                            positions,
+                            _replace(buffers, thread, buffer[1:]),
+                            mem_set(memory, address, value),
+                        ),
+                    )
+                # Program step.
+                position = positions[thread]
+                if position >= len(traces[thread]):
+                    continue
+                op = traces[thread][position]
+                advanced = _replace_pos(positions, thread)
+                label = f"t{thread}:{op.kind.value}"
+                if op.kind is OpKind.LOAD:
+                    value = _buffer_lookup(buffer, op.address)
+                    if value is None:
+                        value = mem_get(memory, op.address)
+                    if value == op.value_read:
+                        yield (label, (advanced, buffers, memory))
+                elif op.kind is OpKind.STORE:
+                    new_buffer = buffer + ((op.address, op.value_written),)
+                    yield (
+                        label,
+                        (advanced, _replace(buffers, thread, new_buffer), memory),
+                    )
+                elif op.kind is OpKind.RMW:
+                    if buffer:
+                        continue  # buffer must be empty
+                    if mem_get(memory, op.address) != op.value_read:
+                        continue
+                    yield (
+                        label,
+                        (
+                            advanced,
+                            buffers,
+                            mem_set(memory, op.address, op.value_written),
+                        ),
+                    )
+                elif op.kind is OpKind.FENCE:
+                    if not buffer:
+                        yield (label, (advanced, buffers, memory))
+
+        def dfs(state: _State) -> bool:
+            nonlocal explored
+            if state in seen:
+                return False
+            seen.add(state)
+            explored += 1
+            if explored > self._max_states:
+                raise RuntimeError(
+                    f"TSO check exceeded {self._max_states} states; "
+                    "trace too large for exhaustive checking"
+                )
+            if finished(state):
+                return True
+            for label, nxt in successors(state):
+                path.append(label)
+                if dfs(nxt):
+                    return True
+                path.pop()
+            return False
+
+        found = dfs(start)
+        return CheckResult(
+            admissible=found,
+            states_explored=explored,
+            witness=tuple(path) if found else None,
+        )
+
+
+def _replace(buffers: tuple, index: int, value: tuple) -> tuple:
+    return buffers[:index] + (value,) + buffers[index + 1 :]
+
+
+def _replace_pos(positions: tuple[int, ...], index: int) -> tuple[int, ...]:
+    return positions[:index] + (positions[index] + 1,) + positions[index + 1 :]
+
+
+def _buffer_lookup(
+    buffer: tuple[tuple[int, int], ...], address: Optional[int]
+) -> Optional[int]:
+    for entry_address, value in reversed(buffer):
+        if entry_address == address:
+            return value
+    return None

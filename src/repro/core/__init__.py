@@ -1,0 +1,41 @@
+"""Free Atomics — the paper's contribution.
+
+This package implements the three mechanisms of the paper on top of the
+:mod:`repro.uarch` substrate:
+
+- :mod:`repro.core.policy` — the four evaluated designs: fenced baseline,
+  fenced + speculation, Free atomics, and Free atomics + forwarding.
+- :mod:`repro.core.atomic_queue` — the Atomic Queue (AQ) of section 4:
+  tracking multiple locked cachelines with its four associative searches.
+- :mod:`repro.core.responsibilities` — unlock_on_squash, do_not_unlock,
+  and lock_on_access bookkeeping.
+- :mod:`repro.core.forwarding` — store-to-load forwarding decisions for
+  and from atomics, with bounded chains.
+- :mod:`repro.core.watchdog` — the single timeout mechanism that breaks
+  every deadlock class of section 3.2.5.
+"""
+
+from repro.core.policy import (
+    BASELINE,
+    BASELINE_SPEC,
+    FREE_ATOMICS,
+    FREE_ATOMICS_FWD,
+    ALL_POLICIES,
+    AtomicPolicy,
+    policy_by_name,
+)
+from repro.core.atomic_queue import AtomicQueue, AtomicQueueEntry
+from repro.core.watchdog import DeadlockWatchdog
+
+__all__ = [
+    "ALL_POLICIES",
+    "AtomicPolicy",
+    "AtomicQueue",
+    "AtomicQueueEntry",
+    "BASELINE",
+    "BASELINE_SPEC",
+    "DeadlockWatchdog",
+    "FREE_ATOMICS",
+    "FREE_ATOMICS_FWD",
+    "policy_by_name",
+]

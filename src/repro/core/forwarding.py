@@ -1,0 +1,102 @@
+"""Store-to-load forwarding decisions (section 3.3).
+
+``decide_load_source`` inspects the store queue and the active policy
+and tells the memory unit where a load (or load_lock) should get its
+value.  The possible outcomes:
+
+- ``CACHE``: no older in-flight store to the word; read memory.
+- ``FORWARD``: take the value from ``store`` (data is ready).
+- ``WAIT_DATA``: ``store`` will forward, but its data is not computed
+  yet; retry when it is.
+- ``WAIT_PERFORM``: an older same-word store exists but forwarding is
+  not allowed (fenced design, forwarding to atomics disabled, or the
+  forwarding chain limit was reached); retry when the store performs
+  and the value is readable from the cache.
+
+StoreSet-predicted dependences on *unresolved* stores are handled by the
+caller before this decision (they are a prediction concern, not a
+forwarding one).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policy import AtomicPolicy
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.dynins import DynInstr
+from repro.uarch.lsq import StoreQueue
+
+
+class LoadSource(enum.Enum):
+    CACHE = "cache"
+    FORWARD = "forward"
+    WAIT_DATA = "wait_data"
+    WAIT_PERFORM = "wait_perform"
+
+
+@dataclass(frozen=True)
+class LoadSourceDecision:
+    action: LoadSource
+    store: Optional[DynInstr] = None
+
+
+_CACHE = LoadSourceDecision(LoadSource.CACHE)
+
+
+def decide_load_source(
+    load: DynInstr,
+    sq: StoreQueue,
+    policy: AtomicPolicy,
+    max_forward_chain: int,
+) -> LoadSourceDecision:
+    """Where should ``load`` get its value from?  See module docstring."""
+    assert load.word is not None
+    store = sq.youngest_matching_store(load.word, load.seq)
+    if store is None:
+        return _CACHE
+    if load.is_atomic:
+        return _decide_for_load_lock(load, store, policy, max_forward_chain)
+    return _decide_for_regular_load(store, policy)
+
+
+def _decide_for_regular_load(
+    store: DynInstr, policy: AtomicPolicy
+) -> LoadSourceDecision:
+    if store.is_atomic and policy.fenced:
+        # Fenced designs execute atomics in isolation: the fence gate has
+        # already blocked younger loads until the store_unlock performed,
+        # so a match here means the gate is mid-release; wait it out.
+        return LoadSourceDecision(LoadSource.WAIT_PERFORM, store)
+    if store.store_data_ready:
+        return LoadSourceDecision(LoadSource.FORWARD, store)
+    return LoadSourceDecision(LoadSource.WAIT_DATA, store)
+
+
+def _decide_for_load_lock(
+    load: DynInstr,
+    store: DynInstr,
+    policy: AtomicPolicy,
+    max_forward_chain: int,
+) -> LoadSourceDecision:
+    if not policy.forward_to_atomic:
+        # Section 3.2.1 / footnote 1: the load_lock is re-scheduled and
+        # reads from the cache once the older store has written.
+        return LoadSourceDecision(LoadSource.WAIT_PERFORM, store)
+    if chain_depth_of(store) >= max_forward_chain:
+        # Section 3.3.4: bound the chain to avoid lock-hogging livelock.
+        return LoadSourceDecision(LoadSource.WAIT_PERFORM, store)
+    if store.store_data_ready:
+        return LoadSourceDecision(LoadSource.FORWARD, store)
+    return LoadSourceDecision(LoadSource.WAIT_DATA, store)
+
+
+def chain_depth_of(store: DynInstr) -> int:
+    """Forwarding-chain depth a forward from ``store`` would extend."""
+    if store.is_atomic and store.aq_entry is not None:
+        return store.aq_entry.chain_depth
+    return 0

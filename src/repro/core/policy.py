@@ -1,0 +1,92 @@
+"""Atomic-RMW execution policies — the four designs of Figure 14.
+
+A policy is a small immutable flag set the core consults at the decision
+points the paper identifies:
+
+- ``speculative``: may a load_lock issue before its atomic is the oldest
+  instruction in the ROB (i.e., from a control-speculative path)?
+  Section 3.1 — requires the unlock_on_squash responsibility.
+- ``fenced``: are the two decode-time fences present?  When True, a
+  load_lock waits for all older memory operations to commit and the SB
+  to drain before issuing (Mem_Fence1), and younger loads wait for the
+  store_unlock to perform (Mem_Fence2).  When False the atomic is a
+  *Free atomic*: it issues as soon as its address is ready, and only its
+  *commit* waits for the SB to drain (section 3.2.3).
+- ``forward_to_atomic``: may a load_lock take its value from an older
+  in-flight store via store-to-load forwarding?  Section 3.3.
+
+Regular loads may forward from a store_unlock whenever the design is
+unfenced (section 3.2.1); under a fenced design the fence makes the
+question moot, so no separate flag is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AtomicPolicy:
+    """Flag set selecting one of the paper's four designs."""
+
+    name: str
+    speculative: bool
+    fenced: bool
+    forward_to_atomic: bool
+
+    def __post_init__(self) -> None:
+        if self.forward_to_atomic and self.fenced:
+            raise ConfigError(
+                "forwarding to atomics requires an unfenced design "
+                "(a fenced atomic executes in isolation)"
+            )
+        if not self.fenced and not self.speculative:
+            raise ConfigError(
+                "an unfenced design is necessarily speculative "
+                "(the load_lock can be squashed)"
+            )
+
+    @property
+    def is_free(self) -> bool:
+        """True for the Free-atomics designs (no fences)."""
+        return not self.fenced
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Fenced baseline: x86 documented behaviour (Figure 2).
+BASELINE = AtomicPolicy(
+    name="baseline", speculative=False, fenced=True, forward_to_atomic=False
+)
+
+#: Baseline plus out-of-order speculative issue of atomics (section 3.1).
+BASELINE_SPEC = AtomicPolicy(
+    name="baseline+spec", speculative=True, fenced=True, forward_to_atomic=False
+)
+
+#: Free atomics: unfenced, speculative, no forwarding to atomics (3.2).
+FREE_ATOMICS = AtomicPolicy(
+    name="free", speculative=True, fenced=False, forward_to_atomic=False
+)
+
+#: Free atomics plus store-to-load forwarding to/from atomics (3.3).
+FREE_ATOMICS_FWD = AtomicPolicy(
+    name="free+fwd", speculative=True, fenced=False, forward_to_atomic=True
+)
+
+ALL_POLICIES = (BASELINE, BASELINE_SPEC, FREE_ATOMICS, FREE_ATOMICS_FWD)
+
+_BY_NAME = {policy.name: policy for policy in ALL_POLICIES}
+
+
+def policy_by_name(name: str) -> AtomicPolicy:
+    """Look up one of the four standard policies by its name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,63 @@
+"""Responsibility bookkeeping (sections 3.1 and 3.3 of the paper).
+
+Three responsibilities govern who lifts or keeps a cacheline lock:
+
+- **unlock_on_squash** (3.1): a load_lock that locked its line must lift
+  the lock if squashed.  Realized structurally: a squashed AQ entry stops
+  matching the associative searches (AtomicQueue.squash_from).
+
+- **do_not_unlock** (3.3.1): a store_unlock that forwarded its data to a
+  younger load_lock must leave the line locked when it performs; the
+  lock transfers to the forwarded atomic's AQ entry via the SQid
+  broadcast.
+
+- **lock_on_access** (3.3.2): an ordinary store that forwarded to a
+  load_lock must lock the line when it performs, on the load_lock's
+  behalf — same SQid broadcast mechanism.
+
+This module holds the grant/revoke helpers; the capture itself lives in
+:meth:`repro.core.atomic_queue.AtomicQueue.on_store_broadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.atomic_queue import AtomicQueueEntry
+    from repro.uarch.dynins import DynInstr
+
+
+def grant_forwarding_responsibility(
+    entry: AtomicQueueEntry, source_store: DynInstr
+) -> None:
+    """A load_lock forwarded from ``source_store``: assign responsibility.
+
+    The forwarded entry records its SQid (source store); the store gets
+    do_not_unlock when it is itself a store_unlock, or lock_on_access
+    when it is an ordinary store.
+    """
+    entry.source_store = source_store
+    if source_store.is_atomic:
+        source_store.do_not_unlock = True
+    else:
+        source_store.lock_on_behalf.append(entry)
+    source_entry = source_store.aq_entry
+    entry.chain_depth = 1 + (source_entry.chain_depth if source_entry else 0)
+
+
+def revoke_forwarding_responsibility(entry: AtomicQueueEntry) -> None:
+    """Squash of a forwarded load_lock: take the responsibility back.
+
+    Only meaningful while the forwarding store has not performed; once it
+    has, the lock was already transferred to ``entry`` (which the AQ
+    flush then lifts via unlock_on_squash).
+    """
+    source = entry.source_store
+    if source is None or source.store_performed:
+        return
+    if source.is_atomic:
+        source.do_not_unlock = False
+    elif entry in source.lock_on_behalf:
+        source.lock_on_behalf.remove(entry)
+    entry.source_store = None

@@ -1,0 +1,79 @@
+"""The deadlock watchdog (section 3.2.5).
+
+One cycle counter per core, reset whenever a load_lock performs (locks a
+line) and whenever an atomic commits.  If the counter reaches the
+threshold while some atomic still holds a cacheline lock, the watchdog
+triggers a pipeline flush starting at the oldest lock-holding atomic.
+The flush lifts every lock the core holds, letting deferred coherence
+requests and stalled older memory operations progress — which breaks all
+four deadlock classes (RMW-RMW, Store-RMW, Load-RMW, and inclusion).
+
+The progress guarantee (paper 3.2.5) holds because the squash decision
+always comes from within the lock-holding core, and the freed line is
+handed to the deferred remote request before the squashed atomic can
+re-acquire it (re-fetch takes many cycles; the deferred request is
+replayed immediately at unlock).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatsRegistry
+from repro.core.atomic_queue import AtomicQueue, AtomicQueueEntry
+
+
+class DeadlockWatchdog:
+    """Per-core timeout that flushes the oldest lock-holding atomic."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        aq: AtomicQueue,
+        threshold: int,
+        enabled: bool,
+        on_flush: Callable[[AtomicQueueEntry], None],
+        stats: StatsRegistry,
+    ) -> None:
+        self._queue = queue
+        self._aq = aq
+        self._threshold = threshold
+        self._enabled = enabled
+        self._on_flush = on_flush
+        self._stats = stats
+        self._last_activity = 0
+        self._check_scheduled = False
+
+    @property
+    def timeouts(self) -> int:
+        return self._stats.get("watchdog_timeouts")
+
+    def reset(self) -> None:
+        """A load_lock performed or an atomic committed: restart the timer."""
+        self._last_activity = self._queue.now
+        self._ensure_check()
+
+    def _ensure_check(self) -> None:
+        if not self._enabled or self._check_scheduled:
+            return
+        if not self._aq.any_locked:
+            return
+        self._check_scheduled = True
+        deadline = self._last_activity + self._threshold
+        self._queue.schedule_at(max(deadline, self._queue.now), self._check)
+
+    def _check(self) -> None:
+        self._check_scheduled = False
+        if not self._aq.any_locked:
+            return
+        if self._queue.now - self._last_activity < self._threshold:
+            self._ensure_check()
+            return
+        oldest = self._aq.oldest_locked_entry()
+        if oldest is None:  # pragma: no cover - any_locked implies an entry
+            return
+        self._stats.bump("watchdog_timeouts")
+        self._last_activity = self._queue.now
+        self._on_flush(oldest)
+        self._ensure_check()

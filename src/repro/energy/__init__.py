@@ -1,0 +1,5 @@
+"""Energy model (McPAT substitute)."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

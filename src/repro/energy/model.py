@@ -1,0 +1,94 @@
+"""Event-energy model standing in for McPAT (see DESIGN.md section 2).
+
+The paper uses McPAT at 22 nm / 0.6 V, reporting processor energy split
+into dynamic and static, with uncore excluded.  We model:
+
+- **dynamic** energy as per-event costs: issued µops (including wasted
+  speculative work), committed instructions, cache/directory accesses,
+  DRAM accesses, coherence messages, and squash recovery;
+- **static** energy as leakage per core-cycle.
+
+The absolute picojoule numbers are representative of published 22 nm
+figures but uncalibrated; every use in the benchmark harness reports
+energy *normalized to the baseline policy*, which is what Figure 15
+plots — both of its effects (static tracks runtime; dynamic drops with
+less spinning) are structural, not parameter-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.system.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event dynamic energies (pJ) and per-core-cycle leakage."""
+
+    issue_pj: float = 2.0
+    commit_pj: float = 4.0
+    squash_recovery_pj: float = 1.5
+    l1_access_pj: float = 10.0
+    l2_access_pj: float = 28.0
+    l3_dir_access_pj: float = 90.0
+    dram_access_pj: float = 2600.0
+    network_message_pj: float = 18.0
+    atomic_queue_pj: float = 0.5
+    static_pj_per_core_cycle: float = 22.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals in picojoules, plus the per-component split."""
+
+    dynamic_pj: float
+    static_pj: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_pj + self.static_pj
+
+    @property
+    def dynamic_fraction(self) -> float:
+        return self.dynamic_pj / self.total_pj if self.total_pj else 0.0
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> tuple[float, float, float]:
+        """(total, dynamic, static) each normalized to baseline total."""
+        reference = baseline.total_pj or 1.0
+        return (
+            self.total_pj / reference,
+            self.dynamic_pj / reference,
+            self.static_pj / reference,
+        )
+
+
+class EnergyModel:
+    """Computes an :class:`EnergyBreakdown` from a simulation result."""
+
+    def __init__(self, params: EnergyParams = EnergyParams()) -> None:
+        self.params = params
+
+    def breakdown(self, result: SimulationResult) -> EnergyBreakdown:
+        p = self.params
+        stats = result.stats
+        components = {
+            "issue": p.issue_pj * stats.aggregate("issued_ops"),
+            "commit": p.commit_pj * stats.aggregate("committed"),
+            "squash": p.squash_recovery_pj * stats.aggregate("squashed_instrs"),
+            "l1": p.l1_access_pj
+            * (stats.aggregate("l1_hits") + stats.aggregate("stores_performed")),
+            "l2": p.l2_access_pj
+            * (stats.aggregate("l2_hits") + stats.aggregate("misses")),
+            "l3_dir": p.l3_dir_access_pj
+            * (stats.aggregate("l3_hits") + stats.aggregate("l3_misses")),
+            "dram": p.dram_access_pj * stats.aggregate("l3_misses"),
+            "network": p.network_message_pj * stats.aggregate("messages"),
+            "aq": p.atomic_queue_pj * stats.aggregate("load_locks_performed"),
+        }
+        dynamic = sum(components.values())
+        static = p.static_pj_per_core_cycle * result.cycles * result.config.num_cores
+        return EnergyBreakdown(
+            dynamic_pj=dynamic, static_pj=static, components=components
+        )

@@ -1,0 +1,53 @@
+"""Energy reporting helpers: per-component and per-policy tables."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.energy.model import EnergyBreakdown
+
+
+def component_rows(breakdown: EnergyBreakdown) -> list[dict]:
+    """Dynamic-energy components, largest first, plus static and total."""
+    total = breakdown.total_pj or 1.0
+    rows = [
+        {
+            "component": name,
+            "energy_pj": energy,
+            "share_pct": 100.0 * energy / total,
+        }
+        for name, energy in sorted(
+            breakdown.components.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    rows.append(
+        {
+            "component": "static",
+            "energy_pj": breakdown.static_pj,
+            "share_pct": 100.0 * breakdown.static_pj / total,
+        }
+    )
+    rows.append(
+        {"component": "TOTAL", "energy_pj": breakdown.total_pj, "share_pct": 100.0}
+    )
+    return rows
+
+
+def policy_comparison_rows(
+    breakdowns: Mapping[str, EnergyBreakdown], baseline: str = "baseline"
+) -> list[dict]:
+    """Figure-15-style rows: each policy normalized to the baseline."""
+    reference = breakdowns[baseline]
+    rows = []
+    for name, breakdown in breakdowns.items():
+        total, dynamic, static = breakdown.normalized_to(reference)
+        rows.append(
+            {
+                "policy": name,
+                "normalized_total": total,
+                "normalized_dynamic": dynamic,
+                "normalized_static": static,
+                "savings_pct": 100.0 * (1.0 - total),
+            }
+        )
+    return rows

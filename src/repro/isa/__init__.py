@@ -1,0 +1,46 @@
+"""A tiny register ISA used to drive the simulator.
+
+The ISA is execution-driven: instructions have real semantics (register
+values, memory contents), which lets the simulator execute wrong paths
+after branch mispredictions, run spinlock loops whose iteration count
+depends on timing, and validate litmus-test outcomes.
+"""
+
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicKind,
+    AtomicRMW,
+    Branch,
+    BranchCond,
+    Fence,
+    Halt,
+    Instruction,
+    Load,
+    LoadImm,
+    Pause,
+    Store,
+)
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import NUM_REGISTERS, register_name
+
+__all__ = [
+    "Alu",
+    "AluOp",
+    "AtomicKind",
+    "AtomicRMW",
+    "Branch",
+    "BranchCond",
+    "Fence",
+    "Halt",
+    "Instruction",
+    "Load",
+    "LoadImm",
+    "NUM_REGISTERS",
+    "Pause",
+    "Program",
+    "ProgramBuilder",
+    "Store",
+    "register_name",
+]

@@ -1,0 +1,281 @@
+"""A small assembler-style DSL for constructing programs.
+
+Example::
+
+    b = ProgramBuilder("counter")
+    b.li(1, COUNTER_ADDR)
+    b.li(2, 0)
+    b.label("loop")
+    b.fetch_add(dst=3, base=1, imm=1)      # counter++
+    b.addi(2, 2, 1)                        # i++
+    b.branch_lt(2, 100, "loop")            # while i < 100
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ProgramError
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicKind,
+    AtomicRMW,
+    Branch,
+    BranchCond,
+    Fence,
+    Halt,
+    Instruction,
+    Load,
+    LoadImm,
+    MemoryOperand,
+    Pause,
+    Store,
+)
+from repro.isa.program import Program
+
+
+class ProgramBuilder:
+    """Accumulates instructions and labels, then builds a Program."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._spin_depth = 0
+        self._label_counter = 0
+
+    # -- structure ------------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Attach ``name`` to the next instruction position."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        self._label_counter += 1
+        return f"__{hint}_{self._label_counter}"
+
+    def emit(self, instruction: Instruction) -> "ProgramBuilder":
+        if self._spin_depth > 0 and not instruction.spin:
+            instruction = _with_spin(instruction)
+        self._instructions.append(instruction)
+        return self
+
+    def spin_region(self) -> "_SpinRegion":
+        """Context manager marking emitted instructions as spin-wait."""
+        return _SpinRegion(self)
+
+    def build(self) -> Program:
+        return Program(self._instructions, self._labels, name=self.name)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    # -- ALU / immediates ------------------------------------------------
+
+    def li(self, dst: int, value: int) -> "ProgramBuilder":
+        return self.emit(LoadImm(dst=dst, value=value))
+
+    def mov(self, dst: int, src: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.MOV, dst=dst, src1=src))
+
+    def add(self, dst: int, src1: int, src2: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.ADD, dst=dst, src1=src1, src2=src2))
+
+    def addi(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.ADD, dst=dst, src1=src1, imm=imm))
+
+    def sub(self, dst: int, src1: int, src2: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.SUB, dst=dst, src1=src1, src2=src2))
+
+    def subi(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.SUB, dst=dst, src1=src1, imm=imm))
+
+    def mul(self, dst: int, src1: int, src2: int, latency: int = 3) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.MUL, dst=dst, src1=src1, src2=src2, latency=latency))
+
+    def muli(self, dst: int, src1: int, imm: int, latency: int = 3) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.MUL, dst=dst, src1=src1, imm=imm, latency=latency))
+
+    def andi(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.AND, dst=dst, src1=src1, imm=imm))
+
+    def ori(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.OR, dst=dst, src1=src1, imm=imm))
+
+    def xor(self, dst: int, src1: int, src2: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.XOR, dst=dst, src1=src1, src2=src2))
+
+    def xori(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.XOR, dst=dst, src1=src1, imm=imm))
+
+    def shli(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.SHL, dst=dst, src1=src1, imm=imm))
+
+    def shri(self, dst: int, src1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.SHR, dst=dst, src1=src1, imm=imm))
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Alu(op=AluOp.NOP))
+
+    def pause(self) -> "ProgramBuilder":
+        return self.emit(Pause())
+
+    # -- memory -----------------------------------------------------------
+
+    def load(
+        self, dst: int, base: int, offset: int = 0, index: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self.emit(Load(dst=dst, mem=MemoryOperand(base, offset, index)))
+
+    def store(
+        self,
+        src: Optional[int] = None,
+        base: int = 0,
+        offset: int = 0,
+        index: Optional[int] = None,
+        imm: Optional[int] = None,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            Store(src=src, imm=imm, mem=MemoryOperand(base, offset, index))
+        )
+
+    def fence(self) -> "ProgramBuilder":
+        return self.emit(Fence())
+
+    # -- atomics ----------------------------------------------------------
+
+    def fetch_add(
+        self,
+        dst: int,
+        base: int,
+        offset: int = 0,
+        index: Optional[int] = None,
+        src: Optional[int] = None,
+        imm: Optional[int] = None,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            AtomicRMW(
+                kind=AtomicKind.FETCH_ADD,
+                dst=dst,
+                mem=MemoryOperand(base, offset, index),
+                src=src,
+                imm=imm,
+            )
+        )
+
+    def exchange(
+        self,
+        dst: int,
+        base: int,
+        offset: int = 0,
+        index: Optional[int] = None,
+        src: Optional[int] = None,
+        imm: Optional[int] = None,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            AtomicRMW(
+                kind=AtomicKind.EXCHANGE,
+                dst=dst,
+                mem=MemoryOperand(base, offset, index),
+                src=src,
+                imm=imm,
+            )
+        )
+
+    def test_and_set(
+        self, dst: int, base: int, offset: int = 0, index: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self.emit(
+            AtomicRMW(
+                kind=AtomicKind.TEST_AND_SET,
+                dst=dst,
+                mem=MemoryOperand(base, offset, index),
+            )
+        )
+
+    def cas(
+        self,
+        dst: int,
+        base: int,
+        expected: int,
+        offset: int = 0,
+        index: Optional[int] = None,
+        src: Optional[int] = None,
+        imm: Optional[int] = None,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            AtomicRMW(
+                kind=AtomicKind.COMPARE_AND_SWAP,
+                dst=dst,
+                mem=MemoryOperand(base, offset, index),
+                src=src,
+                imm=imm,
+                expected=expected,
+            )
+        )
+
+    # -- control flow -------------------------------------------------------
+
+    def jump(self, target: str) -> "ProgramBuilder":
+        return self.emit(Branch(cond=BranchCond.ALWAYS, target=target))
+
+    def branch_eq(
+        self, src1: int, value: int | None, target: str, src2: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._branch(BranchCond.EQ, src1, value, src2, target)
+
+    def branch_ne(
+        self, src1: int, value: int | None, target: str, src2: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._branch(BranchCond.NE, src1, value, src2, target)
+
+    def branch_lt(
+        self, src1: int, value: int | None, target: str, src2: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._branch(BranchCond.LT, src1, value, src2, target)
+
+    def branch_ge(
+        self, src1: int, value: int | None, target: str, src2: Optional[int] = None
+    ) -> "ProgramBuilder":
+        return self._branch(BranchCond.GE, src1, value, src2, target)
+
+    def _branch(
+        self,
+        cond: BranchCond,
+        src1: int,
+        imm: int | None,
+        src2: Optional[int],
+        target: str,
+    ) -> "ProgramBuilder":
+        return self.emit(
+            Branch(cond=cond, src1=src1, src2=src2, imm=imm, target=target)
+        )
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Halt())
+
+
+def _with_spin(instruction: Instruction) -> Instruction:
+    import dataclasses
+
+    return dataclasses.replace(instruction, spin=True)
+
+
+class _SpinRegion:
+    """Context manager: mark everything emitted inside as spin-wait."""
+
+    def __init__(self, builder: ProgramBuilder) -> None:
+        self._builder = builder
+
+    def __enter__(self) -> ProgramBuilder:
+        self._builder._spin_depth += 1
+        return self._builder
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._builder._spin_depth -= 1

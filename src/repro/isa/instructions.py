@@ -1,0 +1,293 @@
+"""Instruction definitions for the tiny ISA.
+
+Each instruction is a small immutable dataclass.  Memory operands use a
+``base register + immediate offset [+ index register]`` addressing mode;
+addresses are byte addresses and must be 8-byte aligned (the simulator
+tracks data at word granularity).
+
+The ``spin`` flag marks instructions that belong to a busy-wait loop
+(barrier or lock-acquire spinning).  The simulator attributes commit time
+of spin-marked instructions to *quiescent* rather than *active* cycles,
+mirroring how the paper's figures shade scheduler-idle time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ProgramError
+from repro.isa.registers import check_register
+
+
+class AluOp(enum.Enum):
+    """Arithmetic/logical operations."""
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    MUL = "mul"
+    MOV = "mov"
+    SHL = "shl"
+    SHR = "shr"
+    CMP_LT = "cmplt"
+    CMP_EQ = "cmpeq"
+    NOP = "nop"
+
+
+class AtomicKind(enum.Enum):
+    """Atomic read-modify-write flavours (x86 locked-op equivalents)."""
+
+    FETCH_ADD = "fetch_add"  # lock xadd
+    EXCHANGE = "exchange"  # xchg (implicitly locked)
+    COMPARE_AND_SWAP = "cas"  # lock cmpxchg
+    TEST_AND_SET = "test_and_set"  # lock bts-style: old value out, write 1
+    FETCH_OR = "fetch_or"  # lock or (with fetched old value)
+    FETCH_AND = "fetch_and"  # lock and (with fetched old value)
+
+
+class BranchCond(enum.Enum):
+    """Branch conditions.  Compare one register against reg-or-immediate."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    GE = "ge"
+    ALWAYS = "always"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions."""
+
+    spin: bool = field(default=False, kw_only=True)
+
+    @property
+    def is_memory(self) -> bool:
+        return False
+
+    @property
+    def is_branch(self) -> bool:
+        return False
+
+    @property
+    def is_atomic(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class MemoryOperand:
+    """base + offset [+ index] byte address, 8-byte aligned at runtime."""
+
+    base: int
+    offset: int = 0
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_register(self.base)
+        if self.index is not None:
+            check_register(self.index)
+
+    def source_registers(self) -> tuple[int, ...]:
+        if self.index is None:
+            return (self.base,)
+        return (self.base, self.index)
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    """dst = op(src1, src2_or_imm)."""
+
+    op: AluOp = AluOp.NOP
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: Optional[int] = None
+    latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op is AluOp.NOP:
+            return
+        if self.dst is None:
+            raise ProgramError(f"ALU {self.op.value} needs a destination")
+        check_register(self.dst)
+        if self.op is AluOp.MOV:
+            if (self.src1 is None) == (self.imm is None):
+                raise ProgramError("MOV needs exactly one of src1/imm")
+        else:
+            if self.src1 is None:
+                raise ProgramError(f"ALU {self.op.value} needs src1")
+            if (self.src2 is None) == (self.imm is None):
+                raise ProgramError(
+                    f"ALU {self.op.value} needs exactly one of src2/imm"
+                )
+        for reg in (self.src1, self.src2):
+            if reg is not None:
+                check_register(reg)
+        if self.latency < 1:
+            raise ProgramError("ALU latency must be >= 1")
+
+    def source_registers(self) -> tuple[int, ...]:
+        return tuple(r for r in (self.src1, self.src2) if r is not None)
+
+
+@dataclass(frozen=True)
+class LoadImm(Instruction):
+    """dst = immediate."""
+
+    dst: int = 0
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        check_register(self.dst)
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """dst = memory[operand]."""
+
+    dst: int = 0
+    mem: MemoryOperand = field(default_factory=lambda: MemoryOperand(0))
+
+    def __post_init__(self) -> None:
+        check_register(self.dst)
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """memory[operand] = src register or immediate."""
+
+    src: Optional[int] = None
+    imm: Optional[int] = None
+    mem: MemoryOperand = field(default_factory=lambda: MemoryOperand(0))
+
+    def __post_init__(self) -> None:
+        if (self.src is None) == (self.imm is None):
+            raise ProgramError("Store needs exactly one of src/imm")
+        if self.src is not None:
+            check_register(self.src)
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class AtomicRMW(Instruction):
+    """Atomic read-modify-write on memory[operand].
+
+    ``dst`` receives the value read from memory (the *old* value).  The
+    new value written depends on ``kind``:
+
+    - FETCH_ADD:          old + operand
+    - EXCHANGE:           operand
+    - COMPARE_AND_SWAP:   operand if old == expected else old
+    - TEST_AND_SET:       1
+    - FETCH_OR / FETCH_AND: old | operand / old & operand
+
+    ``operand`` comes from ``src`` (register) or ``imm``; CAS additionally
+    reads the ``expected`` register.
+    """
+
+    kind: AtomicKind = AtomicKind.FETCH_ADD
+    dst: int = 0
+    mem: MemoryOperand = field(default_factory=lambda: MemoryOperand(0))
+    src: Optional[int] = None
+    imm: Optional[int] = None
+    expected: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_register(self.dst)
+        if self.kind is AtomicKind.TEST_AND_SET:
+            if self.src is not None or self.imm is not None:
+                raise ProgramError("TEST_AND_SET takes no operand")
+        elif (self.src is None) == (self.imm is None):
+            raise ProgramError(f"{self.kind.value} needs exactly one of src/imm")
+        if self.kind is AtomicKind.COMPARE_AND_SWAP:
+            if self.expected is None:
+                raise ProgramError("CAS needs an 'expected' register")
+            check_register(self.expected)
+        elif self.expected is not None:
+            raise ProgramError("'expected' is only valid for CAS")
+        if self.src is not None:
+            check_register(self.src)
+
+    @property
+    def is_memory(self) -> bool:
+        return True
+
+    @property
+    def is_atomic(self) -> bool:
+        return True
+
+    def value_registers(self) -> tuple[int, ...]:
+        """Registers feeding the modify step (not the address)."""
+        regs = []
+        if self.src is not None:
+            regs.append(self.src)
+        if self.expected is not None:
+            regs.append(self.expected)
+        return tuple(regs)
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Conditional (or unconditional) direct branch to a label."""
+
+    cond: BranchCond = BranchCond.ALWAYS
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: Optional[int] = None
+    target: str = ""
+    #: Resolved by Program.finalize(); index of the target instruction.
+    target_index: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ProgramError("branch needs a target label")
+        if self.cond is BranchCond.ALWAYS:
+            if self.src1 is not None or self.src2 is not None or self.imm is not None:
+                raise ProgramError("unconditional branch takes no operands")
+            return
+        if self.src1 is None:
+            raise ProgramError(f"branch {self.cond.value} needs src1")
+        check_register(self.src1)
+        if (self.src2 is None) == (self.imm is None):
+            raise ProgramError(
+                f"branch {self.cond.value} needs exactly one of src2/imm"
+            )
+        if self.src2 is not None:
+            check_register(self.src2)
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def source_registers(self) -> tuple[int, ...]:
+        return tuple(r for r in (self.src1, self.src2) if r is not None)
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Full memory fence (mfence): drains the SB and blocks younger loads."""
+
+
+@dataclass(frozen=True)
+class Pause(Instruction):
+    """Spin-wait hint; a nop whose commit time counts as quiescent."""
+
+    def __post_init__(self) -> None:
+        # A pause is always part of a spin loop.
+        object.__setattr__(self, "spin", True)
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Terminate this hardware thread."""

@@ -1,0 +1,147 @@
+"""Sequential reference interpreter.
+
+Executes one program functionally (no timing, no speculation) against a
+register file and a word-addressed memory.  Used as the oracle for
+property tests: for any single-threaded program, the out-of-order core
+must produce exactly the same final registers and memory.
+"""
+
+from __future__ import annotations
+
+from typing import MutableMapping, Optional
+
+from repro.common.errors import SimulationError
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicRMW,
+    Branch,
+    Fence,
+    Halt,
+    Load,
+    LoadImm,
+    MemoryOperand,
+    Pause,
+    Store,
+)
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGISTERS, truncate
+from repro.isa.semantics import evaluate_alu, evaluate_atomic, evaluate_branch
+from repro.mem.lines import align_word
+
+
+class ReferenceInterpreter:
+    """In-order, one-instruction-at-a-time executor."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[MutableMapping[int, int]] = None,
+        initial_regs: Optional[dict[int, int]] = None,
+        max_steps: int = 1_000_000,
+    ) -> None:
+        self.program = program
+        self.memory: MutableMapping[int, int] = memory if memory is not None else {}
+        self.regs = [0] * NUM_REGISTERS
+        if initial_regs:
+            for reg, value in initial_regs.items():
+                self.regs[reg] = truncate(value)
+        self.pc = 0
+        self.steps = 0
+        self.max_steps = max_steps
+        self.halted = False
+        self.committed = 0
+
+    def _address(self, mem: MemoryOperand) -> int:
+        address = self.regs[mem.base] + mem.offset
+        if mem.index is not None:
+            address += self.regs[mem.index]
+        return align_word(address)
+
+    def _read(self, address: int) -> int:
+        return self.memory.get(address, 0)
+
+    def _write(self, address: int, value: int) -> None:
+        self.memory[address] = truncate(value)
+
+    def step(self) -> bool:
+        """Execute one instruction; returns False once halted."""
+        if self.halted:
+            return False
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise SimulationError(
+                f"reference interpreter exceeded {self.max_steps} steps "
+                f"(program {self.program.name!r} may not terminate)"
+            )
+        instruction = self.program.fetch(self.pc)
+        next_pc = self.pc + 1
+        if isinstance(instruction, LoadImm):
+            self.regs[instruction.dst] = truncate(instruction.value)
+        elif isinstance(instruction, Alu):
+            if instruction.op is not AluOp.NOP:
+                src1 = self.regs[instruction.src1] if instruction.src1 is not None else 0
+                if instruction.imm is not None:
+                    src2 = truncate(instruction.imm)
+                elif instruction.src2 is not None:
+                    src2 = self.regs[instruction.src2]
+                else:
+                    src2 = 0
+                if instruction.op is AluOp.MOV:
+                    result = src1 if instruction.src1 is not None else truncate(
+                        instruction.imm or 0
+                    )
+                else:
+                    result = evaluate_alu(instruction, src1, src2)
+                self.regs[instruction.dst] = result  # type: ignore[index]
+        elif isinstance(instruction, Load):
+            self.regs[instruction.dst] = self._read(self._address(instruction.mem))
+        elif isinstance(instruction, Store):
+            value = (
+                truncate(instruction.imm)
+                if instruction.imm is not None
+                else self.regs[instruction.src]  # type: ignore[index]
+            )
+            self._write(self._address(instruction.mem), value)
+        elif isinstance(instruction, AtomicRMW):
+            address = self._address(instruction.mem)
+            old = self._read(address)
+            if instruction.imm is not None:
+                operand = truncate(instruction.imm)
+            elif instruction.src is not None:
+                operand = self.regs[instruction.src]
+            else:
+                operand = 0
+            expected = (
+                self.regs[instruction.expected]
+                if instruction.expected is not None
+                else 0
+            )
+            self._write(address, evaluate_atomic(instruction, old, operand, expected))
+            self.regs[instruction.dst] = old
+        elif isinstance(instruction, Branch):
+            src1 = self.regs[instruction.src1] if instruction.src1 is not None else 0
+            if instruction.imm is not None:
+                src2 = truncate(instruction.imm)
+            elif instruction.src2 is not None:
+                src2 = self.regs[instruction.src2]
+            else:
+                src2 = 0
+            if evaluate_branch(instruction, src1, src2):
+                next_pc = instruction.target_index
+        elif isinstance(instruction, (Fence, Pause)):
+            pass
+        elif isinstance(instruction, Halt):
+            self.halted = True
+            self.committed += 1
+            return False
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise TypeError(f"cannot interpret {instruction!r}")
+        self.committed += 1
+        self.pc = next_pc
+        return True
+
+    def run(self) -> "ReferenceInterpreter":
+        while self.step():
+            pass
+        return self

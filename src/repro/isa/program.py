@@ -1,0 +1,81 @@
+"""Programs: ordered instruction lists with resolved branch targets."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Mapping, Sequence
+
+from repro.common.errors import ProgramError
+from repro.isa.instructions import Branch, Halt, Instruction
+
+
+class Program:
+    """An immutable, finalized instruction sequence for one thread.
+
+    Branch targets are resolved from labels to instruction indices at
+    construction.  Programs always end with :class:`Halt` (one is appended
+    when missing) so fetch falling off the end is well-defined.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Mapping[str, int] | None = None,
+        name: str = "program",
+    ) -> None:
+        labels = dict(labels or {})
+        resolved: list[Instruction] = []
+        for position, instruction in enumerate(instructions):
+            if isinstance(instruction, Branch):
+                if instruction.target not in labels:
+                    raise ProgramError(
+                        f"{name}: unknown label {instruction.target!r} "
+                        f"at instruction {position}"
+                    )
+                target_index = labels[instruction.target]
+                instruction = dataclasses.replace(
+                    instruction, target_index=target_index
+                )
+            resolved.append(instruction)
+        if not resolved or not isinstance(resolved[-1], Halt):
+            resolved.append(Halt())
+        for label, index in labels.items():
+            if not 0 <= index <= len(resolved):
+                raise ProgramError(f"{name}: label {label!r} out of range")
+        self._instructions = tuple(resolved)
+        self._labels = labels
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        return self._instructions
+
+    @property
+    def labels(self) -> Mapping[str, int]:
+        return dict(self._labels)
+
+    def fetch(self, index: int) -> Instruction:
+        """Instruction at ``index``; indices past the end fetch Halt.
+
+        Wrong-path fetch after a mispredicted branch can run off the end
+        of the program; architecturally those instructions are squashed,
+        so returning Halt keeps the frontend simple and safe.
+        """
+        if 0 <= index < len(self._instructions):
+            return self._instructions[index]
+        return self._instructions[-1]
+
+    def count_atomics(self) -> int:
+        return sum(1 for instruction in self._instructions if instruction.is_atomic)
+
+    def __repr__(self) -> str:
+        return f"Program(name={self.name!r}, len={len(self)})"

@@ -1,0 +1,34 @@
+"""Architectural register file description.
+
+Sixteen 64-bit general-purpose integer registers, ``r0`` .. ``r15``.
+All are readable and writable; there is no hardwired zero register
+(immediates cover that need).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProgramError
+
+#: Number of architectural general-purpose registers.
+NUM_REGISTERS = 16
+
+#: Register values are 64-bit and wrap around.
+REGISTER_MASK = (1 << 64) - 1
+
+
+def register_name(index: int) -> str:
+    """Human-readable name for a register index."""
+    check_register(index)
+    return f"r{index}"
+
+
+def check_register(index: int) -> int:
+    """Validate a register index, returning it for chaining."""
+    if not isinstance(index, int) or not 0 <= index < NUM_REGISTERS:
+        raise ProgramError(f"invalid register index: {index!r}")
+    return index
+
+
+def truncate(value: int) -> int:
+    """Wrap a Python int to the 64-bit register width."""
+    return value & REGISTER_MASK

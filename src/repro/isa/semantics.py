@@ -1,0 +1,93 @@
+"""Pure evaluation of instruction semantics (no timing).
+
+The out-of-order core calls these helpers at execute time; the litmus and
+reference interpreters reuse them so that functional behaviour has exactly
+one definition.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProgramError
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicKind,
+    AtomicRMW,
+    Branch,
+    BranchCond,
+)
+from repro.isa.registers import truncate
+
+_SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit register value as signed."""
+    value = truncate(value)
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+def evaluate_alu(instruction: Alu, src1: int, src2: int) -> int:
+    """Compute the result of an ALU instruction from operand values."""
+    op = instruction.op
+    if op is AluOp.ADD:
+        return truncate(src1 + src2)
+    if op is AluOp.SUB:
+        return truncate(src1 - src2)
+    if op is AluOp.AND:
+        return truncate(src1 & src2)
+    if op is AluOp.OR:
+        return truncate(src1 | src2)
+    if op is AluOp.XOR:
+        return truncate(src1 ^ src2)
+    if op is AluOp.MUL:
+        return truncate(src1 * src2)
+    if op is AluOp.MOV:
+        return truncate(src1)
+    if op is AluOp.SHL:
+        return truncate(src1 << (src2 & 63))
+    if op is AluOp.SHR:
+        return truncate(src1) >> (src2 & 63)
+    if op is AluOp.CMP_LT:
+        return 1 if to_signed(src1) < to_signed(src2) else 0
+    if op is AluOp.CMP_EQ:
+        return 1 if truncate(src1) == truncate(src2) else 0
+    if op is AluOp.NOP:
+        return 0
+    raise ProgramError(f"unknown ALU op: {op!r}")
+
+
+def evaluate_branch(instruction: Branch, src1: int, src2: int) -> bool:
+    """True when the branch is taken."""
+    cond = instruction.cond
+    if cond is BranchCond.ALWAYS:
+        return True
+    if cond is BranchCond.EQ:
+        return truncate(src1) == truncate(src2)
+    if cond is BranchCond.NE:
+        return truncate(src1) != truncate(src2)
+    if cond is BranchCond.LT:
+        return to_signed(src1) < to_signed(src2)
+    if cond is BranchCond.GE:
+        return to_signed(src1) >= to_signed(src2)
+    raise ProgramError(f"unknown branch condition: {cond!r}")
+
+
+def evaluate_atomic(
+    instruction: AtomicRMW, old_value: int, operand: int, expected: int
+) -> int:
+    """The *new* value an atomic RMW writes, given the value it read."""
+    kind = instruction.kind
+    if kind is AtomicKind.FETCH_ADD:
+        return truncate(old_value + operand)
+    if kind is AtomicKind.EXCHANGE:
+        return truncate(operand)
+    if kind is AtomicKind.COMPARE_AND_SWAP:
+        return truncate(operand) if truncate(old_value) == truncate(expected) else truncate(old_value)
+    if kind is AtomicKind.TEST_AND_SET:
+        return 1
+    if kind is AtomicKind.FETCH_OR:
+        return truncate(old_value | operand)
+    if kind is AtomicKind.FETCH_AND:
+        return truncate(old_value & operand)
+    raise ProgramError(f"unknown atomic kind: {kind!r}")

@@ -1,0 +1,40 @@
+"""Memory hierarchy substrate: caches, MESI coherence, directory, network.
+
+The hierarchy is modeled at cacheline granularity for coherence and word
+(8-byte) granularity for data.  Locking — the ingredient Free atomics is
+built on — is honoured at the private L1D: remote coherence requests that
+find a locked line are deferred until the line is unlocked, and locked
+ways are never chosen as replacement victims.
+"""
+
+from repro.mem.lines import (
+    LINE_BYTES,
+    WORD_BYTES,
+    align_word,
+    line_of,
+    line_base,
+    word_index,
+)
+from repro.mem.data import GlobalMemory
+from repro.mem.cache import CacheArray
+from repro.mem.coherence import MessageKind, CoherenceMessage, MESIState
+from repro.mem.interconnect import Interconnect
+from repro.mem.directory import DirectoryController
+from repro.mem.hierarchy import PrivateHierarchy
+
+__all__ = [
+    "CacheArray",
+    "CoherenceMessage",
+    "DirectoryController",
+    "GlobalMemory",
+    "Interconnect",
+    "LINE_BYTES",
+    "MESIState",
+    "MessageKind",
+    "PrivateHierarchy",
+    "WORD_BYTES",
+    "align_word",
+    "line_base",
+    "line_of",
+    "word_index",
+]

@@ -1,0 +1,115 @@
+"""A set-associative tag array.
+
+``CacheArray`` tracks only presence (which lines are cached where); data
+lives in :class:`~repro.mem.data.GlobalMemory` and coherence state in the
+owning controller.  The array exposes exactly what the surrounding model
+needs: lookup, fill-with-victim-choice (honouring excluded ways), and
+invalidation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.common.config import CacheConfig
+from repro.mem.replacement import LruPolicy, ReplacementPolicy
+
+
+class CacheArray:
+    """Set-associative presence/tag array with pluggable replacement."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        replacement: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._replacement = replacement or LruPolicy(self.num_sets, self.ways)
+        # _lines[set][way] -> line number or None
+        self._lines: list[list[Optional[int]]] = [
+            [None] * self.ways for _ in range(self.num_sets)
+        ]
+        self._where: dict[int, tuple[int, int]] = {}
+
+    def set_of(self, line: int) -> int:
+        return line % self.num_sets
+
+    def lookup(self, line: int, touch: bool = True) -> Optional[tuple[int, int]]:
+        """(set, way) if present, else None."""
+        location = self._where.get(line)
+        if location is not None and touch:
+            self._replacement.touch(*location)
+        return location
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._where
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def way_of(self, line: int) -> Optional[int]:
+        location = self._where.get(line)
+        return location[1] if location else None
+
+    def lines_in_set(self, set_index: int) -> list[int]:
+        return [line for line in self._lines[set_index] if line is not None]
+
+    def fill(
+        self,
+        line: int,
+        excluded_ways: Iterable[int] = (),
+        on_evict: Optional[Callable[[int], None]] = None,
+    ) -> Optional[tuple[int, int]]:
+        """Insert ``line``; evict a victim if the set is full.
+
+        ``excluded_ways`` are never victimized (locked or in-transaction
+        ways).  Returns the (set, way) filled, or None when no way was
+        available — the caller must retry the fill later.
+
+        ``on_evict`` is called with the victim line number *before* the
+        fill takes effect, so the caller can cascade (e.g., enforce
+        inclusion or send a PutLine).
+        """
+        existing = self._where.get(line)
+        if existing is not None:
+            self._replacement.touch(*existing)
+            return existing
+        set_index = self.set_of(line)
+        ways = self._lines[set_index]
+        for way in range(self.ways):
+            if ways[way] is None and way not in set(excluded_ways):
+                return self._place(set_index, way, line)
+        victim_way = self._replacement.choose_victim(set_index, excluded_ways)
+        if victim_way is None:
+            return None
+        victim_line = ways[victim_way]
+        if victim_line is not None:
+            self._remove(victim_line)
+            if on_evict is not None:
+                on_evict(victim_line)
+        return self._place(set_index, victim_way, line)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present.  Returns whether it was present."""
+        if line not in self._where:
+            return False
+        self._remove(line)
+        return True
+
+    def _place(self, set_index: int, way: int, line: int) -> tuple[int, int]:
+        self._lines[set_index][way] = line
+        self._where[line] = (set_index, way)
+        self._replacement.touch(set_index, way)
+        return (set_index, way)
+
+    def _remove(self, line: int) -> None:
+        set_index, way = self._where.pop(line)
+        self._lines[set_index][way] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheArray({self.config.name}, sets={self.num_sets}, "
+            f"ways={self.ways}, resident={len(self._where)})"
+        )

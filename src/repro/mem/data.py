@@ -1,0 +1,44 @@
+"""The global value store.
+
+MESI enforces a single writer per line, so a single word-indexed value
+store written at store-perform time is observationally equivalent to
+per-cache data arrays (DESIGN.md section 5).  Loads read it at their
+perform time while holding a valid coherence copy; TSO speculation
+hazards are modeled separately via invalidation-triggered load squashes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.isa.registers import truncate
+from repro.mem.lines import align_word
+
+
+class GlobalMemory:
+    """Word-granular backing store.  Unwritten words read as zero."""
+
+    def __init__(self, initial: Mapping[int, int] | None = None) -> None:
+        self._words: dict[int, int] = {}
+        if initial:
+            for address, value in initial.items():
+                self.write(address, value)
+
+    def read(self, address: int) -> int:
+        return self._words.get(align_word(address), 0)
+
+    def write(self, address: int, value: int) -> None:
+        self._words[align_word(address)] = truncate(value)
+
+    def snapshot(self) -> dict[int, int]:
+        """A copy of all non-zero words (for checks and debugging)."""
+        return dict(self._words)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(self._words.items())
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __repr__(self) -> str:
+        return f"GlobalMemory(words={len(self._words)})"

@@ -1,0 +1,406 @@
+"""Inclusive directory controller embedded in the shared LLC.
+
+One transaction may be in flight per line; requests arriving while a
+transaction is pending queue behind it.  The directory is *inclusive* of
+all privately cached lines: allocating an entry in a full set recalls
+(invalidates) a victim entry's private copies first — the paper's
+inclusion-deadlock ingredient (section 3.2.5), since a recall invalidation
+sent to a core that holds the line *locked* is deferred until unlock.
+
+Data payloads are not modeled (values live in the global store); the
+directory models permission transfer and latency:
+
+- L3 presence hit: ``l3.tag + l3.data`` cycles to data.
+- L3 miss: DRAM latency, then the line is installed in the L3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.common.stats import StatsRegistry
+from repro.mem.cache import CacheArray
+from repro.mem.coherence import (
+    DIRECTORY_NODE,
+    CoherenceMessage,
+    MessageKind,
+)
+from repro.mem.interconnect import Interconnect
+
+
+@dataclass
+class DirectoryEntry:
+    """Tracking state for one line: an owner (M/E) xor a sharer set."""
+
+    line: int
+    owner: Optional[int] = None
+    sharers: set[int] = field(default_factory=set)
+    pending: Optional["Transaction"] = None
+    last_use: int = 0
+
+    @property
+    def holders(self) -> set[int]:
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
+    @property
+    def empty(self) -> bool:
+        return self.owner is None and not self.sharers
+
+
+@dataclass
+class Transaction:
+    """One in-flight directory transaction (request service or recall)."""
+
+    txn_id: int
+    kind: str  # "GetS" | "GetX" | "Recall"
+    line: int
+    requester: int  # core id; DIRECTORY_NODE for recalls
+    waiting_acks: set[int] = field(default_factory=set)
+    data_ready_at: int = 0
+    grant: Optional[MessageKind] = None
+    #: Grant sent; waiting for the requester's Unblock before closing.
+    awaiting_unblock: bool = False
+    #: Requests blocked behind this transaction (same line, or a recall
+    #: freeing a directory way).
+    blocked: Deque[CoherenceMessage] = field(default_factory=deque)
+
+
+class DirectoryController:
+    """The shared-LLC directory node on the interconnect."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        network: Interconnect,
+        memory_config: MemoryConfig,
+        num_cores: int,
+        stats: StatsRegistry,
+        total_private_lines: Optional[int] = None,
+    ) -> None:
+        self._queue = queue
+        self._network = network
+        self._config = memory_config
+        self._stats = stats.scoped("dir")
+        network.register(DIRECTORY_NODE, self.on_message)
+
+        if total_private_lines is None:
+            per_core = memory_config.l2.num_lines
+            total_private_lines = per_core * num_cores
+        capacity = max(
+            memory_config.directory.ways,
+            int(total_private_lines * memory_config.directory.coverage),
+        )
+        self._ways = memory_config.directory.ways
+        self._num_sets = max(1, capacity // self._ways)
+        self._entries: Dict[int, DirectoryEntry] = {}
+        # Per-set resident lines, for victim selection.
+        self._sets: Dict[int, set[int]] = {}
+        # Requests that could not even start a recall (all ways pending).
+        self._set_overflow: Dict[int, Deque[CoherenceMessage]] = {}
+
+        self._l3 = CacheArray(memory_config.l3)
+        self._txn_ids = itertools.count(1)
+        self._pending_by_id: Dict[int, Transaction] = {}
+        self._use_clock = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # message entry point
+
+    def on_message(self, message: CoherenceMessage) -> None:
+        kind = message.kind
+        if kind in (MessageKind.GET_S, MessageKind.GET_X):
+            self._stats.bump(f"req.{kind.value}")
+            self._handle_request(message)
+        elif kind is MessageKind.PUT_LINE:
+            self._handle_put(message)
+        elif kind in (MessageKind.INV_ACK, MessageKind.DOWNGRADE_ACK):
+            self._handle_ack(message)
+        elif kind is MessageKind.UNBLOCK:
+            self._handle_unblock(message)
+        else:
+            raise SimulationError(f"directory got unexpected message {message}")
+
+    # ------------------------------------------------------------------
+    # requests
+
+    def _handle_request(self, message: CoherenceMessage) -> None:
+        entry = self._entries.get(message.line)
+        if entry is not None:
+            if entry.pending is not None:
+                entry.pending.blocked.append(message)
+                self._stats.bump("queued_behind_pending")
+                return
+            self._touch(entry)
+            self._service(entry, message)
+            return
+        # Allocate a new entry (inclusive directory).
+        entry = self._try_allocate(message)
+        if entry is not None:
+            self._service(entry, message)
+
+    def _set_of(self, line: int) -> int:
+        return line % self._num_sets
+
+    def _touch(self, entry: DirectoryEntry) -> None:
+        entry.last_use = next(self._use_clock)
+
+    def _try_allocate(self, message: CoherenceMessage) -> Optional[DirectoryEntry]:
+        """Allocate a directory entry, recalling a victim if needed.
+
+        Returns the new entry, or None if the request was parked behind a
+        recall (it will be re-handled when space frees up).
+        """
+        set_index = self._set_of(message.line)
+        resident = self._sets.setdefault(set_index, set())
+        if len(resident) < self._ways:
+            entry = DirectoryEntry(line=message.line)
+            self._entries[message.line] = entry
+            resident.add(message.line)
+            self._touch(entry)
+            return entry
+        # Pick the LRU victim without a pending transaction.
+        victim: Optional[DirectoryEntry] = None
+        for line in resident:
+            candidate = self._entries[line]
+            if candidate.pending is not None:
+                continue
+            if victim is None or candidate.last_use < victim.last_use:
+                victim = candidate
+        if victim is None:
+            # Every way is mid-transaction; park the request set-wide.
+            self._set_overflow.setdefault(set_index, deque()).append(message)
+            self._stats.bump("set_overflow")
+            return None
+        self._start_recall(victim, message)
+        return None
+
+    def _start_recall(
+        self, victim: DirectoryEntry, blocked_request: CoherenceMessage
+    ) -> None:
+        """Invalidate all private copies of ``victim``, then free it."""
+        self._stats.bump("recalls")
+        txn = Transaction(
+            txn_id=next(self._txn_ids),
+            kind="Recall",
+            line=victim.line,
+            requester=DIRECTORY_NODE,
+            waiting_acks=set(victim.holders),
+        )
+        txn.blocked.append(blocked_request)
+        victim.pending = txn
+        self._pending_by_id[txn.txn_id] = txn
+        if not txn.waiting_acks:
+            # Nothing cached anywhere: complete immediately.
+            self._complete_recall(txn)
+            return
+        for core in sorted(txn.waiting_acks):
+            self._network.send(
+                CoherenceMessage(
+                    kind=MessageKind.INV,
+                    line=victim.line,
+                    src=DIRECTORY_NODE,
+                    dst=core,
+                    transaction=txn.txn_id,
+                )
+            )
+
+    def _service(self, entry: DirectoryEntry, message: CoherenceMessage) -> None:
+        """Start serving a GetS/GetX against a non-pending entry.
+
+        Every request opens a transaction that stays pending until the
+        requester's Unblock confirms the grant arrived (see UNBLOCK in
+        the coherence module) — requests for the same line queue behind
+        it, which closes the two-owners race.
+        """
+        line, requester = message.line, message.src
+        data_ready_at = self._queue.now + self._data_latency(line)
+        if message.kind is MessageKind.GET_S:
+            if entry.owner is not None and entry.owner != requester:
+                txn = self._open_txn("GetS", entry, requester, data_ready_at)
+                txn.grant = MessageKind.DATA_S
+                txn.waiting_acks = {entry.owner}
+                self._network.send(
+                    CoherenceMessage(
+                        kind=MessageKind.DOWNGRADE,
+                        line=line,
+                        src=DIRECTORY_NODE,
+                        dst=entry.owner,
+                        transaction=txn.txn_id,
+                    )
+                )
+                return
+            txn = self._open_txn("GetS", entry, requester, data_ready_at)
+            if entry.empty or entry.holders == {requester}:
+                txn.grant = MessageKind.DATA_E
+            else:
+                txn.grant = MessageKind.DATA_S
+            self._complete_request(txn)
+            return
+
+        # GET_X
+        targets = entry.holders - {requester}
+        txn = self._open_txn("GetX", entry, requester, data_ready_at)
+        txn.grant = MessageKind.DATA_M
+        if not targets:
+            self._complete_request(txn)
+            return
+        txn.waiting_acks = set(targets)
+        for core in sorted(targets):
+            self._network.send(
+                CoherenceMessage(
+                    kind=MessageKind.INV,
+                    line=line,
+                    src=DIRECTORY_NODE,
+                    dst=core,
+                    transaction=txn.txn_id,
+                )
+            )
+
+    def _open_txn(
+        self, kind: str, entry: DirectoryEntry, requester: int, data_ready_at: int
+    ) -> Transaction:
+        txn = Transaction(
+            txn_id=next(self._txn_ids),
+            kind=kind,
+            line=entry.line,
+            requester=requester,
+            data_ready_at=data_ready_at,
+        )
+        entry.pending = txn
+        self._pending_by_id[txn.txn_id] = txn
+        return txn
+
+    def _data_latency(self, line: int) -> int:
+        """Directory lookup plus L3-or-DRAM data latency; fills the L3."""
+        base = self._config.directory.latency
+        if self._l3.lookup(line) is not None:
+            self._stats.bump("l3_hits")
+            return base + self._config.l3.hit_latency
+        self._stats.bump("l3_misses")
+        self._l3.fill(line)
+        return base + self._config.l3.tag_latency + self._config.dram_latency
+
+    def _grant(
+        self,
+        entry: DirectoryEntry,
+        requester: int,
+        grant: MessageKind,
+        data_ready_at: int,
+    ) -> None:
+        line = entry.line
+        delay = max(0, data_ready_at - self._queue.now)
+        self._stats.bump(f"grant.{grant.value}")
+        self._queue.schedule(
+            delay,
+            lambda: self._network.send(
+                CoherenceMessage(
+                    kind=grant, line=line, src=DIRECTORY_NODE, dst=requester
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # acks and completion
+
+    def _handle_ack(self, message: CoherenceMessage) -> None:
+        txn = self._pending_by_id.get(message.transaction)
+        if txn is None:
+            raise SimulationError(f"ack for unknown transaction: {message}")
+        txn.waiting_acks.discard(message.src)
+        if txn.waiting_acks:
+            return
+        if txn.kind == "Recall":
+            self._complete_recall(txn)
+        else:
+            self._complete_request(txn)
+
+    def _complete_request(self, txn: Transaction) -> None:
+        """Acks (if any) are in: update sharing state and send the grant.
+
+        The transaction stays pending until the requester's Unblock.
+        """
+        entry = self._entries[txn.line]
+        if txn.kind == "GetX":
+            entry.owner = txn.requester
+            entry.sharers.clear()
+        elif txn.grant is MessageKind.DATA_E:
+            entry.owner = txn.requester
+            entry.sharers.clear()
+        else:  # DATA_S: add requester; a previous owner became a sharer
+            previous_owner = entry.owner
+            entry.owner = None
+            if previous_owner is not None:
+                entry.sharers.add(previous_owner)
+            entry.sharers.add(txn.requester)
+        assert txn.grant is not None
+        txn.awaiting_unblock = True
+        self._grant(entry, txn.requester, txn.grant, txn.data_ready_at)
+
+    def _handle_unblock(self, message: CoherenceMessage) -> None:
+        entry = self._entries.get(message.line)
+        if entry is None or entry.pending is None:
+            raise SimulationError(f"unblock without pending transaction: {message}")
+        txn = entry.pending
+        if not txn.awaiting_unblock or txn.requester != message.src:
+            raise SimulationError(f"unexpected unblock {message} for {txn}")
+        self._close_txn(entry, txn)
+
+    def _complete_recall(self, txn: Transaction) -> None:
+        entry = self._entries.pop(txn.line, None)
+        if entry is not None:
+            set_index = self._set_of(txn.line)
+            self._sets[set_index].discard(txn.line)
+        self._pending_by_id.pop(txn.txn_id, None)
+        blocked = list(txn.blocked)
+        self._drain_overflow_into(blocked, txn.line)
+        for message in blocked:
+            self._handle_request(message)
+
+    def _close_txn(self, entry: DirectoryEntry, txn: Transaction) -> None:
+        entry.pending = None
+        self._pending_by_id.pop(txn.txn_id, None)
+        blocked = list(txn.blocked)
+        self._drain_overflow_into(blocked, txn.line)
+        for message in blocked:
+            self._handle_request(message)
+
+    def _drain_overflow_into(
+        self, blocked: list[CoherenceMessage], line: int
+    ) -> None:
+        """Requests parked because all ways were pending get retried."""
+        overflow = self._set_overflow.get(self._set_of(line))
+        while overflow:
+            blocked.append(overflow.popleft())
+
+    # ------------------------------------------------------------------
+    # evictions
+
+    def _handle_put(self, message: CoherenceMessage) -> None:
+        entry = self._entries.get(message.line)
+        if entry is None:
+            return
+        if entry.owner == message.src:
+            entry.owner = None
+        entry.sharers.discard(message.src)
+        if entry.empty and entry.pending is None:
+            self._entries.pop(message.line)
+            self._sets[self._set_of(message.line)].discard(message.line)
+
+    # ------------------------------------------------------------------
+    # introspection (tests)
+
+    def entry(self, line: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line)
+
+    @property
+    def pending_transactions(self) -> int:
+        return len(self._pending_by_id)

@@ -1,0 +1,321 @@
+"""Per-core private cache hierarchy: L1D + inclusive private L2.
+
+Responsibilities:
+
+- Serve core-side reads (``request_read``) and writes/locks
+  (``request_write``) with hit/miss/fill timing, issuing GetS/GetX to the
+  directory on misses and merging concurrent requests per line (MSHRs).
+- Honour cacheline *locks*: remote INV/DOWNGRADE that hit a locked line
+  are deferred until the lock view reports the line unlocked
+  (:meth:`notify_unlock`), and locked ways are never replacement victims.
+- Notify the core (``on_line_lost``) whenever a line leaves the private
+  hierarchy — the hook TSO load-speculation squashing hangs off.
+
+Inclusion: L1D ⊆ L2.  Evicting an L2 line back-invalidates the L1 copy,
+which is why L2 victim selection also excludes lines locked in the L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.common.config import MemoryConfig
+from repro.common.errors import SimulationError
+from repro.common.events import EventQueue
+from repro.common.stats import StatsRegistry
+from repro.mem.cache import CacheArray
+from repro.mem.coherence import (
+    DIRECTORY_NODE,
+    CoherenceMessage,
+    MESIState,
+    MessageKind,
+)
+from repro.mem.interconnect import Interconnect
+
+#: Cycles between retries of a fill blocked by locked ways.
+FILL_RETRY_CYCLES = 8
+
+
+class LockView(Protocol):
+    """What the hierarchy needs to know about locked lines (the AQ)."""
+
+    def is_line_locked(self, line: int) -> bool: ...
+
+    def locked_l1_ways(self, set_index: int) -> set[int]: ...
+
+
+class _NoLocks:
+    """Default lock view: nothing is ever locked."""
+
+    def is_line_locked(self, line: int) -> bool:
+        return False
+
+    def locked_l1_ways(self, set_index: int) -> set[int]:
+        return set()
+
+
+@dataclass
+class _Waiter:
+    need_write: bool
+    callback: Callable[[], None]
+
+
+@dataclass
+class _Mshr:
+    line: int
+    requested_write: bool
+    waiters: List[_Waiter] = field(default_factory=list)
+
+
+class PrivateHierarchy:
+    """One core's private L1D + L2, attached to the interconnect."""
+
+    def __init__(
+        self,
+        core_id: int,
+        queue: EventQueue,
+        network: Interconnect,
+        memory_config: MemoryConfig,
+        stats: StatsRegistry,
+    ) -> None:
+        self.core_id = core_id
+        self._queue = queue
+        self._network = network
+        self._config = memory_config
+        self._stats = stats.scoped("mem")
+        self._l1 = CacheArray(memory_config.l1d)
+        self._l2 = CacheArray(memory_config.l2)
+        self._state: Dict[int, MESIState] = {}
+        self._mshrs: Dict[int, _Mshr] = {}
+        self._deferred: Dict[int, List[CoherenceMessage]] = {}
+        self.lock_view: LockView = _NoLocks()
+        #: Called when a line leaves the hierarchy (Inv or L2 eviction).
+        self.on_line_lost: Callable[[int], None] = lambda line: None
+        network.register(core_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # core-facing API
+
+    def state_of(self, line: int) -> MESIState:
+        return self._state.get(line, MESIState.INVALID)
+
+    def has_write_permission(self, line: int) -> bool:
+        """Locality probe: writable (M/E) somewhere in L1/L2 right now."""
+        return self.state_of(line).writable
+
+    def in_l1(self, line: int) -> bool:
+        return self._l1.lookup(line, touch=False) is not None
+
+    def l1_location(self, line: int) -> Optional[tuple[int, int]]:
+        return self._l1.lookup(line, touch=False)
+
+    def request_read(self, line: int, callback: Callable[[], None]) -> None:
+        """Make ``line`` readable; fire ``callback`` when data is ready."""
+        self._access(line, need_write=False, callback=callback)
+
+    def request_write(self, line: int, callback: Callable[[], None]) -> None:
+        """Make ``line`` writable in the L1 (fill + GetX as needed)."""
+        self._access(line, need_write=True, callback=callback)
+
+    def _access(
+        self, line: int, need_write: bool, callback: Callable[[], None]
+    ) -> None:
+        state = self._state.get(line, MESIState.INVALID)
+        satisfied = state.writable if need_write else state.readable
+        if satisfied:
+            if self._l1.lookup(line) is not None:
+                self._stats.bump("l1_hits")
+                self._queue.schedule(self._config.l1d.hit_latency, callback)
+            else:
+                self._stats.bump("l2_hits")
+                self._fill_l1_then(line, self._config.l2.hit_latency, callback)
+            return
+        self._stats.bump("misses")
+        mshr = self._mshrs.get(line)
+        if mshr is not None:
+            mshr.waiters.append(_Waiter(need_write, callback))
+            if need_write and not mshr.requested_write:
+                # The in-flight GetS will not suffice; a GetX follows when
+                # the response arrives (handled in _on_data).
+                self._stats.bump("upgrade_after_gets")
+            return
+        mshr = _Mshr(line=line, requested_write=need_write)
+        mshr.waiters.append(_Waiter(need_write, callback))
+        self._mshrs[line] = mshr
+        kind = MessageKind.GET_X if need_write else MessageKind.GET_S
+        self._network.send(
+            CoherenceMessage(
+                kind=kind, line=line, src=self.core_id, dst=DIRECTORY_NODE
+            )
+        )
+
+    def _fill_l1_then(
+        self, line: int, latency: int, callback: Callable[[], None]
+    ) -> None:
+        """Ensure L1 presence (line already valid in L2), then callback.
+
+        Retries when every way of the L1 set is locked; the watchdog is
+        what eventually unjams that case.
+        """
+        set_index = self._l1.set_of(line)
+        filled = self._l1.fill(
+            line, excluded_ways=self.lock_view.locked_l1_ways(set_index)
+        )
+        if filled is None:
+            self._stats.bump("l1_fill_blocked")
+            self._queue.schedule(
+                FILL_RETRY_CYCLES,
+                lambda: self._fill_l1_then(line, latency, callback),
+            )
+            return
+        self._queue.schedule(latency, callback)
+
+    # ------------------------------------------------------------------
+    # network-facing handlers
+
+    def on_message(self, message: CoherenceMessage) -> None:
+        kind = message.kind
+        if kind in (MessageKind.DATA_E, MessageKind.DATA_S, MessageKind.DATA_M):
+            self._on_data(message)
+        elif kind is MessageKind.INV:
+            self._on_invalidate(message)
+        elif kind is MessageKind.DOWNGRADE:
+            self._on_downgrade(message)
+        else:
+            raise SimulationError(f"core {self.core_id} got unexpected {message}")
+
+    def _on_data(self, message: CoherenceMessage) -> None:
+        line = message.line
+        mshr = self._mshrs.pop(line, None)
+        if mshr is None:
+            raise SimulationError(
+                f"core {self.core_id}: data for line {line:#x} without MSHR"
+            )
+        granted = {
+            MessageKind.DATA_E: MESIState.EXCLUSIVE,
+            MessageKind.DATA_S: MESIState.SHARED,
+            MessageKind.DATA_M: MESIState.MODIFIED,
+        }[message.kind]
+        self._state[line] = granted
+        # Tell the directory the grant landed so it can serve the next
+        # request for this line (closes the stale-grant ownership race).
+        self._network.send(
+            CoherenceMessage(
+                kind=MessageKind.UNBLOCK,
+                line=line,
+                src=self.core_id,
+                dst=DIRECTORY_NODE,
+            )
+        )
+        self._install(line)
+        unsatisfied: List[_Waiter] = []
+        fill_latency = self._config.l1d.hit_latency
+        for waiter in mshr.waiters:
+            if waiter.need_write and not granted.writable:
+                unsatisfied.append(waiter)
+            else:
+                self._queue.schedule(fill_latency, waiter.callback)
+        for waiter in unsatisfied:
+            # The grant was only S but this waiter needs write permission:
+            # go around again with a GetX (upgrade).
+            self._access(line, need_write=True, callback=waiter.callback)
+
+    def _install(self, line: int) -> None:
+        """Fill L2 then L1, cascading evictions (L2 is inclusive of L1)."""
+        l2_excluded = self._l2_excluded_ways(line)
+        filled = self._l2.fill(
+            line, excluded_ways=l2_excluded, on_evict=self._evict_from_l2
+        )
+        if filled is None:
+            # All L2 ways held by locked/in-flight lines.  Keep the line
+            # coherence-resident but uncached; retry the install.
+            self._stats.bump("l2_fill_blocked")
+            self._queue.schedule(FILL_RETRY_CYCLES, lambda: self._install(line))
+            return
+        self._fill_l1_then(line, 0, lambda: None)
+
+    def _l2_excluded_ways(self, line: int) -> set[int]:
+        """L2 ways that cannot be victims for a fill of ``line``.
+
+        A way is excluded when its line is locked in the L1 (inclusion
+        would force evicting the locked L1 copy) or has an in-flight MSHR
+        (an upgrade response would find the line gone).
+        """
+        set_index = self._l2.set_of(line)
+        excluded = set()
+        for way, resident in enumerate(self._l2._lines[set_index]):
+            if resident is None:
+                continue
+            if self.lock_view.is_line_locked(resident) or resident in self._mshrs:
+                excluded.add(way)
+        return excluded
+
+    def _evict_from_l2(self, line: int) -> None:
+        self._stats.bump("l2_evictions")
+        self._l1.invalidate(line)
+        self._state.pop(line, None)
+        self.on_line_lost(line)
+        self._network.send(
+            CoherenceMessage(
+                kind=MessageKind.PUT_LINE,
+                line=line,
+                src=self.core_id,
+                dst=DIRECTORY_NODE,
+            )
+        )
+
+    def _on_invalidate(self, message: CoherenceMessage) -> None:
+        if self.lock_view.is_line_locked(message.line):
+            self._stats.bump("deferred_inv")
+            self._deferred.setdefault(message.line, []).append(message)
+            return
+        line = message.line
+        if self._state.get(line, MESIState.INVALID) is not MESIState.INVALID:
+            self._stats.bump("invalidations")
+            self._l1.invalidate(line)
+            self._l2.invalidate(line)
+            self._state.pop(line, None)
+            self.on_line_lost(line)
+        self._network.send(
+            CoherenceMessage(
+                kind=MessageKind.INV_ACK,
+                line=line,
+                src=self.core_id,
+                dst=DIRECTORY_NODE,
+                transaction=message.transaction,
+            )
+        )
+
+    def _on_downgrade(self, message: CoherenceMessage) -> None:
+        if self.lock_view.is_line_locked(message.line):
+            self._stats.bump("deferred_downgrade")
+            self._deferred.setdefault(message.line, []).append(message)
+            return
+        line = message.line
+        if self._state.get(line, MESIState.INVALID).writable:
+            self._state[line] = MESIState.SHARED
+        self._network.send(
+            CoherenceMessage(
+                kind=MessageKind.DOWNGRADE_ACK,
+                line=line,
+                src=self.core_id,
+                dst=DIRECTORY_NODE,
+                transaction=message.transaction,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # lock integration
+
+    def notify_unlock(self, line: int) -> None:
+        """The AQ reports ``line`` fully unlocked: serve deferred requests."""
+        deferred = self._deferred.pop(line, None)
+        if not deferred:
+            return
+        self._stats.bump("unlock_replays", len(deferred))
+        for message in deferred:
+            self.on_message(message)
+
+    def deferred_count(self, line: int) -> int:
+        return len(self._deferred.get(line, ()))

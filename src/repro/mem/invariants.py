@@ -1,0 +1,166 @@
+"""Runtime-checkable MESI and locking invariants.
+
+``verify_system`` audits a :class:`~repro.system.simulator.System`
+mid-run or post-run and returns a list of violation strings (empty =
+healthy).  Checked invariants:
+
+1. **Single writer** — at most one core holds a line in M/E.
+2. **Writer exclusivity** — if a core holds M/E, no other core holds
+   the line in any valid state.
+3. **Directory agreement** — every core-side valid line is tracked by a
+   directory entry naming that core (modulo lines with an in-flight
+   transaction, whose bookkeeping is transiently ahead of the caches).
+4. **Inclusion** — every L1-resident line is L2-resident.
+5. **Lock residency** — every line locked by a core's AQ is present in
+   that core's L1 with write permission, at the recorded set/way.
+6. **Queue sanity** — per core: LQ/SQ/AQ entries are in sequence order
+   and AQ occupancy within capacity.
+
+Tests sprinkle these checks through long contended runs; they are the
+simulator's equivalent of the protocol assertions a SLICC model would
+carry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.mem.coherence import MESIState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.simulator import System
+
+
+def verify_system(system: "System", strict_directory: bool = False) -> List[str]:
+    """Audit coherence/locking invariants; returns violation messages."""
+    violations: List[str] = []
+    violations.extend(_check_single_writer(system))
+    violations.extend(_check_inclusion(system))
+    violations.extend(_check_locks(system))
+    violations.extend(_check_queues(system))
+    violations.extend(_check_directory(system, strict=strict_directory))
+    return violations
+
+
+def assert_coherent(system: "System") -> None:
+    """Raise AssertionError with details if any invariant is violated."""
+    violations = verify_system(system)
+    assert not violations, "coherence invariants violated:\n  " + "\n  ".join(
+        violations
+    )
+
+
+def _core_states(system: "System"):
+    for core in system.cores:
+        yield core, core.hierarchy
+
+
+def _check_single_writer(system: "System") -> List[str]:
+    violations = []
+    holders: dict[int, list[tuple[int, MESIState]]] = {}
+    for core, hierarchy in _core_states(system):
+        for line, state in hierarchy._state.items():
+            holders.setdefault(line, []).append((core.core_id, state))
+    for line, entries in holders.items():
+        writers = [cid for cid, state in entries if state.writable]
+        if len(writers) > 1:
+            violations.append(
+                f"line {line:#x}: multiple writable copies at cores {writers}"
+            )
+        elif writers and len(entries) > 1:
+            others = [cid for cid, state in entries if not state.writable]
+            violations.append(
+                f"line {line:#x}: writer core {writers[0]} coexists with "
+                f"readers {others}"
+            )
+    return violations
+
+
+def _check_inclusion(system: "System") -> List[str]:
+    violations = []
+    for core, hierarchy in _core_states(system):
+        for line in list(hierarchy._l1._where):
+            if hierarchy._l2.lookup(line, touch=False) is None:
+                violations.append(
+                    f"core {core.core_id}: line {line:#x} in L1 but not L2"
+                )
+            if hierarchy.state_of(line) is MESIState.INVALID:
+                violations.append(
+                    f"core {core.core_id}: line {line:#x} resident but INVALID"
+                )
+    return violations
+
+
+def _check_locks(system: "System") -> List[str]:
+    violations = []
+    for core, hierarchy in _core_states(system):
+        for entry in core.aq:
+            if not entry.locked:
+                continue
+            line = entry.line
+            location = hierarchy.l1_location(line)
+            if location is None:
+                violations.append(
+                    f"core {core.core_id}: locked line {line:#x} not in L1"
+                )
+                continue
+            if location != (entry.set_index, entry.way):
+                violations.append(
+                    f"core {core.core_id}: locked line {line:#x} moved from "
+                    f"recorded s{entry.set_index}w{entry.way} to {location}"
+                )
+            if not hierarchy.has_write_permission(line):
+                violations.append(
+                    f"core {core.core_id}: locked line {line:#x} without "
+                    f"write permission ({hierarchy.state_of(line).value})"
+                )
+    return violations
+
+
+def _check_queues(system: "System") -> List[str]:
+    violations = []
+    for core in system.cores:
+        for name, queue in (("LQ", core.lq), ("SQ", core.sq)):
+            seqs = [instr.seq for instr in queue]
+            if seqs != sorted(seqs):
+                violations.append(f"core {core.core_id}: {name} out of order")
+        aq_seqs = [entry.seq for entry in core.aq]
+        if aq_seqs != sorted(aq_seqs):
+            violations.append(f"core {core.core_id}: AQ out of order")
+        if len(core.aq) > core.aq.capacity:
+            violations.append(f"core {core.core_id}: AQ over capacity")
+    return violations
+
+
+def _check_directory(system: "System", strict: bool) -> List[str]:
+    """Core-side valid lines must be known to the directory.
+
+    Directory state legitimately runs ahead of the caches while
+    messages are in flight (grants not yet installed, PutLines not yet
+    processed), so the default check only flags cores holding lines the
+    directory attributes to nobody; ``strict`` requires exact agreement
+    and is only sound on a quiesced system (empty event queue).
+    """
+    violations = []
+    directory = system.directory
+    for core, hierarchy in _core_states(system):
+        for line, state in hierarchy._state.items():
+            entry = directory.entry(line)
+            if entry is None:
+                violations.append(
+                    f"core {core.core_id}: line {line:#x} cached "
+                    f"({state.value}) but unknown to the directory"
+                )
+                continue
+            if strict and entry.pending is None:
+                if core.core_id not in entry.holders:
+                    violations.append(
+                        f"core {core.core_id}: line {line:#x} cached but "
+                        f"directory lists holders {sorted(entry.holders)}"
+                    )
+                if state.writable and entry.owner != core.core_id:
+                    violations.append(
+                        f"core {core.core_id}: line {line:#x} writable but "
+                        f"directory owner is {entry.owner}"
+                    )
+    return violations

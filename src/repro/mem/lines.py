@@ -1,0 +1,47 @@
+"""Address arithmetic: cachelines and words.
+
+Addresses are byte addresses in a flat 4 GiB physical space (wild
+wrong-path addresses are masked into it).  Data is tracked at 8-byte word
+granularity; coherence at 64-byte line granularity.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+
+__all__ = [
+    "ADDRESS_MASK",
+    "LINE_BYTES",
+    "WORD_BYTES",
+    "WORDS_PER_LINE",
+    "align_word",
+    "line_base",
+    "line_of",
+    "word_index",
+]
+
+_LINE_SHIFT = LINE_BYTES.bit_length() - 1  # 6
+_WORD_SHIFT = WORD_BYTES.bit_length() - 1  # 3
+
+#: Physical address space: 4 GiB, word aligned.
+ADDRESS_MASK = (1 << 32) - WORD_BYTES
+
+
+def align_word(address: int) -> int:
+    """Mask an arbitrary (possibly wrong-path) value into a legal address."""
+    return address & ADDRESS_MASK
+
+
+def line_of(address: int) -> int:
+    """Cacheline number containing the byte address."""
+    return address >> _LINE_SHIFT
+
+
+def line_base(line: int) -> int:
+    """First byte address of a cacheline."""
+    return line << _LINE_SHIFT
+
+
+def word_index(address: int) -> int:
+    """Word-granular address (used for overlap/forwarding matching)."""
+    return address >> _WORD_SHIFT

@@ -1,0 +1,101 @@
+"""L1D stride prefetcher (Table 1: "stride prefetcher [7]").
+
+A classic per-PC reference-prediction table: each load PC tracks its
+last address and stride with a 2-bit confidence counter; once confident,
+the next ``degree`` strided lines are prefetched into the private
+hierarchy with read permission.
+
+Prefetches are non-binding hints: they go through the normal miss path
+(merging into existing MSHRs), never stall anything, and simply warm
+the caches for both the fenced baseline and Free atomics alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.mem.lines import LINE_BYTES, line_of
+
+
+@dataclass
+class _Entry:
+    last_address: int = 0
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Per-PC stride detection with confidence, issuing line prefetches."""
+
+    #: Confidence needed before prefetches fire.
+    THRESHOLD = 2
+    #: Saturation cap.
+    MAX_CONFIDENCE = 3
+
+    def __init__(
+        self,
+        issue: Callable[[int], None],
+        stats: StatsRegistry,
+        table_entries: int = 256,
+        degree: int = 1,
+    ) -> None:
+        if table_entries < 1:
+            raise ValueError("table_entries must be >= 1")
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self._issue = issue
+        self._stats = stats.scoped("prefetch")
+        self._entries_mask = table_entries - 1 if table_entries & (table_entries - 1) == 0 else None
+        self._table_entries = table_entries
+        self._degree = degree
+        self._table: dict[int, _Entry] = {}
+
+    def _slot(self, pc: int) -> int:
+        if self._entries_mask is not None:
+            return pc & self._entries_mask
+        return pc % self._table_entries
+
+    def observe_load(self, pc: int, address: int) -> list[int]:
+        """Train on a performed load; returns the lines prefetched."""
+        slot = self._slot(pc)
+        entry = self._table.get(slot)
+        if entry is None:
+            self._table[slot] = _Entry(last_address=address)
+            return []
+        stride = address - entry.last_address
+        if stride != 0 and stride == entry.stride:
+            if entry.confidence < self.MAX_CONFIDENCE:
+                entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_address = address
+        if entry.confidence < self.THRESHOLD or entry.stride == 0:
+            return []
+        issued = []
+        current_line = line_of(address)
+        for step in range(1, self._degree + 1):
+            target = address + entry.stride * step
+            if target < 0:
+                break
+            target_line = line_of(target)
+            if target_line == current_line or target_line in issued:
+                continue
+            issued.append(target_line)
+            self._stats.bump("issued")
+            self._issue(target_line)
+        return issued
+
+    def stride_of(self, pc: int) -> Optional[int]:
+        entry = self._table.get(self._slot(pc))
+        return entry.stride if entry else None
+
+    def confidence_of(self, pc: int) -> int:
+        entry = self._table.get(self._slot(pc))
+        return entry.confidence if entry else 0
+
+
+#: Convenience: lines are LINE_BYTES apart; exported for tests.
+LINE_STRIDE_BYTES = LINE_BYTES

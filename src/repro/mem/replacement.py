@@ -1,0 +1,76 @@
+"""Replacement policies for set-associative arrays.
+
+The policy the paper needs is LRU *with victim exclusion*: locked ways
+(section 3.2.4) and ways with in-flight transactions must never be chosen.
+``choose_victim`` returns ``None`` when every way is excluded, which the
+caller turns into a blocked fill (and, ultimately, watchdog recovery).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol
+
+
+class ReplacementPolicy(Protocol):
+    """Interface implemented by all replacement policies."""
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a use of (set, way)."""
+
+    def choose_victim(
+        self, set_index: int, excluded_ways: Iterable[int]
+    ) -> Optional[int]:
+        """Pick a victim way, or None if all candidates are excluded."""
+
+
+class LruPolicy:
+    """True LRU via per-set recency stamps."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+        self._stamps = [[0] * ways for _ in range(num_sets)]
+        self._clock = 0
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index][way] = self._clock
+
+    def choose_victim(
+        self, set_index: int, excluded_ways: Iterable[int]
+    ) -> Optional[int]:
+        excluded = set(excluded_ways)
+        stamps = self._stamps[set_index]
+        victim = None
+        victim_stamp = None
+        for way in range(self._ways):
+            if way in excluded:
+                continue
+            if victim_stamp is None or stamps[way] < victim_stamp:
+                victim = way
+                victim_stamp = stamps[way]
+        return victim
+
+
+class RoundRobinPolicy:
+    """FIFO-ish replacement; used in tests to force specific victims."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+        self._next = [0] * num_sets
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Round-robin ignores recency."""
+
+    def choose_victim(
+        self, set_index: int, excluded_ways: Iterable[int]
+    ) -> Optional[int]:
+        excluded = set(excluded_ways)
+        if len(excluded) >= self._ways:
+            return None
+        start = self._next[set_index]
+        for step in range(self._ways):
+            way = (start + step) % self._ways
+            if way not in excluded:
+                self._next[set_index] = (way + 1) % self._ways
+                return way
+        return None

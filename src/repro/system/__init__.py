@@ -1,0 +1,5 @@
+"""System assembly: cores + hierarchy + directory on one event queue."""
+
+from repro.system.simulator import SimulationResult, System, run_workload
+
+__all__ = ["SimulationResult", "System", "run_workload"]

@@ -1,0 +1,218 @@
+"""The multicore system simulator.
+
+:class:`System` wires N out-of-order cores (each with a private L1D+L2
+hierarchy) to a shared directory over a crossbar, all driven by one
+deterministic event queue, and runs a :class:`~repro.workloads.base.Workload`
+to completion under a chosen atomic policy.
+
+``run_workload`` is the one-call convenience entry point used by the
+examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.common.config import SystemConfig, icelake_config
+from repro.common.errors import ConfigError, DeadlockError, SimulationError
+from repro.common.events import EventQueue
+from repro.common.stats import StatsRegistry
+from repro.consistency.model import Operation
+from repro.core.policy import AtomicPolicy, FREE_ATOMICS_FWD
+from repro.mem.data import GlobalMemory
+from repro.mem.directory import DirectoryController
+from repro.mem.hierarchy import PrivateHierarchy
+from repro.mem.interconnect import Interconnect
+from repro.uarch.core import OutOfOrderCore
+from repro.workloads.base import Workload
+
+
+@dataclass
+class CoreSummary:
+    """Per-core results extracted after the run."""
+
+    core_id: int
+    finish_cycle: int
+    committed: int
+    committed_atomics: int
+    active_cycles: int
+    quiescent_cycles: int
+    squashes: int
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    workload_name: str
+    policy: AtomicPolicy
+    cycles: int
+    stats: StatsRegistry
+    cores: list[CoreSummary]
+    memory: GlobalMemory
+    config: SystemConfig
+    #: Per-core committed memory operations, when run with trace=True.
+    traces: Optional[list[list[Operation]]] = None
+
+    @property
+    def committed_instructions(self) -> int:
+        return self.stats.aggregate("committed")
+
+    @property
+    def committed_atomics(self) -> int:
+        return self.stats.aggregate("atomics_committed")
+
+    @property
+    def apki(self) -> float:
+        """Committed atomic RMWs per kilo-instruction (Figure 12)."""
+        committed = self.committed_instructions
+        return 1000.0 * self.committed_atomics / committed if committed else 0.0
+
+    @property
+    def timeouts(self) -> int:
+        return self.stats.aggregate("watchdog_timeouts")
+
+    @property
+    def squashes(self) -> int:
+        return self.stats.aggregate("squashes")
+
+    @property
+    def slowest_core(self) -> CoreSummary:
+        return max(self.cores, key=lambda c: c.finish_cycle)
+
+    def read_word(self, address: int) -> int:
+        return self.memory.read(address)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.workload_name!r}, {self.policy.name}, "
+            f"cycles={self.cycles}, committed={self.committed_instructions})"
+        )
+
+
+class System:
+    """A configured multicore ready to run one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: AtomicPolicy = FREE_ATOMICS_FWD,
+        config: Optional[SystemConfig] = None,
+        trace: bool = False,
+    ) -> None:
+        if config is None:
+            config = icelake_config(num_cores=workload.num_threads)
+        if workload.num_threads > config.num_cores:
+            raise ConfigError(
+                f"workload has {workload.num_threads} threads but the "
+                f"system only {config.num_cores} cores"
+            )
+        self.workload = workload
+        self.policy = policy
+        self.config = config
+        self.queue = EventQueue()
+        self.stats = StatsRegistry()
+        self.memory = GlobalMemory(workload.initial_memory)
+        self.network = Interconnect(
+            self.queue, config.memory.network_latency, self.stats
+        )
+        self.directory = DirectoryController(
+            self.queue,
+            self.network,
+            config.memory,
+            config.num_cores,
+            self.stats,
+        )
+        self.cores: list[OutOfOrderCore] = []
+        for thread in range(workload.num_threads):
+            core_stats = self.stats.scoped(f"core{thread}")
+            hierarchy = PrivateHierarchy(
+                thread, self.queue, self.network, config.memory, core_stats
+            )
+            core = OutOfOrderCore(
+                core_id=thread,
+                program=workload.programs[thread],
+                config=config,
+                policy=policy,
+                hierarchy=hierarchy,
+                memory=self.memory,
+                queue=self.queue,
+                stats=core_stats,
+                initial_regs=workload.regs_for(thread),
+            )
+            if trace:
+                core.commit_trace = []
+            self.cores.append(core)
+        self._trace_enabled = trace
+
+    def run(self) -> SimulationResult:
+        """Run to completion (every thread committed its Halt)."""
+        for core in self.cores:
+            core.start()
+        unfinished = set(range(len(self.cores)))
+        while unfinished:
+            if not self.queue.run_next():
+                self._raise_deadlock(unfinished)
+            if self.queue.now > self.config.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.config.max_cycles} "
+                    f"(policy={self.policy.name}, "
+                    f"workload={self.workload.name})"
+                )
+            unfinished = {i for i in unfinished if not self.cores[i].finished}
+        end_cycle = self.queue.now
+        summaries = []
+        for core in self.cores:
+            core.finalize(end_cycle)
+            scoped = self.stats.scoped(f"core{core.core_id}")
+            summaries.append(
+                CoreSummary(
+                    core_id=core.core_id,
+                    finish_cycle=core.finish_cycle or end_cycle,
+                    committed=scoped.get("committed"),
+                    committed_atomics=scoped.get("atomics_committed"),
+                    active_cycles=core.active_cycles,
+                    quiescent_cycles=core.quiescent_cycles,
+                    squashes=scoped.get("squashes"),
+                )
+            )
+        return SimulationResult(
+            workload_name=self.workload.name,
+            policy=self.policy,
+            cycles=end_cycle,
+            stats=self.stats,
+            cores=summaries,
+            memory=self.memory,
+            config=self.config,
+            traces=(
+                [core.commit_trace or [] for core in self.cores]
+                if self._trace_enabled
+                else None
+            ),
+        )
+
+    def _raise_deadlock(self, unfinished: set[int]) -> None:
+        details = []
+        for index in sorted(unfinished):
+            core = self.cores[index]
+            details.append(
+                f"core{index}: pc={core.pc} rob={len(core.rob)} "
+                f"lq={len(core.lq)} sq={len(core.sq)} "
+                f"locks={sorted(core.aq.locked_lines())}"
+            )
+        raise DeadlockError(
+            "event queue empty with unfinished threads "
+            f"(policy={self.policy.name}, workload={self.workload.name}):\n  "
+            + "\n  ".join(details)
+        )
+
+
+def run_workload(
+    workload: Workload,
+    policy: AtomicPolicy = FREE_ATOMICS_FWD,
+    config: Optional[SystemConfig] = None,
+    trace: bool = False,
+) -> SimulationResult:
+    """Build a :class:`System` for ``workload`` and run it."""
+    return System(workload, policy=policy, config=config, trace=trace).run()

@@ -1,0 +1,198 @@
+"""Pipeline lifecycle tracing for debugging and teaching.
+
+``PipelineTracer.attach(core)`` instruments one core's key pipeline
+events — dispatch, load/lock perform, store perform, commit, squash,
+lock/unlock — without touching the simulator's hot paths when tracing
+is off.  Events are recorded as :class:`TraceEvent` rows; ``timeline``
+renders an instruction-centric view:
+
+    seq   42 pc   7 atomic   | D@100 P@131(lock 0x40) C@140 W@144
+
+Intended for small runs (tests, examples, debugging a litmus failure);
+tracing a million-instruction run will happily eat your memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.uarch.core import OutOfOrderCore
+from repro.uarch.dynins import DynInstr
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline event."""
+
+    cycle: int
+    core: int
+    kind: str  # dispatch | perform | store_perform | commit | squash | lock | unlock
+    seq: int
+    pc: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        detail = f" {self.detail}" if self.detail else ""
+        return (
+            f"[{self.cycle:6d}] core{self.core} {self.kind:13s} "
+            f"seq={self.seq:<5d} pc={self.pc:<4d}{detail}"
+        )
+
+
+@dataclass
+class _InstrTimeline:
+    seq: int
+    pc: int
+    klass: str
+    dispatch: Optional[int] = None
+    perform: Optional[int] = None
+    commit: Optional[int] = None
+    write: Optional[int] = None
+    squashed: Optional[int] = None
+    lock_line: Optional[int] = None
+
+
+class PipelineTracer:
+    """Attachable per-core event recorder."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._cores: list[OutOfOrderCore] = []
+
+    def attach(self, core: OutOfOrderCore) -> "PipelineTracer":
+        """Instrument ``core``; returns self for chaining."""
+        self._cores.append(core)
+        tracer = self
+
+        original_dispatch = core._dispatch
+        original_perform_load = core._perform_load
+        original_perform_lock = core._perform_load_lock
+        original_perform_store = core._perform_store
+        original_commit = core._do_commit
+        original_squash = core._squash_from
+        original_finish_forward = core._finish_forward
+
+        def record(kind: str, instr: DynInstr, detail: str = "") -> None:
+            tracer.events.append(
+                TraceEvent(
+                    cycle=core.queue.now,
+                    core=core.core_id,
+                    kind=kind,
+                    seq=instr.seq,
+                    pc=instr.pc,
+                    detail=detail,
+                )
+            )
+
+        def dispatch(instr: DynInstr) -> None:
+            original_dispatch(instr)
+            record("dispatch", instr, instr.klass.value)
+
+        def perform_load(instr: DynInstr) -> None:
+            was = instr.performed
+            original_perform_load(instr)
+            if instr.performed and not was:
+                record("perform", instr, f"load {instr.address:#x}={instr.result}")
+
+        def perform_lock(instr: DynInstr) -> None:
+            was = instr.performed
+            original_perform_lock(instr)
+            if instr.performed and not was:
+                record(
+                    "lock",
+                    instr,
+                    f"line {instr.line:#x} read {instr.result}",
+                )
+
+        def finish_forward(instr: DynInstr, value: int) -> None:
+            was = instr.performed
+            original_finish_forward(instr, value)
+            if instr.performed and not was:
+                record("perform", instr, f"forwarded={value}")
+
+        def perform_store(store: DynInstr) -> None:
+            was = store.store_performed
+            original_perform_store(store)
+            if store.store_performed and not was:
+                kind = "store_perform"
+                detail = f"{store.address:#x}<-{store.store_value}"
+                if store.is_atomic:
+                    detail += " unlock"
+                record(kind, store, detail)
+
+        def do_commit(instr: DynInstr) -> None:
+            original_commit(instr)
+            record("commit", instr, instr.klass.value)
+
+        def squash_from(seq: int, new_pc: int) -> None:
+            tracer.events.append(
+                TraceEvent(
+                    cycle=core.queue.now,
+                    core=core.core_id,
+                    kind="squash",
+                    seq=seq,
+                    pc=new_pc,
+                    detail=f"flush >= {seq}, refetch pc {new_pc}",
+                )
+            )
+            original_squash(seq, new_pc)
+
+        core._dispatch = dispatch  # type: ignore[method-assign]
+        core._perform_load = perform_load  # type: ignore[method-assign]
+        core._perform_load_lock = perform_lock  # type: ignore[method-assign]
+        core._perform_store = perform_store  # type: ignore[method-assign]
+        core._do_commit = do_commit  # type: ignore[method-assign]
+        core._squash_from = squash_from  # type: ignore[method-assign]
+        core._finish_forward = finish_forward  # type: ignore[method-assign]
+        return self
+
+    # ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def for_core(self, core_id: int) -> list[TraceEvent]:
+        return [event for event in self.events if event.core == core_id]
+
+    def timeline(self, core_id: int) -> str:
+        """Instruction-centric rendering of one core's trace."""
+        rows: dict[int, _InstrTimeline] = {}
+        for event in self.for_core(core_id):
+            if event.kind == "squash":
+                for seq, row in rows.items():
+                    if seq >= event.seq and row.commit is None:
+                        row.squashed = event.cycle
+                continue
+            row = rows.setdefault(
+                event.seq,
+                _InstrTimeline(seq=event.seq, pc=event.pc, klass=""),
+            )
+            if event.kind == "dispatch":
+                row.dispatch = event.cycle
+                row.klass = event.detail
+            elif event.kind in ("perform", "lock"):
+                row.perform = event.cycle
+            elif event.kind == "store_perform":
+                row.write = event.cycle
+            elif event.kind == "commit":
+                row.commit = event.cycle
+        lines = []
+        for seq in sorted(rows):
+            row = rows[seq]
+            parts = [f"seq {row.seq:4d} pc {row.pc:3d} {row.klass:8s}|"]
+            if row.dispatch is not None:
+                parts.append(f"D@{row.dispatch}")
+            if row.perform is not None:
+                parts.append(f"P@{row.perform}")
+            if row.commit is not None:
+                parts.append(f"C@{row.commit}")
+            if row.write is not None:
+                parts.append(f"W@{row.write}")
+            if row.squashed is not None:
+                parts.append(f"X@{row.squashed}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,24 @@
+"""Out-of-order core substrate.
+
+An execution-driven, event-driven out-of-order core: real register and
+memory semantics (wrong paths execute real instructions), speculative
+loads with TSO invalidation squash, store-to-load forwarding, StoreSet
+memory-dependence prediction, and in-order commit with a store buffer.
+
+The atomic-RMW behaviour is delegated to a policy object from
+:mod:`repro.core` — that is where the paper's contribution lives; this
+package is the substrate it plugs into.
+"""
+
+from repro.uarch.core import OutOfOrderCore
+from repro.uarch.dynins import DynInstr, InstrClass
+from repro.uarch.branch import BimodalPredictor
+from repro.uarch.storeset import StoreSetPredictor
+
+__all__ = [
+    "BimodalPredictor",
+    "DynInstr",
+    "InstrClass",
+    "OutOfOrderCore",
+    "StoreSetPredictor",
+]

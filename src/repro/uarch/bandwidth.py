@@ -1,0 +1,37 @@
+"""Per-cycle bandwidth reservation.
+
+Models a W-wide pipeline stage without per-cycle polling: each request
+reserves the earliest cycle (>= now) with a free slot.  Requests arrive
+with non-decreasing ``now`` (event time only moves forward), so a single
+(cycle, used) pair suffices.
+"""
+
+from __future__ import annotations
+
+
+class BandwidthLimiter:
+    """Grants at most ``width`` slots per cycle, spilling into the future."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self._width = width
+        self._cycle = -1
+        self._used = 0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def grant(self, now: int) -> int:
+        """Reserve a slot; returns the cycle at which it is granted."""
+        cycle = max(now, self._cycle)
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._used = 0
+        if self._used < self._width:
+            self._used += 1
+            return self._cycle
+        self._cycle += 1
+        self._used = 1
+        return self._cycle

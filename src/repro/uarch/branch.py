@@ -1,0 +1,49 @@
+"""Branch direction prediction.
+
+A bimodal table of 2-bit saturating counters indexed by PC.  The paper's
+core uses L-TAGE; for the mechanisms under study, what matters is that
+most branches predict well while data-dependent spin-exit branches
+mispredict occasionally — exactly the regime a bimodal table produces.
+Unconditional branches are always predicted taken with their static
+target (the ISA has direct branches only, so no BTB is modeled).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Branch, BranchCond
+
+
+class BimodalPredictor:
+    """2-bit saturating counter table, initialized to weakly taken."""
+
+    WEAKLY_NOT_TAKEN = 1
+    WEAKLY_TAKEN = 2
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1 or entries & (entries - 1):
+            raise ValueError("predictor entries must be a positive power of two")
+        self._mask = entries - 1
+        self._counters = [self.WEAKLY_TAKEN] * entries
+        self.lookups = 0
+        self.mispredicts = 0
+
+    def predict(self, pc: int, branch: Branch) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        if branch.cond is BranchCond.ALWAYS:
+            return True
+        self.lookups += 1
+        return self._counters[pc & self._mask] >= 2
+
+    def train(self, pc: int, branch: Branch, taken: bool, mispredicted: bool) -> None:
+        if branch.cond is BranchCond.ALWAYS:
+            return
+        if mispredicted:
+            self.mispredicts += 1
+        index = pc & self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1

@@ -1,0 +1,1023 @@
+"""The event-driven out-of-order core.
+
+Pipeline model (all event-driven, no per-cycle polling):
+
+- **Fetch/dispatch**: up to ``fetch_width`` instructions per cycle follow
+  the predicted path.  Dispatch allocates ROB/LQ/SQ/AQ entries, renames
+  sources against in-flight producers, and arms execution.
+- **Issue/execute**: instructions wake when their producers complete;
+  an issue-bandwidth limiter spreads wakeups over cycles.  Branches
+  resolve and squash on mispredict; memory operations go through the
+  memory unit below.
+- **Memory unit**: loads search the SQ (store-to-load forwarding), honour
+  fences, StoreSet predictions and the active atomic policy, then access
+  the private hierarchy.  Stores agen out of order but write strictly
+  in order from the store buffer after commit.
+- **Commit**: in-order, ``commit_width`` per cycle.  Stores enter the SB
+  at commit; atomics additionally wait for the SB to drain (all four
+  policies — for fenced ones the condition is vacuous by construction).
+
+TSO enforcement:
+
+- load->load: speculative loads that performed from memory are squashed
+  when their line leaves the private hierarchy before commit
+  (``on_line_lost``).
+- store->store: single in-order draining SB.
+- load->store: stores perform after commit.
+- store->load around atomics: atomics commit only on an empty SB and
+  their line stays locked until the store_unlock writes (section 3.2.3).
+
+Squash safety: every deferred callback re-checks ``instr.squashed`` (and
+``mem_issued``-style guards) before acting; sequence numbers are never
+reused.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.events import EventQueue
+from repro.common.stats import StatsRegistry
+from repro.consistency.model import Operation
+from repro.core.atomic_queue import AtomicQueue, AtomicQueueEntry
+from repro.core.forwarding import LoadSource, decide_load_source
+from repro.core.policy import AtomicPolicy
+from repro.core.responsibilities import (
+    grant_forwarding_responsibility,
+    revoke_forwarding_responsibility,
+)
+from repro.core.watchdog import DeadlockWatchdog
+from repro.isa.instructions import (
+    Alu,
+    AtomicRMW,
+    Branch,
+    Fence,
+    Halt,
+    Load,
+    LoadImm,
+    Pause,
+    Store,
+)
+from repro.isa.program import Program
+from repro.isa.semantics import evaluate_alu, evaluate_atomic, evaluate_branch
+from repro.mem.data import GlobalMemory
+from repro.mem.hierarchy import PrivateHierarchy
+from repro.mem.lines import align_word, line_of, word_index
+from repro.mem.prefetch import StridePrefetcher
+from repro.uarch.bandwidth import BandwidthLimiter
+from repro.uarch.branch import BimodalPredictor
+from repro.uarch.dynins import (
+    DynInstr,
+    ForwardKind,
+    InstrClass,
+    LocalityClass,
+)
+from repro.uarch.lsq import LoadQueue, StoreQueue
+from repro.uarch.rename import RenameMap
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.storeset import StoreSetPredictor
+
+#: Address generation latency (cycles after issue).
+AGEN_LATENCY = 1
+#: Latency of the PAUSE spin hint (x86 PAUSE stalls for tens of cycles).
+PAUSE_LATENCY = 24
+
+
+class OutOfOrderCore:
+    """One hardware thread's out-of-order pipeline."""
+
+    def __init__(
+        self,
+        core_id: int,
+        program: Program,
+        config: SystemConfig,
+        policy: AtomicPolicy,
+        hierarchy: PrivateHierarchy,
+        memory: GlobalMemory,
+        queue: EventQueue,
+        stats: StatsRegistry,
+        initial_regs: Optional[dict[int, int]] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.program = program
+        self.config = config
+        self.cfg = config.core
+        self.policy = policy
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.queue = queue
+        self.stats = stats
+
+        self.rename = RenameMap(initial_regs)
+        self.rob = ReorderBuffer(self.cfg.rob_entries)
+        self.lq = LoadQueue(self.cfg.lq_entries)
+        self.sq = StoreQueue(self.cfg.sq_entries)
+        self.aq = AtomicQueue(
+            config.free_atomics.aq_entries,
+            stats,
+            on_fully_unlocked=self._schedule_unlock_notify,
+        )
+        hierarchy.lock_view = self.aq
+        hierarchy.on_line_lost = self._on_line_lost
+        self.watchdog = DeadlockWatchdog(
+            queue,
+            self.aq,
+            config.free_atomics.watchdog_cycles,
+            config.free_atomics.watchdog_enabled,
+            self._watchdog_flush,
+            stats,
+        )
+        self.predictor = BimodalPredictor(self.cfg.predictor_entries)
+        self.storeset = StoreSetPredictor(self.cfg.storeset_entries)
+        self.prefetcher: Optional[StridePrefetcher] = None
+        if config.memory.l1_stride_prefetcher:
+            self.prefetcher = StridePrefetcher(
+                issue=lambda line: hierarchy.request_read(line, lambda: None),
+                stats=stats,
+                degree=config.memory.prefetch_degree,
+            )
+        self.issue_bw = BandwidthLimiter(self.cfg.commit_width)
+        self.max_forward_chain = config.free_atomics.max_forward_chain
+
+        # Frontend state.
+        self.pc = 0
+        self.next_seq = 0
+        self.halted = False  # fetched a Halt (stop fetching)
+        self.finished = False  # committed the Halt
+        self.finish_cycle: Optional[int] = None
+        self._fetch_scheduled = False
+        self._fetch_epoch = 0
+        self._dispatch_blocked = False
+        self._commit_scheduled = False
+        self._last_commit_cycle = 0
+
+        # Waiting pools.
+        self._stalled_atomics: list[DynInstr] = []
+        self._loads_waiting_agen: list[DynInstr] = []
+        self._loads_waiting_fence: list[DynInstr] = []
+        self._fences: list[DynInstr] = []
+
+        # Accounting.
+        self.active_cycles = 0
+        self.quiescent_cycles = 0
+        #: When set (System(trace=True)), committed memory operations are
+        #: appended here in commit order, for the TSO checker.
+        self.commit_trace: Optional[list[Operation]] = None
+
+    # ==================================================================
+    # lifecycle
+
+    def start(self) -> None:
+        """Arm the first fetch event."""
+        self._schedule_fetch(0)
+
+    def finalize(self, end_cycle: int) -> None:
+        """Attribute post-completion idle time and publish summary stats."""
+        if self.finish_cycle is not None and end_cycle > self.finish_cycle:
+            self.quiescent_cycles += end_cycle - self.finish_cycle
+        self.stats.set("active_cycles", self.active_cycles)
+        self.stats.set("quiescent_cycles", self.quiescent_cycles)
+        if self.finish_cycle is not None:
+            self.stats.set("finish_cycle", self.finish_cycle)
+        self.stats.set("branch_lookups", self.predictor.lookups)
+        self.stats.set("branch_mispredicts", self.predictor.mispredicts)
+
+    # ==================================================================
+    # fetch & dispatch
+
+    def _schedule_fetch(self, delay: int) -> None:
+        if self._fetch_scheduled:
+            return
+        self._fetch_scheduled = True
+        epoch = self._fetch_epoch
+        self.queue.schedule(delay, lambda: self._fetch_tick(epoch))
+
+    def _maybe_resume_fetch(self) -> None:
+        """Resources freed: resume a dispatch-blocked frontend."""
+        if self._dispatch_blocked and not self.halted and not self.finished:
+            self._dispatch_blocked = False
+            self._schedule_fetch(1)
+
+    def _fetch_tick(self, epoch: int) -> None:
+        self._fetch_scheduled = False
+        if epoch != self._fetch_epoch or self.halted or self.finished:
+            return
+        fetched = 0
+        while fetched < self.cfg.fetch_width:
+            static = self.program.fetch(self.pc)
+            if not self._has_dispatch_room(static):
+                self._dispatch_blocked = True
+                return
+            instr = DynInstr(self.next_seq, static, self.pc)
+            self.next_seq += 1
+            self._predict(instr)
+            self._dispatch(instr)
+            self.pc = instr.next_pc
+            fetched += 1
+            if isinstance(static, Halt):
+                self.halted = True
+                return
+        self._schedule_fetch(1)
+
+    def _has_dispatch_room(self, static: object) -> bool:
+        if self.rob.full:
+            self.stats.bump("dispatch_stall.rob")
+            return False
+        if isinstance(static, AtomicRMW):
+            if self.aq.full:
+                self.stats.bump("dispatch_stall.aq")
+                self.stats.bump("aq.alloc_stalls")
+                return False
+            if self.lq.full or self.sq.full:
+                self.stats.bump("dispatch_stall.lsq")
+                return False
+            return True
+        if isinstance(static, Load):
+            if self.lq.full:
+                self.stats.bump("dispatch_stall.lq")
+                return False
+            return True
+        if isinstance(static, Store):
+            if self.sq.full:
+                self.stats.bump("dispatch_stall.sq")
+                return False
+            return True
+        return True
+
+    def _predict(self, instr: DynInstr) -> None:
+        static = instr.instr
+        if isinstance(static, Branch):
+            taken = self.predictor.predict(instr.pc, static)
+            instr.pred_taken = taken
+            instr.next_pc = static.target_index if taken else instr.pc + 1
+        else:
+            instr.next_pc = instr.pc + 1
+
+    def _dispatch(self, instr: DynInstr) -> None:
+        instr.dispatch_cycle = self.queue.now
+        self.rob.dispatch(instr)
+        self.stats.bump("dispatched")
+        static = instr.instr
+
+        if isinstance(static, (Alu, LoadImm, Pause)):
+            self._dispatch_alu(instr)
+        elif isinstance(static, Branch):
+            self._dispatch_branch(instr)
+        elif isinstance(static, AtomicRMW):
+            self._dispatch_atomic(instr)
+        elif isinstance(static, Load):
+            self._dispatch_load(instr)
+        elif isinstance(static, Store):
+            self._dispatch_store(instr)
+        elif isinstance(static, Fence):
+            self._fences.append(instr)
+            self._complete(instr)
+        elif isinstance(static, Halt):
+            self._complete(instr)
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise TypeError(f"cannot dispatch {static!r}")
+        self._maybe_schedule_commit()
+
+    def _capture_sources(self, instr: DynInstr, regs: tuple[int, ...], kind: str) -> None:
+        """Resolve source registers now or subscribe to their producers."""
+        for reg in dict.fromkeys(regs):  # unique, order-preserving
+            ready, value, producer = self.rename.read_or_producer(reg)
+            if ready:
+                instr.src_values[reg] = value
+            else:
+                assert producer is not None
+                producer.dependents.append((instr, kind, reg))
+                if kind == "addr":
+                    instr.addr_pending += 1
+                else:
+                    instr.value_pending += 1
+
+    def _claim_dst(self, instr: DynInstr, dst: Optional[int]) -> None:
+        if dst is not None:
+            self.rename.claim(dst, instr)
+
+    # -- per-class dispatch --------------------------------------------
+
+    def _dispatch_alu(self, instr: DynInstr) -> None:
+        static = instr.instr
+        if isinstance(static, LoadImm):
+            self._claim_dst(instr, static.dst)
+        elif isinstance(static, Alu):
+            self._capture_sources(instr, static.source_registers(), "value")
+            self._claim_dst(instr, static.dst)
+        if instr.value_pending == 0:
+            self._schedule_alu_execute(instr)
+
+    def _dispatch_branch(self, instr: DynInstr) -> None:
+        static = instr.instr
+        assert isinstance(static, Branch)
+        self._capture_sources(instr, static.source_registers(), "value")
+        if instr.value_pending == 0:
+            self._schedule_branch_execute(instr)
+
+    def _dispatch_load(self, instr: DynInstr) -> None:
+        static = instr.instr
+        assert isinstance(static, Load)
+        self.lq.insert(instr)
+        self._capture_sources(instr, static.mem.source_registers(), "addr")
+        self._claim_dst(instr, static.dst)
+        if instr.addr_pending == 0:
+            self._schedule_agen(instr)
+
+    def _dispatch_store(self, instr: DynInstr) -> None:
+        static = instr.instr
+        assert isinstance(static, Store)
+        self.sq.insert(instr)
+        self.storeset.on_store_dispatch(instr)
+        self._capture_sources(instr, static.mem.source_registers(), "addr")
+        if static.src is not None:
+            self._capture_sources(instr, (static.src,), "value")
+        if instr.addr_pending == 0:
+            self._schedule_agen(instr)
+        if instr.value_pending == 0:
+            self._store_data_ready(instr)
+
+    def _dispatch_atomic(self, instr: DynInstr) -> None:
+        static = instr.instr
+        assert isinstance(static, AtomicRMW)
+        self.lq.insert(instr)
+        self.sq.insert(instr)
+        allocated = self.aq.allocate(instr)
+        assert allocated is not None, "dispatch room was checked"
+        self.storeset.on_store_dispatch(instr)
+        self._capture_sources(instr, static.mem.source_registers(), "addr")
+        self._capture_sources(instr, static.value_registers(), "value")
+        self._claim_dst(instr, static.dst)
+        if instr.addr_pending == 0:
+            self._schedule_agen(instr)
+
+    # ==================================================================
+    # wakeup / issue
+
+    def _producer_completed(self, producer: DynInstr) -> None:
+        """Wake consumers of a completed producer."""
+        for consumer, kind, reg in producer.dependents:
+            if consumer.squashed:
+                continue
+            consumer.src_values[reg] = producer.result  # type: ignore[assignment]
+            if kind == "addr":
+                consumer.addr_pending -= 1
+                if consumer.addr_pending == 0:
+                    self._schedule_agen(consumer)
+            else:
+                consumer.value_pending -= 1
+                if consumer.value_pending == 0:
+                    self._value_operands_ready(consumer)
+        producer.dependents.clear()
+
+    def _value_operands_ready(self, instr: DynInstr) -> None:
+        klass = instr.klass
+        if klass is InstrClass.ALU:
+            self._schedule_alu_execute(instr)
+        elif klass is InstrClass.BRANCH:
+            self._schedule_branch_execute(instr)
+        elif klass is InstrClass.STORE:
+            self._store_data_ready(instr)
+        elif klass is InstrClass.ATOMIC:
+            self._try_compute_atomic_value(instr)
+        else:  # pragma: no cover - no other class captures value sources
+            raise AssertionError(f"unexpected value wakeup for {instr}")
+
+    def _issue_slot(self) -> int:
+        """Reserve an issue slot; returns its absolute cycle."""
+        self.stats.bump("issued_ops")
+        return self.issue_bw.grant(self.queue.now)
+
+    def _schedule_alu_execute(self, instr: DynInstr) -> None:
+        static = instr.instr
+        if isinstance(static, Pause):
+            latency = PAUSE_LATENCY
+        elif isinstance(static, LoadImm):
+            latency = 1
+        else:
+            assert isinstance(static, Alu)
+            latency = max(static.latency, self.cfg.alu_latency)
+        slot = self._issue_slot()
+        instr.issue_cycle = slot
+        delay = slot - self.queue.now + latency
+        self.queue.schedule(delay, lambda: self._execute_alu(instr))
+
+    def _execute_alu(self, instr: DynInstr) -> None:
+        if instr.squashed:
+            return
+        static = instr.instr
+        if isinstance(static, LoadImm):
+            instr.result = static.value & ((1 << 64) - 1)
+        elif isinstance(static, Pause):
+            instr.result = 0
+        else:
+            assert isinstance(static, Alu)
+            if static.op.value == "nop":
+                instr.result = 0
+            else:
+                src1 = instr.src_values.get(static.src1, 0) if static.src1 is not None else 0
+                if static.imm is not None:
+                    src2 = static.imm & ((1 << 64) - 1)
+                elif static.src2 is not None:
+                    src2 = instr.src_values[static.src2]
+                else:
+                    src2 = 0
+                if static.op.value == "mov":
+                    instr.result = src1 if static.src1 is not None else (static.imm or 0)
+                else:
+                    instr.result = evaluate_alu(static, src1, src2)
+        self._complete(instr)
+
+    def _schedule_branch_execute(self, instr: DynInstr) -> None:
+        slot = self._issue_slot()
+        instr.issue_cycle = slot
+        delay = slot - self.queue.now + self.cfg.branch_latency
+        self.queue.schedule(delay, lambda: self._resolve_branch(instr))
+
+    def _resolve_branch(self, instr: DynInstr) -> None:
+        if instr.squashed:
+            return
+        static = instr.instr
+        assert isinstance(static, Branch)
+        src1 = instr.src_values.get(static.src1, 0) if static.src1 is not None else 0
+        if static.imm is not None:
+            src2 = static.imm & ((1 << 64) - 1)
+        elif static.src2 is not None:
+            src2 = instr.src_values[static.src2]
+        else:
+            src2 = 0
+        taken = evaluate_branch(static, src1, src2)
+        instr.actual_taken = taken
+        instr.actual_target = static.target_index if taken else instr.pc + 1
+        mispredicted = taken != instr.pred_taken
+        self.predictor.train(instr.pc, static, taken, mispredicted)
+        self._complete(instr)
+        if mispredicted:
+            self.stats.bump("squash.branch")
+            self._squash_from(instr.seq + 1, instr.actual_target)
+
+    # ==================================================================
+    # memory unit: address generation
+
+    def _schedule_agen(self, instr: DynInstr) -> None:
+        slot = self._issue_slot()
+        delay = slot - self.queue.now + AGEN_LATENCY
+        self.queue.schedule(delay, lambda: self._agen(instr))
+
+    def _agen(self, instr: DynInstr) -> None:
+        if instr.squashed or instr.addr_ready:
+            return
+        mem = instr.instr.mem  # type: ignore[union-attr]
+        address = instr.src_values.get(mem.base, 0) + mem.offset
+        if mem.index is not None:
+            address += instr.src_values.get(mem.index, 0)
+        address = align_word(address)
+        instr.address = address
+        instr.word = word_index(address)
+        instr.line = line_of(address)
+        instr.addr_ready = True
+
+        if instr.is_store_like:
+            self._check_violations(instr)
+            if instr.squashed:
+                return
+            self._retry_pool(self._loads_waiting_agen)
+            if instr.klass is InstrClass.STORE:
+                self._maybe_complete_store(instr)
+        if instr.is_load_like:
+            self._try_start_load(instr)
+
+    def _check_violations(self, store: DynInstr) -> None:
+        """A store resolved its address: squash mis-speculated loads.
+
+        Any younger load to the same word that already performed without
+        taking its value from this store (or a younger one) violated the
+        memory dependence — Table 2's MDV events.
+        """
+        assert store.word is not None
+        victim: Optional[DynInstr] = None
+        for load in self.lq:
+            if (
+                load.seq > store.seq
+                and load.performed
+                and not load.committed
+                and load.word == store.word
+                and (load.forwarded_from is None or load.forwarded_from < store.seq)
+            ):
+                if victim is None or load.seq < victim.seq:
+                    victim = load
+        if victim is not None:
+            self.storeset.train_violation(victim, store)
+            self.stats.bump("squash.mem_dep")
+            self._squash_from(victim.seq, victim.pc)
+
+    # ==================================================================
+    # memory unit: loads and load_locks
+
+    def _try_start_load(self, instr: DynInstr) -> None:
+        """Run the load gates; issue to forward path or cache when clear."""
+        if (
+            instr.squashed
+            or instr.performed
+            or instr.mem_issued
+            or not instr.addr_ready
+        ):
+            return
+
+        # Gate 1: explicit fences (mfence) block younger loads.
+        if self._blocked_by_fence(instr):
+            return
+        # Gate 2: fenced designs block loads younger than an unperformed
+        # atomic (Mem_Fence2).
+        if self.policy.fenced and self._blocked_by_fenced_atomic(instr):
+            return
+        # Gate 3: the atomic policy's own issue conditions (Mem_Fence1).
+        if instr.is_atomic and not self._atomic_may_issue(instr):
+            return
+        # Gate 4: StoreSet-predicted dependence on an unresolved store.
+        predicted = self.storeset.predicted_dependency(instr)
+        if predicted is not None and not predicted.addr_ready:
+            if instr not in self._loads_waiting_agen:
+                self._loads_waiting_agen.append(instr)
+            return
+
+        decision = decide_load_source(
+            instr, self.sq, self.policy, self.max_forward_chain
+        )
+        if decision.action is LoadSource.FORWARD:
+            self._forward_load(instr, decision.store)  # type: ignore[arg-type]
+            return
+        if decision.action is LoadSource.WAIT_DATA:
+            store = decision.store
+            assert store is not None
+            store.data_waiters.append(lambda: self._try_start_load(instr))
+            return
+        if decision.action is LoadSource.WAIT_PERFORM:
+            store = decision.store
+            assert store is not None
+            store.perform_waiters.append(lambda: self._try_start_load(instr))
+            self.stats.bump("load_lock_rescheduled" if instr.is_atomic else "load_wait_store")
+            return
+
+        # Cache path.
+        instr.mem_issued = True
+        instr.issue_cycle = self.queue.now
+        line = instr.line
+        assert line is not None
+        if instr.is_atomic:
+            instr.locality = (
+                LocalityClass.WRITE_HIT
+                if self.hierarchy.has_write_permission(line)
+                else LocalityClass.MISS
+            )
+            self.hierarchy.request_write(line, lambda: self._perform_load_lock(instr))
+        else:
+            self.hierarchy.request_read(line, lambda: self._perform_load(instr))
+
+    def _blocked_by_fence(self, instr: DynInstr) -> bool:
+        for fence in self._fences:
+            if fence.squashed or fence.committed:
+                continue
+            if fence.seq < instr.seq:
+                if instr not in self._loads_waiting_fence:
+                    self._loads_waiting_fence.append(instr)
+                return True
+        return False
+
+    def _blocked_by_fenced_atomic(self, instr: DynInstr) -> bool:
+        """Mem_Fence2: younger loads wait for the atomic to fully perform."""
+        for store in self.sq:
+            if store.seq >= instr.seq:
+                break
+            if store is instr:
+                continue
+            if store.is_atomic and not store.store_performed:
+                store.perform_waiters.append(lambda: self._try_start_load(instr))
+                return True
+        return False
+
+    def _atomic_may_issue(self, instr: DynInstr) -> bool:
+        """Mem_Fence1 conditions, by policy (see policy module)."""
+        if not self.policy.fenced:
+            return True
+        if not self.policy.speculative:
+            # Baseline: the atomic must be the oldest instruction...
+            if not self.rob.oldest_uncommitted_is(instr):
+                self._mark_head_wait(instr)
+                self._stall_atomic(instr)
+                return False
+        else:
+            # +Spec: all older *memory* operations must be done (older
+            # loads committed — gone from the LQ; older stores performed
+            # — gone from the SQ or uncommitted-none), but older ALU ops
+            # and branches may still be in flight.
+            for load in self.lq:
+                if load.seq >= instr.seq:
+                    break
+                if load is not instr:
+                    self._mark_head_wait(instr)
+                    self._stall_atomic(instr)
+                    return False
+            for store in self.sq:
+                if store.seq >= instr.seq:
+                    break
+                if store is not instr:
+                    self._mark_head_wait(instr)
+                    self._stall_atomic(instr)
+                    return False
+        # ...and the SB must be drained.
+        if not self.sq.sb_empty_below(instr.seq):
+            self._mark_head_wait(instr)
+            self._stall_atomic(instr)
+            return False
+        return True
+
+    def _mark_head_wait(self, instr: DynInstr) -> None:
+        if instr.head_wait_cycle < 0:
+            instr.head_wait_cycle = self.queue.now
+
+    def _stall_atomic(self, instr: DynInstr) -> None:
+        if instr not in self._stalled_atomics:
+            self._stalled_atomics.append(instr)
+
+    def _forward_load(self, instr: DynInstr, store: DynInstr) -> None:
+        """Store-to-load forwarding (regular loads and load_locks)."""
+        assert store.store_data_ready and store.store_value is not None
+        instr.mem_issued = True
+        instr.issue_cycle = self.queue.now
+        instr.forwarded_from = store.seq
+        instr.forward_kind = (
+            ForwardKind.FROM_ATOMIC if store.is_atomic else ForwardKind.FROM_STORE
+        )
+        if instr.is_atomic:
+            instr.locality = LocalityClass.FORWARDED
+            assert instr.aq_entry is not None
+            grant_forwarding_responsibility(instr.aq_entry, store)
+            self.stats.bump("atomic_forwarded")
+        value = store.store_value
+        latency = self.config.memory.l1d.hit_latency
+        self.queue.schedule(latency, lambda: self._finish_forward(instr, value))
+
+    def _finish_forward(self, instr: DynInstr, value: int) -> None:
+        if instr.squashed:
+            return
+        instr.performed = True
+        instr.perform_cycle = self.queue.now
+        instr.result = value
+        if instr.is_atomic:
+            # A forwarded load_lock "performs" logically when its
+            # forwarding store does; the watchdog cares about lock
+            # acquisition, which here transfers at store-perform time.
+            self._try_compute_atomic_value(instr)
+        self._complete(instr)
+
+    def _perform_load(self, instr: DynInstr) -> None:
+        if instr.squashed:
+            return
+        assert instr.address is not None
+        instr.performed = True
+        instr.perform_cycle = self.queue.now
+        instr.result = self.memory.read(instr.address)
+        self.stats.bump("loads_performed")
+        if self.prefetcher is not None:
+            self.prefetcher.observe_load(instr.pc, instr.address)
+        self._complete(instr)
+
+    def _perform_load_lock(self, instr: DynInstr) -> None:
+        """The load_lock reads its value and locks the line (section 2)."""
+        if instr.squashed:
+            return
+        line = instr.line
+        assert line is not None and instr.address is not None
+        location = self.hierarchy.l1_location(line)
+        if location is None or not self.hierarchy.has_write_permission(line):
+            # Lost the line between grant and perform (rare race):
+            # re-schedule, as hardware would (footnote 1 of the paper).
+            self.hierarchy.request_write(line, lambda: self._perform_load_lock(instr))
+            return
+        set_index, way = location
+        entry = instr.aq_entry
+        assert entry is not None
+        entry.lock(line, set_index, way)
+        self.watchdog.reset()
+        instr.performed = True
+        instr.perform_cycle = self.queue.now
+        instr.result = self.memory.read(instr.address)
+        self.stats.bump("load_locks_performed")
+        self._try_compute_atomic_value(instr)
+        self._complete(instr)
+
+    def _try_compute_atomic_value(self, instr: DynInstr) -> None:
+        """Fold the modify µop: needs the old value and the operands."""
+        if instr.squashed or instr.new_value_ready or not instr.performed:
+            return
+        if instr.value_pending > 0:
+            return
+        static = instr.instr
+        assert isinstance(static, AtomicRMW)
+        if static.imm is not None:
+            operand = static.imm & ((1 << 64) - 1)
+        elif static.src is not None:
+            operand = instr.src_values[static.src]
+        else:
+            operand = 0
+        expected = (
+            instr.src_values[static.expected] if static.expected is not None else 0
+        )
+        assert instr.result is not None
+        instr.new_value_ready = True
+        instr.store_value = evaluate_atomic(static, instr.result, operand, expected)
+        instr.store_data_ready = True
+        for waiter in instr.data_waiters:
+            waiter()
+        instr.data_waiters.clear()
+        self._maybe_schedule_commit()
+
+    # ==================================================================
+    # memory unit: stores and the store buffer
+
+    def _store_data_ready(self, instr: DynInstr) -> None:
+        static = instr.instr
+        assert isinstance(static, Store)
+        if static.imm is not None:
+            instr.store_value = static.imm & ((1 << 64) - 1)
+        else:
+            assert static.src is not None
+            instr.store_value = instr.src_values[static.src]
+        instr.store_data_ready = True
+        for waiter in instr.data_waiters:
+            waiter()
+        instr.data_waiters.clear()
+        self._maybe_complete_store(instr)
+
+    def _maybe_complete_store(self, instr: DynInstr) -> None:
+        if instr.addr_ready and instr.store_data_ready and not instr.completed:
+            self._complete(instr)
+
+    def _try_drain_sb(self) -> None:
+        """Let the SB head write to the cache (TSO store order)."""
+        head = self.sq.sb_head
+        if head is None or head.store_issued:
+            return
+        head.store_issued = True
+        line = head.line
+        assert line is not None
+        self.hierarchy.request_write(line, lambda: self._perform_store(head))
+
+    def _perform_store(self, store: DynInstr) -> None:
+        assert store.committed and not store.store_performed
+        line = store.line
+        assert line is not None and store.address is not None
+        location = self.hierarchy.l1_location(line)
+        if location is None or not self.hierarchy.has_write_permission(line):
+            # Permission was stolen between grant and write: re-acquire.
+            self.hierarchy.request_write(line, lambda: self._perform_store(store))
+            return
+        assert store.store_value is not None
+        self.memory.write(store.address, store.store_value)
+        store.store_performed = True
+        self.stats.bump("stores_performed")
+
+        # SQid broadcast: forwarded atomics capture the lock here —
+        # lock_on_access for ordinary stores, the unlock->lock transfer
+        # (do_not_unlock) for store_unlocks (section 4.2).
+        set_index, way = location
+        self.aq.on_store_broadcast(store, line, set_index, way)
+        if store.is_atomic:
+            entry = store.aq_entry
+            assert entry is not None
+            instr_done = self.queue.now
+            store.done_cycle = instr_done
+            self._record_atomic_cost(store)
+            self.aq.deallocate(entry)
+        self.sq.release(store)
+        self.storeset.forget(store)
+        for waiter in store.perform_waiters:
+            waiter()
+        store.perform_waiters.clear()
+        self._maybe_resume_fetch()  # SQ/AQ entries freed
+        self._on_sb_progress()
+        self._try_drain_sb()
+
+    def _record_atomic_cost(self, instr: DynInstr) -> None:
+        """Figure 1 accounting: Drain_SB and Atomic cycle components."""
+        if instr.issue_cycle >= 0:
+            if instr.head_wait_cycle >= 0:
+                self.stats.observe(
+                    "atomic_drain_sb", max(0, instr.issue_cycle - instr.head_wait_cycle)
+                )
+            else:
+                self.stats.observe("atomic_drain_sb", 0)
+            self.stats.observe(
+                "atomic_block", max(0, instr.done_cycle - instr.issue_cycle)
+            )
+
+    def _on_sb_progress(self) -> None:
+        """SB drained one entry: re-evaluate everything gated on it."""
+        self._retry_pool(self._stalled_atomics)
+        self._maybe_schedule_commit()
+
+    def _retry_pool(self, pool: list[DynInstr]) -> None:
+        if not pool:
+            return
+        pending = [i for i in pool if not (i.squashed or i.performed or i.mem_issued)]
+        pool.clear()
+        for instr in pending:
+            self._try_start_load(instr)
+
+    # ==================================================================
+    # completion & commit
+
+    def _complete(self, instr: DynInstr) -> None:
+        if instr.squashed or instr.completed:
+            return
+        instr.completed = True
+        self._producer_completed(instr)
+        self._maybe_schedule_commit()
+
+    def _maybe_schedule_commit(self) -> None:
+        if self._commit_scheduled:
+            return
+        head = self.rob.head
+        if head is None or not self._commit_ready(head):
+            return
+        self._commit_scheduled = True
+        self.queue.schedule(1, self._commit_tick)
+
+    def _commit_ready(self, instr: DynInstr) -> bool:
+        if not instr.completed:
+            return False
+        if instr.klass is InstrClass.ATOMIC:
+            return (
+                instr.performed
+                and instr.new_value_ready
+                and self.sq.sb_empty_below(instr.seq)
+            )
+        if instr.klass is InstrClass.FENCE:
+            return self.sq.sb_empty_below(instr.seq)
+        if instr.klass is InstrClass.HALT:
+            # The thread only finishes once its stores are visible.
+            return self.sq.sb_empty_below(instr.seq)
+        return True
+
+    def _commit_tick(self) -> None:
+        self._commit_scheduled = False
+        committed = 0
+        while committed < self.cfg.commit_width:
+            head = self.rob.head
+            if head is None or not self._commit_ready(head):
+                break
+            self.rob.commit_head()
+            self._do_commit(head)
+            committed += 1
+            if self.finished:
+                break
+        if committed:
+            self._retry_pool(self._stalled_atomics)
+            self._maybe_resume_fetch()
+        self._maybe_schedule_commit()
+
+    def _do_commit(self, instr: DynInstr) -> None:
+        now = self.queue.now
+        instr.committed = True
+        gap = now - self._last_commit_cycle
+        self._last_commit_cycle = now
+        if instr.is_spin:
+            self.quiescent_cycles += gap
+            self.stats.bump("committed_spin")
+        else:
+            self.active_cycles += gap
+        self.stats.bump("committed")
+        self.stats.bump(f"committed.{instr.klass.value}")
+
+        static = instr.instr
+        dst = getattr(static, "dst", None)
+        if dst is not None and instr.result is not None:
+            self.rename.commit(dst, instr, instr.result)
+        if self.commit_trace is not None:
+            self._record_trace(instr)
+
+        klass = instr.klass
+        if klass is InstrClass.LOAD:
+            self.lq.release(instr)
+        elif klass is InstrClass.STORE:
+            self._prefetch_store_permission(instr)
+            self._try_drain_sb()
+        elif klass is InstrClass.ATOMIC:
+            self.lq.release(instr)
+            self.watchdog.reset()
+            self._commit_atomic_stats(instr)
+            self._try_drain_sb()
+        elif klass is InstrClass.FENCE:
+            if instr in self._fences:
+                self._fences.remove(instr)
+            self.stats.bump("fences_executed")
+            self._retry_pool(self._loads_waiting_fence)
+        elif klass is InstrClass.HALT:
+            self.finished = True
+            self.finish_cycle = now
+
+    def _prefetch_store_permission(self, store: DynInstr) -> None:
+        """At-commit store prefetch (Table 1, [54]): grab write
+        permission as soon as the store commits, so the strictly
+        in-order SB drain is not serialized on coherence misses."""
+        if not self.cfg.store_prefetch_at_commit:
+            return
+        line = store.line
+        if line is None or store.store_performed:
+            return
+        if not self.hierarchy.has_write_permission(line):
+            self.stats.bump("store_prefetches")
+            self.hierarchy.request_write(line, lambda: None)
+
+    def _record_trace(self, instr: DynInstr) -> None:
+        assert self.commit_trace is not None
+        klass = instr.klass
+        if klass is InstrClass.LOAD:
+            assert instr.address is not None and instr.result is not None
+            self.commit_trace.append(Operation.load(instr.address, instr.result))
+        elif klass is InstrClass.STORE:
+            assert instr.address is not None and instr.store_value is not None
+            self.commit_trace.append(Operation.store(instr.address, instr.store_value))
+        elif klass is InstrClass.ATOMIC:
+            assert instr.address is not None
+            assert instr.result is not None and instr.store_value is not None
+            self.commit_trace.append(
+                Operation.rmw(instr.address, instr.result, instr.store_value)
+            )
+        elif klass is InstrClass.FENCE:
+            self.commit_trace.append(Operation.fence())
+
+    def _commit_atomic_stats(self, instr: DynInstr) -> None:
+        self.stats.bump("atomics_committed")
+        if instr.is_spin:
+            self.stats.bump("atomics_committed_spin")
+        if self.policy.is_free:
+            self.stats.bump("fences_omitted", 2)
+        else:
+            self.stats.bump("fences_executed", 2)
+        if instr.forward_kind is ForwardKind.FROM_ATOMIC:
+            self.stats.bump("atomics_fwd_from_atomic")
+        elif instr.forward_kind is ForwardKind.FROM_STORE:
+            self.stats.bump("atomics_fwd_from_store")
+        if instr.locality is LocalityClass.FORWARDED:
+            self.stats.bump("atomic_locality.forwarded")
+        elif instr.locality is LocalityClass.WRITE_HIT:
+            self.stats.bump("atomic_locality.write_hit")
+        else:
+            self.stats.bump("atomic_locality.miss")
+
+    # ==================================================================
+    # squash
+
+    def _squash_from(self, seq: int, new_pc: int) -> None:
+        """Flush all instructions with sequence >= ``seq``; refetch."""
+        squashed = self.rob.squash_from(seq)
+        self.stats.bump("squashes")
+        self.stats.bump("squashed_instrs", len(squashed))
+        self.rename.rollback(squashed)
+        self.lq.squash_from(seq)
+        self.sq.squash_from(seq)
+        for instr in squashed:
+            instr.squashed = True
+            if instr.is_store_like:
+                self.storeset.forget(instr)
+        self._fences = [f for f in self._fences if not f.squashed]
+
+        # Redirect fetch (a nested squash from the AQ unlock path below
+        # may override this with an older redirect — that is correct).
+        self.halted = False
+        self._fetch_epoch += 1
+        self._fetch_scheduled = False
+        self._dispatch_blocked = False
+        self.pc = new_pc
+        self._schedule_fetch(self.cfg.mispredict_penalty)
+
+        # Last: lift locks (may synchronously replay deferred coherence
+        # requests and trigger nested, older squashes).
+        flushed_entries = self.aq.squash_from(seq)
+        for entry in flushed_entries:
+            revoke_forwarding_responsibility(entry)
+        self._maybe_schedule_commit()
+
+    # ==================================================================
+    # external events
+
+    def _on_line_lost(self, line: int) -> None:
+        """TSO: the line left the hierarchy; squash speculative readers."""
+        victim = self.lq.oldest_ordering_violation(line)
+        if victim is not None:
+            self.stats.bump("squash.mem_order")
+            self._squash_from(victim.seq, victim.pc)
+
+    def _watchdog_flush(self, entry: AtomicQueueEntry) -> None:
+        instr = entry.instr
+        if instr.squashed or instr.committed:
+            return
+        self.stats.bump("squash.watchdog")
+        self._squash_from(instr.seq, instr.pc)
+
+    def _schedule_unlock_notify(self, line: int) -> None:
+        """Decouple deferred-request replay from the unlocking event."""
+        self.queue.schedule(0, lambda: self.hierarchy.notify_unlock(line))

@@ -1,0 +1,219 @@
+"""Dynamic (in-flight) instructions.
+
+One :class:`DynInstr` per fetched instruction.  Atomic RMWs are a single
+ROB entry whose load_lock / modify / store_unlock phases are tracked by
+flags — behaviourally equivalent to gem5's µop split (the fences of the
+baseline decode are modeled as issue/commit conditions supplied by the
+active :class:`~repro.core.policy.AtomicPolicy`).
+
+Squash safety: events scheduled on behalf of an instruction check
+``instr.squashed`` (and that the instruction object is still the one the
+event was created for — sequence numbers are never reused).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.isa.instructions import (
+    Alu,
+    AtomicRMW,
+    Branch,
+    Fence,
+    Halt,
+    Instruction,
+    Load,
+    LoadImm,
+    Pause,
+    Store,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.atomic_queue import AtomicQueueEntry
+
+
+class InstrClass(enum.Enum):
+    """Coarse classification used by dispatch and the energy model."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+    BRANCH = "branch"
+    FENCE = "fence"
+    HALT = "halt"
+
+    @staticmethod
+    def of(instruction: Instruction) -> "InstrClass":
+        if isinstance(instruction, AtomicRMW):
+            return InstrClass.ATOMIC
+        if isinstance(instruction, Load):
+            return InstrClass.LOAD
+        if isinstance(instruction, Store):
+            return InstrClass.STORE
+        if isinstance(instruction, Branch):
+            return InstrClass.BRANCH
+        if isinstance(instruction, Fence):
+            return InstrClass.FENCE
+        if isinstance(instruction, Halt):
+            return InstrClass.HALT
+        if isinstance(instruction, (Alu, LoadImm, Pause)):
+            return InstrClass.ALU
+        raise TypeError(f"unknown instruction type: {instruction!r}")
+
+
+class ForwardKind(enum.Enum):
+    """Where a load's value came from, when forwarded."""
+
+    FROM_STORE = "store"  # ordinary store
+    FROM_ATOMIC = "atomic"  # a store_unlock
+
+
+class LocalityClass(enum.Enum):
+    """Figure 13 classification of a load_lock's data source."""
+
+    FORWARDED = "forwarded"
+    WRITE_HIT = "write_hit"  # L1/L2 hit with write permission
+    MISS = "miss"
+
+
+class DynInstr:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "seq",
+        "instr",
+        "klass",
+        "pc",
+        "pred_taken",
+        "next_pc",
+        "squashed",
+        "completed",
+        "committed",
+        "result",
+        "src_values",
+        "addr_pending",
+        "value_pending",
+        "dependents",
+        "prev_producer",
+        "address",
+        "word",
+        "line",
+        "addr_ready",
+        "performed",
+        "perform_cycle",
+        "forwarded_from",
+        "forward_kind",
+        "store_data_ready",
+        "store_value",
+        "store_performed",
+        "store_issued",
+        "perform_waiters",
+        "data_waiters",
+        "aq_entry",
+        "locked_line",
+        "new_value_ready",
+        "lock_on_behalf",
+        "do_not_unlock",
+        "locality",
+        "actual_taken",
+        "actual_target",
+        "dispatch_cycle",
+        "head_wait_cycle",
+        "issue_cycle",
+        "done_cycle",
+        "waiting_issue",
+        "mem_issued",
+    )
+
+    def __init__(self, seq: int, instruction: Instruction, pc: int) -> None:
+        self.seq = seq
+        self.instr = instruction
+        self.klass = InstrClass.of(instruction)
+        self.pc = pc
+        # frontend
+        self.pred_taken = False
+        self.next_pc = pc + 1
+        # lifecycle
+        self.squashed = False
+        self.completed = False
+        self.committed = False
+        # operands / results
+        self.result: Optional[int] = None
+        self.src_values: dict[int, int] = {}
+        self.addr_pending = 0
+        self.value_pending = 0
+        #: (consumer, kind) pairs to wake on completion; kind is
+        #: "addr"/"value" telling the consumer which counter to decrement.
+        self.dependents: list[tuple["DynInstr", str]] = []
+        self.prev_producer: dict[int, Optional["DynInstr"]] = {}
+        # memory
+        self.address: Optional[int] = None
+        self.word: Optional[int] = None
+        self.line: Optional[int] = None
+        self.addr_ready = False
+        self.performed = False  # load part: value obtained
+        self.perform_cycle = -1
+        self.forwarded_from: Optional[int] = None  # seq of forwarding store
+        self.forward_kind: Optional[ForwardKind] = None
+        self.store_data_ready = False
+        self.store_value: Optional[int] = None
+        self.store_performed = False  # store part: written to cache
+        self.store_issued = False  # store part: drain request sent
+        #: callbacks fired when the store part performs (leaves the SB).
+        self.perform_waiters: list = []
+        #: callbacks fired when the store's data becomes ready.
+        self.data_waiters: list = []
+        # atomics
+        self.aq_entry: Optional["AtomicQueueEntry"] = None
+        self.locked_line: Optional[int] = None
+        self.new_value_ready = False
+        #: AQ entries this (ordinary) store must lock on behalf of.
+        self.lock_on_behalf: list["AtomicQueueEntry"] = []
+        self.do_not_unlock = False
+        self.locality: Optional[LocalityClass] = None
+        # branches
+        self.actual_taken: Optional[bool] = None
+        self.actual_target: Optional[int] = None
+        # timing marks
+        self.dispatch_cycle = -1
+        self.head_wait_cycle = -1  # FENCED: first cycle eligible-but-fenced
+        self.issue_cycle = -1
+        self.done_cycle = -1
+        # scheduling flags
+        self.waiting_issue = False
+        self.mem_issued = False
+
+    # -- classification helpers ------------------------------------------
+
+    @property
+    def is_load_like(self) -> bool:
+        return self.klass in (InstrClass.LOAD, InstrClass.ATOMIC)
+
+    @property
+    def is_store_like(self) -> bool:
+        return self.klass in (InstrClass.STORE, InstrClass.ATOMIC)
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.klass is InstrClass.ATOMIC
+
+    @property
+    def is_spin(self) -> bool:
+        return self.instr.spin
+
+    @property
+    def holds_lock(self) -> bool:
+        return self.aq_entry is not None and self.aq_entry.locked
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.squashed:
+            flags.append("squashed")
+        if self.committed:
+            flags.append("committed")
+        elif self.completed:
+            flags.append("completed")
+        detail = f" {','.join(flags)}" if flags else ""
+        return f"DynInstr(seq={self.seq}, pc={self.pc}, {self.klass.value}{detail})"

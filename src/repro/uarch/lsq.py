@@ -1,0 +1,160 @@
+"""Load queue and store queue (with its committed suffix, the store buffer).
+
+Both queues hold the owning :class:`DynInstr` objects directly.  Entries
+arrive in program order, commit from the front, and squash from the back,
+so deques are exact.  Searches are linear scans — the queues are at most
+128/72 entries, and scans happen per memory operation, not per cycle.
+
+The store queue contains both ordinary stores and the store_unlock part
+of atomics.  Its committed prefix is the store buffer (SB): only the
+oldest committed, unperformed entry may write to the cache, giving TSO
+its store->store order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.uarch.dynins import DynInstr
+
+
+class LoadQueue:
+    """Program-ordered queue of loads and atomic load_locks."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._entries: Deque[DynInstr] = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._entries)
+
+    def insert(self, instr: DynInstr) -> None:
+        if self.full:
+            raise OverflowError("LQ full")
+        self._entries.append(instr)
+
+    def release(self, instr: DynInstr) -> None:
+        """Remove a committed load from the front region."""
+        if self._entries and self._entries[0] is instr:
+            self._entries.popleft()
+        else:  # pragma: no cover - defensive; commits are in order
+            self._entries.remove(instr)
+
+    def squash_from(self, seq: int) -> list[DynInstr]:
+        squashed: list[DynInstr] = []
+        while self._entries and self._entries[-1].seq >= seq:
+            squashed.append(self._entries.pop())
+        return squashed
+
+    def oldest_ordering_violation(self, line: int) -> Optional[DynInstr]:
+        """Oldest speculatively performed load that read ``line``.
+
+        Called when the line leaves the private hierarchy (invalidation
+        or eviction): any performed-but-uncommitted load whose value came
+        from memory may now violate TSO load->load order and must squash.
+        Loads forwarded from the local SQ are exempt (reading your own
+        store early is TSO-legal), and performed load_locks hold the line
+        locked, so the line cannot have left while they are in flight.
+        """
+        for load in self._entries:
+            if (
+                load.performed
+                and not load.committed
+                and load.line == line
+                and load.forwarded_from is None
+                and not load.is_atomic
+            ):
+                return load
+        return None
+
+
+class StoreQueue:
+    """Program-ordered queue of stores and atomic store_unlocks."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._entries: Deque[DynInstr] = deque()
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._entries)
+
+    def insert(self, instr: DynInstr) -> None:
+        if self.full:
+            raise OverflowError("SQ full")
+        self._entries.append(instr)
+
+    def release(self, instr: DynInstr) -> None:
+        """Remove a performed store (it has left the SB)."""
+        if self._entries and self._entries[0] is instr:
+            self._entries.popleft()
+        else:  # pragma: no cover - defensive; SB drains in order
+            self._entries.remove(instr)
+
+    def squash_from(self, seq: int) -> list[DynInstr]:
+        squashed: list[DynInstr] = []
+        while self._entries and self._entries[-1].seq >= seq:
+            squashed.append(self._entries.pop())
+        return squashed
+
+    @property
+    def sb_head(self) -> Optional[DynInstr]:
+        """Oldest committed, unperformed store — the one that may drain."""
+        if self._entries:
+            head = self._entries[0]
+            if head.committed and not head.store_performed:
+                return head
+        return None
+
+    def sb_empty_below(self, seq: int) -> bool:
+        """True when no committed store older than ``seq`` remains."""
+        for store in self._entries:
+            if store.seq >= seq:
+                return True
+            if store.committed:
+                return False
+        return True
+
+    @property
+    def sb_empty(self) -> bool:
+        """True when no committed store is waiting to perform."""
+        return not (self._entries and self._entries[0].committed)
+
+    def youngest_matching_store(self, word: int, before_seq: int) -> Optional[DynInstr]:
+        """Youngest older store with a resolved address equal to ``word``."""
+        for store in reversed(self._entries):
+            if store.seq >= before_seq:
+                continue
+            if store.addr_ready and store.word == word:
+                return store
+        return None
+
+    def has_unresolved_older(self, before_seq: int) -> bool:
+        """Any older store whose address is still unknown?"""
+        for store in self._entries:
+            if store.seq >= before_seq:
+                break
+            if not store.addr_ready:
+                return True
+        return False
+
+    def older_unresolved(self, before_seq: int) -> list[DynInstr]:
+        return [
+            store
+            for store in self._entries
+            if store.seq < before_seq and not store.addr_ready
+        ]

@@ -1,0 +1,62 @@
+"""Register renaming: architectural register -> in-flight producer.
+
+A value-based rename map: each architectural register points at the
+youngest in-flight :class:`DynInstr` that writes it (or None, meaning the
+committed register file holds the value).  Each dispatching instruction
+snapshots the previous mapping of its destination, so a squash restores
+exact state by walking the squashed suffix youngest-first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.registers import NUM_REGISTERS, truncate
+from repro.uarch.dynins import DynInstr
+
+
+class RenameMap:
+    """Per-core rename map plus the committed architectural register file."""
+
+    def __init__(self, initial_regs: Optional[dict[int, int]] = None) -> None:
+        self.regfile = [0] * NUM_REGISTERS
+        if initial_regs:
+            for reg, value in initial_regs.items():
+                self.regfile[reg] = truncate(value)
+        self._producer: list[Optional[DynInstr]] = [None] * NUM_REGISTERS
+
+    def producer_of(self, reg: int) -> Optional[DynInstr]:
+        return self._producer[reg]
+
+    def read_or_producer(self, reg: int) -> tuple[bool, int, Optional[DynInstr]]:
+        """Resolve a source register at dispatch time.
+
+        Returns ``(ready, value, producer)``: ready with the value when
+        the committed regfile or a completed producer supplies it;
+        otherwise the producer to subscribe to.
+        """
+        producer = self._producer[reg]
+        if producer is None:
+            return True, self.regfile[reg], None
+        if producer.completed:
+            assert producer.result is not None
+            return True, producer.result, producer
+        return False, 0, producer
+
+    def claim(self, reg: int, instr: DynInstr) -> None:
+        """Make ``instr`` the producer of ``reg``, remembering the old one."""
+        instr.prev_producer[reg] = self._producer[reg]
+        self._producer[reg] = instr
+
+    def commit(self, reg: int, instr: DynInstr, value: int) -> None:
+        """Architecturally write ``reg`` as ``instr`` commits."""
+        self.regfile[reg] = truncate(value)
+        if self._producer[reg] is instr:
+            self._producer[reg] = None
+
+    def rollback(self, squashed_youngest_first: list[DynInstr]) -> None:
+        """Undo the claims of a squashed suffix (must be youngest-first)."""
+        for instr in squashed_youngest_first:
+            for reg, previous in instr.prev_producer.items():
+                if self._producer[reg] is instr:
+                    self._producer[reg] = previous

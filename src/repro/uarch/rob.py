@@ -1,0 +1,61 @@
+"""Reorder buffer: an in-order window over in-flight instructions."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.uarch.dynins import DynInstr
+
+
+class ReorderBuffer:
+    """Bounded FIFO of in-flight instructions.
+
+    Entries enter at dispatch in fetch order and leave either from the
+    head (commit) or as a suffix (squash) — so a deque suffices.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._entries: Deque[DynInstr] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    @property
+    def head(self) -> Optional[DynInstr]:
+        return self._entries[0] if self._entries else None
+
+    def dispatch(self, instr: DynInstr) -> None:
+        if self.full:
+            raise OverflowError("ROB full")
+        if self._entries and instr.seq <= self._entries[-1].seq:
+            raise ValueError("ROB dispatch out of order")
+        self._entries.append(instr)
+
+    def commit_head(self) -> DynInstr:
+        return self._entries.popleft()
+
+    def squash_from(self, seq: int) -> list[DynInstr]:
+        """Remove and return all entries with sequence >= ``seq``.
+
+        Returned youngest-first, the order rename-map rollback wants.
+        """
+        squashed: list[DynInstr] = []
+        while self._entries and self._entries[-1].seq >= seq:
+            squashed.append(self._entries.pop())
+        return squashed
+
+    def oldest_uncommitted_is(self, instr: DynInstr) -> bool:
+        return bool(self._entries) and self._entries[0] is instr

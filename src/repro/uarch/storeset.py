@@ -1,0 +1,79 @@
+"""StoreSet memory-dependence prediction (Chrysos & Emer, ISCA '98).
+
+Simplified two-table scheme:
+
+- SSIT: PC -> store-set id, populated when a violation is observed
+  between a load PC and a store PC (both join the same set).
+- LFST: store-set id -> the youngest in-flight store of that set.
+
+A load whose PC belongs to a store set waits for the address of the
+youngest older in-flight store in the same set before performing.  Loads
+outside any set perform speculatively; a mis-speculation (the store later
+resolves to the same word) squashes the load and trains the tables —
+that squash is what Table 2's MDV column counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.uarch.dynins import DynInstr
+
+
+class StoreSetPredictor:
+    """SSIT/LFST memory dependence predictor for one core."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        self._entries = entries
+        # PC -> store-set id (dict-backed; capacity-bounded below).
+        self._ssit: dict[int, int] = {}
+        self._lfst: dict[int, DynInstr] = {}
+        self._next_set_id = 0
+
+    def _set_for(self, pc: int) -> Optional[int]:
+        return self._ssit.get(pc % self._entries)
+
+    def on_store_dispatch(self, store: DynInstr) -> None:
+        """Track the youngest in-flight store of its set, if any."""
+        set_id = self._set_for(store.pc)
+        if set_id is not None:
+            self._lfst[set_id] = store
+
+    def predicted_dependency(self, load: DynInstr) -> Optional[DynInstr]:
+        """The store this load should wait on, if prediction says so."""
+        set_id = self._set_for(load.pc)
+        if set_id is None:
+            return None
+        store = self._lfst.get(set_id)
+        if store is None or store.squashed or store.seq >= load.seq:
+            return None
+        if store.performed:
+            return None
+        return store
+
+    def train_violation(self, load: DynInstr, store: DynInstr) -> None:
+        """A store resolved under a younger performed load: merge sets."""
+        load_key = load.pc % self._entries
+        store_key = store.pc % self._entries
+        load_set = self._ssit.get(load_key)
+        store_set = self._ssit.get(store_key)
+        if load_set is None and store_set is None:
+            set_id = self._next_set_id
+            self._next_set_id += 1
+            self._ssit[load_key] = set_id
+            self._ssit[store_key] = set_id
+        elif load_set is None:
+            self._ssit[load_key] = store_set  # type: ignore[assignment]
+        elif store_set is None:
+            self._ssit[store_key] = load_set
+        else:
+            # Merge: point the store's PC at the load's set.
+            self._ssit[store_key] = load_set
+
+    def forget(self, store: DynInstr) -> None:
+        """Remove a squashed/retired store from the LFST."""
+        set_id = self._set_for(store.pc)
+        if set_id is not None and self._lfst.get(set_id) is store:
+            del self._lfst[set_id]

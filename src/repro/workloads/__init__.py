@@ -1,0 +1,6 @@
+"""Workloads: synchronization primitives, benchmark profiles, generators."""
+
+from repro.workloads.base import Workload
+from repro.workloads.layout import AddressAllocator
+
+__all__ = ["AddressAllocator", "Workload"]

@@ -1,0 +1,44 @@
+"""Workload container: per-thread programs plus initial machine state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Everything a :class:`~repro.system.simulator.System` needs to run.
+
+    ``programs[i]`` runs on core ``i``; ``initial_regs[i]`` seeds that
+    core's architectural registers (``r0`` conventionally holds the
+    thread id).  ``initial_memory`` maps word-aligned byte addresses to
+    initial values.
+    """
+
+    name: str
+    programs: Sequence[Program]
+    initial_memory: Mapping[int, int] = field(default_factory=dict)
+    initial_regs: Optional[Sequence[Mapping[int, int]]] = None
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ConfigError("workload needs at least one program")
+        if self.initial_regs is not None and len(self.initial_regs) != len(
+            self.programs
+        ):
+            raise ConfigError("initial_regs length must match programs")
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.programs)
+
+    def regs_for(self, thread: int) -> dict[int, int]:
+        base = {0: thread}
+        if self.initial_regs is not None:
+            base.update(self.initial_regs[thread])
+        return base

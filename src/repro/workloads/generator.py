@@ -1,0 +1,435 @@
+"""Synthetic workload generation from benchmark profiles.
+
+``generate_workload(profile, scale)`` emits one program per thread:
+
+    setup registers
+    outer loop (iterations sized to the instruction budget):
+        work block          (ALU + private/shared loads & stores)
+        sync episode        (profile.sync idiom)
+        [periodic barrier]
+    final barrier
+    halt
+
+All randomness is draw from a :class:`~repro.common.rng.DeterministicRng`
+forked per thread, so a (profile, scale, seed) triple always produces
+bit-identical programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRng
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import Workload
+from repro.workloads.layout import AddressAllocator
+from repro.workloads.primitives import (
+    emit_barrier,
+    emit_lock_index,
+    emit_spinlock_acquire,
+    emit_spinlock_release,
+)
+from repro.workloads.profiles import SyncIdiom, WorkloadProfile, profile as get_profile
+
+# Register conventions for generated code.
+R_TID = 0
+R_LOCKS = 1  # lock table base
+R_DATA = 2  # protected data table base (parallel to locks)
+R_PRIV = 3  # private region base
+R_SHARED = 4  # read-shared region base
+R_BARCNT = 5  # barrier counter address
+R_BARGEN = 6  # barrier generation address
+R_ITER = 7  # outer loop counter
+R_IDX = 8  # derived index (line offset into lock/data tables)
+R_IDX2 = 9  # second index (LOCK_PAIR)
+R_T0 = 10
+R_T1 = 11
+R_T2 = 12
+R_ACC = 13  # work accumulator
+R_T3 = 14
+R_T4 = 15
+
+PRIVATE_LINES = 64
+SHARED_LINES = 128
+QUEUE_SLOTS = 256
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """How big a run to generate."""
+
+    num_threads: int = 8
+    instructions_per_thread: int = 3000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.instructions_per_thread < 50:
+            raise ValueError("instructions_per_thread too small to be meaningful")
+
+
+def generate_workload(
+    profile_or_name: WorkloadProfile | str, scale: WorkloadScale = WorkloadScale()
+) -> Workload:
+    """Generate the synthetic stand-in for one benchmark."""
+    profile = (
+        get_profile(profile_or_name)
+        if isinstance(profile_or_name, str)
+        else profile_or_name
+    )
+    layout = _build_layout(profile, scale)
+    master = DeterministicRng(scale.seed)
+    programs = []
+    for thread in range(scale.num_threads):
+        rng = master.fork(thread * 131 + 7)
+        programs.append(_thread_program(profile, scale, layout, thread, rng))
+    return Workload(
+        name=profile.name,
+        programs=programs,
+        initial_memory={},
+        meta={
+            "profile": profile,
+            "scale": scale,
+            "atomic_intensive": profile.atomic_intensive,
+        },
+    )
+
+
+@dataclass(frozen=True)
+class _Layout:
+    locks_base: int
+    data_base: int
+    shared_base: int
+    barrier_counter: int
+    barrier_generation: int
+    queue_head: int
+    queue_tail: int
+    queue_base: int
+    private_bases: tuple[int, ...]
+
+
+def _build_layout(profile: WorkloadProfile, scale: WorkloadScale) -> _Layout:
+    alloc = AddressAllocator()
+    locks = alloc.lines_region("locks", profile.num_locks)
+    data = alloc.lines_region("data", profile.num_locks)
+    shared = alloc.lines_region("shared", SHARED_LINES)
+    barrier = alloc.lines_region("barrier", 2)
+    queue_meta = alloc.lines_region("queue_meta", 2)
+    queue = alloc.lines_region("queue", QUEUE_SLOTS)
+    privates = tuple(
+        alloc.lines_region(f"private{t}", PRIVATE_LINES).base
+        for t in range(scale.num_threads)
+    )
+    return _Layout(
+        locks_base=locks.base,
+        data_base=data.base,
+        shared_base=shared.base,
+        barrier_counter=barrier.line_address(0),
+        barrier_generation=barrier.line_address(1),
+        queue_head=queue_meta.line_address(0),
+        queue_tail=queue_meta.line_address(1),
+        queue_base=queue.base,
+        private_bases=privates,
+    )
+
+
+def _thread_program(
+    profile: WorkloadProfile,
+    scale: WorkloadScale,
+    layout: _Layout,
+    thread: int,
+    rng: DeterministicRng,
+) -> ProgramBuilder | object:
+    builder = ProgramBuilder(f"{profile.name}.t{thread}")
+    _emit_setup(builder, layout, thread)
+
+    # Estimate one iteration's size by building a throwaway body.
+    probe = ProgramBuilder("probe")
+    _emit_setup(probe, layout, thread)
+    probe_start = len(probe)
+    _emit_iteration(probe, profile, scale, layout, thread, rng.fork(999))
+    body_len = max(1, len(probe) - probe_start)
+    iterations = max(2, scale.instructions_per_thread // body_len)
+
+    builder.li(R_ITER, 0)
+    loop = builder.fresh_label("outer")
+    builder.label(loop)
+    _emit_iteration(builder, profile, scale, layout, thread, rng)
+    builder.addi(R_ITER, R_ITER, 1)
+    builder.branch_lt(R_ITER, iterations, loop)
+    emit_barrier(
+        builder, R_BARCNT, R_BARGEN, scale.num_threads, R_T0, R_T1, R_T2
+    )
+    builder.halt()
+    return builder.build()
+
+
+def _emit_setup(builder: ProgramBuilder, layout: _Layout, thread: int) -> None:
+    builder.li(R_LOCKS, layout.locks_base)
+    builder.li(R_DATA, layout.data_base)
+    builder.li(R_PRIV, layout.private_bases[thread])
+    builder.li(R_SHARED, layout.shared_base)
+    builder.li(R_BARCNT, layout.barrier_counter)
+    builder.li(R_BARGEN, layout.barrier_generation)
+    builder.li(R_ACC, 0)
+
+
+def _emit_iteration(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    scale: WorkloadScale,
+    layout: _Layout,
+    thread: int,
+    rng: DeterministicRng,
+) -> None:
+    work_len = _work_length(profile)
+    _emit_work(builder, profile, work_len, rng)
+    sync = profile.sync
+    if sync is SyncIdiom.MUTEX:
+        _emit_mutex_episode(builder, profile, rng)
+    elif sync is SyncIdiom.LOCK_PAIR:
+        _emit_lock_pair_episode(builder, profile, rng)
+    elif sync is SyncIdiom.LOCK_LIST:
+        _emit_lock_list_episode(builder, profile, rng)
+    elif sync is SyncIdiom.RAW_ATOMIC:
+        _emit_raw_atomic_episode(builder, profile, rng)
+    elif sync is SyncIdiom.QUEUE:
+        _emit_queue_episode(builder, layout, rng)
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(f"unknown idiom {sync}")
+    if profile.alias_chance and rng.chance(profile.alias_chance):
+        _emit_alias_hazard(builder, rng)
+    if profile.fence_chance and rng.chance(profile.fence_chance):
+        builder.fence()
+    if profile.fbs_chance and rng.chance(profile.fbs_chance):
+        # Store-then-atomic on the same word: the load_lock forwards
+        # from an ordinary store (FbS, paper section 3.3.2).
+        emit_lock_index(
+            builder, R_IDX, R_ITER, rng.randint(0, 1 << 20), profile.num_locks
+        )
+        builder.store(src=R_ACC, base=R_DATA, offset=16, index=R_IDX)
+        builder.fetch_add(R_T0, base=R_DATA, offset=16, index=R_IDX, imm=1)
+    if profile.barrier_period:
+        skip = builder.fresh_label("bar_skip")
+        builder.andi(R_T0, R_ITER, profile.barrier_period - 1)
+        builder.branch_ne(R_T0, 0, skip)
+        emit_barrier(
+            builder, R_BARCNT, R_BARGEN, scale.num_threads, R_T0, R_T1, R_T2
+        )
+        builder.label(skip)
+
+
+def _work_length(profile: WorkloadProfile) -> int:
+    """Work instructions per episode, calibrated to the APKI target."""
+    # Acquire AND release are atomic RMWs (TAS + exchange), as in
+    # pthread-style mutexes; raw-atomic and queue episodes are counted
+    # by their explicit RMWs.
+    per_lock = 2.0 if profile.atomic_release else 1.0
+    atomics_per_episode = {
+        SyncIdiom.MUTEX: per_lock,
+        SyncIdiom.LOCK_PAIR: 2.0 * per_lock,
+        SyncIdiom.LOCK_LIST: per_lock * sum(profile.lock_list_range) / 2.0,
+        SyncIdiom.RAW_ATOMIC: 1.0,
+        SyncIdiom.QUEUE: 2.0,
+    }[profile.sync]
+    per_episode_budget = atomics_per_episode * 1000.0 / profile.apki_target
+    overhead = 10 * atomics_per_episode + profile.cs_len + 8
+    return max(4, min(2000, int(per_episode_budget - overhead)))
+
+
+def _emit_work(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    work_len: int,
+    rng: DeterministicRng,
+) -> None:
+    """A block of private/shared work: the code between sync episodes."""
+    # Per-iteration-varying base index into the private region.
+    builder.muli(R_T3, R_ITER, 40503)
+    builder.andi(R_T3, R_T3, (PRIVATE_LINES * 8 - 1) & ~7)
+    branch_budget = profile.data_branches
+    emitted = 4
+    slot = 0
+    while emitted < work_len:
+        slot += 1
+        if rng.chance(profile.work_mem_ratio):
+            offset = rng.randint(0, PRIVATE_LINES - 1) * 8
+            if rng.chance(profile.work_store_ratio):
+                builder.store(src=R_ACC, base=R_PRIV, offset=offset, index=R_T3)
+            elif rng.chance(profile.shared_read_ratio):
+                shared_offset = rng.randint(0, SHARED_LINES - 1) * 64
+                builder.load(R_T4, base=R_SHARED, offset=shared_offset)
+                builder.add(R_ACC, R_ACC, R_T4)
+                emitted += 1
+            else:
+                builder.load(R_T4, base=R_PRIV, offset=offset, index=R_T3)
+                builder.add(R_ACC, R_ACC, R_T4)
+                emitted += 1
+        else:
+            choice = rng.randint(0, 3)
+            if choice == 0:
+                builder.addi(R_ACC, R_ACC, rng.randint(1, 7))
+            elif choice == 1:
+                builder.xori(R_ACC, R_ACC, rng.randint(1, 255))
+            elif choice == 2:
+                builder.muli(R_T4, R_ACC, 3)
+                builder.add(R_ACC, R_ACC, R_T4)
+                emitted += 1
+            else:
+                builder.shri(R_T4, R_ACC, 1)
+                builder.add(R_ACC, R_ACC, R_T4)
+                emitted += 1
+        emitted += 1
+        if branch_budget and slot % max(4, work_len // (branch_budget + 1)) == 0:
+            # A data-dependent branch over a small block: a realistic
+            # mispredict source feeding squash statistics.
+            skip = builder.fresh_label("wskip")
+            builder.andi(R_T4, R_ACC, 3)
+            builder.branch_ne(R_T4, 0, skip)
+            builder.addi(R_ACC, R_ACC, 1)
+            builder.label(skip)
+            branch_budget -= 1
+            emitted += 3
+
+
+def _emit_critical_section(
+    builder: ProgramBuilder,
+    profile: WorkloadProfile,
+    index_reg: int,
+    rng: DeterministicRng,
+) -> None:
+    """cs_len operations on the data line guarded by the held lock."""
+    for step in range(profile.cs_len):
+        word = rng.randint(0, 6) * 8 + 8  # words 1..7 of the data line
+        if step % 2 == 0:
+            builder.load(R_T1, base=R_DATA, offset=word, index=index_reg)
+            builder.add(R_ACC, R_ACC, R_T1)
+        else:
+            builder.store(src=R_ACC, base=R_DATA, offset=word, index=index_reg)
+
+
+def _emit_mutex_episode(
+    builder: ProgramBuilder, profile: WorkloadProfile, rng: DeterministicRng
+) -> None:
+    emit_lock_index(builder, R_IDX, R_ITER, rng.randint(0, 1 << 20), profile.num_locks)
+    emit_spinlock_acquire(builder, R_LOCKS, R_T0, index_reg=R_IDX)
+    _emit_critical_section(builder, profile, R_IDX, rng)
+    emit_spinlock_release(builder, R_LOCKS, R_T0, index_reg=R_IDX,
+                          atomic=profile.atomic_release)
+
+
+def _emit_lock_pair_episode(
+    builder: ProgramBuilder, profile: WorkloadProfile, rng: DeterministicRng
+) -> None:
+    """AS: lock two random entries, swap their values, unlock (5.5)."""
+    emit_lock_index(builder, R_IDX, R_ITER, rng.randint(0, 1 << 20), profile.num_locks)
+    emit_lock_index(builder, R_IDX2, R_ITER, rng.randint(0, 1 << 20), profile.num_locks)
+    # Avoid software AB-BA deadlock: acquire in ascending index order.
+    # (Hardware-level RMW-RMW deadlocks can still occur speculatively —
+    # that is the paper's Figure 5 scenario, handled by the watchdog.)
+    ordered = builder.fresh_label("as_ordered")
+    same = builder.fresh_label("as_same")
+    builder.branch_eq(R_IDX, None, same, src2=R_IDX2)
+    builder.branch_lt(R_IDX, None, ordered, src2=R_IDX2)
+    builder.mov(R_T2, R_IDX)
+    builder.mov(R_IDX, R_IDX2)
+    builder.mov(R_IDX2, R_T2)
+    builder.jump(ordered)
+    builder.label(same)
+    # Same slot twice: take (i, i+1), stepping back at the table end so
+    # the pair stays ascending (wrap would reintroduce software AB-BA).
+    not_last = builder.fresh_label("as_notlast")
+    builder.branch_lt(R_IDX, (profile.num_locks - 1) * 64, not_last)
+    builder.subi(R_IDX, R_IDX, 64)
+    builder.label(not_last)
+    builder.addi(R_IDX2, R_IDX, 64)
+    builder.label(ordered)
+    emit_spinlock_acquire(builder, R_LOCKS, R_T0, index_reg=R_IDX)
+    emit_spinlock_acquire(builder, R_LOCKS, R_T0, index_reg=R_IDX2)
+    # Swap the two protected values.
+    builder.load(R_T1, base=R_DATA, offset=8, index=R_IDX)
+    builder.load(R_T2, base=R_DATA, offset=8, index=R_IDX2)
+    builder.store(src=R_T2, base=R_DATA, offset=8, index=R_IDX)
+    builder.store(src=R_T1, base=R_DATA, offset=8, index=R_IDX2)
+    _emit_critical_section(builder, profile, R_IDX, rng)
+    emit_spinlock_release(builder, R_LOCKS, R_T0, index_reg=R_IDX2,
+                          atomic=profile.atomic_release)
+    emit_spinlock_release(builder, R_LOCKS, R_T0, index_reg=R_IDX,
+                          atomic=profile.atomic_release)
+
+
+def _emit_lock_list_episode(
+    builder: ProgramBuilder, profile: WorkloadProfile, rng: DeterministicRng
+) -> None:
+    """TPCC: acquire a randomized list of locks, compute, release (5.5)."""
+    low, high = profile.lock_list_range
+    count = rng.randint(low, high)
+    span = profile.num_locks - count
+    start_mask = 1
+    while start_mask * 2 <= max(1, span):
+        start_mask *= 2
+    # Ascending window of `count` locks starting at a hashed position.
+    builder.muli(R_IDX, R_ITER, 2654435761 + rng.randint(0, 1 << 16))
+    builder.shri(R_IDX, R_IDX, 5)
+    builder.andi(R_IDX, R_IDX, start_mask - 1)
+    builder.shli(R_IDX, R_IDX, 6)
+    for m in range(count):
+        emit_spinlock_acquire(builder, R_LOCKS, R_T0, index_reg=R_IDX)
+        if m < count - 1:
+            builder.addi(R_IDX, R_IDX, 64)
+    _emit_critical_section(builder, profile, R_IDX, rng)
+    for m in range(count):
+        emit_spinlock_release(builder, R_LOCKS, R_T0, index_reg=R_IDX,
+                          atomic=profile.atomic_release)
+        if m < count - 1:
+            builder.subi(R_IDX, R_IDX, 64)
+
+
+def _emit_raw_atomic_episode(
+    builder: ProgramBuilder, profile: WorkloadProfile, rng: DeterministicRng
+) -> None:
+    """canneal: synchronize purely with atomic operations (5.2)."""
+    emit_lock_index(builder, R_IDX, R_ITER, rng.randint(0, 1 << 20), profile.num_locks)
+    if rng.chance(0.5):
+        builder.fetch_add(R_T0, base=R_DATA, index=R_IDX, imm=1)
+    else:
+        builder.exchange(R_T0, base=R_DATA, index=R_IDX, src=R_ACC)
+    builder.add(R_ACC, R_ACC, R_T0)
+
+
+def _emit_queue_episode(
+    builder: ProgramBuilder, layout: _Layout, rng: DeterministicRng
+) -> None:
+    """CQ: a concurrent queue on fetch_add head/tail counters."""
+    builder.li(R_T3, layout.queue_head)
+    builder.fetch_add(R_T0, base=R_T3, imm=1)
+    builder.andi(R_T0, R_T0, QUEUE_SLOTS - 1)
+    builder.shli(R_T0, R_T0, 6)
+    builder.li(R_T4, layout.queue_base)
+    builder.store(src=R_ACC, base=R_T4, index=R_T0)
+    builder.li(R_T3, layout.queue_tail)
+    builder.fetch_add(R_T1, base=R_T3, imm=1)
+    builder.andi(R_T1, R_T1, QUEUE_SLOTS - 1)
+    builder.shli(R_T1, R_T1, 6)
+    builder.load(R_T2, base=R_T4, index=R_T1)
+    builder.add(R_ACC, R_ACC, R_T2)
+
+
+def _emit_alias_hazard(builder: ProgramBuilder, rng: DeterministicRng) -> None:
+    """A store with a late-resolving address aliasing an early load.
+
+    The zero offset in R_T4 is computed through a multiply chain, so the
+    store's address generation trails the younger load's.  The load
+    speculates, reads stale data, and is squashed when the store
+    resolves — until the StoreSet predictor learns the pair (MDV events
+    of Table 2).
+    """
+    offset = rng.randint(0, PRIVATE_LINES - 1) * 8
+    builder.li(R_T4, 1)
+    for _ in range(4):
+        builder.muli(R_T4, R_T4, 1)
+    builder.subi(R_T4, R_T4, 1)  # a slow zero
+    builder.store(src=R_ACC, base=R_PRIV, offset=offset, index=R_T4)
+    builder.load(R_T1, base=R_PRIV, offset=offset)
+    builder.add(R_ACC, R_ACC, R_T1)

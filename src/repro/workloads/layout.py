@@ -1,0 +1,76 @@
+"""Memory layout for generated workloads.
+
+A bump allocator that hands out regions of the flat physical space.
+Regions are line-aligned by default so that independent data structures
+never false-share unless a workload asks for it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.mem.lines import LINE_BYTES, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous chunk of memory."""
+
+    name: str
+    base: int
+    size_bytes: int
+
+    @property
+    def num_words(self) -> int:
+        return self.size_bytes // WORD_BYTES
+
+    def word_address(self, index: int) -> int:
+        if not 0 <= index < self.num_words:
+            raise ConfigError(
+                f"region {self.name!r}: word index {index} out of range "
+                f"(has {self.num_words})"
+            )
+        return self.base + index * WORD_BYTES
+
+    def line_address(self, index: int) -> int:
+        """Address of the index-th line-aligned slot (one word per line)."""
+        address = self.base + index * LINE_BYTES
+        if address + WORD_BYTES > self.base + self.size_bytes:
+            raise ConfigError(f"region {self.name!r}: line slot {index} out of range")
+        return address
+
+
+class AddressAllocator:
+    """Line-aligned bump allocator over the simulated address space."""
+
+    def __init__(self, base: int = 0x10000) -> None:
+        if base % LINE_BYTES:
+            raise ConfigError("allocator base must be line-aligned")
+        self._next = base
+        self._regions: dict[str, Region] = {}
+
+    def region(self, name: str, size_bytes: int) -> Region:
+        """Allocate a new line-aligned region."""
+        if name in self._regions:
+            raise ConfigError(f"region {name!r} already allocated")
+        size = (size_bytes + LINE_BYTES - 1) // LINE_BYTES * LINE_BYTES
+        region = Region(name, self._next, size)
+        self._next += size
+        self._regions[name] = region
+        return region
+
+    def lines_region(self, name: str, num_slots: int) -> Region:
+        """A region with ``num_slots`` one-word slots, one per line.
+
+        Used for lock tables: each lock lives on its own line, so two
+        locks never conflict in the cache — contention is purely a
+        software-addressing matter.
+        """
+        return self.region(name, num_slots * LINE_BYTES)
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions

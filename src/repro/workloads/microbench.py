@@ -1,0 +1,231 @@
+"""Named microbenchmarks: small, pointed synchronization kernels.
+
+Unlike :mod:`repro.workloads.generator` (which synthesizes the paper's
+26-benchmark suite), these are hand-written kernels for studying one
+mechanism at a time — the kind of programs the paper's motivating
+examples use.  Each builder returns a :class:`Workload` plus a
+``check(result)`` function validating its functional outcome.
+
+Registry: :data:`MICROBENCHMARKS` maps names to builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import SimulationResult
+from repro.workloads.base import Workload
+from repro.workloads.primitives import (
+    emit_barrier,
+    emit_spinlock_acquire,
+    emit_spinlock_release,
+)
+
+BASE = 0x400000
+Check = Callable[[SimulationResult], None]
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """A workload together with its functional correctness check."""
+
+    workload: Workload
+    check: Check
+
+
+def shared_counter(threads: int = 4, iterations: int = 100) -> Microbenchmark:
+    """All threads fetch_add one shared counter — the paper's Figure 2
+    scenario at maximum contention."""
+    counter = BASE
+    builder = ProgramBuilder("shared_counter")
+    builder.li(1, counter)
+    builder.li(2, 0)
+    builder.label("loop")
+    builder.fetch_add(dst=3, base=1, imm=1)
+    builder.addi(2, 2, 1)
+    builder.branch_lt(2, iterations, "loop")
+    workload = Workload("shared_counter", [builder.build()] * threads)
+
+    def check(result: SimulationResult) -> None:
+        assert result.read_word(counter) == threads * iterations
+
+    return Microbenchmark(workload, check)
+
+
+def ticket_lock(threads: int = 4, iterations: int = 20) -> Microbenchmark:
+    """A ticket lock: fetch_add a ticket, spin until now-serving matches,
+    bump now-serving on release.  FIFO-fair, so every thread's critical
+    section executes exactly ``iterations`` times."""
+    next_ticket = BASE
+    now_serving = BASE + 0x40
+    shared = BASE + 0x80
+    builder = ProgramBuilder("ticket_lock")
+    builder.li(1, next_ticket)
+    builder.li(2, now_serving)
+    builder.li(3, shared)
+    builder.li(4, 0)  # i
+    builder.label("loop")
+    builder.fetch_add(dst=5, base=1, imm=1)  # my ticket
+    builder.label("wait")
+    builder.load(6, base=2)
+    builder.branch_ne(6, None, "wait", src2=5)
+    # critical section: non-atomic increment (mutual exclusion test)
+    builder.load(7, base=3)
+    builder.addi(7, 7, 1)
+    builder.store(src=7, base=3)
+    # release: now_serving++ (plain store: single writer at a time)
+    builder.addi(6, 6, 1)
+    builder.store(src=6, base=2)
+    builder.addi(4, 4, 1)
+    builder.branch_lt(4, iterations, "loop")
+    workload = Workload("ticket_lock", [builder.build()] * threads)
+
+    def check(result: SimulationResult) -> None:
+        assert result.read_word(shared) == threads * iterations
+        assert result.read_word(next_ticket) == threads * iterations
+
+    return Microbenchmark(workload, check)
+
+
+def producer_consumer(items: int = 30) -> Microbenchmark:
+    """One producer hands values to one consumer through a mailbox with
+    a sequence flag — the message-passing idiom TSO must order."""
+    flag = BASE
+    mailbox = BASE + 0x40
+    checksum = BASE + 0x80
+
+    producer = ProgramBuilder("producer")
+    producer.li(1, flag)
+    producer.li(2, mailbox)
+    producer.li(4, 0)  # i
+    producer.label("loop")
+    # wait until the consumer took the previous item (flag == 2*i)
+    producer.shli(5, 4, 1)
+    producer.label("wait_empty")
+    producer.load(6, base=1)
+    producer.branch_ne(6, None, "wait_empty", src2=5)
+    producer.muli(7, 4, 3)
+    producer.addi(7, 7, 5)  # payload = 3*i + 5
+    producer.store(src=7, base=2)  # data first...
+    producer.addi(6, 6, 1)
+    producer.store(src=6, base=1)  # ...then flag (TSO orders them)
+    producer.addi(4, 4, 1)
+    producer.branch_lt(4, items, "loop")
+
+    consumer = ProgramBuilder("consumer")
+    consumer.li(1, flag)
+    consumer.li(2, mailbox)
+    consumer.li(3, checksum)
+    consumer.li(4, 0)  # i
+    consumer.li(8, 0)  # sum
+    consumer.label("loop")
+    consumer.shli(5, 4, 1)
+    consumer.addi(5, 5, 1)  # expect flag == 2*i + 1
+    consumer.label("wait_full")
+    consumer.load(6, base=1)
+    consumer.branch_ne(6, None, "wait_full", src2=5)
+    consumer.load(7, base=2)  # must observe the matching payload
+    consumer.add(8, 8, 7)
+    consumer.addi(6, 6, 1)
+    consumer.store(src=6, base=1)  # mark taken
+    consumer.addi(4, 4, 1)
+    consumer.branch_lt(4, items, "loop")
+    consumer.store(src=8, base=3)
+
+    workload = Workload(
+        "producer_consumer", [producer.build(), consumer.build()]
+    )
+    expected = sum(3 * i + 5 for i in range(items))
+
+    def check(result: SimulationResult) -> None:
+        assert result.read_word(checksum) == expected
+
+    return Microbenchmark(workload, check)
+
+
+def false_sharing(threads: int = 4, iterations: int = 40) -> Microbenchmark:
+    """Each thread atomics a *different word of the same cacheline*:
+    no data races, maximal line ping-pong — the concurrent-locking
+    scenario of the paper's Implication 2 (several Free atomics may
+    lock the same line at once)."""
+    line_base = BASE
+    programs = []
+    for thread in range(threads):
+        builder = ProgramBuilder(f"false_sharing{thread}")
+        builder.li(1, line_base + thread * 8)
+        builder.li(2, 0)
+        builder.label("loop")
+        builder.fetch_add(dst=3, base=1, imm=1)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, iterations, "loop")
+        programs.append(builder.build())
+    workload = Workload("false_sharing", programs)
+
+    def check(result: SimulationResult) -> None:
+        for thread in range(threads):
+            assert result.read_word(line_base + thread * 8) == iterations
+
+    return Microbenchmark(workload, check)
+
+
+def uncontended_locks(threads: int = 4, iterations: int = 25) -> Microbenchmark:
+    """Each thread repeatedly takes its own private lock (fluidanimate's
+    regime): pure lock-locality, zero contention."""
+    programs = []
+    for thread in range(threads):
+        lock = BASE + thread * 0x100
+        cell = lock + 0x40
+        builder = ProgramBuilder(f"private_lock{thread}")
+        builder.li(1, lock)
+        builder.li(2, cell)
+        builder.li(3, 0)
+        builder.label("loop")
+        emit_spinlock_acquire(builder, base_reg=1, tmp=4)
+        builder.load(5, base=2)
+        builder.addi(5, 5, 1)
+        builder.store(src=5, base=2)
+        emit_spinlock_release(builder, base_reg=1, tmp=4)
+        builder.addi(3, 3, 1)
+        builder.branch_lt(3, iterations, "loop")
+        programs.append(builder.build())
+    workload = Workload("uncontended_locks", programs)
+
+    def check(result: SimulationResult) -> None:
+        for thread in range(threads):
+            assert result.read_word(BASE + thread * 0x100 + 0x40) == iterations
+
+    return Microbenchmark(workload, check)
+
+
+def barrier_storm(threads: int = 4, episodes: int = 8) -> Microbenchmark:
+    """Back-to-back barriers: the quiescent-time (sleep) accounting
+    stressor behind Figure 14's shaded bars."""
+    counter = BASE
+    generation = BASE + 0x40
+    programs = []
+    for thread in range(threads):
+        builder = ProgramBuilder(f"barrier{thread}")
+        builder.li(5, counter)
+        builder.li(6, generation)
+        for _ in range(episodes):
+            emit_barrier(builder, 5, 6, threads, 10, 11, 12)
+        programs.append(builder.build())
+    workload = Workload("barrier_storm", programs)
+
+    def check(result: SimulationResult) -> None:
+        assert result.read_word(generation) == episodes
+        assert result.read_word(counter) == 0
+
+    return Microbenchmark(workload, check)
+
+
+MICROBENCHMARKS: Dict[str, Callable[[], Microbenchmark]] = {
+    "shared_counter": shared_counter,
+    "ticket_lock": ticket_lock,
+    "producer_consumer": producer_consumer,
+    "false_sharing": false_sharing,
+    "uncontended_locks": uncontended_locks,
+    "barrier_storm": barrier_storm,
+}

@@ -1,0 +1,128 @@
+"""Synchronization primitives emitted into generated programs.
+
+These are the software idioms the paper's workloads use:
+
+- test-and-test-and-set spinlocks (``pthread_mutex``-style fast path),
+- a centralized generation (sense-counter) barrier,
+- raw atomic updates.
+
+Register conventions (callers must respect them around the emitted
+code): the primitives only clobber the registers passed to them.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+
+#: One-word-per-line stride used by lock tables (see layout module).
+LINE_STRIDE = 64
+
+
+def emit_lock_index(
+    builder: ProgramBuilder,
+    dst: int,
+    counter_reg: int,
+    salt: int,
+    num_locks: int,
+) -> None:
+    """dst = line offset of a pseudo-random lock slot.
+
+    Derived from the loop counter so each iteration hits a different
+    slot: ``index = (counter * KNUTH + salt) & (num_locks - 1)``, then
+    scaled to the line stride.  ``num_locks`` must be a power of two.
+    """
+    if num_locks & (num_locks - 1):
+        raise ValueError("num_locks must be a power of two")
+    builder.muli(dst, counter_reg, 2654435761 + 2 * salt)
+    builder.shri(dst, dst, 4)
+    builder.andi(dst, dst, num_locks - 1)
+    builder.shli(dst, dst, 6)  # * LINE_STRIDE
+
+
+def emit_spinlock_acquire(
+    builder: ProgramBuilder,
+    base_reg: int,
+    tmp: int,
+    index_reg: int | None = None,
+) -> None:
+    """Test-and-test-and-set acquire of the lock at [base (+ index)].
+
+    The initial test_and_set is real work; the contended re-read loop is
+    also real work architecturally (the thread is running, not halted),
+    so none of it is marked as spin/quiescent — matching the paper,
+    whose quiescent shading covers only scheduler-idled cores.
+    """
+    attempt = builder.fresh_label("lock_try")
+    acquired = builder.fresh_label("lock_got")
+    wait = builder.fresh_label("lock_wait")
+    builder.label(attempt)
+    builder.test_and_set(tmp, base=base_reg, index=index_reg)
+    builder.branch_eq(tmp, 0, acquired)
+    builder.label(wait)
+    builder.pause()
+    builder.load(tmp, base=base_reg, index=index_reg)
+    builder.branch_ne(tmp, 0, wait)
+    builder.jump(attempt)
+    builder.label(acquired)
+
+
+def emit_spinlock_release(
+    builder: ProgramBuilder,
+    base_reg: int,
+    tmp: int,
+    index_reg: int | None = None,
+    atomic: bool = True,
+) -> None:
+    """Release the lock, atomically or with a plain store.
+
+    ``atomic=True`` mirrors pthread-style mutexes whose unlock is itself
+    a locked RMW (glibc normal mutexes use ``lock dec``).  Under Free
+    atomics + forwarding this is the paper's main FbA source: the
+    release's load_lock forwards from the acquire's store_unlock, which
+    is still sitting uncommitted in the SQ while out-of-order execution
+    runs ahead of in-order commit (paper 5.3, the barnes/walksub
+    discussion).  ``atomic=False`` is the plain release store of
+    futex-style locks — under TSO a store suffices — which is why some
+    of the paper's applications show near-zero FbA.
+    """
+    if atomic:
+        builder.exchange(tmp, base=base_reg, index=index_reg, imm=0)
+    else:
+        builder.store(imm=0, base=base_reg, index=index_reg)
+
+
+def emit_barrier(
+    builder: ProgramBuilder,
+    counter_addr_reg: int,
+    generation_addr_reg: int,
+    num_threads: int,
+    tmp_old: int,
+    tmp_gen: int,
+    tmp_spin: int,
+) -> None:
+    """Centralized generation barrier.
+
+    Each arrival reads the generation, then increments the arrival
+    counter.  The last arrival resets the counter and bumps the
+    generation (plain stores: single writer, and TSO's store->store
+    order makes the reset visible before the release).  Waiters spin on
+    the generation; their wait loop is marked quiescent — it models the
+    idle time the paper's scheduler would spend in ``hlt``.
+    """
+    done = builder.fresh_label("bar_done")
+    spin = builder.fresh_label("bar_spin")
+    last = builder.fresh_label("bar_last")
+    builder.load(tmp_gen, base=generation_addr_reg)
+    builder.fetch_add(tmp_old, base=counter_addr_reg, imm=1)
+    builder.branch_eq(tmp_old, num_threads - 1, last)
+    builder.label(spin)
+    with builder.spin_region():
+        builder.pause()
+        builder.load(tmp_spin, base=generation_addr_reg)
+        builder.branch_eq(tmp_spin, None, spin, src2=tmp_gen)
+    builder.jump(done)
+    builder.label(last)
+    builder.store(imm=0, base=counter_addr_reg)
+    builder.addi(tmp_gen, tmp_gen, 1)
+    builder.store(src=tmp_gen, base=generation_addr_reg)
+    builder.label(done)

@@ -1,0 +1,59 @@
+"""Benchmark suite groupings (SPLASH-3 / PARSEC / write-intensive).
+
+Mirrors the paper's three workload sources and provides per-suite
+aggregation helpers used by reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import ConfigError
+from repro.workloads.profiles import BENCHMARK_ORDER, PROFILES
+
+#: Suite name -> benchmark names, in paper order.
+SUITES: dict[str, tuple[str, ...]] = {
+    suite: tuple(
+        name for name in BENCHMARK_ORDER if PROFILES[name].suite == suite
+    )
+    for suite in ("splash3", "parsec", "write-intensive")
+}
+
+
+def suite_of(benchmark: str) -> str:
+    try:
+        return PROFILES[benchmark].suite
+    except KeyError:
+        raise ConfigError(f"unknown benchmark {benchmark!r}") from None
+
+
+def benchmarks_in(suite: str) -> tuple[str, ...]:
+    try:
+        return SUITES[suite]
+    except KeyError:
+        raise ConfigError(
+            f"unknown suite {suite!r}; known: {', '.join(SUITES)}"
+        ) from None
+
+
+def per_suite_geomean(values: Mapping[str, float]) -> dict[str, float]:
+    """Geometric mean of per-benchmark values, grouped by suite.
+
+    Benchmarks absent from ``values`` are skipped, so partial sweeps
+    aggregate over whatever they ran.
+    """
+    result = {}
+    for suite, names in SUITES.items():
+        present = [values[name] for name in names if name in values]
+        result[suite] = _geomean(present)
+    return result
+
+
+def _geomean(values: Iterable[float]) -> float:
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,127 @@
+"""Tests for the experiment runner and figure/table computation.
+
+These use a tiny scale and a two-benchmark subset so the whole module
+runs in seconds; the full 26-benchmark sweeps live in benchmarks/.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_rows,
+    figure12_rows,
+    figure13_rows,
+    figure14_rows,
+    figure15_rows,
+)
+from repro.analysis.report import format_table
+from repro.analysis.runner import (
+    ExperimentScale,
+    clear_cache,
+    run_benchmark,
+)
+from repro.analysis.runner import bench_system_config as make_bench_config
+from repro.analysis.tables import table1_rows, table2_rows
+from repro.core.policy import BASELINE, FREE_ATOMICS_FWD
+
+SCALE = ExperimentScale(num_threads=2, instructions_per_thread=500)
+SUBSET = ["AS", "watersp"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestRunner:
+    def test_memoization(self):
+        first = run_benchmark("AS", BASELINE, SCALE)
+        second = run_benchmark("AS", BASELINE, SCALE)
+        assert first is second
+
+    def test_different_policies_not_conflated(self):
+        base = run_benchmark("AS", BASELINE, SCALE)
+        free = run_benchmark("AS", FREE_ATOMICS_FWD, SCALE)
+        assert base is not free
+        assert base.policy is BASELINE
+
+    def test_bench_config_applies_scale(self):
+        config = make_bench_config(SCALE)
+        assert config.num_cores == 2
+        assert config.free_atomics.watchdog_cycles == SCALE.watchdog_cycles
+
+    def test_skylake_preset_rob(self):
+        config = make_bench_config(SCALE, core_preset="skylake")
+        assert config.core.rob_entries == 224
+
+
+class TestFigures:
+    def test_figure1_has_presets_and_average(self):
+        rows = figure1_rows(SCALE, benchmarks=SUBSET)
+        assert [r["benchmark"] for r in rows] == SUBSET + ["average"]
+        for row in rows:
+            assert row["icelake_total"] >= 0
+            assert row["skylake_total"] >= 0
+
+    def test_figure12_reports_apki(self):
+        rows = figure12_rows(SCALE, benchmarks=SUBSET)
+        by_name = {r["benchmark"]: r for r in rows}
+        assert by_name["AS"]["atomic_intensive"]
+        assert not by_name["watersp"]["atomic_intensive"]
+        assert by_name["AS"]["apki"] > by_name["watersp"]["apki"]
+
+    def test_figure13_locality_improves(self):
+        rows = figure13_rows(SCALE, benchmarks=["AS"])
+        row = rows[0]
+        assert 0 <= row["baseline_total"] <= 1
+        assert 0 <= row["free_total"] <= 1
+        assert row["free_total"] >= row["baseline_total"]
+
+    def test_figure14_baseline_normalized_to_one(self):
+        rows = figure14_rows(SCALE, benchmarks=SUBSET)
+        for row in rows:
+            if row["benchmark"] in SUBSET:
+                assert row["baseline"] == pytest.approx(1.0)
+                assert 0 < row["free+fwd_active_frac"] <= 1.0
+        labels = [r["benchmark"] for r in rows]
+        assert "average" in labels and "average-AI" in labels
+
+    def test_figure15_energy_normalized(self):
+        rows = figure15_rows(SCALE, benchmarks=["AS"])
+        row = rows[0]
+        assert row["baseline"] == pytest.approx(1.0)
+        assert row["free+fwd"] == pytest.approx(
+            row["free+fwd_dynamic"] + row["free+fwd_static"]
+        )
+
+
+class TestTables:
+    def test_table2_columns(self):
+        rows = table2_rows(SCALE, benchmarks=SUBSET)
+        assert rows[-1]["benchmark"] == "average"
+        for row in rows:
+            assert 0 <= row["omitted_fences_pct"] <= 100
+            assert 0 <= row["mdv_pct_squashes"] <= 100
+            assert 0 <= row["fba_pct_atomics"] <= 100
+
+    def test_table2_fences_mostly_omitted(self):
+        rows = table2_rows(SCALE, benchmarks=["AS"])
+        assert rows[0]["omitted_fences_pct"] > 90
+
+    def test_table1_echoes_config(self):
+        rows = table1_rows(make_bench_config(SCALE))
+        text = format_table(rows, "Table 1")
+        assert "ROB / LQ / SQ" in text
+        assert "352" in text
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 1.23456}, {"a": 22, "b": 0.5}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="X")

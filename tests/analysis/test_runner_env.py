@@ -1,0 +1,41 @@
+"""Environment-variable scaling and ExperimentScale hygiene."""
+
+from repro.analysis.runner import (
+    BENCH_WATCHDOG_CYCLES,
+    ExperimentScale,
+)
+
+
+class TestFromEnv:
+    def test_defaults_without_env(self, monkeypatch):
+        for var in ("REPRO_BENCH_THREADS", "REPRO_BENCH_INSTRS", "REPRO_BENCH_SEED"):
+            monkeypatch.delenv(var, raising=False)
+        scale = ExperimentScale.from_env()
+        assert scale.num_threads == 8
+        assert scale.instructions_per_thread == 2500
+        assert scale.seed == 42
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_THREADS", "16")
+        monkeypatch.setenv("REPRO_BENCH_INSTRS", "6000")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "7")
+        scale = ExperimentScale.from_env()
+        assert scale.num_threads == 16
+        assert scale.instructions_per_thread == 6000
+        assert scale.seed == 7
+
+    def test_watchdog_default_is_documented_scaling(self):
+        assert ExperimentScale().watchdog_cycles == BENCH_WATCHDOG_CYCLES == 2000
+
+
+class TestHashability:
+    def test_scale_is_hashable_cache_key(self):
+        a = ExperimentScale(num_threads=2)
+        b = ExperimentScale(num_threads=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != ExperimentScale(num_threads=4)
+
+    def test_workload_scale_projection(self):
+        scale = ExperimentScale(num_threads=3, instructions_per_thread=900, seed=5)
+        ws = scale.workload_scale
+        assert (ws.num_threads, ws.instructions_per_thread, ws.seed) == (3, 900, 5)

@@ -1,0 +1,117 @@
+"""Tests for headline metrics, energy reporting, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+from repro.analysis.runner import ExperimentScale, clear_cache
+from repro.analysis.summary import (
+    PAPER_HEADLINES,
+    HeadlineMetrics,
+    headline_metrics,
+)
+from repro.core.policy import ALL_POLICIES
+from repro.energy.model import EnergyModel
+from repro.energy.report import component_rows, policy_comparison_rows
+from repro.system.simulator import run_workload
+from tests.conftest import counter_workload, small_system_config
+
+SCALE = ExperimentScale(num_threads=2, instructions_per_thread=400)
+SUBSET = ["AS", "canneal"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestHeadline:
+    def test_metrics_computed(self):
+        metrics = headline_metrics(SCALE, benchmarks=SUBSET)
+        rows = metrics.as_rows()
+        assert {row["metric"] for row in rows} == set(PAPER_HEADLINES)
+        for row in rows:
+            assert isinstance(row["measured"], float)
+
+    def test_shape_holds_predicate(self):
+        good = HeadlineMetrics(10.0, 20.0, 8.0, 15.0)
+        assert good.shape_holds
+        bad = HeadlineMetrics(10.0, 5.0, 8.0, 15.0)  # AI lower than all
+        assert not bad.shape_holds
+
+    def test_precomputed_rows_short_circuit(self):
+        fake_time = [
+            {"benchmark": "average", "free+fwd": 0.9},
+            {"benchmark": "average-AI", "free+fwd": 0.8},
+        ]
+        fake_energy = [
+            {"benchmark": "average", "free+fwd": 0.95},
+            {"benchmark": "average-AI", "free+fwd": 0.85},
+        ]
+        metrics = headline_metrics(
+            SCALE, time_rows=fake_time, energy_rows=fake_energy
+        )
+        assert metrics.time_reduction_all_pct == pytest.approx(10.0)
+        assert metrics.energy_reduction_ai_pct == pytest.approx(15.0)
+
+
+class TestEnergyReport:
+    def make_breakdowns(self):
+        model = EnergyModel()
+        workload = counter_workload(2, 20)
+        config = small_system_config(2)
+        return {
+            policy.name: model.breakdown(
+                run_workload(workload, policy=policy, config=config)
+            )
+            for policy in ALL_POLICIES
+        }
+
+    def test_component_rows_sum_to_total(self):
+        breakdown = self.make_breakdowns()["baseline"]
+        rows = component_rows(breakdown)
+        assert rows[-1]["component"] == "TOTAL"
+        parts = sum(
+            row["energy_pj"] for row in rows if row["component"] != "TOTAL"
+        )
+        assert parts == pytest.approx(breakdown.total_pj)
+
+    def test_policy_comparison_normalizes_baseline_to_one(self):
+        rows = policy_comparison_rows(self.make_breakdowns())
+        base = next(row for row in rows if row["policy"] == "baseline")
+        assert base["normalized_total"] == pytest.approx(1.0)
+        assert base["savings_pct"] == pytest.approx(0.0)
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure12", "--threads", "2"])
+        assert args.experiment == "figure12"
+        assert args.threads == 2
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "ROB / LQ / SQ" in out
+
+    def test_figure12_with_subset_and_json(self, tmp_path, capsys):
+        code = main(
+            [
+                "figure12",
+                "--threads", "2",
+                "--instrs", "400",
+                "--benchmarks", "AS", "canneal",
+                "--json-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        saved = json.loads((tmp_path / "figure12.json").read_text())
+        assert {row["benchmark"] for row in saved} == {"AS", "canneal"}
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])

@@ -1,0 +1,108 @@
+"""Tests for configuration dataclasses and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DirectoryConfig,
+    FreeAtomicsConfig,
+    SystemConfig,
+    icelake_config,
+    skylake_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_table1_l1d_geometry(self):
+        config = icelake_config().memory.l1d
+        assert config.size_bytes == 48 * 1024
+        assert config.ways == 12
+        assert config.num_sets == 64
+        assert config.hit_latency == 4
+
+    def test_num_lines(self):
+        config = CacheConfig("X", 64 * 1024, 8, 1, 2)
+        assert config.num_lines == 1024
+        assert config.num_sets == 128
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", 1000, 3, 1, 1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", 1024, 2, -1, 1)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("X", 1024, 0, 1, 1)
+
+
+class TestCoreConfig:
+    def test_icelake_rob(self):
+        assert icelake_config().core.rob_entries == 352
+
+    def test_skylake_rob(self):
+        assert skylake_config().core.rob_entries == 224
+
+    def test_rob_must_cover_queues(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(rob_entries=16, lq_entries=32)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(fetch_width=0)
+
+
+class TestFreeAtomicsConfig:
+    def test_paper_defaults(self):
+        config = FreeAtomicsConfig()
+        assert config.aq_entries == 4
+        assert config.watchdog_cycles == 10_000
+        assert config.max_forward_chain == 32
+
+    def test_rejects_zero_aq(self):
+        with pytest.raises(ConfigError):
+            FreeAtomicsConfig(aq_entries=0)
+
+    def test_rejects_zero_chain(self):
+        with pytest.raises(ConfigError):
+            FreeAtomicsConfig(max_forward_chain=0)
+
+
+class TestSystemConfig:
+    def test_aq_must_not_exceed_l1_ways(self):
+        # Paper 4.1.3: AQ strictly larger than associativity can lock a
+        # whole set; the config guards the safe regime by default.
+        base = icelake_config()
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                num_cores=1,
+                memory=base.memory,
+                free_atomics=FreeAtomicsConfig(aq_entries=13),
+            )
+
+    def test_replace_round_trip(self):
+        config = icelake_config(num_cores=4)
+        changed = config.replace(num_cores=8)
+        assert changed.num_cores == 8
+        assert changed.core == config.core
+
+    def test_presets_accept_overrides(self):
+        config = skylake_config(num_cores=2, max_cycles=99)
+        assert config.max_cycles == 99
+
+    def test_directory_validation(self):
+        with pytest.raises(ConfigError):
+            DirectoryConfig(coverage=0.0)
+
+
+class TestFrozen:
+    def test_configs_are_immutable(self):
+        config = icelake_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.num_cores = 3  # type: ignore[misc]

@@ -1,0 +1,65 @@
+"""Error hierarchy and public API surface tests."""
+
+import pytest
+
+import repro
+from repro.common.errors import (
+    ConfigError,
+    DeadlockError,
+    ProgramError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigError, ProgramError, SimulationError, DeadlockError):
+            assert issubclass(exc, ReproError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ConfigError("nope")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_policies_exported(self):
+        assert repro.BASELINE.name == "baseline"
+        assert repro.FREE_ATOMICS_FWD.forward_to_atomic
+        assert len(repro.ALL_POLICIES) == 4
+
+    def test_docstring_example_runs(self):
+        # The module docstring's quickstart must actually work.
+        from repro import (
+            BASELINE,
+            FREE_ATOMICS_FWD,
+            ProgramBuilder,
+            Workload,
+            icelake_config,
+            run_workload,
+        )
+
+        builder = ProgramBuilder("incr")
+        builder.li(1, 0x10000)
+        builder.li(2, 0)
+        builder.label("loop")
+        builder.fetch_add(dst=3, base=1, imm=1)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, 10, "loop")
+        workload = Workload("counter", [builder.build()] * 2)
+        config = icelake_config(num_cores=2)
+        fenced = run_workload(workload, policy=BASELINE, config=config)
+        free = run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+        assert fenced.read_word(0x10000) == 20
+        assert free.read_word(0x10000) == 20

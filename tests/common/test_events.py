@@ -1,0 +1,93 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.events import EventQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, lambda: order.append("b"))
+        queue.schedule(1, lambda: order.append("a"))
+        queue.schedule(9, lambda: order.append("c"))
+        while queue.run_next():
+            pass
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        for tag in "abc":
+            queue.schedule(3, lambda t=tag: order.append(t))
+        while queue.run_next():
+            pass
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(4, lambda: seen.append(queue.now))
+        queue.run_next()
+        assert seen == [4]
+        assert queue.now == 4
+
+    def test_zero_delay_runs_after_current(self):
+        queue = EventQueue()
+        order = []
+
+        def outer():
+            queue.schedule(0, lambda: order.append("inner"))
+            order.append("outer")
+
+        queue.schedule(1, outer)
+        while queue.run_next():
+            pass
+        assert order == ["outer", "inner"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1, lambda: fired.append(1))
+        event.cancel()
+        assert not queue.run_next() or not fired
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2, lambda: queue.schedule_at(10, lambda: seen.append(queue.now)))
+        while queue.run_next():
+            pass
+        assert seen == [10]
+
+    def test_run_until_advances_clock(self):
+        queue = EventQueue()
+        queue.run_until(42)
+        assert queue.now == 42
+
+    def test_events_scheduled_during_run(self):
+        queue = EventQueue()
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n < 3:
+                queue.schedule(1, lambda: chain(n + 1))
+
+        queue.schedule(1, lambda: chain(0))
+        while queue.run_next():
+            pass
+        assert order == [0, 1, 2, 3]
+
+    def test_len_counts_pending(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        assert len(queue) == 2

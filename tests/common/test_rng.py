@@ -1,0 +1,52 @@
+"""Tests for deterministic RNG."""
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRng(7), DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = DeterministicRng(1), DeterministicRng(2)
+        assert [a.randint(0, 1 << 30) for _ in range(8)] != [
+            b.randint(0, 1 << 30) for _ in range(8)
+        ]
+
+    def test_fork_is_pure(self):
+        rng = DeterministicRng(5)
+        fork1 = rng.fork(3)
+        rng.randint(0, 10)  # consume parent state
+        fork2 = rng.fork(3)
+        assert [fork1.randint(0, 1000) for _ in range(5)] == [
+            fork2.randint(0, 1000) for _ in range(5)
+        ]
+
+    def test_forks_with_different_salts_differ(self):
+        rng = DeterministicRng(5)
+        assert rng.fork(1).randint(0, 1 << 30) != rng.fork(2).randint(0, 1 << 30)
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(1)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    def test_geometric_mean_roughly_holds(self):
+        rng = DeterministicRng(11)
+        samples = [rng.geometric(8.0) for _ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 6.0 < mean < 10.0
+        assert min(samples) >= 1
+
+    def test_geometric_of_one(self):
+        rng = DeterministicRng(2)
+        assert rng.geometric(1.0) == 1
+
+    def test_sample_and_choice(self):
+        rng = DeterministicRng(3)
+        picked = rng.sample(range(100), 10)
+        assert len(set(picked)) == 10
+        assert rng.choice([42]) == 42

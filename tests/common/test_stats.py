@@ -1,0 +1,92 @@
+"""Tests for the statistics registry and histograms."""
+
+from repro.common.stats import Histogram, StatsRegistry
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        hist = Histogram()
+        hist.add(10)
+        hist.add(20, weight=3)
+        assert hist.count == 4
+        assert hist.total == 70
+        assert hist.mean == 17.5
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_min_max(self):
+        hist = Histogram()
+        for value in (5, 1, 9):
+            hist.add(value)
+        assert hist.min == 1
+        assert hist.max == 9
+
+    def test_percentile(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.add(value)
+        assert hist.percentile(0.5) == 50
+        assert hist.percentile(0.99) == 99
+        assert hist.percentile(1.0) == 100
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1)
+        b.add(3)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == 2.0
+
+
+class TestStatsRegistry:
+    def test_bump_and_get(self):
+        stats = StatsRegistry()
+        stats.bump("x")
+        stats.bump("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("missing") == 0
+
+    def test_scoped_view_shares_storage(self):
+        stats = StatsRegistry()
+        stats.scoped("core0").bump("commits", 7)
+        assert stats.counters() == {"core0.commits": 7}
+
+    def test_nested_scopes(self):
+        stats = StatsRegistry()
+        stats.scoped("core0").scoped("mem").bump("hits")
+        assert stats.counters()["core0.mem.hits"] == 1
+        assert stats.get("core0.mem.hits") == 1  # full key from the root
+
+    def test_aggregate_sums_across_scopes(self):
+        stats = StatsRegistry()
+        stats.scoped("core0").bump("commits", 2)
+        stats.scoped("core1").bump("commits", 3)
+        stats.bump("commits", 1)
+        assert stats.aggregate("commits") == 6
+
+    def test_aggregate_does_not_match_substrings(self):
+        stats = StatsRegistry()
+        stats.bump("recommits", 5)
+        assert stats.aggregate("commits") == 0
+
+    def test_peak(self):
+        stats = StatsRegistry()
+        stats.peak("depth", 3)
+        stats.peak("depth", 1)
+        stats.peak("depth", 9)
+        assert stats.get("depth") == 9
+
+    def test_observe_and_aggregate_histogram(self):
+        stats = StatsRegistry()
+        stats.scoped("core0").observe("lat", 10)
+        stats.scoped("core1").observe("lat", 30)
+        merged = stats.aggregate_histogram("lat")
+        assert merged.count == 2
+        assert merged.mean == 20.0
+
+    def test_matching_prefix(self):
+        stats = StatsRegistry()
+        stats.scoped("dir").bump("recalls")
+        stats.bump("other")
+        assert stats.matching("dir.") == {"dir.recalls": 1}

@@ -1,0 +1,75 @@
+"""Extra TSO-checker scenarios: load buffering, one-sided barriers,
+and cross-checks between the checker and the litmus harness."""
+
+from repro.consistency.model import Operation, TsoChecker
+
+A, B = 0x100, 0x140
+ld = Operation.load
+st = Operation.store
+rmw = Operation.rmw
+
+
+def check(threads, final=None):
+    return TsoChecker().admissible(threads, final_memory=final)
+
+
+class TestLoadBuffering:
+    def test_lb_relaxed_outcome_forbidden(self):
+        # LB: r0=[A]; [B]=1  ||  r1=[B]; [A]=1 — both loads reading 1
+        # requires load->store reordering, which TSO forbids.
+        threads = [
+            [ld(A, 1), st(B, 1)],
+            [ld(B, 1), st(A, 1)],
+        ]
+        assert not check(threads)
+
+    def test_lb_sequential_outcomes_allowed(self):
+        assert check([[ld(A, 0), st(B, 1)], [ld(B, 1), st(A, 1)]])
+        assert check([[ld(A, 0), st(B, 1)], [ld(B, 0), st(A, 1)]])
+
+
+class TestOneSidedBarrier:
+    def test_sb_with_single_rmw_still_allows_0_0(self):
+        # Only thread 0 separates its store and load with an RMW; thread
+        # 1's store can still sit in its buffer past its load, so the
+        # 0/0 outcome remains TSO-admissible.  (Dekker needs BOTH sides
+        # fenced — paper Figure 10 uses an RMW on each thread.)
+        threads = [
+            [st(A, 1), rmw(0x200, 0, 1), ld(B, 0)],
+            [st(B, 1), ld(A, 0)],
+        ]
+        assert check(threads)
+
+    def test_sb_with_both_rmws_forbids_0_0(self):
+        threads = [
+            [st(A, 1), rmw(0x200, 0, 1), ld(B, 0)],
+            [st(B, 1), rmw(0x240, 0, 1), ld(A, 0)],
+        ]
+        assert not check(threads)
+
+
+class TestNAtomicsSerialization:
+    def test_three_thread_rmw_chain(self):
+        # Three RMWs on one address: read values must form a chain
+        # 0 -> 1 -> 2 regardless of thread assignment.
+        threads = [[rmw(A, 1, 2)], [rmw(A, 0, 1)], [rmw(A, 2, 3)]]
+        assert check(threads, final={A: 3})
+
+    def test_broken_chain_rejected(self):
+        threads = [[rmw(A, 0, 1)], [rmw(A, 0, 2)]]
+        assert not check(threads)
+
+    def test_rmw_interleaved_with_stores(self):
+        # A store may land between two RMWs (coherence order includes it).
+        threads = [[rmw(A, 0, 1), rmw(A, 7, 8)], [st(A, 7)]]
+        assert check(threads, final={A: 8})
+
+
+class TestFinalMemorySemantics:
+    def test_unmentioned_addresses_unconstrained(self):
+        assert check([[st(A, 1), st(B, 2)]], final={A: 1})
+
+    def test_buffer_must_fully_drain(self):
+        # final memory reflects the drained buffers.
+        assert check([[st(A, 1), st(A, 2)]], final={A: 2})
+        assert not check([[st(A, 1), st(A, 2)]], final={A: 1})

@@ -1,0 +1,70 @@
+"""Consistency validation through the litmus catalogue."""
+
+import pytest
+
+from repro.consistency.litmus import LITMUS_TESTS, run_litmus, sweep_litmus
+from repro.core.policy import ALL_POLICIES, FREE_ATOMICS_FWD
+from tests.conftest import small_system_config
+
+PADS = (0, 3, 8)
+
+
+def small_config(test):
+    return small_system_config(num_cores=test.num_threads, watchdog_cycles=400)
+
+
+class TestCatalogue:
+    def test_expected_tests_present(self):
+        assert {
+            "store_buffering",
+            "store_buffering_fenced",
+            "dekker_atomics",
+            "message_passing",
+            "atomic_increment",
+            "coherence_rr",
+        } <= set(LITMUS_TESTS)
+
+
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS), ids=str)
+class TestForbiddenOutcomes:
+    def test_no_forbidden_outcome_any_policy(self, name):
+        test = LITMUS_TESTS[name]
+        result = sweep_litmus(test, pad_values=PADS, config=small_config(test))
+        assert result.runs == len(ALL_POLICIES) * len(PADS) ** 2
+        assert result.ok, f"forbidden outcome observed: {result.outcomes}"
+
+
+class TestRelaxationIsReal:
+    def test_store_buffering_relaxation_observed(self):
+        # TSO allows both loads to miss the other store (SB).  If this
+        # never happens the simulator is accidentally SC and the paper's
+        # problem statement would be vacuous here.
+        test = LITMUS_TESTS["store_buffering"]
+        result = sweep_litmus(
+            test, pad_values=(0, 1, 2, 3, 5, 8), config=small_config(test)
+        )
+        assert result.interesting_count > 0
+
+    def test_fence_kills_the_relaxation(self):
+        test = LITMUS_TESTS["store_buffering_fenced"]
+        result = sweep_litmus(
+            test, pad_values=(0, 1, 2, 3, 5, 8), config=small_config(test)
+        )
+        assert result.forbidden_count == 0
+
+
+class TestSingleRuns:
+    def test_run_litmus_returns_observations(self):
+        test = LITMUS_TESTS["dekker_atomics"]
+        observations = run_litmus(
+            test, FREE_ATOMICS_FWD, pads=[0, 0], config=small_config(test)
+        )
+        assert set(observations) == {"r0", "r1"}
+        assert not (observations["r0"] == 0 and observations["r1"] == 0)
+
+    def test_atomic_increment_exact(self):
+        test = LITMUS_TESTS["atomic_increment"]
+        observations = run_litmus(
+            test, FREE_ATOMICS_FWD, pads=[0] * 4, config=small_config(test)
+        )
+        assert observations["counter"] == 4 * 24

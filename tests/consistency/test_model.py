@@ -1,0 +1,130 @@
+"""Tests for the operational x86-TSO reference model."""
+
+import pytest
+
+from repro.consistency.model import CheckResult, Operation, TsoChecker
+
+A, B = 0x100, 0x140
+ld = Operation.load
+st = Operation.store
+rmw = Operation.rmw
+fence = Operation.fence
+
+
+def check(threads, initial=None, final=None) -> CheckResult:
+    return TsoChecker(initial_memory=initial).admissible(threads, final_memory=final)
+
+
+class TestSequentialBasics:
+    def test_single_thread_store_load(self):
+        assert check([[st(A, 1), ld(A, 1)]])
+
+    def test_single_thread_wrong_value_rejected(self):
+        assert not check([[st(A, 1), ld(A, 2)]])
+
+    def test_load_from_initial_memory(self):
+        assert check([[ld(A, 7)]], initial={A: 7})
+        assert not check([[ld(A, 8)]], initial={A: 7})
+
+    def test_buffer_forwarding_own_store(self):
+        # The load can read the store from the local buffer even though
+        # another thread still sees the old value.
+        threads = [[st(A, 1), ld(A, 1)], [ld(A, 0)]]
+        assert check(threads)
+
+    def test_final_memory_constraint(self):
+        assert check([[st(A, 1)]], final={A: 1})
+        assert not check([[st(A, 1)]], final={A: 2})
+
+
+class TestStoreBuffering:
+    def sb_threads(self, r0, r1):
+        return [
+            [st(A, 1), ld(B, r0)],
+            [st(B, 1), ld(A, r1)],
+        ]
+
+    def test_relaxed_outcome_allowed(self):
+        # Both loads read 0: the TSO hallmark.
+        assert check(self.sb_threads(0, 0))
+
+    def test_sc_outcomes_also_allowed(self):
+        assert check(self.sb_threads(1, 0))
+        assert check(self.sb_threads(0, 1))
+        assert check(self.sb_threads(1, 1))
+
+    def test_fenced_sb_forbids_0_0(self):
+        threads = [
+            [st(A, 1), fence(), ld(B, 0)],
+            [st(B, 1), fence(), ld(A, 0)],
+        ]
+        assert not check(threads)
+
+    def test_rmw_as_fence_forbids_0_0(self):
+        # The paper's Figure 10: an atomic RMW between store and load
+        # restores order (RMW requires an empty buffer).
+        threads = [
+            [st(A, 1), rmw(0x200, 0, 1), ld(B, 0)],
+            [st(B, 1), rmw(0x240, 0, 1), ld(A, 0)],
+        ]
+        assert not check(threads)
+
+
+class TestAtomicity:
+    def test_concurrent_rmws_serialize(self):
+        # Two fetch_adds must see distinct old values.
+        assert check([[rmw(A, 0, 1)], [rmw(A, 1, 2)]], final={A: 2})
+        assert check([[rmw(A, 1, 2)], [rmw(A, 0, 1)]], final={A: 2})
+
+    def test_lost_update_rejected(self):
+        # Both claim to have read 0: impossible for an atomic RMW.
+        assert not check([[rmw(A, 0, 1)], [rmw(A, 0, 1)]])
+
+    def test_rmw_does_not_read_own_buffer(self):
+        # st A,5 ; rmw reading 0 would require the buffered store to be
+        # skipped — but the RMW drains the buffer first, so it must
+        # read 5.
+        assert not check([[st(A, 5), rmw(A, 0, 1)]])
+        assert check([[st(A, 5), rmw(A, 5, 6)]])
+
+
+class TestMessagePassing:
+    def test_stale_data_after_flag_rejected(self):
+        threads = [
+            [st(A, 42), st(B, 1)],  # writer: data then flag
+            [ld(B, 1), ld(A, 0)],  # reader: flag set but data stale
+        ]
+        assert not check(threads)
+
+    def test_fresh_data_accepted(self):
+        threads = [
+            [st(A, 42), st(B, 1)],
+            [ld(B, 1), ld(A, 42)],
+        ]
+        assert check(threads)
+
+
+class TestCoherence:
+    def test_read_read_coherence(self):
+        # Reads of one location must not go backwards.
+        threads = [[st(A, 1)], [ld(A, 1), ld(A, 0)]]
+        assert not check(threads)
+        threads = [[st(A, 1)], [ld(A, 0), ld(A, 1)]]
+        assert check(threads)
+
+
+class TestWitnessAndLimits:
+    def test_witness_returned(self):
+        result = check([[st(A, 1), ld(A, 1)]])
+        assert result.witness is not None
+        assert any("store" in step for step in result.witness)
+
+    def test_state_budget_enforced(self):
+        checker = TsoChecker(max_states=5)
+        big = [[st(A + i * 8, i) for i in range(8)] for _ in range(2)]
+        with pytest.raises(RuntimeError, match="exceeded"):
+            checker.admissible(big)
+
+    def test_operation_validation(self):
+        with pytest.raises(ValueError):
+            Operation.load(A, None)  # type: ignore[arg-type]

@@ -1,0 +1,135 @@
+"""Tests for the Atomic Queue's four associative searches."""
+
+from repro.common.stats import StatsRegistry
+from repro.core.atomic_queue import AtomicQueue
+from repro.isa.instructions import AtomicRMW, MemoryOperand, Store
+from repro.uarch.dynins import DynInstr
+
+
+def atomic(seq):
+    return DynInstr(seq, AtomicRMW(dst=1, imm=1, mem=MemoryOperand(2)), seq)
+
+
+def plain_store(seq):
+    return DynInstr(seq, Store(imm=0, mem=MemoryOperand(2)), seq)
+
+
+def make_aq(capacity=4):
+    unlocked = []
+    aq = AtomicQueue(capacity, StatsRegistry(), on_fully_unlocked=unlocked.append)
+    return aq, unlocked
+
+
+class TestAllocation:
+    def test_allocate_until_full(self):
+        aq, _ = make_aq(2)
+        assert aq.allocate(atomic(1)) is not None
+        assert aq.allocate(atomic(2)) is not None
+        assert aq.full
+        assert aq.allocate(atomic(3)) is None  # front-end stall
+
+    def test_deallocate_frees_capacity(self):
+        aq, _ = make_aq(1)
+        entry = aq.allocate(atomic(1))
+        aq.deallocate(entry)
+        assert not aq.full
+        assert len(aq) == 0
+
+    def test_entry_backlink(self):
+        aq, _ = make_aq()
+        instr = atomic(1)
+        entry = aq.allocate(instr)
+        assert instr.aq_entry is entry
+        aq.deallocate(entry)
+        assert instr.aq_entry is None
+
+
+class TestLockedSearches:
+    def test_set_way_search(self):
+        aq, _ = make_aq()
+        entry = aq.allocate(atomic(1))
+        entry.lock(line=100, set_index=4, way=2)
+        assert aq.is_line_locked(100)
+        assert aq.is_locked_setway(4, 2)
+        assert not aq.is_locked_setway(4, 1)
+        assert aq.locked_l1_ways(4) == {2}
+        assert aq.locked_l1_ways(5) == set()
+
+    def test_multiple_locks_same_line(self):
+        aq, unlocked = make_aq()
+        first = aq.allocate(atomic(1))
+        second = aq.allocate(atomic(2))
+        first.lock(100, 4, 2)
+        second.lock(100, 4, 2)
+        aq.deallocate(first)
+        assert aq.is_line_locked(100)  # still held by the second
+        assert unlocked == []
+        aq.deallocate(second)
+        assert not aq.is_line_locked(100)
+        assert unlocked == [100]
+
+    def test_oldest_locked_entry_skips_committed(self):
+        aq, _ = make_aq()
+        older, younger = atomic(1), atomic(2)
+        entry_old = aq.allocate(older)
+        entry_young = aq.allocate(younger)
+        entry_old.lock(100, 0, 0)
+        entry_young.lock(200, 1, 1)
+        older.committed = True
+        assert aq.oldest_locked_entry() is entry_young
+
+
+class TestBroadcast:
+    def test_forwarded_entry_captures_lock(self):
+        aq, _ = make_aq()
+        entry = aq.allocate(atomic(5))
+        source = plain_store(3)
+        entry.source_store = source
+        aq.on_store_broadcast(source, line=77, set_index=2, way=1)
+        assert entry.locked and entry.line == 77
+        assert entry.source_store is None
+        assert aq.is_line_locked(77)
+
+    def test_broadcast_ignores_unrelated_entries(self):
+        aq, _ = make_aq()
+        entry = aq.allocate(atomic(5))
+        aq.on_store_broadcast(plain_store(3), line=77, set_index=2, way=1)
+        assert not entry.locked
+
+
+class TestFlush:
+    def test_unlock_on_squash(self):
+        aq, unlocked = make_aq()
+        entry = aq.allocate(atomic(1))
+        entry.lock(100, 4, 2)
+        flushed = aq.squash_from(1)
+        assert flushed == [entry]
+        assert not aq.is_line_locked(100)
+        assert unlocked == [100]
+
+    def test_partial_flush_keeps_older(self):
+        aq, unlocked = make_aq()
+        older = aq.allocate(atomic(1))
+        younger = aq.allocate(atomic(5))
+        older.lock(100, 0, 0)
+        younger.lock(200, 1, 0)
+        aq.squash_from(3)
+        assert aq.is_line_locked(100)
+        assert not aq.is_line_locked(200)
+        assert unlocked == [200]
+
+    def test_flush_same_line_no_notify_while_older_holds(self):
+        aq, unlocked = make_aq()
+        older = aq.allocate(atomic(1))
+        younger = aq.allocate(atomic(5))
+        older.lock(100, 0, 0)
+        younger.lock(100, 0, 0)
+        aq.squash_from(3)
+        assert aq.is_line_locked(100)
+        assert unlocked == []
+
+    def test_flush_nothing(self):
+        aq, _ = make_aq()
+        aq.allocate(atomic(1))
+        assert aq.squash_from(10) == []
+        assert len(aq) == 1

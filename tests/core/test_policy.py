@@ -1,0 +1,48 @@
+"""Tests for atomic policy definitions."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.policy import (
+    ALL_POLICIES,
+    BASELINE,
+    BASELINE_SPEC,
+    FREE_ATOMICS,
+    FREE_ATOMICS_FWD,
+    AtomicPolicy,
+    policy_by_name,
+)
+
+
+class TestStandardPolicies:
+    def test_four_designs(self):
+        assert len(ALL_POLICIES) == 4
+        names = [p.name for p in ALL_POLICIES]
+        assert names == ["baseline", "baseline+spec", "free", "free+fwd"]
+
+    def test_baseline_is_fenced_nonspeculative(self):
+        assert BASELINE.fenced and not BASELINE.speculative
+        assert not BASELINE.is_free
+
+    def test_spec_is_fenced_speculative(self):
+        assert BASELINE_SPEC.fenced and BASELINE_SPEC.speculative
+
+    def test_free_designs_are_unfenced(self):
+        assert FREE_ATOMICS.is_free and FREE_ATOMICS_FWD.is_free
+        assert not FREE_ATOMICS.forward_to_atomic
+        assert FREE_ATOMICS_FWD.forward_to_atomic
+
+    def test_lookup_by_name(self):
+        assert policy_by_name("free+fwd") is FREE_ATOMICS_FWD
+        with pytest.raises(ConfigError, match="unknown policy"):
+            policy_by_name("nope")
+
+
+class TestInvariants:
+    def test_forwarding_requires_unfenced(self):
+        with pytest.raises(ConfigError):
+            AtomicPolicy("bad", speculative=True, fenced=True, forward_to_atomic=True)
+
+    def test_unfenced_requires_speculative(self):
+        with pytest.raises(ConfigError):
+            AtomicPolicy("bad", speculative=False, fenced=False, forward_to_atomic=False)

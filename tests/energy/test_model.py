@@ -1,0 +1,60 @@
+"""Tests for the energy model."""
+
+from repro.core.policy import BASELINE, FREE_ATOMICS_FWD
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.system.simulator import run_workload
+from tests.conftest import counter_workload, small_system_config
+
+
+def run(policy):
+    return run_workload(
+        counter_workload(2, 40), policy=policy, config=small_system_config(2)
+    )
+
+
+class TestEnergyModel:
+    def test_breakdown_positive_components(self):
+        breakdown = EnergyModel().breakdown(run(BASELINE))
+        assert breakdown.dynamic_pj > 0
+        assert breakdown.static_pj > 0
+        assert breakdown.total_pj == breakdown.dynamic_pj + breakdown.static_pj
+        for name in ("issue", "commit", "l1", "network"):
+            assert breakdown.components[name] > 0, name
+
+    def test_static_tracks_cycles(self):
+        params = EnergyParams()
+        base = run(BASELINE)
+        free = run(FREE_ATOMICS_FWD)
+        model = EnergyModel(params)
+        ratio = model.breakdown(free).static_pj / model.breakdown(base).static_pj
+        assert abs(ratio - free.cycles / base.cycles) < 1e-9
+
+    def test_free_atomics_saves_energy_on_contended_counter(self):
+        model = EnergyModel()
+        base = model.breakdown(run(BASELINE))
+        free = model.breakdown(run(FREE_ATOMICS_FWD))
+        total, dynamic, static = free.normalized_to(base)
+        assert total < 1.0
+        assert static < 1.0
+
+    def test_normalized_to_self_is_unity(self):
+        breakdown = EnergyModel().breakdown(run(BASELINE))
+        total, dynamic, static = breakdown.normalized_to(breakdown)
+        assert abs(total - 1.0) < 1e-9
+        assert abs((dynamic + static) - 1.0) < 1e-9
+
+    def test_custom_params_scale_components(self):
+        result = run(BASELINE)
+        doubled = EnergyParams(commit_pj=8.0)
+        single = EnergyModel(EnergyParams(commit_pj=4.0)).breakdown(result)
+        double = EnergyModel(doubled).breakdown(result)
+        assert abs(double.components["commit"] - 2 * single.components["commit"]) < 1e-9
+
+    def test_dynamic_fraction_bounds(self):
+        breakdown = EnergyModel().breakdown(run(BASELINE))
+        assert 0.0 < breakdown.dynamic_fraction < 1.0
+
+    def test_empty_breakdown_safe(self):
+        empty = EnergyBreakdown(dynamic_pj=0.0, static_pj=0.0)
+        assert empty.total_pj == 0.0
+        assert empty.dynamic_fraction == 0.0

@@ -1,0 +1,82 @@
+"""Paper section 4.1.3: when the AQ size equals the L1D associativity,
+speculative load_locks can lock every way of a set; an older atomic that
+needs to allocate in that set cannot perform, and the watchdog must
+break the stall.
+
+Construction (paper: "if an older regular instruction needs to allocate
+in the L1D to retire, it will not be able to do so"): an older *store*
+whose address resolves through a long dependency chain targets the same
+L1 set that four younger atomics — with immediate addresses — lock
+speculatively.  Stores need L1 residency to perform, so the SB head
+stalls on the jammed set; the atomics' SB-drain commit condition never
+clears, no atomic commits, and only the watchdog flush can free a way.
+"""
+
+import pytest
+
+from repro.common.config import LINE_BYTES
+from repro.core.policy import BASELINE, FREE_ATOMICS
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import run_workload
+from repro.workloads.base import Workload
+from tests.conftest import small_system_config
+
+WAYS = 4  # tiny config: 4-way, 4-set L1
+
+
+def same_set_addresses(config, count: int, set_index: int = 0) -> list[int]:
+    sets = config.memory.l1d.num_sets
+    return [(set_index + (i + 1) * sets) * LINE_BYTES for i in range(count)]
+
+
+def build_workload(config) -> Workload:
+    store_target, *atomic_lines = same_set_addresses(config, WAYS + 1)
+    builder = ProgramBuilder("allways")
+    for reg, address in enumerate(atomic_lines, start=2):
+        builder.li(reg, address)
+    # Older store's address through a slow chain (so the younger
+    # atomics issue and lock all ways before the store can perform).
+    builder.li(1, 1)
+    for _ in range(60):
+        builder.muli(1, 1, 1)
+    builder.muli(1, 1, store_target)
+    builder.store(imm=1, base=1)  # older: must allocate in the jammed set
+    for reg in range(2, 2 + WAYS):  # four younger: lock all ways
+        builder.fetch_add(dst=11, base=reg, imm=1)
+    return Workload("allways", [builder.build()])
+
+
+class TestAllWaysLocked:
+    def test_watchdog_breaks_the_set_jam(self):
+        config = small_system_config(
+            1, l1_ways=WAYS, aq_entries=WAYS, watchdog_cycles=400
+        )
+        workload = build_workload(config)
+        result = run_workload(workload, policy=FREE_ATOMICS, config=config)
+        for address in same_set_addresses(config, WAYS + 1):
+            assert result.read_word(address) == 1
+        assert result.timeouts >= 1  # the jam actually happened
+
+    def test_baseline_is_immune(self):
+        # Fenced atomics execute one at a time: never more than one
+        # locked way, no jam, no timeouts.
+        config = small_system_config(
+            1, l1_ways=WAYS, aq_entries=WAYS, watchdog_cycles=400
+        )
+        workload = build_workload(config)
+        result = run_workload(workload, policy=BASELINE, config=config)
+        assert result.timeouts == 0
+        for address in same_set_addresses(config, WAYS + 1):
+            assert result.read_word(address) == 1
+
+    def test_smaller_aq_prevents_the_jam(self):
+        # The paper's sizing rule: AQ strictly below the associativity
+        # leaves a victim way available, so no timeout is needed.
+        config = small_system_config(
+            1, l1_ways=WAYS, aq_entries=WAYS - 1, watchdog_cycles=400
+        )
+        workload = build_workload(config)
+        result = run_workload(workload, policy=FREE_ATOMICS, config=config)
+        assert result.timeouts == 0
+        for address in same_set_addresses(config, WAYS + 1):
+            assert result.read_word(address) == 1

@@ -1,0 +1,160 @@
+"""The paper's deadlock scenarios (section 3.2.5), reproduced end-to-end.
+
+Each test constructs the instruction pattern of the corresponding paper
+figure, runs it under Free atomics, and checks both forward progress
+(the run finishes, correct values) and that the watchdog actually fired
+where a deadlock is expected to arise.  With the watchdog disabled, the
+RMW-RMW pattern must be diagnosed as a hard deadlock.
+"""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.core.policy import BASELINE, FREE_ATOMICS, FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import run_workload
+from repro.workloads.base import Workload
+from tests.conftest import replace_free_atomics, small_system_config
+
+A = 0x50000
+B = 0x50040
+
+
+def rmw_rmw_workload(iterations=25):
+    """Figure 5: core0 updates A then B; core1 updates B then A.
+
+    To make the cross-lock state deterministic rather than a timing
+    accident, the *older* atomic's address comes from a long dependency
+    chain while the *younger* atomic's address is an immediate: the
+    younger load_lock issues speculatively and locks its line long
+    before the older one can even request — on both cores, in opposite
+    order.  That is exactly the paper's Figure 5 interleaving.
+    """
+
+    def prog(first, second):
+        builder = ProgramBuilder()
+        builder.li(2, second)
+        builder.li(3, 0)
+        builder.label("loop")
+        builder.li(1, 1)
+        for _ in range(40):  # slow chain hiding the older atomic's address
+            builder.muli(1, 1, 1)
+        builder.muli(1, 1, first)
+        builder.fetch_add(dst=4, base=1, imm=1)  # older: address late
+        builder.fetch_add(dst=5, base=2, imm=1)  # younger: locks early
+        builder.addi(3, 3, 1)
+        builder.branch_lt(3, iterations, "loop")
+        return builder.build()
+
+    return Workload("rmw_rmw", [prog(A, B), prog(B, A)]), iterations
+
+
+def store_rmw_workload(iterations=25):
+    """Figure 6: an ordinary store to the other core's atomic line sits
+    in the SB while a speculative load_lock holds a different line."""
+
+    def prog(store_to, atomic_on):
+        builder = ProgramBuilder()
+        builder.li(1, store_to)
+        builder.li(2, atomic_on)
+        builder.li(3, 0)
+        builder.label("loop")
+        builder.store(src=3, base=1, offset=8)  # same line as remote atomic
+        builder.fetch_add(dst=4, base=2, imm=1)
+        builder.addi(3, 3, 1)
+        builder.branch_lt(3, iterations, "loop")
+        return builder.build()
+
+    return Workload("store_rmw", [prog(A, B), prog(B, A)]), iterations
+
+
+def load_rmw_workload(iterations=25):
+    """Figure 7: an ordinary load from the remotely locked line precedes
+    the local atomic."""
+
+    def prog(load_from, atomic_on):
+        builder = ProgramBuilder()
+        builder.li(1, load_from)
+        builder.li(2, atomic_on)
+        builder.li(3, 0)
+        builder.li(6, 0)
+        builder.label("loop")
+        builder.load(5, base=1)
+        builder.add(6, 6, 5)
+        builder.fetch_add(dst=4, base=2, imm=1)
+        builder.addi(3, 3, 1)
+        builder.branch_lt(3, iterations, "loop")
+        return builder.build()
+
+    return Workload("load_rmw", [prog(A, B), prog(B, A)]), iterations
+
+
+class TestRmwRmwDeadlock:
+    def test_free_atomics_progress_via_watchdog(self):
+        workload, iters = rmw_rmw_workload()
+        config = small_system_config(2, watchdog_cycles=400)
+        result = run_workload(workload, policy=FREE_ATOMICS, config=config)
+        assert result.read_word(A) == 2 * iters
+        assert result.read_word(B) == 2 * iters
+        assert result.timeouts > 0  # deadlocks arose and were broken
+        assert result.stats.aggregate("squash.watchdog") == result.timeouts
+
+    def test_baseline_never_deadlocks(self):
+        workload, iters = rmw_rmw_workload()
+        result = run_workload(
+            workload, policy=BASELINE, config=small_system_config(2)
+        )
+        assert result.read_word(A) == 2 * iters
+        assert result.timeouts == 0
+
+    def test_watchdog_disabled_diagnoses_hard_deadlock(self):
+        workload, _ = rmw_rmw_workload(iterations=50)
+        config = small_system_config(2, watchdog_enabled=False)
+        with pytest.raises(DeadlockError, match="unfinished"):
+            run_workload(workload, policy=FREE_ATOMICS, config=config)
+
+
+class TestStoreRmwDeadlock:
+    @pytest.mark.parametrize(
+        "policy", [FREE_ATOMICS, FREE_ATOMICS_FWD], ids=lambda p: p.name
+    )
+    def test_progress_and_correct_values(self, policy):
+        workload, iters = store_rmw_workload()
+        config = small_system_config(2, watchdog_cycles=400)
+        result = run_workload(workload, policy=policy, config=config)
+        # Each address is atomically incremented by exactly one core.
+        assert result.read_word(A) == iters
+        assert result.read_word(B) == iters
+
+
+class TestLoadRmwDeadlock:
+    def test_progress_and_correct_values(self):
+        workload, iters = load_rmw_workload()
+        config = small_system_config(2, watchdog_cycles=400)
+        result = run_workload(workload, policy=FREE_ATOMICS, config=config)
+        assert result.read_word(A) == iters
+        assert result.read_word(B) == iters
+
+
+class TestLivelockFreedom:
+    def test_locked_lines_never_evicted(self):
+        # Hammer one L1 set with loads while atomics hold a line in it:
+        # replacement must route around the locked way (paper 3.2.4).
+        config = small_system_config(1, watchdog_cycles=400)
+        sets = config.memory.l1d.num_sets
+        builder = ProgramBuilder()
+        builder.li(1, A)
+        builder.li(2, 0)
+        builder.li(6, 0)
+        builder.label("loop")
+        builder.fetch_add(dst=3, base=1, imm=1)
+        for way in range(config.memory.l1d.ways + 2):
+            line = (A // 64) + (way + 1) * sets  # same L1 set as A
+            builder.li(4, line * 64)
+            builder.load(5, base=4)
+            builder.add(6, 6, 5)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, 10, "loop")
+        workload = Workload("setpressure", [builder.build()])
+        result = run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+        assert result.read_word(A) == 10

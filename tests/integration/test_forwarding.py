@@ -1,0 +1,145 @@
+"""End-to-end store-to-load forwarding behaviour (paper section 3.3)."""
+
+import pytest
+
+from repro.core.policy import BASELINE, FREE_ATOMICS, FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import run_workload
+from repro.workloads.base import Workload
+from tests.conftest import small_system_config
+
+ADDR = 0x60000
+
+
+def chained_atomics(count, same_word=True):
+    """`count` back-to-back fetch_adds to one address."""
+    builder = ProgramBuilder()
+    builder.li(1, ADDR)
+    for i in range(count):
+        offset = 0 if same_word else (i % 4) * 8
+        builder.fetch_add(dst=2, base=1, offset=offset, imm=1)
+    return Workload("chain", [builder.build()])
+
+
+class TestForwardingToAtomics:
+    def test_fwd_policy_forwards_chained_atomics(self):
+        result = run_workload(
+            chained_atomics(8),
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(1),
+        )
+        assert result.read_word(ADDR) == 8
+        assert result.stats.aggregate("atomics_fwd_from_atomic") >= 6
+
+    def test_plain_free_policy_never_forwards_to_atomics(self):
+        result = run_workload(
+            chained_atomics(8),
+            policy=FREE_ATOMICS,
+            config=small_system_config(1),
+        )
+        assert result.read_word(ADDR) == 8
+        assert result.stats.aggregate("atomics_fwd_from_atomic") == 0
+
+    def test_baseline_never_forwards_to_atomics(self):
+        result = run_workload(
+            chained_atomics(8), policy=BASELINE, config=small_system_config(1)
+        )
+        assert result.stats.aggregate("atomics_fwd_from_atomic") == 0
+
+    def test_forwarding_from_ordinary_store(self):
+        # st [x] <- v ; fetch_add [x] : the load_lock forwards from the
+        # in-flight store (lock_on_access, section 3.3.2).
+        builder = ProgramBuilder()
+        builder.li(1, ADDR)
+        builder.li(2, 41)
+        builder.store(src=2, base=1)
+        builder.fetch_add(dst=3, base=1, imm=1)
+        builder.li(4, 0x70000)
+        builder.store(src=3, base=4)
+        result = run_workload(
+            Workload("st_fwd", [builder.build()]),
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(1),
+        )
+        assert result.read_word(ADDR) == 42
+        assert result.read_word(0x70000) == 41  # forwarded old value
+        assert result.stats.aggregate("atomics_fwd_from_store") == 1
+
+    def test_forwarding_speeds_up_chains(self):
+        slow = run_workload(
+            chained_atomics(16), policy=FREE_ATOMICS, config=small_system_config(1)
+        )
+        fast = run_workload(
+            chained_atomics(16),
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(1),
+        )
+        assert fast.cycles < slow.cycles
+
+
+class TestChainLimit:
+    @pytest.mark.parametrize("limit", [1, 4])
+    def test_chain_bound_respected(self, limit):
+        config = small_system_config(1, max_forward_chain=limit)
+        result = run_workload(
+            chained_atomics(12), policy=FREE_ATOMICS_FWD, config=config
+        )
+        assert result.read_word(ADDR) == 12
+        # With a bound of k, at most k of each (k+1)-run can forward.
+        forwarded = result.stats.aggregate("atomics_fwd_from_atomic")
+        assert forwarded <= 12 * limit // (limit + 1) + 1
+
+    def test_chain_limit_one_still_correct_multicore(self):
+        config = small_system_config(2, max_forward_chain=1)
+        builder = ProgramBuilder()
+        builder.li(1, ADDR)
+        builder.li(2, 0)
+        builder.label("loop")
+        builder.fetch_add(dst=3, base=1, imm=1)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, 30, "loop")
+        workload = Workload("mc", [builder.build()] * 2)
+        result = run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+        assert result.read_word(ADDR) == 60
+
+
+class TestLockTransfer:
+    def test_remote_blocked_while_chain_holds_lock(self):
+        # Core0 runs a long forwarding chain; core1 increments the same
+        # word.  Total must be exact regardless of who wins the line.
+        builder0 = ProgramBuilder()
+        builder0.li(1, ADDR)
+        for _ in range(20):
+            builder0.fetch_add(dst=2, base=1, imm=1)
+        builder1 = ProgramBuilder()
+        builder1.li(1, ADDR)
+        builder1.li(2, 0)
+        builder1.label("loop")
+        builder1.fetch_add(dst=3, base=1, imm=1)
+        builder1.addi(2, 2, 1)
+        builder1.branch_lt(2, 20, "loop")
+        workload = Workload("transfer", [builder0.build(), builder1.build()])
+        result = run_workload(
+            workload,
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(2, watchdog_cycles=400),
+        )
+        assert result.read_word(ADDR) == 40
+
+    def test_squashed_forwarded_atomic_takes_back_responsibility(self):
+        # A forwarded atomic sits on a mispredicted path: its squash must
+        # revoke do_not_unlock so the line is actually released.
+        builder = ProgramBuilder()
+        builder.li(1, ADDR)
+        builder.store(imm=0, base=1, offset=8)
+        builder.fetch_add(dst=2, base=1, imm=1)  # forwarding source
+        builder.load(3, base=1, offset=8)  # slow-ish load feeding branch
+        builder.branch_eq(3, 0, "skip")  # predict may go wrong way
+        builder.fetch_add(dst=4, base=1, imm=100)  # wrong path, forwards
+        builder.label("skip")
+        builder.fetch_add(dst=5, base=1, imm=10)
+        workload = Workload("squash_fwd", [builder.build()])
+        result = run_workload(
+            workload, policy=FREE_ATOMICS_FWD, config=small_system_config(1)
+        )
+        assert result.read_word(ADDR) == 11

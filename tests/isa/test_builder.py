@@ -1,0 +1,103 @@
+"""Tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicKind,
+    AtomicRMW,
+    Load,
+    Pause,
+    Store,
+)
+
+
+class TestEmission:
+    def test_fluent_chaining(self):
+        builder = ProgramBuilder()
+        builder.li(1, 5).addi(1, 1, 1).halt()
+        assert len(builder) == 3
+
+    def test_alu_helpers_encode_ops(self):
+        builder = ProgramBuilder()
+        builder.add(1, 2, 3)
+        builder.subi(1, 2, 9)
+        builder.xori(1, 1, 0xFF)
+        program = builder.build()
+        assert program[0].op is AluOp.ADD
+        assert program[1].imm == 9
+        assert program[2].op is AluOp.XOR
+
+    def test_memory_helpers(self):
+        builder = ProgramBuilder()
+        builder.load(1, base=2, offset=8, index=3)
+        builder.store(imm=7, base=2)
+        program = builder.build()
+        load, store = program[0], program[1]
+        assert isinstance(load, Load) and load.mem.index == 3
+        assert isinstance(store, Store) and store.imm == 7
+
+    def test_atomic_helpers(self):
+        builder = ProgramBuilder()
+        builder.fetch_add(dst=1, base=2, imm=1)
+        builder.exchange(dst=1, base=2, src=3)
+        builder.cas(dst=1, base=2, expected=4, src=3)
+        builder.test_and_set(dst=1, base=2)
+        kinds = [instr.kind for instr in builder.build()[:4]]
+        assert kinds == [
+            AtomicKind.FETCH_ADD,
+            AtomicKind.EXCHANGE,
+            AtomicKind.COMPARE_AND_SWAP,
+            AtomicKind.TEST_AND_SET,
+        ]
+
+    def test_branch_with_register_comparand(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        builder.branch_lt(1, None, "x", src2=2)
+        program = builder.build()
+        assert program[0].src2 == 2 and program[0].imm is None
+
+    def test_invalid_branch_operands(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        with pytest.raises(ProgramError):
+            builder.branch_eq(1, 5, "x", src2=2)
+
+
+class TestSpinRegion:
+    def test_marks_emitted_instructions(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        with builder.spin_region():
+            builder.load(1, base=2)
+            builder.nop()
+        builder.nop()
+        program = builder.build()
+        assert not program[0].spin
+        assert program[1].spin and program[2].spin
+        assert not program[3].spin
+
+    def test_nested_regions(self):
+        builder = ProgramBuilder()
+        with builder.spin_region():
+            with builder.spin_region():
+                builder.nop()
+            builder.nop()
+        assert all(i.spin for i in builder.build()[:2])
+
+    def test_pause_always_spin(self):
+        builder = ProgramBuilder()
+        builder.pause()
+        assert isinstance(builder.build()[0], Pause)
+        assert builder.build()[0].spin
+
+
+class TestFreshLabels:
+    def test_unique(self):
+        builder = ProgramBuilder()
+        labels = {builder.fresh_label("L") for _ in range(100)}
+        assert len(labels) == 100

@@ -1,0 +1,117 @@
+"""Tests for instruction validation and classification."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicKind,
+    AtomicRMW,
+    Branch,
+    BranchCond,
+    Fence,
+    Halt,
+    Load,
+    MemoryOperand,
+    Pause,
+    Store,
+)
+
+
+class TestMemoryOperand:
+    def test_source_registers(self):
+        assert MemoryOperand(3).source_registers() == (3,)
+        assert MemoryOperand(3, index=5).source_registers() == (3, 5)
+
+    def test_rejects_bad_register(self):
+        with pytest.raises(ProgramError):
+            MemoryOperand(99)
+
+
+class TestAlu:
+    def test_requires_exactly_one_of_src2_imm(self):
+        with pytest.raises(ProgramError):
+            Alu(op=AluOp.ADD, dst=1, src1=2)
+        with pytest.raises(ProgramError):
+            Alu(op=AluOp.ADD, dst=1, src1=2, src2=3, imm=4)
+
+    def test_mov_takes_one_source(self):
+        Alu(op=AluOp.MOV, dst=1, src1=2)
+        Alu(op=AluOp.MOV, dst=1, imm=7)
+        with pytest.raises(ProgramError):
+            Alu(op=AluOp.MOV, dst=1, src1=2, imm=7)
+
+    def test_nop_needs_nothing(self):
+        nop = Alu(op=AluOp.NOP)
+        assert not nop.is_memory and not nop.is_branch
+
+    def test_latency_positive(self):
+        with pytest.raises(ProgramError):
+            Alu(op=AluOp.ADD, dst=1, src1=1, imm=1, latency=0)
+
+
+class TestStore:
+    def test_exactly_one_of_src_imm(self):
+        with pytest.raises(ProgramError):
+            Store(mem=MemoryOperand(1))
+        with pytest.raises(ProgramError):
+            Store(src=2, imm=3, mem=MemoryOperand(1))
+
+    def test_is_memory(self):
+        assert Store(imm=0, mem=MemoryOperand(1)).is_memory
+
+
+class TestAtomicRMW:
+    def test_cas_requires_expected(self):
+        with pytest.raises(ProgramError):
+            AtomicRMW(kind=AtomicKind.COMPARE_AND_SWAP, dst=1, src=2)
+        rmw = AtomicRMW(kind=AtomicKind.COMPARE_AND_SWAP, dst=1, src=2, expected=3)
+        assert rmw.value_registers() == (2, 3)
+
+    def test_expected_only_for_cas(self):
+        with pytest.raises(ProgramError):
+            AtomicRMW(kind=AtomicKind.FETCH_ADD, dst=1, imm=1, expected=3)
+
+    def test_test_and_set_takes_no_operand(self):
+        AtomicRMW(kind=AtomicKind.TEST_AND_SET, dst=1)
+        with pytest.raises(ProgramError):
+            AtomicRMW(kind=AtomicKind.TEST_AND_SET, dst=1, imm=1)
+
+    def test_classification(self):
+        rmw = AtomicRMW(kind=AtomicKind.FETCH_ADD, dst=1, imm=1)
+        assert rmw.is_memory and rmw.is_atomic
+
+
+class TestBranch:
+    def test_needs_target(self):
+        with pytest.raises(ProgramError):
+            Branch(cond=BranchCond.ALWAYS, target="")
+
+    def test_unconditional_takes_no_operands(self):
+        with pytest.raises(ProgramError):
+            Branch(cond=BranchCond.ALWAYS, src1=1, target="x")
+
+    def test_conditional_operands(self):
+        Branch(cond=BranchCond.EQ, src1=1, imm=0, target="x")
+        with pytest.raises(ProgramError):
+            Branch(cond=BranchCond.EQ, src1=1, target="x")
+        with pytest.raises(ProgramError):
+            Branch(cond=BranchCond.EQ, src1=1, src2=2, imm=3, target="x")
+
+    def test_source_registers(self):
+        branch = Branch(cond=BranchCond.LT, src1=4, src2=5, target="x")
+        assert branch.source_registers() == (4, 5)
+
+
+class TestMisc:
+    def test_pause_is_always_spin(self):
+        assert Pause().spin
+
+    def test_fence_and_halt_are_plain(self):
+        assert not Fence().is_memory
+        assert not Halt().is_branch
+
+    def test_spin_flag_via_kwarg(self):
+        load = Load(dst=1, mem=MemoryOperand(2), spin=True)
+        assert load.spin

@@ -1,0 +1,70 @@
+"""Tests for the sequential reference interpreter."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ReferenceInterpreter
+
+
+class TestBasics:
+    def test_arithmetic_loop(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0)
+        builder.li(2, 0)
+        builder.label("loop")
+        builder.addi(1, 1, 3)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, 10, "loop")
+        interp = ReferenceInterpreter(builder.build()).run()
+        assert interp.regs[1] == 30
+        assert interp.halted
+
+    def test_memory_round_trip(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.store(imm=77, base=1, offset=8)
+        builder.load(2, base=1, offset=8)
+        interp = ReferenceInterpreter(builder.build()).run()
+        assert interp.regs[2] == 77
+        assert interp.memory[0x1008] == 77
+
+    def test_atomic_semantics(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x2000)
+        builder.store(imm=5, base=1)
+        builder.fetch_add(dst=2, base=1, imm=10)
+        builder.load(3, base=1)
+        interp = ReferenceInterpreter(builder.build()).run()
+        assert interp.regs[2] == 5  # old value
+        assert interp.regs[3] == 15
+
+    def test_cas_loop(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x3000)
+        builder.li(2, 0)  # expected
+        builder.li(3, 42)  # new value
+        builder.cas(dst=4, base=1, expected=2, src=3)
+        interp = ReferenceInterpreter(builder.build()).run()
+        assert interp.memory[0x3000] == 42
+        assert interp.regs[4] == 0
+
+    def test_initial_regs(self):
+        builder = ProgramBuilder()
+        builder.addi(1, 0, 5)
+        interp = ReferenceInterpreter(builder.build(), initial_regs={0: 7}).run()
+        assert interp.regs[1] == 12
+
+    def test_nonterminating_raises(self):
+        builder = ProgramBuilder()
+        builder.label("spin")
+        builder.jump("spin")
+        with pytest.raises(SimulationError, match="exceeded"):
+            ReferenceInterpreter(builder.build(), max_steps=100).run()
+
+    def test_committed_counts(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.nop()
+        interp = ReferenceInterpreter(builder.build()).run()
+        assert interp.committed == 3  # 2 nops + halt

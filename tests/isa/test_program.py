@@ -1,0 +1,80 @@
+"""Tests for Program construction and label resolution."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Branch, BranchCond, Halt
+from repro.isa.program import Program
+
+
+class TestLabels:
+    def test_branch_targets_resolved(self):
+        builder = ProgramBuilder()
+        builder.label("top")
+        builder.nop()
+        builder.jump("top")
+        program = builder.build()
+        branch = program[1]
+        assert isinstance(branch, Branch)
+        assert branch.target_index == 0
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ProgramError, match="unknown label"):
+            Program([Branch(cond=BranchCond.ALWAYS, target="nowhere")])
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        with pytest.raises(ProgramError, match="duplicate"):
+            builder.label("x")
+
+    def test_forward_references(self):
+        builder = ProgramBuilder()
+        builder.jump("end")
+        builder.nop()
+        builder.label("end")
+        program = builder.build()
+        assert program[0].target_index == 2
+
+
+class TestHaltAppending:
+    def test_halt_appended_when_missing(self):
+        program = Program([])
+        assert isinstance(program[-1], Halt)
+
+    def test_halt_not_duplicated(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.halt()
+        program = builder.build()
+        assert len(program) == 2
+
+    def test_fetch_past_end_returns_halt(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        program = builder.build()
+        assert isinstance(program.fetch(10_000), Halt)
+        assert isinstance(program.fetch(-5), Halt)
+
+
+class TestIntrospection:
+    def test_count_atomics(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.fetch_add(dst=2, base=1, imm=1)
+        builder.test_and_set(3, base=1)
+        assert builder.build().count_atomics() == 2
+
+    def test_iteration_and_len(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.nop()
+        program = builder.build()
+        assert len(list(program)) == len(program) == 3  # + Halt
+
+    def test_labels_exposed(self):
+        builder = ProgramBuilder()
+        builder.label("a")
+        builder.nop()
+        assert builder.build().labels == {"a": 0}

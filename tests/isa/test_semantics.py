@@ -1,0 +1,123 @@
+"""Tests for pure instruction semantics."""
+
+import pytest
+
+from repro.common.errors import ProgramError
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicKind,
+    AtomicRMW,
+    Branch,
+    BranchCond,
+)
+from repro.isa.semantics import (
+    evaluate_alu,
+    evaluate_atomic,
+    evaluate_branch,
+    to_signed,
+)
+
+MASK = (1 << 64) - 1
+
+
+def alu(op):
+    return Alu(op=op, dst=1, src1=2, src2=3)
+
+
+class TestAlu:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (AluOp.ADD, 2, 3, 5),
+            (AluOp.SUB, 2, 3, MASK),  # wraps
+            (AluOp.AND, 0b1100, 0b1010, 0b1000),
+            (AluOp.OR, 0b1100, 0b1010, 0b1110),
+            (AluOp.XOR, 0b1100, 0b1010, 0b0110),
+            (AluOp.MUL, 7, 6, 42),
+            (AluOp.SHL, 1, 10, 1024),
+            (AluOp.SHR, 1024, 10, 1),
+            (AluOp.CMP_EQ, 5, 5, 1),
+            (AluOp.CMP_EQ, 5, 6, 0),
+            (AluOp.CMP_LT, 3, 4, 1),
+            (AluOp.CMP_LT, 4, 3, 0),
+        ],
+    )
+    def test_operations(self, op, a, b, expected):
+        assert evaluate_alu(alu(op), a, b) == expected
+
+    def test_cmp_lt_is_signed(self):
+        minus_one = MASK
+        assert evaluate_alu(alu(AluOp.CMP_LT), minus_one, 0) == 1
+
+    def test_add_wraps_64_bits(self):
+        assert evaluate_alu(alu(AluOp.ADD), MASK, 1) == 0
+
+    def test_shift_amount_masked(self):
+        assert evaluate_alu(alu(AluOp.SHL), 1, 64) == 1  # 64 & 63 == 0
+
+
+class TestSigned:
+    def test_to_signed(self):
+        assert to_signed(MASK) == -1
+        assert to_signed(5) == 5
+        assert to_signed(1 << 63) == -(1 << 63)
+
+
+class TestBranch:
+    def branch(self, cond):
+        return Branch(cond=cond, src1=1, src2=2, target="x")
+
+    def test_eq_ne(self):
+        assert evaluate_branch(self.branch(BranchCond.EQ), 4, 4)
+        assert not evaluate_branch(self.branch(BranchCond.EQ), 4, 5)
+        assert evaluate_branch(self.branch(BranchCond.NE), 4, 5)
+
+    def test_lt_ge_signed(self):
+        assert evaluate_branch(self.branch(BranchCond.LT), MASK, 0)  # -1 < 0
+        assert evaluate_branch(self.branch(BranchCond.GE), 0, MASK)
+
+    def test_always(self):
+        always = Branch(cond=BranchCond.ALWAYS, target="x")
+        assert evaluate_branch(always, 0, 0)
+
+
+class TestAtomic:
+    def rmw(self, kind, **kwargs):
+        defaults = dict(dst=1, src=2)
+        if kind is AtomicKind.COMPARE_AND_SWAP:
+            defaults["expected"] = 3
+        if kind is AtomicKind.TEST_AND_SET:
+            defaults.pop("src")
+        defaults.update(kwargs)
+        return AtomicRMW(kind=kind, **defaults)
+
+    def test_fetch_add(self):
+        assert evaluate_atomic(self.rmw(AtomicKind.FETCH_ADD), 10, 5, 0) == 15
+
+    def test_fetch_add_wraps(self):
+        assert evaluate_atomic(self.rmw(AtomicKind.FETCH_ADD), MASK, 1, 0) == 0
+
+    def test_exchange(self):
+        assert evaluate_atomic(self.rmw(AtomicKind.EXCHANGE), 10, 5, 0) == 5
+
+    def test_cas_success_and_failure(self):
+        cas = self.rmw(AtomicKind.COMPARE_AND_SWAP)
+        assert evaluate_atomic(cas, 7, 99, 7) == 99  # matches expected
+        assert evaluate_atomic(cas, 8, 99, 7) == 8  # no match: unchanged
+
+    def test_test_and_set(self):
+        assert evaluate_atomic(self.rmw(AtomicKind.TEST_AND_SET), 0, 0, 0) == 1
+        assert evaluate_atomic(self.rmw(AtomicKind.TEST_AND_SET), 1, 0, 0) == 1
+
+    def test_fetch_or_and(self):
+        assert evaluate_atomic(self.rmw(AtomicKind.FETCH_OR), 0b100, 0b011, 0) == 0b111
+        assert evaluate_atomic(self.rmw(AtomicKind.FETCH_AND), 0b110, 0b011, 0) == 0b010
+
+
+class TestErrors:
+    def test_unknown_alu_op_raises(self):
+        bad = Alu(op=AluOp.ADD, dst=1, src1=1, imm=1)
+        object.__setattr__(bad, "op", "bogus")
+        with pytest.raises(ProgramError):
+            evaluate_alu(bad, 1, 1)

@@ -1,0 +1,88 @@
+"""Tests for the set-associative tag array."""
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import CacheArray
+
+
+def small_cache(sets=4, ways=2) -> CacheArray:
+    return CacheArray(CacheConfig("T", sets * ways * 64, ways, 0, 1))
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.lookup(5) is None
+        cache.fill(5)
+        assert cache.lookup(5) is not None
+        assert 5 in cache
+
+    def test_fill_returns_location(self):
+        cache = small_cache(sets=4)
+        set_index, way = cache.fill(9)
+        assert set_index == 9 % 4
+        assert 0 <= way < 2
+
+    def test_refill_is_idempotent(self):
+        cache = small_cache()
+        first = cache.fill(5)
+        second = cache.fill(5)
+        assert first == second
+        assert len(cache) == 1
+
+    def test_set_mapping(self):
+        cache = small_cache(sets=4)
+        assert cache.set_of(0) == cache.set_of(4) == 0
+        assert cache.set_of(3) == 3
+
+
+class TestEviction:
+    def test_lru_eviction_on_conflict(self):
+        cache = small_cache(sets=1, ways=2)
+        evicted = []
+        cache.fill(0, on_evict=evicted.append)
+        cache.fill(1, on_evict=evicted.append)
+        cache.lookup(0)  # refresh 0 -> victim should be 1
+        cache.fill(2, on_evict=evicted.append)
+        assert evicted == [1]
+        assert 0 in cache and 2 in cache and 1 not in cache
+
+    def test_excluded_ways_not_victimized(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        locked_way = cache.way_of(0)
+        result = cache.fill(2, excluded_ways={locked_way})
+        assert result is not None
+        assert 0 in cache  # the locked line survived
+        assert 1 not in cache
+
+    def test_fill_blocked_when_all_ways_excluded(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.fill(2, excluded_ways={0, 1}) is None
+        assert 2 not in cache
+
+    def test_empty_excluded_way_not_used(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(0)
+        # way of line 0 plus the free way both excluded -> blocked
+        free_way = 1 - cache.way_of(0)
+        assert cache.fill(2, excluded_ways={cache.way_of(0), free_way}) is None
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = small_cache()
+        cache.fill(7)
+        assert cache.invalidate(7)
+        assert 7 not in cache
+
+    def test_invalidate_absent(self):
+        assert not small_cache().invalidate(7)
+
+    def test_lines_in_set(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.fill(10)
+        cache.fill(11)
+        assert sorted(cache.lines_in_set(0)) == [10, 11]

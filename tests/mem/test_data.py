@@ -1,0 +1,36 @@
+"""Tests for the global value store."""
+
+from repro.mem.data import GlobalMemory
+
+
+class TestGlobalMemory:
+    def test_unwritten_reads_zero(self):
+        assert GlobalMemory().read(0x1234560) == 0
+
+    def test_write_read_round_trip(self):
+        memory = GlobalMemory()
+        memory.write(0x1000, 42)
+        assert memory.read(0x1000) == 42
+
+    def test_word_aliasing(self):
+        memory = GlobalMemory()
+        memory.write(0x1001, 7)  # unaligned: lands on word 0x1000
+        assert memory.read(0x1000) == 7
+        assert memory.read(0x1007) == 7
+
+    def test_values_truncate_to_64_bits(self):
+        memory = GlobalMemory()
+        memory.write(0x8, 1 << 70)
+        assert memory.read(0x8) == 0
+
+    def test_initial_contents(self):
+        memory = GlobalMemory({0x10: 1, 0x18: 2})
+        assert memory.read(0x10) == 1
+        assert memory.read(0x18) == 2
+        assert len(memory) == 2
+
+    def test_snapshot_is_copy(self):
+        memory = GlobalMemory({0x10: 1})
+        snap = memory.snapshot()
+        memory.write(0x10, 9)
+        assert snap[0x10] == 1

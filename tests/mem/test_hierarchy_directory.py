@@ -1,0 +1,172 @@
+"""Integration tests: private hierarchies + directory over the crossbar.
+
+Covers MESI state movement, invalidations, downgrades, lock deferral,
+inclusive-directory recalls, and the L2-inclusion back-invalidation.
+"""
+
+from repro.mem.coherence import MESIState
+from tests.mem.conftest import MemoryHarness
+
+
+class TestBasicStates:
+    def test_first_read_grants_exclusive(self, harness):
+        assert harness.read(0, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.EXCLUSIVE
+
+    def test_second_reader_shares(self, harness):
+        harness.read(0, 100)
+        harness.read(1, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.SHARED
+        assert harness.hierarchies[1].state_of(100) is MESIState.SHARED
+
+    def test_write_grants_modified(self, harness):
+        assert harness.write(0, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.MODIFIED
+
+    def test_write_invalidates_sharers(self, harness):
+        harness.read(0, 100)
+        harness.read(1, 100)
+        harness.write(1, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.INVALID
+        assert harness.hierarchies[1].state_of(100) is MESIState.MODIFIED
+
+    def test_write_steals_from_owner(self, harness):
+        harness.write(0, 100)
+        harness.write(1, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.INVALID
+        assert harness.hierarchies[1].state_of(100) is MESIState.MODIFIED
+
+    def test_upgrade_from_shared(self, harness):
+        harness.read(0, 100)
+        harness.read(1, 100)
+        assert harness.write(0, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.MODIFIED
+        assert harness.hierarchies[1].state_of(100) is MESIState.INVALID
+
+    def test_read_from_modified_downgrades_owner(self, harness):
+        harness.write(0, 100)
+        harness.read(1, 100)
+        assert harness.hierarchies[0].state_of(100) is MESIState.SHARED
+        assert harness.hierarchies[1].state_of(100) is MESIState.SHARED
+
+
+class TestHitLatency:
+    def test_l1_hit_is_fast(self, harness):
+        harness.read(0, 100)
+        start = harness.queue.now
+        done_at = []
+        harness.hierarchies[0].request_read(100, lambda: done_at.append(harness.queue.now))
+        harness.settle()
+        assert done_at[0] - start == harness.config.l1d.hit_latency
+
+    def test_miss_goes_through_directory(self, harness):
+        start = harness.queue.now
+        done_at = []
+        harness.hierarchies[0].request_read(500, lambda: done_at.append(harness.queue.now))
+        harness.settle()
+        assert done_at[0] - start > harness.config.l2.hit_latency
+
+
+class TestLineLost:
+    def test_invalidation_fires_on_line_lost(self, harness):
+        lost = []
+        harness.hierarchies[0].on_line_lost = lost.append
+        harness.read(0, 100)
+        harness.write(1, 100)
+        assert lost == [100]
+
+    def test_downgrade_does_not_fire_line_lost(self, harness):
+        lost = []
+        harness.hierarchies[0].on_line_lost = lost.append
+        harness.write(0, 100)
+        harness.read(1, 100)
+        assert lost == []
+
+
+class TestLockDeferral:
+    def test_locked_line_defers_invalidation(self, harness):
+        harness.write(0, 100)
+        harness.lock_views[0].locked_lines.add(100)
+        acquired = []
+        harness.hierarchies[1].request_write(100, lambda: acquired.append(True))
+        harness.settle()
+        # Core 1 must NOT have the line while core 0 holds the lock.
+        assert not acquired
+        assert harness.hierarchies[0].deferred_count(100) == 1
+        assert harness.hierarchies[0].state_of(100) is MESIState.MODIFIED
+
+    def test_unlock_replays_deferred_request(self, harness):
+        harness.write(0, 100)
+        harness.lock_views[0].locked_lines.add(100)
+        acquired = []
+        harness.hierarchies[1].request_write(100, lambda: acquired.append(True))
+        harness.settle()
+        assert not acquired
+        harness.lock_views[0].locked_lines.discard(100)
+        harness.hierarchies[0].notify_unlock(100)
+        harness.settle()
+        assert acquired
+        assert harness.hierarchies[1].state_of(100) is MESIState.MODIFIED
+        assert harness.hierarchies[0].state_of(100) is MESIState.INVALID
+
+    def test_locked_line_defers_downgrade(self, harness):
+        harness.write(0, 100)
+        harness.lock_views[0].locked_lines.add(100)
+        got = []
+        harness.hierarchies[1].request_read(100, lambda: got.append(True))
+        harness.settle()
+        assert not got
+        harness.lock_views[0].locked_lines.discard(100)
+        harness.hierarchies[0].notify_unlock(100)
+        harness.settle()
+        assert got
+        assert harness.hierarchies[0].state_of(100) is MESIState.SHARED
+
+
+class TestInclusionAndEviction:
+    def test_l2_eviction_back_invalidates_l1(self):
+        harness = MemoryHarness(num_cores=1)
+        hierarchy = harness.hierarchies[0]
+        l2_lines = harness.config.l2.num_lines
+        sets = harness.config.l2.num_sets
+        ways = harness.config.l2.ways
+        # Fill one L2 set beyond capacity: lines mapping to L2 set 0.
+        for i in range(ways + 1):
+            assert harness.read(0, i * sets)
+        resident = [line for line in (i * sets for i in range(ways + 1))
+                    if hierarchy.state_of(line) is not MESIState.INVALID]
+        assert len(resident) == ways  # exactly one got evicted
+
+    def test_directory_recall_invalidates_private_copies(self):
+        # Coverage small enough that the directory set overflows.
+        harness = MemoryHarness(num_cores=1, directory_coverage=0.001)
+        hierarchy = harness.hierarchies[0]
+        dir_ways = harness.config.directory.ways
+        sets = harness.directory._num_sets
+        lines = [i * sets for i in range(dir_ways + 1)]
+        for line in lines:
+            assert harness.read(0, line)
+        invalid = [l for l in lines if hierarchy.state_of(l) is MESIState.INVALID]
+        assert len(invalid) == 1  # recalled by the directory
+        assert harness.stats.get("dir.recalls") >= 1
+
+    def test_recall_blocked_by_lock_until_unlock(self):
+        harness = MemoryHarness(num_cores=1, directory_coverage=0.001)
+        hierarchy = harness.hierarchies[0]
+        view = harness.lock_views[0]
+        dir_ways = harness.config.directory.ways
+        sets = harness.directory._num_sets
+        lines = [i * sets for i in range(dir_ways)]
+        for line in lines:
+            assert harness.read(0, line)
+        # Lock every resident line: the recall INV gets deferred.
+        view.locked_lines.update(lines)
+        done = []
+        hierarchy.request_read(dir_ways * sets, lambda: done.append(True))
+        harness.settle()
+        assert not done  # inclusion deadlock while locks are held
+        view.locked_lines.clear()
+        for line in lines:
+            hierarchy.notify_unlock(line)
+        harness.settle()
+        assert done  # unlock let the recall and the new fill finish

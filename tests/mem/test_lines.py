@@ -1,0 +1,46 @@
+"""Tests for address arithmetic."""
+
+from repro.mem.lines import (
+    ADDRESS_MASK,
+    LINE_BYTES,
+    WORD_BYTES,
+    align_word,
+    line_base,
+    line_of,
+    word_index,
+)
+
+
+class TestLineMath:
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+        assert line_of(128 + 5) == 2
+
+    def test_line_base_inverse(self):
+        for line in (0, 1, 17, 1000):
+            assert line_of(line_base(line)) == line
+
+    def test_word_index(self):
+        assert word_index(0) == 0
+        assert word_index(7) == 0
+        assert word_index(8) == 1
+        assert word_index(64) == 8
+
+    def test_words_per_line(self):
+        assert LINE_BYTES // WORD_BYTES == 8
+
+
+class TestAlignment:
+    def test_align_word_masks_low_bits(self):
+        assert align_word(0x1007) == 0x1000
+        assert align_word(0x1008) == 0x1008
+
+    def test_align_word_bounds_address_space(self):
+        wild = 0xDEAD_BEEF_CAFE_F00D
+        assert align_word(wild) <= ADDRESS_MASK
+        assert align_word(wild) % WORD_BYTES == 0
+
+    def test_negative_wild_values(self):
+        assert 0 <= align_word(-12345) <= ADDRESS_MASK

@@ -1,0 +1,149 @@
+"""Tests for the stride prefetcher and at-commit store prefetch."""
+
+import pytest
+
+from repro.core.policy import BASELINE
+from repro.isa.builder import ProgramBuilder
+from repro.mem.lines import LINE_BYTES
+from repro.mem.prefetch import StridePrefetcher
+from repro.common.stats import StatsRegistry
+from repro.system.simulator import run_workload
+from repro.workloads.base import Workload
+from tests.conftest import small_system_config
+
+
+class TestStrideDetection:
+    def make(self, degree=1):
+        issued = []
+        prefetcher = StridePrefetcher(
+            issue=issued.append, stats=StatsRegistry(), degree=degree
+        )
+        return prefetcher, issued
+
+    def test_needs_confidence_before_issuing(self):
+        prefetcher, issued = self.make()
+        for i in range(3):  # stride established after 3 observations
+            prefetcher.observe_load(pc=10, address=i * LINE_BYTES)
+        assert not issued or len(issued) <= 1
+        prefetcher.observe_load(pc=10, address=3 * LINE_BYTES)
+        assert issued  # confident now
+        assert issued[-1] == 4  # next line ahead
+
+    def test_stride_change_resets_confidence(self):
+        prefetcher, issued = self.make()
+        for i in range(4):
+            prefetcher.observe_load(pc=10, address=i * LINE_BYTES)
+        issued.clear()
+        prefetcher.observe_load(pc=10, address=100 * LINE_BYTES)  # break stride
+        prefetcher.observe_load(pc=10, address=101 * LINE_BYTES)
+        assert not issued  # confidence rebuilding
+        assert prefetcher.confidence_of(10) < StridePrefetcher.THRESHOLD
+
+    def test_zero_stride_never_prefetches(self):
+        prefetcher, issued = self.make()
+        for _ in range(6):
+            prefetcher.observe_load(pc=10, address=0x1000)
+        assert not issued
+
+    def test_negative_stride(self):
+        prefetcher, issued = self.make()
+        for i in range(5, 0, -1):
+            prefetcher.observe_load(pc=10, address=i * LINE_BYTES)
+        assert issued
+        assert issued[-1] == 0  # descending
+
+    def test_degree_fetches_multiple_lines(self):
+        prefetcher, issued = self.make(degree=3)
+        for i in range(4):
+            prefetcher.observe_load(pc=10, address=i * LINE_BYTES)
+        assert issued[-3:] == [4, 5, 6]
+
+    def test_sub_line_stride_skips_same_line(self):
+        prefetcher, issued = self.make()
+        for i in range(8):
+            prefetcher.observe_load(pc=10, address=i * 8)  # 8B stride
+        # Prefetches only fire when the strided target leaves the line.
+        assert all(isinstance(line, int) for line in issued)
+
+    def test_pcs_tracked_independently(self):
+        prefetcher, issued = self.make()
+        for i in range(4):
+            prefetcher.observe_load(pc=10, address=i * LINE_BYTES)
+            prefetcher.observe_load(pc=11, address=0x8000 + i * 2 * LINE_BYTES)
+        assert prefetcher.stride_of(10) == LINE_BYTES
+        assert prefetcher.stride_of(11) == 2 * LINE_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(issue=lambda l: None, stats=StatsRegistry(), degree=0)
+
+
+class TestPrefetchInSystem:
+    def streaming_program(self) -> Workload:
+        builder = ProgramBuilder("stream")
+        builder.li(1, 0x10000)
+        builder.li(2, 0)
+        builder.li(3, 0)
+        builder.label("loop")
+        builder.load(4, base=1)
+        builder.add(3, 3, 4)
+        builder.addi(1, 1, LINE_BYTES)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, 40, "loop")
+        return Workload("stream", [builder.build()])
+
+    def _config(self, prefetch: bool, degree: int = 4):
+        import dataclasses
+
+        from repro.common.config import CoreConfig, FreeAtomicsConfig, SystemConfig
+        from tests.conftest import tiny_memory_config
+
+        memory = dataclasses.replace(
+            tiny_memory_config(),
+            l1_stride_prefetcher=prefetch,
+            prefetch_degree=degree,
+        )
+        # A small LQ limits natural MLP, which is the regime where a
+        # prefetcher actually matters.
+        return SystemConfig(
+            num_cores=1,
+            core=CoreConfig(rob_entries=32, lq_entries=4, sq_entries=4),
+            memory=memory,
+            free_atomics=FreeAtomicsConfig(aq_entries=2),
+        )
+
+    def test_streaming_loads_benefit(self):
+        with_pf = run_workload(
+            self.streaming_program(), config=self._config(True, degree=4)
+        )
+        without = run_workload(
+            self.streaming_program(), config=self._config(False)
+        )
+        assert with_pf.stats.aggregate("prefetch.issued") > 10
+        assert without.stats.aggregate("prefetch.issued") == 0
+        assert with_pf.cycles < without.cycles
+
+    def test_degree_one_is_at_least_neutral(self):
+        with_pf = run_workload(
+            self.streaming_program(), config=self._config(True, degree=1)
+        )
+        without = run_workload(
+            self.streaming_program(), config=self._config(False)
+        )
+        assert with_pf.stats.aggregate("prefetch.issued") > 10
+        assert with_pf.cycles <= without.cycles
+
+    def test_store_prefetch_counts(self):
+        builder = ProgramBuilder("stores")
+        builder.li(1, 0x20000)
+        for k in range(6):
+            builder.store(imm=k, base=1, offset=k * 64)
+        result = run_workload(
+            Workload("stores", [builder.build()]),
+            policy=BASELINE,
+            config=small_system_config(1),
+        )
+        # Cold lines: commit-time prefetches fire for the misses.
+        assert result.stats.aggregate("store_prefetches") >= 1
+        for k in range(6):
+            assert result.read_word(0x20000 + k * 64) == k

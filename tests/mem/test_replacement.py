@@ -1,0 +1,45 @@
+"""Tests for replacement policies (lock-aware victim exclusion)."""
+
+from repro.mem.replacement import LruPolicy, RoundRobinPolicy
+
+
+class TestLru:
+    def test_picks_least_recent(self):
+        lru = LruPolicy(num_sets=1, ways=4)
+        for way in (0, 1, 2, 3):
+            lru.touch(0, way)
+        lru.touch(0, 0)  # refresh way 0
+        assert lru.choose_victim(0, excluded_ways=()) == 1
+
+    def test_exclusion(self):
+        lru = LruPolicy(num_sets=1, ways=4)
+        for way in (0, 1, 2, 3):
+            lru.touch(0, way)
+        assert lru.choose_victim(0, excluded_ways={0, 1}) == 2
+
+    def test_all_excluded_returns_none(self):
+        lru = LruPolicy(num_sets=1, ways=2)
+        assert lru.choose_victim(0, excluded_ways={0, 1}) is None
+
+    def test_per_set_independence(self):
+        lru = LruPolicy(num_sets=2, ways=2)
+        lru.touch(0, 1)
+        lru.touch(1, 0)
+        assert lru.choose_victim(0, ()) == 0
+        assert lru.choose_victim(1, ()) == 1
+
+
+class TestRoundRobin:
+    def test_cycles_through_ways(self):
+        policy = RoundRobinPolicy(num_sets=1, ways=3)
+        picks = [policy.choose_victim(0, ()) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_excluded(self):
+        policy = RoundRobinPolicy(num_sets=1, ways=3)
+        assert policy.choose_victim(0, excluded_ways={0}) == 1
+        assert policy.choose_victim(0, excluded_ways={2}) == 0
+
+    def test_all_excluded(self):
+        policy = RoundRobinPolicy(num_sets=1, ways=2)
+        assert policy.choose_victim(0, excluded_ways={0, 1}) is None

@@ -1,0 +1,83 @@
+"""Model-based property test for the rename map.
+
+Random sequences of claim/complete/commit/squash operations are applied
+both to the real :class:`RenameMap` and to a trivially correct model (a
+stack of mappings); after every step the visible register state must
+agree.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import Alu, AluOp
+from repro.uarch.dynins import DynInstr
+from repro.uarch.rename import RenameMap
+
+NUM_REGS = 4  # small register space makes collisions common
+
+
+@st.composite
+def scripts(draw):
+    """A program-order script of dispatches with post-hoc outcomes."""
+    length = draw(st.integers(1, 24))
+    steps = []
+    for _ in range(length):
+        steps.append(
+            {
+                "reg": draw(st.integers(0, NUM_REGS - 1)),
+                "value": draw(st.integers(0, 99)),
+            }
+        )
+    # A squash point somewhere in the sequence (or none).
+    squash_at = draw(st.one_of(st.none(), st.integers(0, length)))
+    # How many of the (surviving) oldest instructions commit.
+    commits = draw(st.integers(0, length))
+    return steps, squash_at, commits
+
+
+@given(script=scripts())
+@settings(max_examples=200)
+def test_rename_map_matches_model(script):
+    steps, squash_at, commits = script
+    rename = RenameMap()
+    model_committed = [0] * NUM_REGS
+
+    instrs: list[DynInstr] = []
+    for seq, step in enumerate(steps):
+        instr = DynInstr(seq, Alu(op=AluOp.ADD, dst=step["reg"], src1=0, imm=1), seq)
+        instr.result = step["value"]
+        rename.claim(step["reg"], instr)
+        instrs.append(instr)
+
+    # Squash a suffix.
+    if squash_at is not None:
+        squashed = [i for i in reversed(instrs) if i.seq >= squash_at]
+        rename.rollback(squashed)
+        for instr in squashed:
+            instr.squashed = True
+        instrs = [i for i in instrs if i.seq < squash_at]
+
+    # Commit the oldest `commits` survivors in order.
+    for instr in instrs[:commits]:
+        instr.completed = True
+        reg = instr.instr.dst  # type: ignore[union-attr]
+        rename.commit(reg, instr, instr.result)
+        model_committed[reg] = instr.result
+        instr.committed = True
+
+    in_flight = instrs[commits:]
+    for reg in range(NUM_REGS):
+        # Model: youngest in-flight producer of reg, else committed value.
+        producer = None
+        for instr in in_flight:
+            if instr.instr.dst == reg:  # type: ignore[union-attr]
+                producer = instr
+        expected_producer = producer
+        actual = rename.producer_of(reg)
+        assert actual is expected_producer, (
+            f"reg {reg}: expected {expected_producer}, got {actual}"
+        )
+        if expected_producer is None:
+            ready, value, _ = rename.read_or_producer(reg)
+            assert ready and value == model_committed[reg]

@@ -1,0 +1,145 @@
+"""System-level tests: multicore runs, atomicity, result reporting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.policy import ALL_POLICIES, BASELINE, FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import System, run_workload
+from repro.workloads.base import Workload
+from tests.conftest import counter_workload, small_system_config
+
+COUNTER = 0x10000
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_shared_counter_no_lost_updates(self, policy):
+        workload = counter_workload(num_threads=4, iterations=50)
+        result = run_workload(
+            workload, policy=policy, config=small_system_config(4)
+        )
+        assert result.read_word(COUNTER) == 200
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_two_counters_interleaved(self, policy):
+        builder = ProgramBuilder()
+        builder.li(1, COUNTER)
+        builder.li(2, COUNTER + 0x40)
+        builder.li(3, 0)
+        builder.label("loop")
+        builder.fetch_add(dst=4, base=1, imm=1)
+        builder.fetch_add(dst=5, base=2, imm=2)
+        builder.addi(3, 3, 1)
+        builder.branch_lt(3, 30, "loop")
+        workload = Workload("two", [builder.build()] * 3)
+        result = run_workload(
+            workload, policy=policy, config=small_system_config(3)
+        )
+        assert result.read_word(COUNTER) == 90
+        assert result.read_word(COUNTER + 0x40) == 180
+
+    def test_fetch_add_returns_unique_tickets(self):
+        # Each thread stores its fetched (old) values; across threads
+        # they must form a permutation of 0..N*K-1 — the strongest
+        # atomicity check (no duplicated or skipped tickets).
+        iters, threads = 20, 3
+        builder = ProgramBuilder()
+        builder.li(1, COUNTER)
+        builder.li(2, 0)
+        builder.muli(3, 0, 8 * iters)  # r0 = tid -> output offset
+        builder.li(4, 0x20000)
+        builder.add(4, 4, 3)
+        builder.label("loop")
+        builder.fetch_add(dst=5, base=1, imm=1)
+        builder.store(src=5, base=4)
+        builder.addi(4, 4, 8)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, iters, "loop")
+        workload = Workload("tickets", [builder.build()] * threads)
+        result = run_workload(
+            workload, policy=FREE_ATOMICS_FWD, config=small_system_config(threads)
+        )
+        tickets = [
+            result.read_word(0x20000 + slot * 8) for slot in range(threads * iters)
+        ]
+        assert sorted(tickets) == list(range(threads * iters))
+
+
+class TestReporting:
+    def test_summaries_and_metrics(self):
+        workload = counter_workload(2, 10)
+        result = run_workload(
+            workload, policy=BASELINE, config=small_system_config(2)
+        )
+        assert len(result.cores) == 2
+        assert result.committed_instructions > 0
+        assert result.committed_atomics == 20
+        assert 0 < result.apki < 1000
+        assert result.slowest_core.finish_cycle == max(
+            core.finish_cycle for core in result.cores
+        )
+        assert result.cycles >= result.slowest_core.finish_cycle
+
+    def test_deterministic_across_runs(self):
+        workload = counter_workload(3, 25)
+        config = small_system_config(3)
+        first = run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+        second = run_workload(workload, policy=FREE_ATOMICS_FWD, config=config)
+        assert first.cycles == second.cycles
+        assert first.stats.counters() == second.stats.counters()
+
+    def test_too_many_threads_rejected(self):
+        workload = counter_workload(4, 1)
+        with pytest.raises(ConfigError, match="threads"):
+            System(workload, config=small_system_config(2))
+
+    def test_initial_regs_thread_id(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x30000)
+        builder.muli(2, 0, 8)
+        builder.add(1, 1, 2)
+        builder.store(src=0, base=1)
+        workload = Workload("tid", [builder.build()] * 3)
+        result = run_workload(workload, config=small_system_config(3))
+        assert [result.read_word(0x30000 + 8 * t) for t in range(3)] == [0, 1, 2]
+
+    def test_initial_memory_visible(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x40000)
+        builder.load(2, base=1)
+        builder.li(3, 0x40040)
+        builder.store(src=2, base=3)
+        workload = Workload(
+            "init", [builder.build()], initial_memory={0x40000: 1234}
+        )
+        result = run_workload(workload, config=small_system_config(1))
+        assert result.read_word(0x40040) == 1234
+
+
+class TestQuiescentAccounting:
+    def test_spin_marked_instructions_count_quiescent(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0)
+        with builder.spin_region():
+            builder.label("spin")
+            builder.pause()
+            builder.addi(1, 1, 1)
+            builder.branch_lt(1, 30, "spin")
+        workload = Workload("spin", [builder.build()])
+        result = run_workload(workload, config=small_system_config(1))
+        summary = result.cores[0]
+        assert summary.quiescent_cycles > summary.active_cycles
+
+    def test_finished_core_idles_quiescent(self):
+        fast = ProgramBuilder()
+        fast.nop()
+        slow = ProgramBuilder()
+        slow.li(1, 0)
+        slow.label("loop")
+        slow.addi(1, 1, 1)
+        slow.branch_lt(1, 200, "loop")
+        workload = Workload("skew", [fast.build(), slow.build()])
+        result = run_workload(workload, config=small_system_config(2))
+        fast_core = result.cores[0]
+        assert fast_core.quiescent_cycles > 0

@@ -1,0 +1,93 @@
+"""Tests for the pipeline tracer."""
+
+from repro.core.policy import FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import System
+from repro.system.trace import PipelineTracer
+from repro.workloads.base import Workload
+from tests.conftest import small_system_config
+
+
+def traced_run(builder: ProgramBuilder, policy=FREE_ATOMICS_FWD):
+    workload = Workload("traced", [builder.build()])
+    system = System(workload, policy=policy, config=small_system_config(1))
+    tracer = PipelineTracer()
+    tracer.attach(system.cores[0])
+    result = system.run()
+    return tracer, result
+
+
+class TestEventRecording:
+    def test_basic_lifecycle(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.store(imm=7, base=1)
+        builder.load(2, base=1)
+        tracer, _ = traced_run(builder)
+        kinds = {event.kind for event in tracer.events}
+        assert {"dispatch", "commit", "store_perform", "perform"} <= kinds
+
+    def test_atomic_lock_unlock_events(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.fetch_add(dst=2, base=1, imm=1)
+        tracer, result = traced_run(builder)
+        assert result.read_word(0x1000) == 1
+        locks = tracer.of_kind("lock")
+        assert len(locks) == 1
+        writes = [e for e in tracer.of_kind("store_perform") if "unlock" in e.detail]
+        assert len(writes) == 1
+        assert locks[0].cycle <= writes[0].cycle
+
+    def test_squash_events_on_mispredict(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0)
+        builder.label("loop")
+        builder.addi(1, 1, 1)
+        builder.branch_lt(1, 12, "loop")
+        tracer, _ = traced_run(builder)
+        assert tracer.of_kind("squash")
+
+    def test_commit_order_is_program_order(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        for k in range(5):
+            builder.store(imm=k, base=1, offset=k * 8)
+        tracer, _ = traced_run(builder)
+        commit_seqs = [event.seq for event in tracer.of_kind("commit")]
+        assert commit_seqs == sorted(commit_seqs)
+
+    def test_events_have_nondecreasing_cycles(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.fetch_add(dst=2, base=1, imm=1)
+        builder.load(3, base=1)
+        tracer, _ = traced_run(builder)
+        cycles = [event.cycle for event in tracer.events]
+        assert cycles == sorted(cycles)
+
+
+class TestTimeline:
+    def test_render_contains_stage_markers(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.fetch_add(dst=2, base=1, imm=1)
+        tracer, _ = traced_run(builder)
+        text = tracer.timeline(0)
+        assert "D@" in text and "C@" in text and "P@" in text
+        assert "atomic" in text
+
+    def test_squashed_instructions_marked(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0)
+        builder.label("loop")
+        builder.addi(1, 1, 1)
+        builder.branch_lt(1, 8, "loop")
+        tracer, _ = traced_run(builder)
+        assert "X@" in tracer.timeline(0)
+
+    def test_str_of_event(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        tracer, _ = traced_run(builder)
+        assert "core0" in str(tracer.events[0])

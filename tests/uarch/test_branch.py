@@ -1,0 +1,60 @@
+"""Tests for the bimodal branch predictor."""
+
+import pytest
+
+from repro.isa.instructions import Branch, BranchCond
+from repro.uarch.branch import BimodalPredictor
+
+
+def cond_branch():
+    return Branch(cond=BranchCond.EQ, src1=1, imm=0, target="x")
+
+
+def always_branch():
+    return Branch(cond=BranchCond.ALWAYS, target="x")
+
+
+class TestBimodal:
+    def test_initial_prediction_is_taken(self):
+        predictor = BimodalPredictor(64)
+        assert predictor.predict(10, cond_branch())
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(64)
+        branch = cond_branch()
+        for _ in range(3):
+            predictor.train(10, branch, taken=False, mispredicted=True)
+        assert not predictor.predict(10, branch)
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor(64)
+        branch = cond_branch()
+        # Saturate taken, then a single not-taken shouldn't flip it.
+        for _ in range(4):
+            predictor.train(10, branch, taken=True, mispredicted=False)
+        predictor.train(10, branch, taken=False, mispredicted=True)
+        assert predictor.predict(10, branch)
+
+    def test_unconditional_always_taken_and_untrained(self):
+        predictor = BimodalPredictor(64)
+        assert predictor.predict(3, always_branch())
+        predictor.train(3, always_branch(), taken=True, mispredicted=False)
+        assert predictor.lookups == 0
+
+    def test_mispredict_counter(self):
+        predictor = BimodalPredictor(64)
+        predictor.train(1, cond_branch(), taken=False, mispredicted=True)
+        predictor.train(1, cond_branch(), taken=False, mispredicted=False)
+        assert predictor.mispredicts == 1
+
+    def test_pc_aliasing_uses_mask(self):
+        predictor = BimodalPredictor(4)
+        branch = cond_branch()
+        for _ in range(3):
+            predictor.train(0, branch, taken=False, mispredicted=True)
+        # pc=4 aliases with pc=0 in a 4-entry table.
+        assert not predictor.predict(4, branch)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)

@@ -1,0 +1,181 @@
+"""Single-core pipeline tests: functional correctness vs the reference
+interpreter, speculation/squash behaviour, and stall accounting."""
+
+import pytest
+
+from repro.core.policy import ALL_POLICIES, BASELINE, FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ReferenceInterpreter
+from repro.system.simulator import run_workload
+from repro.workloads.base import Workload
+from tests.conftest import small_system_config
+
+
+def run_single(builder: ProgramBuilder, policy=FREE_ATOMICS_FWD, regs=None):
+    workload = Workload(
+        "t", [builder.build()], initial_regs=[regs] if regs else None
+    )
+    return run_workload(workload, policy=policy, config=small_system_config(1))
+
+
+def reference(builder: ProgramBuilder, regs=None):
+    return ReferenceInterpreter(builder.build(), initial_regs=regs).run()
+
+
+def assert_matches_reference(builder: ProgramBuilder, policy=FREE_ATOMICS_FWD):
+    result = run_single(builder, policy)
+    ref = reference(builder)
+    for address, value in ref.memory.items():
+        assert result.read_word(address) == value, hex(address)
+    assert result.committed_instructions == ref.committed
+
+
+class TestFunctionalEquivalence:
+    def test_alu_chain(self):
+        b = ProgramBuilder()
+        b.li(1, 10)
+        b.muli(2, 1, 7)
+        b.sub(3, 2, 1)
+        b.li(4, 0x1000)
+        b.store(src=3, base=4)
+        assert_matches_reference(b)
+
+    def test_loop_with_memory(self):
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.li(2, 0)
+        b.label("loop")
+        b.load(3, base=1)
+        b.addi(3, 3, 5)
+        b.store(src=3, base=1)
+        b.addi(2, 2, 1)
+        b.branch_lt(2, 8, "loop")
+        assert_matches_reference(b)
+
+    def test_store_load_forwarding_value(self):
+        b = ProgramBuilder()
+        b.li(1, 0x2000)
+        b.store(imm=123, base=1)
+        b.load(2, base=1)  # must forward 123 from the SQ
+        b.li(3, 0x3000)
+        b.store(src=2, base=3)
+        assert_matches_reference(b)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_atomic_sequence_all_policies(self, policy):
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.fetch_add(dst=2, base=1, imm=3)
+        b.fetch_add(dst=3, base=1, imm=4)
+        b.exchange(dst=4, base=1, imm=100)
+        b.li(5, 0x2000)
+        b.store(src=2, base=5)
+        b.store(src=3, base=5, offset=8)
+        b.store(src=4, base=5, offset=16)
+        result = run_single(b, policy)
+        assert result.read_word(0x1000) == 100
+        assert result.read_word(0x2000) == 0
+        assert result.read_word(0x2008) == 3
+        assert result.read_word(0x2010) == 7
+
+    def test_cas_success_failure(self):
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.store(imm=5, base=1)
+        b.li(2, 5)  # expected (matches)
+        b.li(3, 50)
+        b.cas(dst=4, base=1, expected=2, src=3)
+        b.li(2, 99)  # expected (does not match)
+        b.cas(dst=5, base=1, expected=2, src=3)
+        result = run_single(b)
+        assert result.read_word(0x1000) == 50
+        ref = reference(b)
+        assert ref.memory[0x1000] == 50
+
+    def test_wrong_path_execution_is_squashed(self):
+        # The branch is data-dependent on a load, so the predictor will
+        # speculate; the wrong path writes to r5 but must not commit.
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.store(imm=1, base=1)
+        b.load(2, base=1)
+        b.branch_eq(2, 1, "skip")
+        b.li(5, 666)
+        b.li(6, 0x2000)
+        b.store(src=5, base=6)  # wrong path store must never perform
+        b.label("skip")
+        result = run_single(b)
+        assert result.read_word(0x2000) == 0
+
+
+class TestSpeculationMachinery:
+    def test_mispredicts_squash_and_recover(self):
+        # A loop whose exit is data-dependent mispredicts at least once.
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.label("loop")
+        b.addi(1, 1, 1)
+        b.branch_lt(1, 20, "loop")
+        b.li(2, 0x1000)
+        b.store(src=1, base=2)
+        result = run_single(b)
+        assert result.read_word(0x1000) == 20
+        assert result.squashes >= 1
+
+    def test_memory_dependence_violation_detected(self):
+        # A store whose address comes from a slow dependency chain,
+        # followed by a load to the same address: the load speculates,
+        # reads stale data, and must be squashed and replayed.
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.store(imm=7, base=1)  # init memory
+        b.li(2, 1)
+        for _ in range(6):  # slow chain computing the store address
+            b.muli(2, 2, 3)
+        b.andi(2, 2, 0)
+        b.li(3, 0x1000)
+        b.add(3, 3, 2)  # address = 0x1000, but known late
+        b.store(imm=99, base=3)
+        b.load(4, base=1)  # same word; speculates to 7, must see 99
+        b.li(5, 0x2000)
+        b.store(src=4, base=5)
+        result = run_single(b)
+        assert result.read_word(0x2000) == 99
+
+    def test_fence_orders_visibility(self):
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.store(imm=1, base=1)
+        b.fence()
+        b.load(2, base=1)
+        b.li(3, 0x2000)
+        b.store(src=2, base=3)
+        result = run_single(b)
+        assert result.read_word(0x2000) == 1
+
+
+class TestAtomicCostAccounting:
+    def test_baseline_atomic_records_drain_and_block(self):
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.li(4, 0x3000)
+        for k in range(4):
+            b.store(imm=k, base=4, offset=k * 64)  # fill the SB
+        b.fetch_add(dst=2, base=1, imm=1)
+        result = run_single(b, BASELINE)
+        drain = result.stats.aggregate_histogram("atomic_drain_sb")
+        block = result.stats.aggregate_histogram("atomic_block")
+        assert drain.count == 1
+        assert drain.mean > 0  # waited for the SB to drain
+        assert block.mean > 0
+
+    def test_free_atomic_has_no_drain_wait(self):
+        b = ProgramBuilder()
+        b.li(1, 0x1000)
+        b.li(4, 0x3000)
+        for k in range(4):
+            b.store(imm=k, base=4, offset=k * 64)
+        b.fetch_add(dst=2, base=1, imm=1)
+        result = run_single(b, FREE_ATOMICS_FWD)
+        drain = result.stats.aggregate_histogram("atomic_drain_sb")
+        assert drain.mean == 0

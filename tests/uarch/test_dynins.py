@@ -1,0 +1,77 @@
+"""Tests for dynamic-instruction classification and flags."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Alu,
+    AluOp,
+    AtomicRMW,
+    Branch,
+    BranchCond,
+    Fence,
+    Halt,
+    Load,
+    LoadImm,
+    MemoryOperand,
+    Pause,
+    Store,
+)
+from repro.uarch.dynins import DynInstr, InstrClass
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "instruction,expected",
+        [
+            (Alu(op=AluOp.ADD, dst=1, src1=2, imm=1), InstrClass.ALU),
+            (LoadImm(dst=1, value=5), InstrClass.ALU),
+            (Pause(), InstrClass.ALU),
+            (Load(dst=1, mem=MemoryOperand(2)), InstrClass.LOAD),
+            (Store(imm=0, mem=MemoryOperand(2)), InstrClass.STORE),
+            (AtomicRMW(dst=1, imm=1, mem=MemoryOperand(2)), InstrClass.ATOMIC),
+            (Branch(cond=BranchCond.ALWAYS, target="x"), InstrClass.BRANCH),
+            (Fence(), InstrClass.FENCE),
+            (Halt(), InstrClass.HALT),
+        ],
+    )
+    def test_instr_class_of(self, instruction, expected):
+        assert InstrClass.of(instruction) is expected
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            InstrClass.of("not an instruction")  # type: ignore[arg-type]
+
+
+class TestFlags:
+    def make(self, instruction):
+        return DynInstr(7, instruction, pc=3)
+
+    def test_load_like_store_like(self):
+        atomic = self.make(AtomicRMW(dst=1, imm=1, mem=MemoryOperand(2)))
+        assert atomic.is_load_like and atomic.is_store_like and atomic.is_atomic
+        load = self.make(Load(dst=1, mem=MemoryOperand(2)))
+        assert load.is_load_like and not load.is_store_like
+        store = self.make(Store(imm=0, mem=MemoryOperand(2)))
+        assert store.is_store_like and not store.is_load_like
+
+    def test_spin_flag_propagates(self):
+        spin_load = self.make(Load(dst=1, mem=MemoryOperand(2), spin=True))
+        assert spin_load.is_spin
+
+    def test_holds_lock_requires_locked_entry(self):
+        from repro.common.stats import StatsRegistry
+        from repro.core.atomic_queue import AtomicQueue
+
+        atomic = self.make(AtomicRMW(dst=1, imm=1, mem=MemoryOperand(2)))
+        assert not atomic.holds_lock
+        aq = AtomicQueue(2, StatsRegistry(), lambda line: None)
+        entry = aq.allocate(atomic)
+        assert not atomic.holds_lock  # allocated but not locked
+        entry.lock(5, 0, 0)
+        assert atomic.holds_lock
+
+    def test_repr_reflects_state(self):
+        instr = self.make(Halt())
+        assert "seq=7" in repr(instr)
+        instr.squashed = True
+        assert "squashed" in repr(instr)

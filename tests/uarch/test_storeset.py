@@ -1,0 +1,69 @@
+"""Tests for the StoreSet memory-dependence predictor."""
+
+from repro.isa.instructions import MemoryOperand, Store
+from repro.uarch.dynins import DynInstr
+from repro.uarch.storeset import StoreSetPredictor
+
+
+def store_at(seq, pc):
+    return DynInstr(seq, Store(imm=0, mem=MemoryOperand(1)), pc)
+
+
+def load_at(seq, pc):
+    from repro.isa.instructions import Load
+
+    return DynInstr(seq, Load(dst=2, mem=MemoryOperand(1)), pc)
+
+
+class TestStoreSet:
+    def test_untrained_predicts_nothing(self):
+        predictor = StoreSetPredictor(64)
+        predictor.on_store_dispatch(store_at(1, 100))
+        assert predictor.predicted_dependency(load_at(2, 200)) is None
+
+    def test_violation_trains_dependency(self):
+        predictor = StoreSetPredictor(64)
+        load, store = load_at(5, 200), store_at(4, 100)
+        predictor.train_violation(load, store)
+        new_store = store_at(10, 100)
+        predictor.on_store_dispatch(new_store)
+        assert predictor.predicted_dependency(load_at(11, 200)) is new_store
+
+    def test_performed_store_not_predicted(self):
+        predictor = StoreSetPredictor(64)
+        predictor.train_violation(load_at(5, 200), store_at(4, 100))
+        store = store_at(10, 100)
+        predictor.on_store_dispatch(store)
+        store.performed = True
+        assert predictor.predicted_dependency(load_at(11, 200)) is None
+
+    def test_younger_store_not_predicted(self):
+        predictor = StoreSetPredictor(64)
+        predictor.train_violation(load_at(5, 200), store_at(4, 100))
+        store = store_at(20, 100)
+        predictor.on_store_dispatch(store)
+        assert predictor.predicted_dependency(load_at(11, 200)) is None
+
+    def test_squashed_store_not_predicted(self):
+        predictor = StoreSetPredictor(64)
+        predictor.train_violation(load_at(5, 200), store_at(4, 100))
+        store = store_at(10, 100)
+        predictor.on_store_dispatch(store)
+        store.squashed = True
+        assert predictor.predicted_dependency(load_at(11, 200)) is None
+
+    def test_forget_clears_lfst(self):
+        predictor = StoreSetPredictor(64)
+        predictor.train_violation(load_at(5, 200), store_at(4, 100))
+        store = store_at(10, 100)
+        predictor.on_store_dispatch(store)
+        predictor.forget(store)
+        assert predictor.predicted_dependency(load_at(11, 200)) is None
+
+    def test_merge_keeps_predicting_after_second_violation(self):
+        predictor = StoreSetPredictor(64)
+        predictor.train_violation(load_at(5, 200), store_at(4, 100))
+        predictor.train_violation(load_at(8, 200), store_at(7, 300))
+        newer = store_at(20, 300)
+        predictor.on_store_dispatch(newer)
+        assert predictor.predicted_dependency(load_at(21, 200)) is newer

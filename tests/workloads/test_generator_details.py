@@ -1,0 +1,84 @@
+"""Detailed generator behaviour: calibration, knobs, and idiom structure."""
+
+import dataclasses
+
+from repro.isa.instructions import AtomicKind, AtomicRMW, Fence, Store
+from repro.workloads.generator import (
+    WorkloadScale,
+    _work_length,
+    generate_workload,
+)
+from repro.workloads.profiles import PROFILES, profile
+
+SCALE = WorkloadScale(num_threads=2, instructions_per_thread=800)
+
+
+def static_instrs(name, **profile_overrides):
+    prof = profile(name)
+    if profile_overrides:
+        prof = dataclasses.replace(prof, **profile_overrides)
+    workload = generate_workload(prof, SCALE)
+    return list(workload.programs[0])
+
+
+class TestCalibration:
+    def test_higher_apki_means_less_work(self):
+        dense = _work_length(PROFILES["AS"])
+        sparse = _work_length(PROFILES["watersp"])
+        assert dense < sparse
+
+    def test_work_length_bounds(self):
+        for prof in PROFILES.values():
+            length = _work_length(prof)
+            assert 4 <= length <= 2000, prof.name
+
+
+class TestKnobs:
+    def test_atomic_release_doubles_lock_atomics(self):
+        with_rmw = sum(
+            1 for i in static_instrs("barnes", fence_chance=0.0, alias_chance=0.0)
+            if isinstance(i, AtomicRMW)
+        )
+        with_store = sum(
+            1
+            for i in static_instrs(
+                "barnes", atomic_release=False, fence_chance=0.0, alias_chance=0.0
+            )
+            if isinstance(i, AtomicRMW)
+        )
+        assert with_rmw > with_store
+
+    def test_fence_chance_emits_fences(self):
+        fenced = static_instrs("AS", fence_chance=1.0)
+        assert any(isinstance(i, Fence) for i in fenced)
+        unfenced = static_instrs("AS", fence_chance=0.0)
+        assert not any(isinstance(i, Fence) for i in unfenced)
+
+    def test_alias_chance_emits_hazards(self):
+        hazardous = static_instrs("watersp", alias_chance=1.0)
+        plain = static_instrs("watersp", alias_chance=0.0)
+        assert len(hazardous) > len(plain)
+
+    def test_release_kind_matches_profile(self):
+        instrs = static_instrs("fluidanimate")  # atomic_release=True
+        kinds = {i.kind for i in instrs if isinstance(i, AtomicRMW)}
+        assert AtomicKind.EXCHANGE in kinds  # the unlock
+        assert AtomicKind.TEST_AND_SET in kinds  # the acquire
+
+    def test_plain_release_profiles_store_zero(self):
+        instrs = static_instrs("swaptions")  # atomic_release=False
+        zero_stores = [
+            i for i in instrs if isinstance(i, Store) and i.imm == 0
+        ]
+        assert zero_stores  # the unlock store
+
+
+class TestDeterminismAcrossSeeds:
+    def test_different_seeds_differ(self):
+        a = generate_workload("TPCC", WorkloadScale(2, 800, seed=1))
+        b = generate_workload("TPCC", WorkloadScale(2, 800, seed=2))
+        assert a.programs[0].instructions != b.programs[0].instructions
+
+    def test_scale_reflected_in_meta(self):
+        workload = generate_workload("TPCC", SCALE)
+        assert workload.meta["scale"] is SCALE

@@ -1,0 +1,147 @@
+"""Tests for memory layout and synchronization primitives."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.policy import FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.mem.lines import LINE_BYTES
+from repro.system.simulator import run_workload
+from repro.workloads.base import Workload
+from repro.workloads.layout import AddressAllocator
+from repro.workloads.primitives import (
+    emit_barrier,
+    emit_lock_index,
+    emit_spinlock_acquire,
+    emit_spinlock_release,
+)
+from tests.conftest import small_system_config
+
+
+class TestAllocator:
+    def test_regions_are_line_aligned_and_disjoint(self):
+        alloc = AddressAllocator()
+        a = alloc.region("a", 100)
+        b = alloc.region("b", 1)
+        assert a.base % LINE_BYTES == 0
+        assert b.base % LINE_BYTES == 0
+        assert b.base >= a.base + a.size_bytes
+
+    def test_lines_region_slots(self):
+        alloc = AddressAllocator()
+        locks = alloc.lines_region("locks", 4)
+        addresses = [locks.line_address(i) for i in range(4)]
+        assert addresses == [locks.base + i * 64 for i in range(4)]
+
+    def test_word_address_bounds(self):
+        alloc = AddressAllocator()
+        region = alloc.region("r", 64)
+        with pytest.raises(ConfigError):
+            region.word_address(region.num_words)
+
+    def test_duplicate_region_rejected(self):
+        alloc = AddressAllocator()
+        alloc.region("a", 64)
+        with pytest.raises(ConfigError):
+            alloc.region("a", 64)
+
+    def test_getitem_and_contains(self):
+        alloc = AddressAllocator()
+        alloc.region("a", 64)
+        assert "a" in alloc and alloc["a"].name == "a"
+
+
+class TestSpinlock:
+    def test_mutual_exclusion(self):
+        # N threads increment a plain (non-atomic) counter inside the
+        # lock; without mutual exclusion updates would be lost.
+        lock_addr, counter = 0x80000, 0x80040
+        builder = ProgramBuilder()
+        builder.li(1, lock_addr)
+        builder.li(2, counter)
+        builder.li(3, 0)
+        builder.label("loop")
+        emit_spinlock_acquire(builder, base_reg=1, tmp=4)
+        builder.load(5, base=2)
+        builder.addi(5, 5, 1)
+        builder.store(src=5, base=2)
+        emit_spinlock_release(builder, base_reg=1, tmp=6)
+        builder.addi(3, 3, 1)
+        builder.branch_lt(3, 15, "loop")
+        workload = Workload("mutex", [builder.build()] * 3)
+        result = run_workload(
+            workload,
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(3, watchdog_cycles=400),
+        )
+        assert result.read_word(counter) == 45
+        assert result.read_word(lock_addr) == 0  # released
+
+    def test_lock_index_is_line_strided_and_bounded(self):
+        builder = ProgramBuilder()
+        builder.li(7, 13)  # pretend loop counter
+        emit_lock_index(builder, dst=8, counter_reg=7, salt=5, num_locks=16)
+        builder.li(1, 0x90000)
+        builder.store(src=8, base=1)
+        result = run_workload(
+            Workload("idx", [builder.build()]), config=small_system_config(1)
+        )
+        value = result.read_word(0x90000)
+        assert value % 64 == 0
+        assert 0 <= value < 16 * 64
+
+    def test_lock_index_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            emit_lock_index(ProgramBuilder(), 1, 2, 0, num_locks=10)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        # Before the barrier each thread stores a flag; after it, each
+        # thread reads every other thread's flag — all must be visible.
+        threads = 3
+        counter_addr, gen_addr = 0xA0000, 0xA0040
+        flags, out = 0xA1000, 0xA2000
+        programs = []
+        for thread in range(threads):
+            builder = ProgramBuilder()
+            builder.li(5, counter_addr)
+            builder.li(6, gen_addr)
+            builder.li(1, flags + thread * 0x40)
+            builder.store(imm=1, base=1)
+            emit_barrier(builder, 5, 6, threads, 10, 11, 12)
+            builder.li(2, 0)  # sum the other threads' flags
+            for other in range(threads):
+                builder.li(3, flags + other * 0x40)
+                builder.load(4, base=3)
+                builder.add(2, 2, 4)
+            builder.li(3, out + thread * 0x40)
+            builder.store(src=2, base=3)
+            programs.append(builder.build())
+        result = run_workload(
+            Workload("barrier", programs),
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(threads, watchdog_cycles=400),
+        )
+        for thread in range(threads):
+            assert result.read_word(out + thread * 0x40) == threads
+
+    def test_barrier_reusable(self):
+        # Two consecutive barrier episodes must not hang or miscount.
+        threads = 2
+        counter_addr, gen_addr = 0xB0000, 0xB0040
+        programs = []
+        for _ in range(threads):
+            builder = ProgramBuilder()
+            builder.li(5, counter_addr)
+            builder.li(6, gen_addr)
+            for _ in range(2):
+                emit_barrier(builder, 5, 6, threads, 10, 11, 12)
+            programs.append(builder.build())
+        result = run_workload(
+            Workload("barrier2", programs),
+            policy=FREE_ATOMICS_FWD,
+            config=small_system_config(threads, watchdog_cycles=400),
+        )
+        assert result.read_word(counter_addr) == 0
+        assert result.read_word(gen_addr) == 2

@@ -1,0 +1,49 @@
+"""Tests for suite groupings."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.profiles import BENCHMARK_ORDER
+from repro.workloads.suites import (
+    SUITES,
+    benchmarks_in,
+    per_suite_geomean,
+    suite_of,
+)
+
+
+class TestSuites:
+    def test_partition_is_complete_and_disjoint(self):
+        all_names = [name for names in SUITES.values() for name in names]
+        assert sorted(all_names) == sorted(BENCHMARK_ORDER)
+        assert len(all_names) == len(set(all_names))
+
+    def test_paper_memberships(self):
+        assert "barnes" in SUITES["splash3"]
+        assert "canneal" in SUITES["parsec"]
+        assert set(SUITES["write-intensive"]) == {
+            "TATP", "PC", "TPCC", "AS", "CQ", "RBT",
+        }
+
+    def test_suite_of(self):
+        assert suite_of("fft") == "splash3"
+        with pytest.raises(ConfigError):
+            suite_of("quake")
+
+    def test_benchmarks_in_validates(self):
+        assert benchmarks_in("parsec")
+        with pytest.raises(ConfigError):
+            benchmarks_in("spec2017")
+
+
+class TestGeomean:
+    def test_per_suite_geomean(self):
+        values = {name: 2.0 for name in BENCHMARK_ORDER}
+        means = per_suite_geomean(values)
+        for suite in SUITES:
+            assert means[suite] == pytest.approx(2.0)
+
+    def test_partial_values_ok(self):
+        means = per_suite_geomean({"AS": 4.0, "TPCC": 1.0})
+        assert means["write-intensive"] == pytest.approx(2.0)
+        assert means["splash3"] == 0.0
