@@ -33,3 +33,43 @@ def bench_generated_workload_baseline(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.committed_atomics > 0
+
+
+def bench_event_kernel_post_drain(benchmark):
+    """Raw EventQueue rate: post (no-handle fast path) + drain."""
+    from repro.common.events import EventQueue
+
+    def run():
+        queue = EventQueue()
+        sink = [0]
+
+        def tick():
+            sink[0] += 1
+
+        for i in range(50_000):
+            queue.post(i % 7, tick)
+        while queue.run_next():
+            pass
+        return sink[0]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 50_000
+
+
+def bench_event_kernel_run_cycle(benchmark):
+    """Batched same-cycle draining via run_cycle."""
+    from repro.common.events import EventQueue
+
+    def run():
+        queue = EventQueue()
+        sink = [0]
+
+        def tick():
+            sink[0] += 1
+
+        for i in range(50_000):
+            queue.post(i % 7, tick)
+        while queue.run_cycle() is not None:
+            pass
+        return sink[0]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 50_000

@@ -6,10 +6,12 @@ harness scale (8 cores, a few thousand instructions per thread — see
 the rows as an ASCII table, and archives them as JSON under
 ``results/`` so EXPERIMENTS.md can cite them.
 
-Simulation results are memoized per pytest session, so figures sharing
-runs (Table 2 / Figures 13-15 all reuse the free+fwd runs) only pay
-once.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
-tables inline.
+Simulation results are memoized per pytest session and persisted in the
+disk cache (``repro.common.cache``), so figures sharing runs (Table 2 /
+Figures 13-15 all reuse the free+fwd runs) only pay once — and a re-run
+of the harness pays nothing.  Set ``REPRO_BENCH_JOBS=N`` to fan the
+uncached simulation points across N worker processes up front.  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables inline.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import pathlib
 
 import pytest
 
+from repro.analysis.engine import harness_points, prefetch, resolve_jobs
 from repro.analysis.report import format_table
 from repro.analysis.runner import ExperimentScale
 
@@ -28,6 +31,18 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _parallel_prefetch(scale: ExperimentScale) -> None:
+    """Resolve the whole harness's points in parallel before any bench.
+
+    No-op when REPRO_BENCH_JOBS is unset/1: the serial path then pays
+    each point lazily exactly as before (modulo disk-cache hits).
+    """
+    jobs = resolve_jobs()
+    if jobs > 1:
+        prefetch(harness_points(scale), jobs=jobs)
 
 
 @pytest.fixture(scope="session")

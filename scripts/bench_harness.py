@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Record simulator/harness throughput to BENCH_harness.json.
+
+Runs a fixed, deterministic sweep of simulation points (3 benchmarks x
+all 4 policies at a reduced scale) with the disk cache disabled, so the
+numbers measure the simulator itself, and a tight event-kernel loop for
+the kernel's raw event rate.  Metrics:
+
+- ``sim_cycles_per_sec`` — simulated cycles advanced per host second;
+- ``sim_points_per_sec`` — full simulation points per host second;
+- ``kernel_events_per_sec`` — EventQueue post+run throughput.
+
+Intended for CI (see .github/workflows/ci.yml): the JSON lands in the
+repo root so successive PRs leave a performance trajectory.
+
+Usage::
+
+    python scripts/bench_harness.py [--jobs N] [--quick] [--cached]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+OUTPUT = ROOT / "BENCH_harness.json"
+
+BENCHMARKS = ("AS", "watersp", "canneal")
+
+
+def kernel_events_per_sec(num_events: int = 200_000) -> float:
+    """Raw EventQueue throughput: post + drain ``num_events`` callbacks."""
+    from repro.common.events import EventQueue
+
+    queue = EventQueue()
+    sink = [0]
+
+    def tick() -> None:
+        sink[0] += 1
+
+    start = time.perf_counter()
+    for i in range(num_events):
+        queue.post(i % 7, tick)
+    while queue.run_next():
+        pass
+    elapsed = time.perf_counter() - start
+    assert sink[0] == num_events
+    return num_events / elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (0 = all cores)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller scale (for CI smoke)"
+    )
+    parser.add_argument(
+        "--cached",
+        action="store_true",
+        help="allow disk-cache hits (measures warm-cache latency instead)",
+    )
+    args = parser.parse_args()
+
+    if not args.cached:
+        os.environ["REPRO_CACHE"] = "off"
+
+    from repro.analysis.engine import prefetch, resolve_jobs
+    from repro.analysis.runner import ExperimentScale
+    from repro.core.policy import ALL_POLICIES
+
+    scale = (
+        ExperimentScale(num_threads=2, instructions_per_thread=600)
+        if args.quick
+        else ExperimentScale(num_threads=4, instructions_per_thread=1000)
+    )
+    points = [
+        (name, policy.name, scale, "icelake")
+        for name in BENCHMARKS
+        for policy in ALL_POLICIES
+    ]
+    jobs = resolve_jobs(args.jobs)
+
+    start = time.perf_counter()
+    resolved = prefetch(points, jobs=jobs)
+    wall = time.perf_counter() - start
+    total_cycles = sum(summary.cycles for summary in resolved.values())
+
+    record = {
+        "schema": 1,
+        "date": datetime.date.today().isoformat(),
+        "config": {
+            "benchmarks": list(BENCHMARKS),
+            "policies": [p.name for p in ALL_POLICIES],
+            "num_threads": scale.num_threads,
+            "instructions_per_thread": scale.instructions_per_thread,
+            "jobs": jobs,
+            "host_cpus": os.cpu_count(),
+            "cached": bool(args.cached),
+        },
+        "metrics": {
+            "wall_seconds": round(wall, 3),
+            "sim_points": len(points),
+            "sim_points_per_sec": round(len(points) / wall, 3),
+            "total_sim_cycles": total_cycles,
+            "sim_cycles_per_sec": round(total_cycles / wall, 1),
+            "kernel_events_per_sec": round(kernel_events_per_sec(), 1),
+        },
+    }
+    OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record["metrics"], indent=2))
+    print(f"[written {OUTPUT}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@
 Run after `pytest benchmarks/ --benchmark-only` to keep the documented
 measured values in sync with the archived rows.  Prints the fresh
 numbers; edits EXPERIMENTS.md in place when --write is given.
+
+With ``--regenerate`` the figure/table rows are recomputed first through
+the parallel experiment engine (``--jobs N`` workers, disk-cache
+backed) and re-archived into results/, so one command takes you from a
+cold checkout to an up-to-date EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -12,10 +17,47 @@ import argparse
 import json
 import pathlib
 import re
+import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "results"
 EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+
+
+def regenerate(jobs: int | None) -> None:
+    """Recompute the figure/table archives via the parallel engine."""
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.analysis.engine import harness_points, prefetch
+    from repro.analysis.figures import (
+        figure1_rows,
+        figure12_rows,
+        figure13_rows,
+        figure14_rows,
+        figure15_rows,
+    )
+    from repro.analysis.runner import ExperimentScale
+    from repro.analysis.tables import table2_rows
+
+    scale = ExperimentScale.from_env()
+    resolved = prefetch(
+        harness_points(scale, include_ablations=False), jobs=jobs
+    )
+    print(f"[resolved {len(resolved)} uncached simulation point(s)]")
+    archives = {
+        "figure01_atomic_cost": figure1_rows,
+        "figure12_apki": figure12_rows,
+        "figure13_locality": figure13_rows,
+        "figure14_performance": figure14_rows,
+        "figure15_energy": figure15_rows,
+        "table02_characterization": table2_rows,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    for name, compute in archives.items():
+        rows = compute(scale)
+        (RESULTS / f"{name}.json").write_text(
+            json.dumps(rows, indent=2, default=str)
+        )
+        print(f"[archived results/{name}.json]")
 
 
 def load(name: str) -> list[dict]:
@@ -57,7 +99,20 @@ def compute() -> dict[str, float]:
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--write", action="store_true")
+    parser.add_argument(
+        "--regenerate",
+        action="store_true",
+        help="recompute results/*.json through the experiment engine first",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --regenerate (default REPRO_BENCH_JOBS)",
+    )
     args = parser.parse_args()
+    if args.regenerate:
+        regenerate(args.jobs)
     values = compute()
     for key, value in values.items():
         print(f"{key:16s} {value:8.3f}")

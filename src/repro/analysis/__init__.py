@@ -1,5 +1,13 @@
 """Experiment harness: runners, figure/table computation, ASCII reports."""
 
+from repro.analysis.engine import harness_points, prefetch, resolve_jobs
 from repro.analysis.runner import ExperimentScale, bench_system_config, run_benchmark
 
-__all__ = ["ExperimentScale", "bench_system_config", "run_benchmark"]
+__all__ = [
+    "ExperimentScale",
+    "bench_system_config",
+    "harness_points",
+    "prefetch",
+    "resolve_jobs",
+    "run_benchmark",
+]

@@ -5,16 +5,25 @@ Examples::
     python -m repro.analysis figure14
     python -m repro.analysis table2 --benchmarks AS TPCC canneal
     python -m repro.analysis figure1 --threads 4 --instrs 1500
-    python -m repro.analysis all --json-dir results/
+    python -m repro.analysis all --json-dir results/ --jobs 4
+    python -m repro.analysis all --jobs 0        # 0 = all cores
+    python -m repro.analysis --clear-cache       # drop the disk cache
+
+Simulation points are resolved through the in-process memo and the
+persistent disk cache (see ``repro.common.cache``); ``--jobs N`` (or
+``REPRO_BENCH_JOBS``) fans uncached points across N worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import pathlib
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.engine import resolve_jobs, run_experiments_prefetch
 from repro.analysis.figures import (
     figure1_rows,
     figure12_rows,
@@ -23,7 +32,11 @@ from repro.analysis.figures import (
     figure15_rows,
 )
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentScale, bench_system_config
+from repro.analysis.runner import (
+    ExperimentScale,
+    bench_system_config,
+    clear_cache,
+)
 from repro.analysis.tables import table1_rows, table2_rows
 
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
@@ -43,12 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         choices=sorted(EXPERIMENTS) + ["table1", "headline", "all"],
         help="which experiment to regenerate",
     )
-    parser.add_argument("--threads", type=int, default=8)
-    parser.add_argument("--instrs", type=int, default=2500)
-    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--instrs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument(
         "--benchmarks",
         nargs="*",
@@ -60,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="also write rows as JSON into this directory",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for uncached points "
+        "(default: REPRO_BENCH_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete the persistent result cache before (or instead of) running",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent disk cache for this invocation",
     )
     return parser
 
@@ -91,18 +123,44 @@ def run_experiment(
         print(f"[saved {path}]")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    scale = ExperimentScale(
-        num_threads=args.threads,
-        instructions_per_thread=args.instrs,
-        seed=args.seed,
+def build_scale(args: argparse.Namespace) -> ExperimentScale:
+    """REPRO_BENCH_* env defaults, overridden by explicit CLI flags."""
+    scale = ExperimentScale.from_env()
+    overrides = {
+        "num_threads": args.threads,
+        "instructions_per_thread": args.instrs,
+        "seed": args.seed,
+    }
+    return dataclasses.replace(
+        scale, **{k: v for k, v in overrides.items() if v is not None}
     )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "off"
+    if args.clear_cache:
+        removed = clear_cache(disk=True)
+        print(f"[cleared {removed} cached result(s)]")
+        if args.experiment is None:
+            return 0
+    if args.experiment is None:
+        parser.error("an experiment is required unless --clear-cache is given")
+    scale = build_scale(args)
     names = (
         ["table1", *sorted(EXPERIMENTS), "headline"]
         if args.experiment == "all"
         else [args.experiment]
     )
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1:
+        count = run_experiments_prefetch(
+            names, scale, benchmarks=args.benchmarks, jobs=jobs
+        )
+        if count:
+            print(f"[resolved {count} simulation point(s) with {jobs} workers]")
     for name in names:
         run_experiment(name, scale, args.benchmarks, args.json_dir)
     return 0

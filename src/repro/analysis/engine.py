@@ -1,0 +1,181 @@
+"""Parallel experiment engine: fan simulation points across processes.
+
+Every paper figure/table decomposes into independent, deterministic
+(benchmark, policy, scale, preset) simulation points — the event queue
+ties-breaks by insertion order, so a point's result is identical no
+matter which process runs it.  The engine exploits that: it enumerates
+the points an experiment needs, fans the *missing* ones across a
+``ProcessPoolExecutor``, and deposits each worker's picklable
+:class:`~repro.system.summary.ResultSummary` into the in-process memo
+(and, via the workers, the persistent disk cache).  The figure/table row
+code then runs unchanged — every ``run_benchmark`` call is a memo hit.
+
+Worker count resolution (first match wins):
+
+1. an explicit ``jobs`` argument / ``--jobs N`` CLI flag;
+2. the ``REPRO_BENCH_JOBS`` environment variable;
+3. serial (1).
+
+``0`` (or any value < 1) means "all available cores".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis import runner as _runner
+from repro.analysis.runner import ExperimentScale, run_benchmark
+from repro.common.errors import ConfigError
+from repro.core.policy import (
+    ALL_POLICIES,
+    BASELINE,
+    FREE_ATOMICS_FWD,
+    policy_by_name,
+)
+from repro.system.summary import ResultSummary
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_BENCH_JOBS"
+
+#: One simulation point: (benchmark, policy name, scale, core preset).
+Point = tuple[str, str, ExperimentScale, str]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count from the argument, ``REPRO_BENCH_JOBS``, or 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV)
+        if raw is None or raw == "":
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Point enumeration
+
+#: Policies each experiment simulates (None = not point-based).
+_EXPERIMENT_POLICIES = {
+    "figure1": (BASELINE,),
+    "figure12": (BASELINE,),
+    "figure13": (BASELINE, FREE_ATOMICS_FWD),
+    "figure14": ALL_POLICIES,
+    "figure15": ALL_POLICIES,
+    "table2": (FREE_ATOMICS_FWD,),
+    "headline": ALL_POLICIES,
+    "table1": (),
+}
+
+#: The ablation sweeps in ``benchmarks/`` (subset, field, values), so a
+#: harness-wide prefetch covers them too.
+_ABLATIONS = (
+    (("AS", "TPCC", "TATP", "CQ", "radiosity"), "aq_entries", (1, 2, 4)),
+    (("AS", "TPCC", "TATP", "CQ"), "watchdog_cycles", (500, 2000, 10_000)),
+    (
+        ("AS", "TATP", "barnes", "fluidanimate", "radiosity"),
+        "max_forward_chain",
+        (1, 4, 32),
+    ),
+)
+
+
+def experiment_points(
+    experiment: str,
+    scale: ExperimentScale,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> list[Point]:
+    """The simulation points ``experiment`` will request, in order."""
+    try:
+        policies = _EXPERIMENT_POLICIES[experiment]
+    except KeyError:
+        raise ConfigError(f"unknown experiment {experiment!r}") from None
+    names = tuple(benchmarks) if benchmarks else BENCHMARK_ORDER
+    points: list[Point] = []
+    for name in names:
+        for policy in policies:
+            if experiment == "figure1":
+                for preset in ("skylake", "icelake"):
+                    points.append((name, policy.name, scale, preset))
+            else:
+                points.append((name, policy.name, scale, "icelake"))
+    return points
+
+
+def harness_points(
+    scale: ExperimentScale,
+    benchmarks: Optional[Sequence[str]] = None,
+    include_ablations: bool = True,
+) -> list[Point]:
+    """Every point of the full figure/table harness (deduplicated)."""
+    points: list[Point] = []
+    for experiment in _EXPERIMENT_POLICIES:
+        points.extend(experiment_points(experiment, scale, benchmarks))
+    if include_ablations and benchmarks is None:
+        for subset, fieldname, values in _ABLATIONS:
+            for value in values:
+                varied = dataclasses.replace(scale, **{fieldname: value})
+                for name in subset:
+                    points.append((name, FREE_ATOMICS_FWD.name, varied, "icelake"))
+    return list(dict.fromkeys(points))
+
+
+# ----------------------------------------------------------------------
+# Parallel resolution
+
+def _run_point(point: Point) -> tuple[Point, ResultSummary]:
+    """Worker entry: resolve one point (consults the disk cache too)."""
+    benchmark, policy_name, scale, preset = point
+    summary = run_benchmark(
+        benchmark, policy_by_name(policy_name), scale, core_preset=preset
+    )
+    return point, summary
+
+
+def prefetch(
+    points: Iterable[Point], jobs: Optional[int] = None
+) -> dict[Point, ResultSummary]:
+    """Resolve ``points`` with up to ``jobs`` worker processes.
+
+    Already-memoized points are skipped; the rest are resolved (disk
+    cache first, simulation otherwise) and deposited into the
+    in-process memo, so subsequent ``run_benchmark`` calls are hits.
+    Returns the summaries of the points that were actually resolved.
+    """
+    pending = [p for p in dict.fromkeys(points) if _runner.memoized(*p) is None]
+    jobs = resolve_jobs(jobs)
+    resolved: dict[Point, ResultSummary] = {}
+    if jobs <= 1 or len(pending) <= 1:
+        for point in pending:
+            resolved[point] = _run_point(point)[1]
+        return resolved
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for point, summary in pool.map(_run_point, pending):
+            _runner.memoize(*point, summary=summary)
+            resolved[point] = summary
+    return resolved
+
+
+def run_experiments_prefetch(
+    experiments: Sequence[str],
+    scale: ExperimentScale,
+    benchmarks: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> int:
+    """Prefetch every point the listed experiments need; returns count."""
+    points: list[Point] = []
+    for experiment in experiments:
+        if experiment in _EXPERIMENT_POLICIES:
+            points.extend(experiment_points(experiment, scale, benchmarks))
+    return len(prefetch(points, jobs=jobs))

@@ -1,9 +1,22 @@
-"""Shared experiment runner with in-process result caching.
+"""Shared experiment runner with layered result caching.
 
 The figure/table computations below all need (benchmark, policy) runs;
 several figures share the same runs (e.g., Table 2, Figure 13, 14 and 15
-all use the free+fwd run).  ``run_benchmark`` memoizes results per
-process so a full harness invocation simulates each combination once.
+all use the free+fwd run).  ``run_benchmark`` resolves each point through
+two cache layers:
+
+1. an **in-process memo** (dict), so one harness invocation simulates
+   each combination once;
+2. the **persistent disk cache** (:mod:`repro.common.cache`), so a fresh
+   shell replays yesterday's sweep near-instantly.
+
+Both layers store :class:`~repro.system.summary.ResultSummary` — a flat,
+picklable projection of the run — which is also what crosses process
+boundaries when the parallel engine (:mod:`repro.analysis.engine`) fans
+points across a worker pool.  The disk key hashes the fully-resolved
+system config (not just the preset name) plus the package version, so
+edits to ``icelake_config`` or the simulator release invalidate entries
+automatically.
 
 Scaling note (documented in EXPERIMENTS.md): the paper simulates 32
 cores for seconds of guest time.  The default :class:`ExperimentScale`
@@ -12,23 +25,46 @@ deadlock watchdog to 2000 cycles — still two orders of magnitude above
 any legitimate lock-hold latency, but small enough relative to our run
 lengths that a detected deadlock costs a bounded fraction of the run,
 as it does in the paper's multi-billion-cycle ROIs.  Environment
-variables ``REPRO_BENCH_THREADS`` / ``REPRO_BENCH_INSTRS`` override the
-scale for bigger (slower) reproductions.
+variables ``REPRO_BENCH_THREADS`` / ``REPRO_BENCH_INSTRS`` /
+``REPRO_BENCH_SEED`` / ``REPRO_BENCH_WATCHDOG`` / ``REPRO_BENCH_AQ`` /
+``REPRO_BENCH_FWD_CHAIN`` override the scale for bigger (slower) or
+differently-shaped reproductions.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 from dataclasses import dataclass
 
+from repro import __version__
+from repro.common.cache import ResultCache, cache_enabled, content_key
 from repro.common.config import SystemConfig, icelake_config, skylake_config
+from repro.common.errors import ConfigError
 from repro.core.policy import AtomicPolicy
-from repro.system.simulator import SimulationResult, run_workload
+from repro.system.simulator import run_workload
+from repro.system.summary import SUMMARY_SCHEMA, ResultSummary
 from repro.workloads.generator import WorkloadScale, generate_workload
 
 #: Watchdog threshold used by the harness (see module docstring).
 BENCH_WATCHDOG_CYCLES = 2000
+
+
+def _env_int(var: str, default: int, minimum: int = 1) -> int:
+    """Integer env override with a validation error on bad values."""
+    raw = os.environ.get(var)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{var} must be an integer, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ConfigError(f"{var} must be >= {minimum}, got {value}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -45,9 +81,14 @@ class ExperimentScale:
     @staticmethod
     def from_env() -> "ExperimentScale":
         return ExperimentScale(
-            num_threads=int(os.environ.get("REPRO_BENCH_THREADS", "8")),
-            instructions_per_thread=int(os.environ.get("REPRO_BENCH_INSTRS", "2500")),
-            seed=int(os.environ.get("REPRO_BENCH_SEED", "42")),
+            num_threads=_env_int("REPRO_BENCH_THREADS", 8),
+            instructions_per_thread=_env_int("REPRO_BENCH_INSTRS", 2500),
+            seed=_env_int("REPRO_BENCH_SEED", 42, minimum=0),
+            watchdog_cycles=_env_int(
+                "REPRO_BENCH_WATCHDOG", BENCH_WATCHDOG_CYCLES
+            ),
+            aq_entries=_env_int("REPRO_BENCH_AQ", 4),
+            max_forward_chain=_env_int("REPRO_BENCH_FWD_CHAIN", 32),
         )
 
     @property
@@ -74,7 +115,61 @@ def bench_system_config(
     return config.replace(free_atomics=free_atomics)
 
 
-_CACHE: dict[tuple, SimulationResult] = {}
+def config_digest(config: SystemConfig) -> str:
+    """Content digest of a fully-resolved system config.
+
+    Part of every disk-cache key: editing a preset (or any nested
+    config dataclass) changes the digest, so stale entries can never be
+    served for a different machine model.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()
+
+
+def disk_cache_key(
+    benchmark: str,
+    policy_name: str,
+    scale: ExperimentScale,
+    core_preset: str,
+    digest: str,
+) -> str:
+    """Stable content hash identifying one simulation point on disk."""
+    return content_key(
+        {
+            "kind": "run_benchmark",
+            "schema": SUMMARY_SCHEMA,
+            "version": __version__,
+            "benchmark": benchmark,
+            "policy": policy_name,
+            "scale": dataclasses.asdict(scale),
+            "core_preset": core_preset,
+            "config_digest": digest,
+        }
+    )
+
+
+_CACHE: dict[tuple, ResultSummary] = {}
+
+
+def memoized(
+    benchmark: str,
+    policy_name: str,
+    scale: ExperimentScale,
+    core_preset: str = "icelake",
+) -> ResultSummary | None:
+    """The in-process memo entry for a point, if present."""
+    return _CACHE.get((benchmark, policy_name, scale, core_preset))
+
+
+def memoize(
+    benchmark: str,
+    policy_name: str,
+    scale: ExperimentScale,
+    core_preset: str = "icelake",
+    *,
+    summary: ResultSummary,
+) -> None:
+    """Deposit an externally-computed summary (e.g. from a pool worker)."""
+    _CACHE[(benchmark, policy_name, scale, core_preset)] = summary
 
 
 def run_benchmark(
@@ -82,18 +177,53 @@ def run_benchmark(
     policy: AtomicPolicy,
     scale: ExperimentScale,
     core_preset: str = "icelake",
-) -> SimulationResult:
-    """Simulate one (benchmark, policy) point, memoized per process."""
-    key = (benchmark, policy.name, scale, core_preset)
-    cached = _CACHE.get(key)
+) -> ResultSummary:
+    """Resolve one (benchmark, policy) point: memo, disk cache, or run."""
+    memo_key = (benchmark, policy.name, scale, core_preset)
+    cached = _CACHE.get(memo_key)
     if cached is not None:
         return cached
-    workload = generate_workload(benchmark, scale.workload_scale)
+
     config = bench_system_config(scale, core_preset)
+    digest = config_digest(config)
+    disk_key = disk_cache_key(benchmark, policy.name, scale, core_preset, digest)
+    use_disk = cache_enabled()
+    disk = ResultCache() if use_disk else None
+
+    if disk is not None:
+        payload = disk.get(disk_key)
+        if payload is not None:
+            try:
+                summary = ResultSummary.from_json_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                summary = None  # corrupt/old entry: fall through and re-run
+            if summary is not None:
+                _CACHE[memo_key] = summary
+                return summary
+
+    workload = generate_workload(benchmark, scale.workload_scale)
     result = run_workload(workload, policy=policy, config=config)
-    _CACHE[key] = result
-    return result
+    summary = result.summary(
+        meta={
+            "benchmark": benchmark,
+            "core_preset": core_preset,
+            "scale": dataclasses.asdict(scale),
+            "config_digest": digest,
+            "version": __version__,
+        }
+    )
+    if disk is not None:
+        disk.put(disk_key, summary.to_json_dict())
+    _CACHE[memo_key] = summary
+    return summary
 
 
-def clear_cache() -> None:
+def clear_cache(disk: bool = False) -> int:
+    """Drop the in-process memo; with ``disk=True`` also the disk cache.
+
+    Returns the number of disk entries removed (0 for memo-only clears).
+    """
     _CACHE.clear()
+    if disk:
+        return ResultCache().clear()
+    return 0

@@ -1,0 +1,124 @@
+"""Persistent on-disk result cache for experiment runs.
+
+Layered *under* the in-process memo in ``repro.analysis.runner``: a
+harness invocation first consults its per-process dict, then this cache,
+and only then simulates.  Entries are JSON files keyed by a SHA-256
+content hash of everything that determines a run's outcome (benchmark,
+policy, experiment scale, the *digest of the fully-resolved system
+config* — not just the preset name — and the package version), so
+editing a preset or bumping the package can never serve a stale result.
+
+Robustness guarantees:
+
+- **atomic write**: entries are written to a temp file in the cache
+  directory and ``os.replace``d into place, so readers (including
+  concurrent pool workers) never observe a torn file;
+- **corruption tolerance**: unreadable or truncated entries behave as
+  misses (and are deleted best-effort), never as errors;
+- **best-effort writes**: a read-only or full disk degrades to an
+  uncached run instead of failing the experiment.
+
+Environment knobs:
+
+- ``REPRO_CACHE_DIR`` — cache location (default ``~/.cache/repro``);
+- ``REPRO_CACHE=off`` (or ``0`` / ``no``) — disable the disk layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Mapping, Optional
+
+#: Environment variable selecting the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk cache ("off" / "0" / "no").
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+
+_DISABLED_VALUES = {"off", "0", "no", "false"}
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_CACHE`` explicitly disables the disk layer."""
+    return os.environ.get(CACHE_TOGGLE_ENV, "").lower() not in _DISABLED_VALUES
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def content_key(payload: Mapping) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON blobs under one directory."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        # Two-level fanout keeps directory listings manageable.
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload, or None on miss or corrupt entry."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            # Corrupt entry: drop it so it cannot mask future writes.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: Mapping) -> None:
+        """Atomically persist ``payload``; failures degrade to no-op."""
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

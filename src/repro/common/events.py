@@ -1,26 +1,38 @@
 """Discrete-event simulation kernel.
 
 The whole multicore system runs on one :class:`EventQueue`: a binary heap
-of ``(cycle, sequence, callback)`` entries.  Ties on cycle are broken by
-insertion order, which makes every run fully deterministic.
+of ``(cycle, sequence, callback, handle)`` entries.  Ties on cycle are
+broken by insertion order, which makes every run fully deterministic.
 
 Components never busy-poll; they schedule a callback for the cycle at
 which something happens (a cache response arrives, an instruction's
 operands become ready, the watchdog expires, ...).  Squash safety is the
 caller's concern: callbacks touching speculative state must check that
 the instruction they refer to is still alive (see ``uarch.core``).
+
+Hot-path design: heap entries are plain tuples, so sift comparisons are
+C-level ``(cycle, order)`` tuple compares instead of Python ``__lt__``
+calls, and the ``order`` counter is unique so the callback is never
+compared.  :meth:`EventQueue.post` is the fast path used by the
+simulator's internal components — none of them ever cancel, so it skips
+allocating an :class:`Event` handle entirely.  :meth:`EventQueue.schedule`
+keeps the cancellable API for callers that need it.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Callable, Optional
 
 Callback = Callable[[], None]
 
 
 class Event:
-    """One scheduled callback.  ``cancel()`` turns it into a no-op."""
+    """Handle for one cancellable scheduled callback.
+
+    ``cancel()`` turns the heap entry into a no-op; the entry itself
+    stays in the heap and is discarded when popped.
+    """
 
     __slots__ = ("cycle", "order", "callback", "cancelled")
 
@@ -46,8 +58,11 @@ class Event:
 class EventQueue:
     """Deterministic binary-heap event queue with a current-cycle clock."""
 
+    __slots__ = ("_heap", "_order", "_now")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries are (cycle, order, callback, handle_or_None).
+        self._heap: list[tuple] = []
         self._order = 0
         self._now = 0
 
@@ -60,39 +75,82 @@ class EventQueue:
         return len(self._heap)
 
     def schedule(self, delay: int, callback: Callback) -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        """Schedule ``callback`` ``delay`` cycles from now; cancellable."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, self._order, callback)
-        self._order += 1
-        heapq.heappush(self._heap, event)
+        order = self._order
+        self._order = order + 1
+        cycle = self._now + delay
+        event = Event(cycle, order, callback)
+        heapq.heappush(self._heap, (cycle, order, callback, event))
         return event
 
     def schedule_at(self, cycle: int, callback: Callback) -> Event:
         """Schedule ``callback`` at an absolute cycle (>= now)."""
         return self.schedule(cycle - self._now, callback)
 
+    def post(self, delay: int, callback: Callback) -> None:
+        """Fast path: schedule a callback that will never be cancelled.
+
+        Identical ordering semantics to :meth:`schedule` (same sequence
+        counter), but no :class:`Event` handle is allocated.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        order = self._order
+        self._order = order + 1
+        heapq.heappush(self._heap, (self._now + delay, order, callback, None))
+
+    def post_at(self, cycle: int, callback: Callback) -> None:
+        """Fast-path :meth:`post` at an absolute cycle (>= now)."""
+        self.post(cycle - self._now, callback)
+
     def run_next(self) -> bool:
         """Pop and run the next non-cancelled event.
 
         Returns False when the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            cycle, _order, callback, handle = pop(heap)
+            if handle is not None and handle.cancelled:
                 continue
-            self._now = event.cycle
-            event.callback()
+            self._now = cycle
+            callback()
             return True
         return False
 
+    def run_cycle(self) -> Optional[int]:
+        """Drain every event of the earliest pending cycle, batched.
+
+        Runs all events scheduled for that cycle (including zero-delay
+        events its callbacks add) in the same order ``run_next`` would,
+        paying the finish-check and loop overhead once per cycle instead
+        of once per event.  Returns the cycle drained, or None if the
+        queue was empty.
+        """
+        heap = self._heap
+        if not heap:
+            return None
+        pop = heapq.heappop
+        cycle = heap[0][0]
+        self._now = cycle
+        while heap and heap[0][0] == cycle:
+            _cycle, _order, callback, handle = pop(heap)
+            if handle is None or not handle.cancelled:
+                callback()
+        return cycle
+
     def run_until(self, limit_cycle: int) -> None:
         """Run all events scheduled at or before ``limit_cycle``."""
-        while self._heap and self._heap[0].cycle <= limit_cycle:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= limit_cycle:
+            cycle, _order, callback, handle = pop(heap)
+            if handle is not None and handle.cancelled:
                 continue
-            self._now = event.cycle
-            event.callback()
+            self._now = cycle
+            callback()
         if self._now < limit_cycle:
             self._now = limit_cycle

@@ -9,6 +9,7 @@ counter is a one-liner at the recording site, but it supports namespacing
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 
@@ -66,6 +67,115 @@ class Histogram:
 
     def __repr__(self) -> str:
         return f"Histogram(count={self._count}, mean={self.mean:.2f})"
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Immutable, picklable snapshot of a :class:`Histogram`.
+
+    Stores only the sorted ``(value, weight)`` buckets; everything else
+    is derived, so a JSON round-trip reproduces the object exactly.
+    """
+
+    buckets: tuple[tuple[int, int], ...]
+
+    @property
+    def count(self) -> int:
+        return sum(weight for _, weight in self.buckets)
+
+    @property
+    def total(self) -> int:
+        return sum(value * weight for value, weight in self.buckets)
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        return self.total / count if count else 0.0
+
+    @property
+    def max(self) -> int:
+        return self.buckets[-1][0] if self.buckets else 0
+
+    @property
+    def min(self) -> int:
+        return self.buckets[0][0] if self.buckets else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v such that >= fraction of samples are <= v."""
+        count = self.count
+        if not count:
+            return 0
+        target = fraction * count
+        seen = 0
+        for value, weight in self.buckets:
+            seen += weight
+            if seen >= target:
+                return value
+        return self.buckets[-1][0]
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(self.buckets)
+
+
+class StatsSummary:
+    """Read-only, picklable snapshot of a :class:`StatsRegistry`.
+
+    Exposes the registry's reporting API (``get`` / ``aggregate`` /
+    ``aggregate_histogram`` / ``matching``) over plain dicts, so figure
+    and table code works identically on live results and on summaries
+    restored from a worker process or the disk cache.
+    """
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(
+        self,
+        counters: Mapping[str, int],
+        histograms: Mapping[str, HistogramSummary],
+    ) -> None:
+        self._counters = dict(counters)
+        self._histograms = dict(histograms)
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._counters.get(name, default)
+
+    def counters(self) -> Mapping[str, int]:
+        return dict(self._counters)
+
+    def histograms(self) -> Mapping[str, HistogramSummary]:
+        return dict(self._histograms)
+
+    def aggregate(self, suffix: str) -> int:
+        """Sum every counter whose key ends with ``.suffix`` or equals it."""
+        dotted = f".{suffix}"
+        return sum(
+            value
+            for key, value in self._counters.items()
+            if key == suffix or key.endswith(dotted)
+        )
+
+    def aggregate_histogram(self, suffix: str) -> HistogramSummary:
+        dotted = f".{suffix}"
+        merged: dict[int, int] = defaultdict(int)
+        for key, hist in self._histograms.items():
+            if key == suffix or key.endswith(dotted):
+                for value, weight in hist.buckets:
+                    merged[value] += weight
+        return HistogramSummary(buckets=tuple(sorted(merged.items())))
+
+    def matching(self, prefix: str) -> Mapping[str, int]:
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StatsSummary):
+            return NotImplemented
+        return (
+            self._counters == other._counters
+            and self._histograms == other._histograms
+        )
+
+    def __repr__(self) -> str:
+        return f"StatsSummary(counters={len(self._counters)})"
 
 
 class StatsRegistry:
@@ -145,6 +255,16 @@ class StatsRegistry:
 
     def matching(self, prefix: str) -> Mapping[str, int]:
         return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def snapshot(self) -> StatsSummary:
+        """Freeze the registry into a picklable :class:`StatsSummary`."""
+        return StatsSummary(
+            counters=dict(self._counters),
+            histograms={
+                key: HistogramSummary(buckets=tuple(sorted(h._buckets.items())))
+                for key, h in self._histograms.items()
+            },
+        )
 
     def __repr__(self) -> str:
         return f"StatsRegistry(scope={self._scope!r}, counters={len(self._counters)})"

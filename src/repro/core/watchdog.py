@@ -61,7 +61,7 @@ class DeadlockWatchdog:
             return
         self._check_scheduled = True
         deadline = self._last_activity + self._threshold
-        self._queue.schedule_at(max(deadline, self._queue.now), self._check)
+        self._queue.post_at(max(deadline, self._queue.now), self._check)
 
     def _check(self) -> None:
         self._check_scheduled = False

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.system.simulator import SimulationResult
+from repro.system.summary import ResultSummary
 
 
 @dataclass(frozen=True)
@@ -70,7 +71,9 @@ class EnergyModel:
     def __init__(self, params: EnergyParams = EnergyParams()) -> None:
         self.params = params
 
-    def breakdown(self, result: SimulationResult) -> EnergyBreakdown:
+    def breakdown(
+        self, result: SimulationResult | ResultSummary
+    ) -> EnergyBreakdown:
         p = self.params
         stats = result.stats
         components = {
@@ -88,7 +91,7 @@ class EnergyModel:
             "aq": p.atomic_queue_pj * stats.aggregate("load_locks_performed"),
         }
         dynamic = sum(components.values())
-        static = p.static_pj_per_core_cycle * result.cycles * result.config.num_cores
+        static = p.static_pj_per_core_cycle * result.cycles * result.num_cores
         return EnergyBreakdown(
             dynamic_pj=dynamic, static_pj=static, components=components
         )

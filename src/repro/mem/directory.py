@@ -299,7 +299,7 @@ class DirectoryController:
         line = entry.line
         delay = max(0, data_ready_at - self._queue.now)
         self._stats.bump(f"grant.{grant.value}")
-        self._queue.schedule(
+        self._queue.post(
             delay,
             lambda: self._network.send(
                 CoherenceMessage(

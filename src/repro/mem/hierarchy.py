@@ -126,7 +126,7 @@ class PrivateHierarchy:
         if satisfied:
             if self._l1.lookup(line) is not None:
                 self._stats.bump("l1_hits")
-                self._queue.schedule(self._config.l1d.hit_latency, callback)
+                self._queue.post(self._config.l1d.hit_latency, callback)
             else:
                 self._stats.bump("l2_hits")
                 self._fill_l1_then(line, self._config.l2.hit_latency, callback)
@@ -164,12 +164,12 @@ class PrivateHierarchy:
         )
         if filled is None:
             self._stats.bump("l1_fill_blocked")
-            self._queue.schedule(
+            self._queue.post(
                 FILL_RETRY_CYCLES,
                 lambda: self._fill_l1_then(line, latency, callback),
             )
             return
-        self._queue.schedule(latency, callback)
+        self._queue.post(latency, callback)
 
     # ------------------------------------------------------------------
     # network-facing handlers
@@ -215,7 +215,7 @@ class PrivateHierarchy:
             if waiter.need_write and not granted.writable:
                 unsatisfied.append(waiter)
             else:
-                self._queue.schedule(fill_latency, waiter.callback)
+                self._queue.post(fill_latency, waiter.callback)
         for waiter in unsatisfied:
             # The grant was only S but this waiter needs write permission:
             # go around again with a GetX (upgrade).
@@ -231,7 +231,7 @@ class PrivateHierarchy:
             # All L2 ways held by locked/in-flight lines.  Keep the line
             # coherence-resident but uncached; retry the install.
             self._stats.bump("l2_fill_blocked")
-            self._queue.schedule(FILL_RETRY_CYCLES, lambda: self._install(line))
+            self._queue.post(FILL_RETRY_CYCLES, lambda: self._install(line))
             return
         self._fill_l1_then(line, 0, lambda: None)
 

@@ -56,4 +56,4 @@ class Interconnect:
         self._stats.bump(f"kind.{message.kind.value}")
         delay = (inject_at - now) + self._latency
         handler = self._handlers[message.dst]
-        self._queue.schedule(delay, lambda: handler(message))
+        self._queue.post(delay, lambda: handler(message))

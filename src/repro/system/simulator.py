@@ -56,6 +56,16 @@ class SimulationResult:
     traces: Optional[list[list[Operation]]] = None
 
     @property
+    def num_cores(self) -> int:
+        return self.config.num_cores
+
+    def summary(self, meta: Optional[Mapping] = None) -> "ResultSummary":
+        """Flat, picklable projection (see :mod:`repro.system.summary`)."""
+        from repro.system.summary import summarize
+
+        return summarize(self, dict(meta) if meta else None)
+
+    @property
     def committed_instructions(self) -> int:
         return self.stats.aggregate("committed")
 
@@ -150,17 +160,22 @@ class System:
         """Run to completion (every thread committed its Halt)."""
         for core in self.cores:
             core.start()
-        unfinished = set(range(len(self.cores)))
+        # Hot loop: locals bound once, and the unfinished list only
+        # re-filters the cores still running (finish events are rare).
+        queue = self.queue
+        run_next = queue.run_next
+        max_cycles = self.config.max_cycles
+        unfinished = list(self.cores)
         while unfinished:
-            if not self.queue.run_next():
-                self._raise_deadlock(unfinished)
-            if self.queue.now > self.config.max_cycles:
+            if not run_next():
+                self._raise_deadlock({c.core_id for c in unfinished})
+            if queue.now > max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={self.config.max_cycles} "
                     f"(policy={self.policy.name}, "
                     f"workload={self.workload.name})"
                 )
-            unfinished = {i for i in unfinished if not self.cores[i].finished}
+            unfinished = [c for c in unfinished if not c.finished]
         end_cycle = self.queue.now
         summaries = []
         for core in self.cores:

@@ -1,0 +1,150 @@
+"""Picklable, JSON-stable simulation result summaries.
+
+:class:`~repro.system.simulator.SimulationResult` holds live objects
+(``StatsRegistry``, ``GlobalMemory``) that are heavyweight to ship
+between processes and meaningless to persist.  :class:`ResultSummary`
+is the flat projection the experiment engine works with: plain dicts,
+ints, and frozen dataclasses, so it
+
+- pickles cheaply across ``ProcessPoolExecutor`` workers,
+- serializes to *canonical* JSON (sorted keys, fixed separators), and
+- round-trips bit-identically — the basis of the determinism tests and
+  of the persistent result cache in :mod:`repro.common.cache`.
+
+Every metric consumed by the figure/table code (``stats.aggregate``,
+``apki``, ``slowest_core``, ...) is available with the same spelling as
+on ``SimulationResult``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.common.stats import HistogramSummary, StatsSummary
+from repro.core.policy import AtomicPolicy, policy_by_name
+from repro.system.simulator import CoreSummary, SimulationResult
+
+#: Bump when the JSON layout below changes; part of every cache key so
+#: stale on-disk entries can never be deserialized by newer code.
+SUMMARY_SCHEMA = 1
+
+
+@dataclass
+class ResultSummary:
+    """Flat, process- and disk-portable outcome of one simulation run."""
+
+    workload_name: str
+    policy_name: str
+    cycles: int
+    num_cores: int
+    stats: StatsSummary
+    cores: list[CoreSummary]
+    #: Provenance: experiment scale, core preset, config digest, version.
+    meta: dict = field(default_factory=dict)
+
+    # -- SimulationResult-compatible metrics ---------------------------
+
+    @property
+    def policy(self) -> AtomicPolicy:
+        """The policy singleton (restored by name)."""
+        return policy_by_name(self.policy_name)
+
+    @property
+    def committed_instructions(self) -> int:
+        return self.stats.aggregate("committed")
+
+    @property
+    def committed_atomics(self) -> int:
+        return self.stats.aggregate("atomics_committed")
+
+    @property
+    def apki(self) -> float:
+        """Committed atomic RMWs per kilo-instruction (Figure 12)."""
+        committed = self.committed_instructions
+        return 1000.0 * self.committed_atomics / committed if committed else 0.0
+
+    @property
+    def timeouts(self) -> int:
+        return self.stats.aggregate("watchdog_timeouts")
+
+    @property
+    def squashes(self) -> int:
+        return self.stats.aggregate("squashes")
+
+    @property
+    def slowest_core(self) -> CoreSummary:
+        return max(self.cores, key=lambda c: c.finish_cycle)
+
+    # -- serialization -------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "workload_name": self.workload_name,
+            "policy_name": self.policy_name,
+            "cycles": self.cycles,
+            "num_cores": self.num_cores,
+            "counters": dict(self.stats.counters()),
+            "histograms": {
+                key: [list(bucket) for bucket in hist.buckets]
+                for key, hist in self.stats.histograms().items()
+            },
+            "cores": [dataclasses.asdict(core) for core in self.cores],
+            "meta": self.meta,
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic byte-for-byte JSON encoding of this summary."""
+        return json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @staticmethod
+    def from_json_dict(payload: Mapping) -> "ResultSummary":
+        if payload.get("schema") != SUMMARY_SCHEMA:
+            raise ValueError(
+                f"unsupported summary schema {payload.get('schema')!r} "
+                f"(expected {SUMMARY_SCHEMA})"
+            )
+        stats = StatsSummary(
+            counters={str(k): int(v) for k, v in payload["counters"].items()},
+            histograms={
+                str(key): HistogramSummary(
+                    buckets=tuple(
+                        (int(value), int(weight)) for value, weight in buckets
+                    )
+                )
+                for key, buckets in payload["histograms"].items()
+            },
+        )
+        cores = [
+            CoreSummary(**{k: int(v) for k, v in entry.items()})
+            for entry in payload["cores"]
+        ]
+        return ResultSummary(
+            workload_name=str(payload["workload_name"]),
+            policy_name=str(payload["policy_name"]),
+            cycles=int(payload["cycles"]),
+            num_cores=int(payload["num_cores"]),
+            stats=stats,
+            cores=cores,
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+def summarize(
+    result: SimulationResult, meta: Optional[dict] = None
+) -> ResultSummary:
+    """Project a live :class:`SimulationResult` into a summary."""
+    return ResultSummary(
+        workload_name=result.workload_name,
+        policy_name=result.policy.name,
+        cycles=result.cycles,
+        num_cores=result.config.num_cores,
+        stats=result.stats.snapshot(),
+        cores=list(result.cores),
+        meta=dict(meta or {}),
+    )

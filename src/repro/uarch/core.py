@@ -191,7 +191,7 @@ class OutOfOrderCore:
             return
         self._fetch_scheduled = True
         epoch = self._fetch_epoch
-        self.queue.schedule(delay, lambda: self._fetch_tick(epoch))
+        self.queue.post(delay, lambda: self._fetch_tick(epoch))
 
     def _maybe_resume_fetch(self) -> None:
         """Resources freed: resume a dispatch-blocked frontend."""
@@ -258,26 +258,20 @@ class OutOfOrderCore:
         instr.dispatch_cycle = self.queue.now
         self.rob.dispatch(instr)
         self.stats.bump("dispatched")
-        static = instr.instr
-
-        if isinstance(static, (Alu, LoadImm, Pause)):
-            self._dispatch_alu(instr)
-        elif isinstance(static, Branch):
-            self._dispatch_branch(instr)
-        elif isinstance(static, AtomicRMW):
-            self._dispatch_atomic(instr)
-        elif isinstance(static, Load):
-            self._dispatch_load(instr)
-        elif isinstance(static, Store):
-            self._dispatch_store(instr)
-        elif isinstance(static, Fence):
-            self._fences.append(instr)
-            self._complete(instr)
-        elif isinstance(static, Halt):
-            self._complete(instr)
-        else:  # pragma: no cover - exhaustive over the ISA
-            raise TypeError(f"cannot dispatch {static!r}")
+        # Type-keyed table instead of an isinstance chain: one dict hit
+        # per instruction on the hottest pipeline path.
+        handler = _DISPATCH_BY_TYPE.get(type(instr.instr))
+        if handler is None:  # pragma: no cover - exhaustive over the ISA
+            raise TypeError(f"cannot dispatch {instr.instr!r}")
+        handler(self, instr)
         self._maybe_schedule_commit()
+
+    def _dispatch_fence(self, instr: DynInstr) -> None:
+        self._fences.append(instr)
+        self._complete(instr)
+
+    def _dispatch_halt(self, instr: DynInstr) -> None:
+        self._complete(instr)
 
     def _capture_sources(self, instr: DynInstr, regs: tuple[int, ...], kind: str) -> None:
         """Resolve source registers now or subscribe to their producers."""
@@ -401,7 +395,7 @@ class OutOfOrderCore:
         slot = self._issue_slot()
         instr.issue_cycle = slot
         delay = slot - self.queue.now + latency
-        self.queue.schedule(delay, lambda: self._execute_alu(instr))
+        self.queue.post(delay, lambda: self._execute_alu(instr))
 
     def _execute_alu(self, instr: DynInstr) -> None:
         if instr.squashed:
@@ -433,7 +427,7 @@ class OutOfOrderCore:
         slot = self._issue_slot()
         instr.issue_cycle = slot
         delay = slot - self.queue.now + self.cfg.branch_latency
-        self.queue.schedule(delay, lambda: self._resolve_branch(instr))
+        self.queue.post(delay, lambda: self._resolve_branch(instr))
 
     def _resolve_branch(self, instr: DynInstr) -> None:
         if instr.squashed:
@@ -463,7 +457,7 @@ class OutOfOrderCore:
     def _schedule_agen(self, instr: DynInstr) -> None:
         slot = self._issue_slot()
         delay = slot - self.queue.now + AGEN_LATENCY
-        self.queue.schedule(delay, lambda: self._agen(instr))
+        self.queue.post(delay, lambda: self._agen(instr))
 
     def _agen(self, instr: DynInstr) -> None:
         if instr.squashed or instr.addr_ready:
@@ -657,7 +651,7 @@ class OutOfOrderCore:
             self.stats.bump("atomic_forwarded")
         value = store.store_value
         latency = self.config.memory.l1d.hit_latency
-        self.queue.schedule(latency, lambda: self._finish_forward(instr, value))
+        self.queue.post(latency, lambda: self._finish_forward(instr, value))
 
     def _finish_forward(self, instr: DynInstr, value: int) -> None:
         if instr.squashed:
@@ -843,7 +837,7 @@ class OutOfOrderCore:
         if head is None or not self._commit_ready(head):
             return
         self._commit_scheduled = True
-        self.queue.schedule(1, self._commit_tick)
+        self.queue.post(1, self._commit_tick)
 
     def _commit_ready(self, instr: DynInstr) -> bool:
         if not instr.completed:
@@ -1020,4 +1014,20 @@ class OutOfOrderCore:
 
     def _schedule_unlock_notify(self, line: int) -> None:
         """Decouple deferred-request replay from the unlocking event."""
-        self.queue.schedule(0, lambda: self.hierarchy.notify_unlock(line))
+        self.queue.post(0, lambda: self.hierarchy.notify_unlock(line))
+
+
+#: Dispatch handlers keyed by static instruction type (hot-path table;
+#: the ISA classes are final, so exact-type lookup is equivalent to the
+#: isinstance chain it replaces).
+_DISPATCH_BY_TYPE = {
+    Alu: OutOfOrderCore._dispatch_alu,
+    LoadImm: OutOfOrderCore._dispatch_alu,
+    Pause: OutOfOrderCore._dispatch_alu,
+    Branch: OutOfOrderCore._dispatch_branch,
+    AtomicRMW: OutOfOrderCore._dispatch_atomic,
+    Load: OutOfOrderCore._dispatch_load,
+    Store: OutOfOrderCore._dispatch_store,
+    Fence: OutOfOrderCore._dispatch_fence,
+    Halt: OutOfOrderCore._dispatch_halt,
+}

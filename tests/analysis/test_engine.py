@@ -1,0 +1,143 @@
+"""Tests for the parallel experiment engine and result summaries.
+
+The determinism-under-parallelism test is the load-bearing one: the
+same point run serially, in a pool worker, and restored from the disk
+cache must yield byte-identical ResultSummary JSON.
+"""
+
+import pytest
+
+from repro.analysis.engine import (
+    JOBS_ENV,
+    experiment_points,
+    harness_points,
+    prefetch,
+    resolve_jobs,
+)
+from repro.analysis.runner import (
+    ExperimentScale,
+    clear_cache,
+    memoize,
+    memoized,
+    run_benchmark,
+)
+from repro.common.errors import ConfigError
+from repro.core.policy import BASELINE, FREE_ATOMICS_FWD
+
+SCALE = ExperimentScale(num_threads=2, instructions_per_thread=400)
+POINT = ("AS", FREE_ATOMICS_FWD.name, SCALE, "icelake")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+
+
+class TestResolveJobs:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ConfigError):
+            resolve_jobs()
+
+
+class TestPointEnumeration:
+    def test_figure1_has_both_presets(self):
+        points = experiment_points("figure1", SCALE, benchmarks=["AS"])
+        assert ("AS", BASELINE.name, SCALE, "skylake") in points
+        assert ("AS", BASELINE.name, SCALE, "icelake") in points
+
+    def test_figure14_has_all_policies(self):
+        points = experiment_points("figure14", SCALE, benchmarks=["AS"])
+        assert len(points) == 4
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            experiment_points("figure99", SCALE)
+
+    def test_harness_points_deduplicated(self):
+        points = harness_points(SCALE, benchmarks=["AS", "watersp"])
+        assert len(points) == len(set(points))
+
+    def test_harness_points_cover_ablations(self):
+        points = harness_points(SCALE)
+        aq1 = [p for p in points if p[2].aq_entries == 1]
+        assert aq1, "ablation scales missing from full-harness prefetch"
+
+
+class TestMemoHelpers:
+    def test_memoize_roundtrip(self):
+        summary = run_benchmark("AS", FREE_ATOMICS_FWD, SCALE)
+        clear_cache()
+        assert memoized(*POINT) is None
+        memoize(*POINT, summary=summary)
+        assert memoized(*POINT) is summary
+        # run_benchmark now returns the deposited object without running.
+        assert run_benchmark("AS", FREE_ATOMICS_FWD, SCALE) is summary
+
+
+class TestPrefetch:
+    def test_serial_prefetch_populates_memo(self):
+        resolved = prefetch([POINT], jobs=1)
+        assert set(resolved) == {POINT}
+        assert memoized(*POINT) is resolved[POINT]
+
+    def test_prefetch_skips_memoized(self):
+        run_benchmark("AS", FREE_ATOMICS_FWD, SCALE)
+        assert prefetch([POINT], jobs=1) == {}
+
+    def test_pool_prefetch_populates_memo(self):
+        other = ("watersp", FREE_ATOMICS_FWD.name, SCALE, "icelake")
+        resolved = prefetch([POINT, other], jobs=2)
+        assert set(resolved) == {POINT, other}
+        assert memoized(*other) is not None
+
+
+class TestDeterminismUnderParallelism:
+    """Serial, pool-worker, and disk-restored runs are byte-identical."""
+
+    def test_three_way_identical_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+        # Serial, disk cache off: pure simulation.
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        serial = run_benchmark("AS", FREE_ATOMICS_FWD, SCALE).canonical_json()
+
+        # Pool workers, disk cache on (workers also persist the entries).
+        monkeypatch.setenv("REPRO_CACHE", "on")
+        clear_cache()
+        other = ("watersp", FREE_ATOMICS_FWD.name, SCALE, "icelake")
+        pooled = prefetch([POINT, other], jobs=2)[POINT].canonical_json()
+
+        # Fresh memo: restored from the disk entry the worker wrote.
+        clear_cache()
+        restored = run_benchmark("AS", FREE_ATOMICS_FWD, SCALE).canonical_json()
+
+        assert serial == pooled
+        assert serial == restored
+
+    def test_summary_json_roundtrip_is_identity(self):
+        from repro.system.summary import ResultSummary
+
+        summary = run_benchmark("AS", BASELINE, SCALE)
+        restored = ResultSummary.from_json_dict(summary.to_json_dict())
+        assert restored.canonical_json() == summary.canonical_json()
+        assert restored.cycles == summary.cycles
+        assert restored.stats.aggregate("committed") == (
+            summary.stats.aggregate("committed")
+        )

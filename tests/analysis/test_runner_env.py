@@ -1,9 +1,15 @@
 """Environment-variable scaling and ExperimentScale hygiene."""
 
+import pytest
+
 from repro.analysis.runner import (
     BENCH_WATCHDOG_CYCLES,
     ExperimentScale,
+    config_digest,
+    disk_cache_key,
 )
+from repro.analysis.runner import bench_system_config as make_bench_config
+from repro.common.errors import ConfigError
 
 
 class TestFromEnv:
@@ -26,6 +32,63 @@ class TestFromEnv:
 
     def test_watchdog_default_is_documented_scaling(self):
         assert ExperimentScale().watchdog_cycles == BENCH_WATCHDOG_CYCLES == 2000
+
+    def test_free_atomics_knob_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WATCHDOG", "5000")
+        monkeypatch.setenv("REPRO_BENCH_AQ", "2")
+        monkeypatch.setenv("REPRO_BENCH_FWD_CHAIN", "8")
+        scale = ExperimentScale.from_env()
+        assert scale.watchdog_cycles == 5000
+        assert scale.aq_entries == 2
+        assert scale.max_forward_chain == 8
+
+    @pytest.mark.parametrize(
+        "var",
+        [
+            "REPRO_BENCH_THREADS",
+            "REPRO_BENCH_INSTRS",
+            "REPRO_BENCH_WATCHDOG",
+            "REPRO_BENCH_AQ",
+            "REPRO_BENCH_FWD_CHAIN",
+        ],
+    )
+    def test_non_integer_rejected(self, monkeypatch, var):
+        monkeypatch.setenv(var, "not-a-number")
+        with pytest.raises(ConfigError, match=var):
+            ExperimentScale.from_env()
+
+    def test_out_of_range_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_AQ", "0")
+        with pytest.raises(ConfigError, match="REPRO_BENCH_AQ"):
+            ExperimentScale.from_env()
+
+    def test_empty_value_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_AQ", "")
+        assert ExperimentScale.from_env().aq_entries == 4
+
+
+class TestCacheKeys:
+    def test_digest_reflects_config_edits(self):
+        scale = ExperimentScale(num_threads=2)
+        config = make_bench_config(scale)
+        edited = config.replace(max_cycles=config.max_cycles + 1)
+        assert config_digest(config) != config_digest(edited)
+
+    def test_disk_key_depends_on_config_digest_not_just_preset(self):
+        """Editing icelake_config can never serve a stale cached result."""
+        scale = ExperimentScale(num_threads=2)
+        digest = config_digest(make_bench_config(scale))
+        key = disk_cache_key("AS", "baseline", scale, "icelake", digest)
+        other = disk_cache_key("AS", "baseline", scale, "icelake", "deadbeef")
+        assert key != other
+
+    def test_disk_key_depends_on_scale_fields(self):
+        scale = ExperimentScale(num_threads=2)
+        varied = ExperimentScale(num_threads=2, aq_entries=2)
+        digest = config_digest(make_bench_config(scale))
+        assert disk_cache_key("AS", "baseline", scale, "icelake", digest) != (
+            disk_cache_key("AS", "baseline", varied, "icelake", digest)
+        )
 
 
 class TestHashability:

@@ -115,3 +115,28 @@ class TestCli:
     def test_invalid_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
+
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(["figure12", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_clear_cache_standalone(self, capsys):
+        assert main(["--clear-cache"]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_no_experiment_without_clear_cache_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parallel_jobs_flag_runs(self, capsys):
+        code = main(
+            [
+                "figure12",
+                "--threads", "2",
+                "--instrs", "400",
+                "--benchmarks", "AS", "canneal",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "Figure 12" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Tests for the persistent on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.common.cache import (
+    CACHE_DIR_ENV,
+    CACHE_TOGGLE_ENV,
+    ResultCache,
+    cache_enabled,
+    content_key,
+    default_cache_dir,
+)
+
+
+class TestContentKey:
+    def test_stable_across_key_order(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+    def test_hex_sha256(self):
+        key = content_key({"x": 1})
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+
+class TestEnv:
+    def test_default_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_TOGGLE_ENV, raising=False)
+        assert cache_enabled()
+
+    @pytest.mark.parametrize("value", ["off", "0", "no", "OFF", "False"])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_TOGGLE_ENV, value)
+        assert not cache_enabled()
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"point": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"cycles": 42})
+        assert cache.get(key) == {"cycles": 42}
+
+    def test_atomic_write_no_tmp_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"point": 2})
+        cache.put(key, {"v": 1})
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"point": 3})
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{truncated")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_non_dict_payload_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key({"point": 4})
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert cache.get(key) is None
+
+    def test_clear_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(content_key({"i": i}), {"i": i})
+        assert cache.clear() == 3
+        assert cache.clear() == 0
+
+    def test_unwritable_root_degrades_to_noop(self, tmp_path):
+        missing = tmp_path / "file-not-dir"
+        missing.write_text("x")  # a file where the dir should be
+        cache = ResultCache(missing / "sub")
+        cache.put(content_key({"p": 1}), {"v": 1})  # must not raise
+        assert cache.get(content_key({"p": 1})) is None

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
@@ -16,6 +17,22 @@ from repro.common.config import (
 )
 from repro.isa.builder import ProgramBuilder
 from repro.workloads.base import Workload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session tmp dir.
+
+    Unit tests must not read results persisted by earlier runs (or by
+    the benchmark harness), and must not pollute ``~/.cache/repro``.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 def tiny_memory_config(
