@@ -22,6 +22,29 @@ def bench_counter_contention(benchmark):
     assert result.read_word(0x10000) == 240
 
 
+def bench_memory_system_contention_8t(benchmark):
+    """Memory-system-heavy point: 8 threads fetch_add one shared line.
+
+    Every atomic is a coherence miss after the first, so the run is
+    dominated by directory transactions, interconnect messages, and
+    lock-deferred invalidations — the paths the message pool and bound
+    counters optimize.  The fenced baseline policy keeps the line
+    bouncing between cores (free+fwd would forward locally and starve
+    the memory system of traffic).
+    """
+    workload = counter_workload(num_threads=8, iterations=40)
+    config = small_system_config(8)
+
+    def run():
+        return run_workload(workload, policy=BASELINE, config=config)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.read_word(0x10000) == 320
+    # Sanity: the point is actually contended (messages dominate commits).
+    messages = result.stats.aggregate("messages")
+    assert messages > result.committed_atomics
+
+
 def bench_generated_workload_baseline(benchmark):
     workload = generate_workload(
         "canneal", WorkloadScale(num_threads=2, instructions_per_thread=600)

@@ -13,9 +13,17 @@ the kernel's raw event rate.  Metrics:
 Intended for CI (see .github/workflows/ci.yml): the JSON lands in the
 repo root so successive PRs leave a performance trajectory.
 
+``--compare`` runs the same sweep but diffs the fresh numbers against
+the committed BENCH_harness.json instead of overwriting it, printing a
+per-metric percentage delta.  ``--fail-threshold PCT`` (implies
+``--compare``) exits non-zero when ``kernel_events_per_sec`` — the only
+metric independent of sweep scale and host load shape — regressed by
+more than PCT percent; CI uses this as the perf-regression gate.
+
 Usage::
 
     python scripts/bench_harness.py [--jobs N] [--quick] [--cached]
+    python scripts/bench_harness.py --compare [--fail-threshold 25]
 """
 
 from __future__ import annotations
@@ -36,24 +44,78 @@ OUTPUT = ROOT / "BENCH_harness.json"
 BENCHMARKS = ("AS", "watersp", "canneal")
 
 
-def kernel_events_per_sec(num_events: int = 200_000) -> float:
-    """Raw EventQueue throughput: post + drain ``num_events`` callbacks."""
+def kernel_events_per_sec(num_events: int = 200_000, repeats: int = 5) -> float:
+    """Raw EventQueue throughput: post + drain ``num_events`` callbacks.
+
+    Best-of-``repeats``: the measurement is pure CPU-bound Python, so
+    the fastest run is the least-perturbed one; single runs on shared
+    hosts vary by tens of percent from scheduler noise alone.
+    """
     from repro.common.events import EventQueue
 
-    queue = EventQueue()
-    sink = [0]
+    best = 0.0
+    for _ in range(repeats):
+        queue = EventQueue()
+        sink = [0]
 
-    def tick() -> None:
-        sink[0] += 1
+        def tick() -> None:
+            sink[0] += 1
 
-    start = time.perf_counter()
-    for i in range(num_events):
-        queue.post(i % 7, tick)
-    while queue.run_next():
-        pass
-    elapsed = time.perf_counter() - start
-    assert sink[0] == num_events
-    return num_events / elapsed
+        start = time.perf_counter()
+        for i in range(num_events):
+            queue.post(i % 7, tick)
+        while queue.run_next():
+            pass
+        elapsed = time.perf_counter() - start
+        assert sink[0] == num_events
+        best = max(best, num_events / elapsed)
+    return best
+
+
+def host_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def compare_metrics(
+    fresh: dict, committed: dict, fail_threshold: float | None
+) -> int:
+    """Print per-metric deltas vs the committed baseline.
+
+    Returns a process exit code: non-zero when ``fail_threshold`` is set
+    and ``kernel_events_per_sec`` regressed by more than that percentage.
+    """
+    print(f"{'metric':<24} {'baseline':>14} {'fresh':>14} {'delta':>9}")
+    for key in sorted(set(committed) | set(fresh)):
+        old = committed.get(key)
+        new = fresh.get(key)
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+            continue
+        delta = f"{(new - old) / old * 100.0:+8.1f}%" if old else "      n/a"
+        print(f"{key:<24} {old:>14} {new:>14} {delta}")
+    if fail_threshold is None:
+        return 0
+    old = committed.get("kernel_events_per_sec")
+    new = fresh.get("kernel_events_per_sec")
+    if not old or new is None:
+        print("[gate] no committed kernel_events_per_sec to compare against")
+        return 0
+    regression = (old - new) / old * 100.0
+    if regression > fail_threshold:
+        print(
+            f"[gate] FAIL: kernel_events_per_sec regressed "
+            f"{regression:.1f}% (> {fail_threshold:.0f}% allowed)"
+        )
+        return 1
+    print(
+        f"[gate] OK: kernel_events_per_sec "
+        f"{'regression' if regression > 0 else 'improvement'} "
+        f"{abs(regression):.1f}% (threshold {fail_threshold:.0f}%)"
+    )
+    return 0
 
 
 def main() -> int:
@@ -69,7 +131,23 @@ def main() -> int:
         action="store_true",
         help="allow disk-cache hits (measures warm-cache latency instead)",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff a fresh run against the committed BENCH_harness.json "
+        "instead of overwriting it",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero if kernel_events_per_sec regressed by more "
+        "than PCT%% vs the committed baseline (implies --compare)",
+    )
     args = parser.parse_args()
+    if args.fail_threshold is not None:
+        args.compare = True
 
     if not args.cached:
         os.environ["REPRO_CACHE"] = "off"
@@ -104,7 +182,7 @@ def main() -> int:
             "num_threads": scale.num_threads,
             "instructions_per_thread": scale.instructions_per_thread,
             "jobs": jobs,
-            "host_cpus": os.cpu_count(),
+            "host_cpus": host_cpus(),
             "cached": bool(args.cached),
         },
         "metrics": {
@@ -116,6 +194,14 @@ def main() -> int:
             "kernel_events_per_sec": round(kernel_events_per_sec(), 1),
         },
     }
+    if args.compare:
+        if not OUTPUT.exists():
+            print(f"[no committed baseline at {OUTPUT}; nothing to compare]")
+            return 0
+        committed = json.loads(OUTPUT.read_text())
+        return compare_metrics(
+            record["metrics"], committed.get("metrics", {}), args.fail_threshold
+        )
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record["metrics"], indent=2))
     print(f"[written {OUTPUT}]")

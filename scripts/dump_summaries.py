@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Dump canonical ResultSummary JSON for a fixed sweep of points.
+
+Used to verify that performance work leaves simulation results
+bit-identical: run before and after a change and diff the output
+directory (``scripts/bench_harness.py --compare`` covers throughput;
+this covers correctness).
+
+Usage::
+
+    python scripts/dump_summaries.py OUTDIR [--threads N] [--instrs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+BENCHMARKS = ("AS", "watersp", "canneal")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("outdir", type=pathlib.Path)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--instrs", type=int, default=1000)
+    args = parser.parse_args()
+
+    os.environ["REPRO_CACHE"] = "off"
+
+    from repro.analysis.engine import prefetch
+    from repro.analysis.runner import ExperimentScale
+    from repro.core.policy import ALL_POLICIES
+
+    scale = ExperimentScale(
+        num_threads=args.threads, instructions_per_thread=args.instrs
+    )
+    points = [
+        (name, policy.name, scale, "icelake")
+        for name in BENCHMARKS
+        for policy in ALL_POLICIES
+    ]
+    resolved = prefetch(points, jobs=1)
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    for (bench, policy, _, _), summary in resolved.items():
+        path = args.outdir / f"{bench}__{policy.replace('+', '_')}.json"
+        path.write_text(summary.canonical_json() + "\n")
+        print(f"[wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,7 +93,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent disk cache for this invocation",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run one canonical simulation point under cProfile and "
+        "print the top-25 cumulative hotspots (no experiment needed)",
+    )
     return parser
+
+
+#: Number of hotspot rows ``--profile`` prints.
+PROFILE_TOP = 25
+
+
+def run_profile(scale: ExperimentScale) -> None:
+    """Profile a canonical point and print the hottest call sites.
+
+    Uses the highest-traffic configuration (the paper's ``free+fwd``
+    policy on the atomic-heavy ``AS`` microbenchmark) with the caches
+    bypassed, so the profile reflects the simulator hot path rather
+    than cache lookups.
+    """
+    import cProfile
+    import pstats
+
+    from repro.analysis.runner import run_benchmark
+    from repro.core.policy import policy_by_name
+
+    os.environ["REPRO_CACHE"] = "off"
+    print(
+        f"[profiling benchmark=AS policy=free+fwd "
+        f"threads={scale.num_threads} instrs={scale.instructions_per_thread}]"
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_benchmark("AS", policy_by_name("free+fwd"), scale)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
 
 
 def run_experiment(
@@ -144,10 +181,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.clear_cache:
         removed = clear_cache(disk=True)
         print(f"[cleared {removed} cached result(s)]")
+        if args.experiment is None and not args.profile:
+            return 0
+    if args.profile:
+        run_profile(build_scale(args))
         if args.experiment is None:
             return 0
     if args.experiment is None:
-        parser.error("an experiment is required unless --clear-cache is given")
+        parser.error(
+            "an experiment is required unless --clear-cache or --profile is given"
+        )
     scale = build_scale(args)
     names = (
         ["table1", *sorted(EXPERIMENTS), "headline"]

@@ -1,8 +1,8 @@
 """Discrete-event simulation kernel.
 
-The whole multicore system runs on one :class:`EventQueue`: a binary heap
-of ``(cycle, sequence, callback, handle)`` entries.  Ties on cycle are
-broken by insertion order, which makes every run fully deterministic.
+The whole multicore system runs on one :class:`EventQueue`.  Ties on
+cycle are broken by insertion order, which makes every run fully
+deterministic.
 
 Components never busy-poll; they schedule a callback for the cycle at
 which something happens (a cache response arrives, an instruction's
@@ -10,13 +10,27 @@ operands become ready, the watchdog expires, ...).  Squash safety is the
 caller's concern: callbacks touching speculative state must check that
 the instruction they refer to is still alive (see ``uarch.core``).
 
-Hot-path design: heap entries are plain tuples, so sift comparisons are
-C-level ``(cycle, order)`` tuple compares instead of Python ``__lt__``
-calls, and the ``order`` counter is unique so the callback is never
-compared.  :meth:`EventQueue.post` is the fast path used by the
-simulator's internal components — none of them ever cancel, so it skips
-allocating an :class:`Event` handle entirely.  :meth:`EventQueue.schedule`
-keeps the cancellable API for callers that need it.
+Hot-path design: the queue is a hybrid of a **calendar ring** and a
+binary heap.  Nearly every event in the simulator has a short delay
+(cache latencies, network hops, DRAM — all under 256 cycles), so those
+go into a ring of per-cycle buckets: ``post`` is an O(1) list append and
+draining a cycle is an O(1) index walk, with no heap sifts at all.  Only
+long delays (>= ``RING_CYCLES``, e.g. the deadlock watchdog) fall back
+to the heap.  The merge is *exact*: every entry carries the global
+``order`` counter, and for any target cycle all heap entries are older
+(they were posted at least ``RING_CYCLES`` cycles earlier) than all ring
+entries, so draining heap-then-ring per cycle reproduces the strict
+``(cycle, order)`` execution order of a pure heap bit-for-bit.
+
+:meth:`EventQueue.post` is the fast path used by the simulator's
+internal components — none of them ever cancel, so it skips allocating
+an :class:`Event` handle entirely.  :meth:`EventQueue.schedule` keeps
+the cancellable API for callers that need it.
+
+:meth:`EventQueue.call_soon` is the zero-entry completion path: when
+:meth:`idle_now` holds, it registers a callback that runs immediately
+after the in-flight event returns, with no queue entry at all — see the
+method docstring for the exactness argument.
 """
 
 from __future__ import annotations
@@ -26,12 +40,18 @@ from typing import Callable, Optional
 
 Callback = Callable[[], None]
 
+#: Delays shorter than this go to the O(1) calendar ring; longer ones to
+#: the heap.  Power of two; covers every fixed latency in the model
+#: (DRAM is 240 cycles) with room to spare.
+RING_CYCLES = 256
+_RING_MASK = RING_CYCLES - 1
+
 
 class Event:
     """Handle for one cancellable scheduled callback.
 
-    ``cancel()`` turns the heap entry into a no-op; the entry itself
-    stays in the heap and is discarded when popped.
+    ``cancel()`` turns the queue entry into a no-op; the entry itself
+    stays queued and is discarded when popped.
     """
 
     __slots__ = ("cycle", "order", "callback", "cancelled")
@@ -56,15 +76,41 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic binary-heap event queue with a current-cycle clock."""
+    """Deterministic hybrid ring/heap event queue with a cycle clock."""
 
-    __slots__ = ("_heap", "_order", "_now")
+    __slots__ = (
+        "_heap",
+        "_order",
+        "_now",
+        "_ring",
+        "_ring_pos",
+        "_ring_count",
+        "_ring_next",
+        "_micro",
+        "_micro_pos",
+    )
 
     def __init__(self) -> None:
-        # Entries are (cycle, order, callback, handle_or_None).
+        # Heap entries are (cycle, order, callback, handle_or_None).
         self._heap: list[tuple] = []
         self._order = 0
         self._now = 0
+        # Microtasks: bare callbacks for the *current* cycle, run FIFO
+        # before any ring/heap entry (see call_soon for why that is
+        # exact).  Consumed by index to keep the drain allocation-free.
+        self._micro: list[Callback] = []
+        self._micro_pos = 0
+        # Ring bucket b holds entries for exactly one in-flight cycle c
+        # with c & _RING_MASK == b (no two pending cycles can collide
+        # because ring delays are < RING_CYCLES).  Entries are
+        # (order, callback, handle_or_None); _ring_pos[b] is the index
+        # of the next unconsumed entry in bucket b.
+        self._ring: list[list[tuple]] = [[] for _ in range(RING_CYCLES)]
+        self._ring_pos = [0] * RING_CYCLES
+        self._ring_count = 0
+        # Lower bound on the earliest cycle that may hold a ring entry;
+        # advanced lazily while scanning, pulled back by posts.
+        self._ring_next = 0
 
     @property
     def now(self) -> int:
@@ -72,7 +118,47 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return (
+            len(self._heap)
+            + self._ring_count
+            + (len(self._micro) - self._micro_pos)
+        )
+
+    def idle_now(self) -> bool:
+        """True when no entry (even a cancelled one) is pending at ``now``.
+
+        This is the legality guard for :meth:`call_soon`: when the
+        current cycle has no other pending work, completing a delay-0
+        callback through the microtask slot is indistinguishable from
+        posting it.
+        """
+        if self._micro_pos < len(self._micro):
+            return False
+        bucket = self._ring[self._now & _RING_MASK]
+        if self._ring_pos[self._now & _RING_MASK] < len(bucket):
+            return False
+        heap = self._heap
+        return not (heap and heap[0][0] == self._now)
+
+    def call_soon(self, callback: Callback) -> None:
+        """Run ``callback`` right after the in-flight event returns.
+
+        The zero-entry completion path: no ``(cycle, order)`` tuple, no
+        ring append, no order-counter tick — just a list append, drained
+        by the run loops before anything else.
+
+        Only call this when :meth:`idle_now` holds.  Then it is *exactly*
+        equivalent to ``post(0, callback)``: with nothing else pending at
+        ``now``, the posted callback would be the very next thing the
+        loop runs, and anything posted at ``now`` afterwards carries a
+        larger order counter, so it drains after the microtasks either
+        way.  (It is NOT equivalent to invoking ``callback`` inline:
+        the caller of the completing component may sit inside a loop —
+        fetch, dispatch, store-waiter wakeup — whose remaining
+        iterations must run first, exactly as they would with a posted
+        event.)
+        """
+        self._micro.append(callback)
 
     def schedule(self, delay: int, callback: Callback) -> Event:
         """Schedule ``callback`` ``delay`` cycles from now; cancellable."""
@@ -82,7 +168,13 @@ class EventQueue:
         self._order = order + 1
         cycle = self._now + delay
         event = Event(cycle, order, callback)
-        heapq.heappush(self._heap, (cycle, order, callback, event))
+        if delay < RING_CYCLES:
+            self._ring[cycle & _RING_MASK].append((order, callback, event))
+            self._ring_count += 1
+            if cycle < self._ring_next:
+                self._ring_next = cycle
+        else:
+            heapq.heappush(self._heap, (cycle, order, callback, event))
         return event
 
     def schedule_at(self, cycle: int, callback: Callback) -> Event:
@@ -99,27 +191,96 @@ class EventQueue:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         order = self._order
         self._order = order + 1
-        heapq.heappush(self._heap, (self._now + delay, order, callback, None))
+        if delay < RING_CYCLES:
+            cycle = self._now + delay
+            self._ring[cycle & _RING_MASK].append((order, callback, None))
+            self._ring_count += 1
+            if cycle < self._ring_next:
+                self._ring_next = cycle
+        else:
+            heapq.heappush(self._heap, (self._now + delay, order, callback, None))
 
     def post_at(self, cycle: int, callback: Callback) -> None:
         """Fast-path :meth:`post` at an absolute cycle (>= now)."""
         self.post(cycle - self._now, callback)
+
+    def _scan_ring(self) -> int:
+        """Cycle of the earliest pending ring entry (``_ring_count`` > 0).
+
+        Amortized O(1): the scan resumes from ``_ring_next`` and every
+        bucket it skips stays skipped until a post pulls the cursor back.
+        """
+        cycle = self._ring_next
+        if cycle < self._now:
+            cycle = self._now
+        ring = self._ring
+        pos = self._ring_pos
+        while True:
+            b = cycle & _RING_MASK
+            if pos[b] < len(ring[b]):
+                self._ring_next = cycle
+                return cycle
+            cycle += 1
+
+    def _pop_ring(self, cycle: int) -> tuple:
+        """Consume and return the next entry of ``cycle``'s bucket."""
+        b = cycle & _RING_MASK
+        bucket = self._ring[b]
+        p = self._ring_pos[b]
+        entry = bucket[p]
+        p += 1
+        self._ring_count -= 1
+        if p == len(bucket):
+            bucket.clear()
+            self._ring_pos[b] = 0
+        else:
+            self._ring_pos[b] = p
+        return entry
 
     def run_next(self) -> bool:
         """Pop and run the next non-cancelled event.
 
         Returns False when the queue is empty.
         """
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            cycle, _order, callback, handle = pop(heap)
-            if handle is not None and handle.cancelled:
-                continue
-            self._now = cycle
+        micro = self._micro
+        if micro:
+            p = self._micro_pos
+            callback = micro[p]
+            p += 1
+            if p == len(micro):
+                micro.clear()
+                self._micro_pos = 0
+            else:
+                self._micro_pos = p
             callback()
             return True
-        return False
+        heap = self._heap
+        while True:
+            if self._ring_count:
+                ring_cycle = self._scan_ring()
+                if heap and heap[0][0] <= ring_cycle:
+                    # Same-cycle heap entries are always older (posted
+                    # >= RING_CYCLES cycles earlier => smaller order).
+                    cycle, _order, callback, handle = heapq.heappop(heap)
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self._now = cycle
+                    callback()
+                    return True
+                _order, callback, handle = self._pop_ring(ring_cycle)
+                if handle is not None and handle.cancelled:
+                    continue
+                self._now = ring_cycle
+                callback()
+                return True
+            if heap:
+                cycle, _order, callback, handle = heapq.heappop(heap)
+                if handle is not None and handle.cancelled:
+                    continue
+                self._now = cycle
+                callback()
+                return True
+            return False
 
     def run_cycle(self) -> Optional[int]:
         """Drain every event of the earliest pending cycle, batched.
@@ -131,26 +292,106 @@ class EventQueue:
         queue was empty.
         """
         heap = self._heap
-        if not heap:
+        micro = self._micro
+        if micro:
+            # Pending microtasks belong to the current cycle by
+            # construction (call_soon requires idle_now), so it is the
+            # earliest pending cycle.
+            cycle = self._now
+        elif self._ring_count:
+            cycle = self._scan_ring()
+            if heap and heap[0][0] < cycle:
+                cycle = heap[0][0]
+        elif heap:
+            cycle = heap[0][0]
+        else:
             return None
-        pop = heapq.heappop
-        cycle = heap[0][0]
         self._now = cycle
-        while heap and heap[0][0] == cycle:
-            _cycle, _order, callback, handle = pop(heap)
-            if handle is None or not handle.cancelled:
+        # Priority within the cycle: microtasks (always oldest — they
+        # could only be registered while nothing else was pending at
+        # now), then heap (posted >= RING_CYCLES earlier than any ring
+        # entry, so smaller order), then ring.  Callbacks may register
+        # new microtasks, hence the re-check after each entry.
+        pop = heapq.heappop
+        b = cycle & _RING_MASK
+        bucket = self._ring[b]
+        pos = self._ring_pos
+        while True:
+            if micro:
+                p = self._micro_pos
+                callback = micro[p]
+                p += 1
+                if p == len(micro):
+                    micro.clear()
+                    self._micro_pos = 0
+                else:
+                    self._micro_pos = p
                 callback()
+                continue
+            if heap and heap[0][0] == cycle:
+                _cycle, _order, callback, handle = pop(heap)
+                if handle is None or not handle.cancelled:
+                    callback()
+                continue
+            if pos[b] < len(bucket):
+                p = pos[b]
+                pos[b] = p + 1
+                self._ring_count -= 1
+                _order, callback, handle = bucket[p]
+                if handle is None or not handle.cancelled:
+                    callback()
+                continue
+            break
+        bucket.clear()
+        pos[b] = 0
         return cycle
 
     def run_until(self, limit_cycle: int) -> None:
         """Run all events scheduled at or before ``limit_cycle``."""
         heap = self._heap
-        pop = heapq.heappop
-        while heap and heap[0][0] <= limit_cycle:
-            cycle, _order, callback, handle = pop(heap)
-            if handle is not None and handle.cancelled:
+        micro = self._micro
+        while True:
+            if micro:
+                p = self._micro_pos
+                callback = micro[p]
+                p += 1
+                if p == len(micro):
+                    micro.clear()
+                    self._micro_pos = 0
+                else:
+                    self._micro_pos = p
+                callback()
                 continue
-            self._now = cycle
-            callback()
+            if self._ring_count:
+                ring_cycle = self._scan_ring()
+                if heap and heap[0][0] <= ring_cycle:
+                    cycle = heap[0][0]
+                    if cycle > limit_cycle:
+                        break
+                    _c, _order, callback, handle = heapq.heappop(heap)
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self._now = cycle
+                    callback()
+                    continue
+                if ring_cycle > limit_cycle:
+                    break
+                _order, callback, handle = self._pop_ring(ring_cycle)
+                if handle is not None and handle.cancelled:
+                    continue
+                self._now = ring_cycle
+                callback()
+                continue
+            if heap:
+                cycle = heap[0][0]
+                if cycle > limit_cycle:
+                    break
+                _c, _order, callback, handle = heapq.heappop(heap)
+                if handle is not None and handle.cancelled:
+                    continue
+                self._now = cycle
+                callback()
+                continue
+            break
         if self._now < limit_cycle:
             self._now = limit_cycle

@@ -13,18 +13,54 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 
+class Counter:
+    """A single counter slot, pre-bindable by hot recording sites.
+
+    ``registry.counter(name)`` hands this out so a component can resolve
+    the string key once at construction and then record with a plain
+    attribute add — no per-event key formatting or dict hashing.
+
+    ``live`` tracks whether the counter was ever *recorded* (bump/set/
+    peak), as opposed to merely pre-bound: only live counters appear in
+    reports and snapshots, so pre-binding a counter that never fires is
+    invisible — exactly as if the bump site had never executed.
+    """
+
+    __slots__ = ("value", "live")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.live = False
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+        self.live = True
+
+    def __repr__(self) -> str:
+        return f"Counter(value={self.value}, live={self.live})"
+
+
 class Histogram:
-    """A sparse integer histogram with mean/percentile helpers."""
+    """A sparse integer histogram with mean/percentile helpers.
+
+    Like :class:`Counter`, a histogram may be pre-bound via
+    ``registry.histogram(name)``; ``live`` flips on the first ``add`` and
+    gates visibility in snapshots.
+    """
+
+    __slots__ = ("_buckets", "_count", "_total", "live")
 
     def __init__(self) -> None:
         self._buckets: dict[int, int] = defaultdict(int)
         self._count = 0
         self._total = 0
+        self.live = False
 
     def add(self, value: int, weight: int = 1) -> None:
         self._buckets[value] += weight
         self._count += weight
         self._total += value * weight
+        self.live = True
 
     @property
     def count(self) -> int:
@@ -47,9 +83,20 @@ class Histogram:
         return min(self._buckets) if self._buckets else 0
 
     def percentile(self, fraction: float) -> int:
-        """Smallest value v such that >= fraction of samples are <= v."""
+        """Smallest value v such that >= fraction of samples are <= v.
+
+        Boundary semantics are explicit: ``fraction=0.0`` returns
+        :attr:`min` (the smallest recorded bucket, even one holding only
+        zero weight) and ``fraction=1.0`` returns :attr:`max` — without
+        this, a zero target would match the first bucket regardless of
+        whether it carries any weight.
+        """
         if not self._count:
             return 0
+        if fraction <= 0.0:
+            return self.min
+        if fraction >= 1.0:
+            return self.max
         target = fraction * self._count
         seen = 0
         for value in sorted(self._buckets):
@@ -101,10 +148,18 @@ class HistogramSummary:
         return self.buckets[0][0] if self.buckets else 0
 
     def percentile(self, fraction: float) -> int:
-        """Smallest value v such that >= fraction of samples are <= v."""
+        """Smallest value v such that >= fraction of samples are <= v.
+
+        Boundary semantics match :meth:`Histogram.percentile`:
+        ``0.0`` -> :attr:`min`, ``1.0`` -> :attr:`max`.
+        """
         count = self.count
         if not count:
             return 0
+        if fraction <= 0.0:
+            return self.min
+        if fraction >= 1.0:
+            return self.max
         target = fraction * count
         seen = 0
         for value, weight in self.buckets:
@@ -184,11 +239,19 @@ class StatsRegistry:
     Counter keys are plain strings; a ``scope`` prefix gives per-component
     namespacing.  ``aggregate`` collapses a suffix across all scopes, which
     is how per-core counters become system totals in the reports.
+
+    The schemaless recording API (``bump``/``set``/``peak``/``observe``)
+    is unchanged, but storage is a dict of :class:`Counter` slots:
+    hot sites call :meth:`counter` (or :meth:`histogram`) once at
+    construction and record through the returned handle, skipping the
+    per-event key formatting and dict lookup entirely.  Pre-binding is
+    free — a handle that is never recorded into does not appear in
+    reports or snapshots (see :attr:`Counter.live`).
     """
 
     def __init__(self, scope: str = "") -> None:
         self._scope = scope
-        self._counters: dict[str, int] = defaultdict(int)
+        self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def scoped(self, scope: str) -> "StatsRegistry":
@@ -202,20 +265,41 @@ class StatsRegistry:
     def _key(self, name: str) -> str:
         return f"{self._scope}{name}"
 
+    def counter(self, name: str) -> Counter:
+        """The bindable handle for ``name`` (created if absent).
+
+        Binding alone does not make the counter visible in reports;
+        only recording into it does.
+        """
+        key = f"{self._scope}{name}"
+        slot = self._counters.get(key)
+        if slot is None:
+            slot = Counter()
+            self._counters[key] = slot
+        return slot
+
     def bump(self, name: str, amount: int = 1) -> None:
-        self._counters[self._key(name)] += amount
+        slot = self.counter(name)
+        slot.value += amount
+        slot.live = True
 
     def set(self, name: str, value: int) -> None:
-        self._counters[self._key(name)] = value
+        slot = self.counter(name)
+        slot.value = value
+        slot.live = True
 
     def peak(self, name: str, value: int) -> None:
         """Record the maximum value ever seen for ``name``."""
-        key = self._key(name)
-        if value > self._counters[key]:
-            self._counters[key] = value
+        slot = self.counter(name)
+        slot.live = True
+        if value > slot.value:
+            slot.value = value
 
     def get(self, name: str, default: int = 0) -> int:
-        return self._counters.get(self._key(name), default)
+        slot = self._counters.get(self._key(name))
+        if slot is None or not slot.live:
+            return default
+        return slot.value
 
     def histogram(self, name: str) -> Histogram:
         key = self._key(name)
@@ -231,18 +315,18 @@ class StatsRegistry:
     # -- reporting ----------------------------------------------------
 
     def counters(self) -> Mapping[str, int]:
-        return dict(self._counters)
+        return {k: c.value for k, c in self._counters.items() if c.live}
 
     def histograms(self) -> Mapping[str, Histogram]:
-        return dict(self._histograms)
+        return {k: h for k, h in self._histograms.items() if h.live}
 
     def aggregate(self, suffix: str) -> int:
         """Sum every counter whose key ends with ``.suffix`` or equals it."""
         dotted = f".{suffix}"
         return sum(
-            value
-            for key, value in self._counters.items()
-            if key == suffix or key.endswith(dotted)
+            slot.value
+            for key, slot in self._counters.items()
+            if slot.live and (key == suffix or key.endswith(dotted))
         )
 
     def aggregate_histogram(self, suffix: str) -> Histogram:
@@ -254,15 +338,20 @@ class StatsRegistry:
         return merged
 
     def matching(self, prefix: str) -> Mapping[str, int]:
-        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+        return {
+            k: c.value
+            for k, c in self._counters.items()
+            if c.live and k.startswith(prefix)
+        }
 
     def snapshot(self) -> StatsSummary:
         """Freeze the registry into a picklable :class:`StatsSummary`."""
         return StatsSummary(
-            counters=dict(self._counters),
+            counters={k: c.value for k, c in self._counters.items() if c.live},
             histograms={
                 key: HistogramSummary(buckets=tuple(sorted(h._buckets.items())))
                 for key, h in self._histograms.items()
+                if h.live
             },
         )
 

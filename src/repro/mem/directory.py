@@ -90,6 +90,18 @@ class DirectoryController:
         self._network = network
         self._config = memory_config
         self._stats = stats.scoped("dir")
+        # Pre-bound hot counters (request/grant paths fire per message).
+        self._c_req = {
+            MessageKind.GET_S: self._stats.counter("req.GetS"),
+            MessageKind.GET_X: self._stats.counter("req.GetX"),
+        }
+        self._c_grant = {
+            kind: self._stats.counter(f"grant.{kind.value}")
+            for kind in (MessageKind.DATA_E, MessageKind.DATA_S, MessageKind.DATA_M)
+        }
+        self._c_l3_hits = self._stats.counter("l3_hits")
+        self._c_l3_misses = self._stats.counter("l3_misses")
+        self._c_queued = self._stats.counter("queued_behind_pending")
         network.register(DIRECTORY_NODE, self.on_message)
 
         if total_private_lines is None:
@@ -118,7 +130,7 @@ class DirectoryController:
     def on_message(self, message: CoherenceMessage) -> None:
         kind = message.kind
         if kind in (MessageKind.GET_S, MessageKind.GET_X):
-            self._stats.bump(f"req.{kind.value}")
+            self._c_req[kind].add()
             self._handle_request(message)
         elif kind is MessageKind.PUT_LINE:
             self._handle_put(message)
@@ -136,8 +148,9 @@ class DirectoryController:
         entry = self._entries.get(message.line)
         if entry is not None:
             if entry.pending is not None:
+                message.retained = True
                 entry.pending.blocked.append(message)
-                self._stats.bump("queued_behind_pending")
+                self._c_queued.add()
                 return
             self._touch(entry)
             self._service(entry, message)
@@ -177,6 +190,7 @@ class DirectoryController:
                 victim = candidate
         if victim is None:
             # Every way is mid-transaction; park the request set-wide.
+            message.retained = True
             self._set_overflow.setdefault(set_index, deque()).append(message)
             self._stats.bump("set_overflow")
             return None
@@ -195,6 +209,7 @@ class DirectoryController:
             requester=DIRECTORY_NODE,
             waiting_acks=set(victim.holders),
         )
+        blocked_request.retained = True
         txn.blocked.append(blocked_request)
         victim.pending = txn
         self._pending_by_id[txn.txn_id] = txn
@@ -203,14 +218,8 @@ class DirectoryController:
             self._complete_recall(txn)
             return
         for core in sorted(txn.waiting_acks):
-            self._network.send(
-                CoherenceMessage(
-                    kind=MessageKind.INV,
-                    line=victim.line,
-                    src=DIRECTORY_NODE,
-                    dst=core,
-                    transaction=txn.txn_id,
-                )
+            self._network.send_msg(
+                MessageKind.INV, victim.line, DIRECTORY_NODE, core, txn.txn_id
             )
 
     def _service(self, entry: DirectoryEntry, message: CoherenceMessage) -> None:
@@ -228,14 +237,12 @@ class DirectoryController:
                 txn = self._open_txn("GetS", entry, requester, data_ready_at)
                 txn.grant = MessageKind.DATA_S
                 txn.waiting_acks = {entry.owner}
-                self._network.send(
-                    CoherenceMessage(
-                        kind=MessageKind.DOWNGRADE,
-                        line=line,
-                        src=DIRECTORY_NODE,
-                        dst=entry.owner,
-                        transaction=txn.txn_id,
-                    )
+                self._network.send_msg(
+                    MessageKind.DOWNGRADE,
+                    line,
+                    DIRECTORY_NODE,
+                    entry.owner,
+                    txn.txn_id,
                 )
                 return
             txn = self._open_txn("GetS", entry, requester, data_ready_at)
@@ -255,14 +262,8 @@ class DirectoryController:
             return
         txn.waiting_acks = set(targets)
         for core in sorted(targets):
-            self._network.send(
-                CoherenceMessage(
-                    kind=MessageKind.INV,
-                    line=line,
-                    src=DIRECTORY_NODE,
-                    dst=core,
-                    transaction=txn.txn_id,
-                )
+            self._network.send_msg(
+                MessageKind.INV, line, DIRECTORY_NODE, core, txn.txn_id
             )
 
     def _open_txn(
@@ -283,9 +284,9 @@ class DirectoryController:
         """Directory lookup plus L3-or-DRAM data latency; fills the L3."""
         base = self._config.directory.latency
         if self._l3.lookup(line) is not None:
-            self._stats.bump("l3_hits")
+            self._c_l3_hits.add()
             return base + self._config.l3.hit_latency
-        self._stats.bump("l3_misses")
+        self._c_l3_misses.add()
         self._l3.fill(line)
         return base + self._config.l3.tag_latency + self._config.dram_latency
 
@@ -298,14 +299,10 @@ class DirectoryController:
     ) -> None:
         line = entry.line
         delay = max(0, data_ready_at - self._queue.now)
-        self._stats.bump(f"grant.{grant.value}")
+        self._c_grant[grant].add()
         self._queue.post(
             delay,
-            lambda: self._network.send(
-                CoherenceMessage(
-                    kind=grant, line=line, src=DIRECTORY_NODE, dst=requester
-                )
-            ),
+            lambda: self._network.send_msg(grant, line, DIRECTORY_NODE, requester),
         )
 
     # ------------------------------------------------------------------
@@ -362,16 +359,26 @@ class DirectoryController:
         self._pending_by_id.pop(txn.txn_id, None)
         blocked = list(txn.blocked)
         self._drain_overflow_into(blocked, txn.line)
-        for message in blocked:
-            self._handle_request(message)
+        self._replay(blocked)
 
     def _close_txn(self, entry: DirectoryEntry, txn: Transaction) -> None:
         entry.pending = None
         self._pending_by_id.pop(txn.txn_id, None)
         blocked = list(txn.blocked)
         self._drain_overflow_into(blocked, txn.line)
+        self._replay(blocked)
+
+    def _replay(self, blocked: list[CoherenceMessage]) -> None:
+        """Re-handle parked requests; recycle any that complete.
+
+        A replayed request may get parked again (the handler re-sets
+        ``retained``); otherwise its transaction is open and the message
+        itself is done, so it goes back to the interconnect pool.
+        """
         for message in blocked:
+            message.retained = False
             self._handle_request(message)
+            self._network.release(message)
 
     def _drain_overflow_into(
         self, blocked: list[CoherenceMessage], line: int

@@ -13,10 +13,23 @@ Responsibilities:
 
 Inclusion: L1D ⊆ L2.  Evicting an L2 line back-invalidates the L1 copy,
 which is why L2 victim selection also excludes lines locked in the L1.
+
+Hot-path design (see ARCHITECTURE.md, hot-path invariants): an L1 hit
+with a zero configured hit latency completes with *no event-queue entry
+at all* — the callback goes through :meth:`EventQueue.call_soon`, which
+runs it right after the in-flight event returns.  Legal only when the
+queue confirms nothing else is pending at the current cycle, which makes
+the shortcut exactly identical to posting a delay-0 callback (the
+callback is deliberately NOT invoked inline: the requester may sit
+inside a fetch/dispatch/wakeup loop whose remaining iterations must run
+first).  ``REPRO_NO_FASTPATH=1`` disables every shortcut so equivalence
+can be asserted A/B in tests.  Internal fill completions with no
+continuation skip the queue entirely.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol
 
@@ -35,6 +48,10 @@ from repro.mem.interconnect import Interconnect
 
 #: Cycles between retries of a fill blocked by locked ways.
 FILL_RETRY_CYCLES = 8
+
+
+def _noop() -> None:
+    """Shared no-effect continuation (identity-compared by fast paths)."""
 
 
 class LockView(Protocol):
@@ -84,8 +101,22 @@ class PrivateHierarchy:
         self._network = network
         self._config = memory_config
         self._stats = stats.scoped("mem")
+        # Pre-bound access-path counters (no per-event key hashing).
+        self._c_l1_hits = self._stats.counter("l1_hits")
+        self._c_l2_hits = self._stats.counter("l2_hits")
+        self._c_misses = self._stats.counter("misses")
+        self._c_invalidations = self._stats.counter("invalidations")
+        self._c_l2_evictions = self._stats.counter("l2_evictions")
         self._l1 = CacheArray(memory_config.l1d)
         self._l2 = CacheArray(memory_config.l2)
+        self._l1_hit_latency = memory_config.l1d.hit_latency
+        self._l2_hit_latency = memory_config.l2.hit_latency
+        #: REPRO_NO_FASTPATH=1 is the A/B escape hatch disabling every
+        #: hot-path shortcut (used by the equivalence tests).
+        self._shortcuts = os.environ.get("REPRO_NO_FASTPATH") != "1"
+        #: Zero-entry hit completion is additionally only legal at zero
+        #: configured L1 hit latency (no simulated time may pass).
+        self._fastpath = self._shortcuts and self._l1_hit_latency == 0
         self._state: Dict[int, MESIState] = {}
         self._mshrs: Dict[int, _Mshr] = {}
         self._deferred: Dict[int, List[CoherenceMessage]] = {}
@@ -125,13 +156,24 @@ class PrivateHierarchy:
         satisfied = state.writable if need_write else state.readable
         if satisfied:
             if self._l1.lookup(line) is not None:
-                self._stats.bump("l1_hits")
-                self._queue.post(self._config.l1d.hit_latency, callback)
+                self._c_l1_hits.add()
+                # Zero-entry fast path.  Legal only when (a) the
+                # configured L1 hit latency is 0, so no simulated time
+                # may pass, and (b) no other entry is pending at the
+                # current cycle, so a posted delay-0 callback would run
+                # next with nothing in between — call_soon is then
+                # exactly that, minus the queue entry (see its
+                # docstring for why inline invocation would NOT be
+                # equivalent).
+                if self._fastpath and self._queue.idle_now():
+                    self._queue.call_soon(callback)
+                    return
+                self._queue.post(self._l1_hit_latency, callback)
             else:
-                self._stats.bump("l2_hits")
-                self._fill_l1_then(line, self._config.l2.hit_latency, callback)
+                self._c_l2_hits.add()
+                self._fill_l1_then(line, self._l2_hit_latency, callback)
             return
-        self._stats.bump("misses")
+        self._c_misses.add()
         mshr = self._mshrs.get(line)
         if mshr is not None:
             mshr.waiters.append(_Waiter(need_write, callback))
@@ -144,11 +186,7 @@ class PrivateHierarchy:
         mshr.waiters.append(_Waiter(need_write, callback))
         self._mshrs[line] = mshr
         kind = MessageKind.GET_X if need_write else MessageKind.GET_S
-        self._network.send(
-            CoherenceMessage(
-                kind=kind, line=line, src=self.core_id, dst=DIRECTORY_NODE
-            )
-        )
+        self._network.send_msg(kind, line, self.core_id, DIRECTORY_NODE)
 
     def _fill_l1_then(
         self, line: int, latency: int, callback: Callable[[], None]
@@ -168,6 +206,12 @@ class PrivateHierarchy:
                 FILL_RETRY_CYCLES,
                 lambda: self._fill_l1_then(line, latency, callback),
             )
+            return
+        if callback is _noop and latency == 0 and self._shortcuts:
+            # Nothing to run and no time to pass: skip the queue.  (A
+            # popped no-op event has no observable effect, so this is
+            # unconditionally equivalent regardless of hit latency;
+            # gated on REPRO_NO_FASTPATH so the tests A/B everything.)
             return
         self._queue.post(latency, callback)
 
@@ -200,17 +244,12 @@ class PrivateHierarchy:
         self._state[line] = granted
         # Tell the directory the grant landed so it can serve the next
         # request for this line (closes the stale-grant ownership race).
-        self._network.send(
-            CoherenceMessage(
-                kind=MessageKind.UNBLOCK,
-                line=line,
-                src=self.core_id,
-                dst=DIRECTORY_NODE,
-            )
+        self._network.send_msg(
+            MessageKind.UNBLOCK, line, self.core_id, DIRECTORY_NODE
         )
         self._install(line)
         unsatisfied: List[_Waiter] = []
-        fill_latency = self._config.l1d.hit_latency
+        fill_latency = self._l1_hit_latency
         for waiter in mshr.waiters:
             if waiter.need_write and not granted.writable:
                 unsatisfied.append(waiter)
@@ -233,7 +272,7 @@ class PrivateHierarchy:
             self._stats.bump("l2_fill_blocked")
             self._queue.post(FILL_RETRY_CYCLES, lambda: self._install(line))
             return
-        self._fill_l1_then(line, 0, lambda: None)
+        self._fill_l1_then(line, 0, _noop)
 
     def _l2_excluded_ways(self, line: int) -> set[int]:
         """L2 ways that cannot be victims for a fill of ``line``.
@@ -252,57 +291,50 @@ class PrivateHierarchy:
         return excluded
 
     def _evict_from_l2(self, line: int) -> None:
-        self._stats.bump("l2_evictions")
+        self._c_l2_evictions.add()
         self._l1.invalidate(line)
         self._state.pop(line, None)
         self.on_line_lost(line)
-        self._network.send(
-            CoherenceMessage(
-                kind=MessageKind.PUT_LINE,
-                line=line,
-                src=self.core_id,
-                dst=DIRECTORY_NODE,
-            )
+        self._network.send_msg(
+            MessageKind.PUT_LINE, line, self.core_id, DIRECTORY_NODE
         )
 
     def _on_invalidate(self, message: CoherenceMessage) -> None:
         if self.lock_view.is_line_locked(message.line):
             self._stats.bump("deferred_inv")
+            message.retained = True
             self._deferred.setdefault(message.line, []).append(message)
             return
         line = message.line
         if self._state.get(line, MESIState.INVALID) is not MESIState.INVALID:
-            self._stats.bump("invalidations")
+            self._c_invalidations.add()
             self._l1.invalidate(line)
             self._l2.invalidate(line)
             self._state.pop(line, None)
             self.on_line_lost(line)
-        self._network.send(
-            CoherenceMessage(
-                kind=MessageKind.INV_ACK,
-                line=line,
-                src=self.core_id,
-                dst=DIRECTORY_NODE,
-                transaction=message.transaction,
-            )
+        self._network.send_msg(
+            MessageKind.INV_ACK,
+            line,
+            self.core_id,
+            DIRECTORY_NODE,
+            message.transaction,
         )
 
     def _on_downgrade(self, message: CoherenceMessage) -> None:
         if self.lock_view.is_line_locked(message.line):
             self._stats.bump("deferred_downgrade")
+            message.retained = True
             self._deferred.setdefault(message.line, []).append(message)
             return
         line = message.line
         if self._state.get(line, MESIState.INVALID).writable:
             self._state[line] = MESIState.SHARED
-        self._network.send(
-            CoherenceMessage(
-                kind=MessageKind.DOWNGRADE_ACK,
-                line=line,
-                src=self.core_id,
-                dst=DIRECTORY_NODE,
-                transaction=message.transaction,
-            )
+        self._network.send_msg(
+            MessageKind.DOWNGRADE_ACK,
+            line,
+            self.core_id,
+            DIRECTORY_NODE,
+            message.transaction,
         )
 
     # ------------------------------------------------------------------
@@ -315,7 +347,12 @@ class PrivateHierarchy:
             return
         self._stats.bump("unlock_replays", len(deferred))
         for message in deferred:
+            # Clear the retention mark before replay; the handler re-sets
+            # it if the line got locked again in the meantime, otherwise
+            # the message is done and goes back to the pool.
+            message.retained = False
             self.on_message(message)
+            self._network.release(message)
 
     def deferred_count(self, line: int) -> int:
         return len(self._deferred.get(line, ()))

@@ -5,6 +5,16 @@ each node can inject one message per cycle, so bursts from a single node
 spread out in time (the property GARNET gives the paper that actually
 matters for ordering).  Delivery order between a fixed (src, dst) pair is
 FIFO, which the coherence protocol relies on.
+
+Hot-path design: :meth:`Interconnect.send_msg` allocates the
+:class:`CoherenceMessage` from a free-list pool and recycles it right
+after the destination handler returns, so the steady-state message churn
+of the directory/L1 exchange allocates nothing.  Handlers that keep a
+message alive past their return (deferral and blocked-request queues)
+mark it ``retained`` and give it back through :meth:`release` when
+done.  Same-cycle deliveries are batched by the event kernel's calendar
+ring — each delivery is one O(1) bucket append, and a whole cycle's
+messages drain as one list walk.
 """
 
 from __future__ import annotations
@@ -13,9 +23,12 @@ from typing import Callable, Dict
 
 from repro.common.events import EventQueue
 from repro.common.stats import StatsRegistry
-from repro.mem.coherence import CoherenceMessage
+from repro.mem.coherence import CoherenceMessage, MessageKind
 
 Handler = Callable[[CoherenceMessage], None]
+
+#: Maximum number of recycled messages kept on the free list.
+POOL_LIMIT = 512
 
 
 class Interconnect:
@@ -32,9 +45,17 @@ class Interconnect:
         self._queue = queue
         self._latency = latency
         self._stats = stats.scoped("network")
+        self._c_messages = self._stats.counter("messages")
+        # Per-kind counters, pre-bound once (enum identity hash beats a
+        # formatted string key on every send).
+        self._c_kind: Dict[MessageKind, object] = {
+            kind: self._stats.counter(f"kind.{kind.value}") for kind in MessageKind
+        }
         self._handlers: Dict[int, Handler] = {}
         # Next free injection cycle per source endpoint.
         self._next_inject: Dict[int, int] = {}
+        # Free list of recycled CoherenceMessages (see send_msg/release).
+        self._pool: list[CoherenceMessage] = []
 
     @property
     def latency(self) -> int:
@@ -45,15 +66,51 @@ class Interconnect:
             raise ValueError(f"node {node} already registered")
         self._handlers[node] = handler
 
+    def send_msg(
+        self,
+        kind: MessageKind,
+        line: int,
+        src: int,
+        dst: int,
+        transaction: int = -1,
+    ) -> None:
+        """Allocate a (pooled) message and inject it."""
+        pool = self._pool
+        if pool:
+            message = pool.pop()
+            message.renew(kind, line, src, dst, transaction)
+        else:
+            message = CoherenceMessage(
+                kind=kind, line=line, src=src, dst=dst, transaction=transaction
+            )
+            message.pooled = True
+        self.send(message)
+
     def send(self, message: CoherenceMessage) -> None:
         """Inject a message; it is delivered after injection + latency."""
-        if message.dst not in self._handlers:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
             raise ValueError(f"no handler registered for node {message.dst}")
         now = self._queue.now
-        inject_at = max(now, self._next_inject.get(message.src, now))
+        inject_at = self._next_inject.get(message.src, now)
+        if inject_at < now:
+            inject_at = now
         self._next_inject[message.src] = inject_at + 1
-        self._stats.bump("messages")
-        self._stats.bump(f"kind.{message.kind.value}")
+        self._c_messages.add()
+        self._c_kind[message.kind].add()
         delay = (inject_at - now) + self._latency
-        handler = self._handlers[message.dst]
-        self._queue.post(delay, lambda: handler(message))
+        self._queue.post(delay, lambda: self._deliver(handler, message))
+
+    def _deliver(self, handler: Handler, message: CoherenceMessage) -> None:
+        handler(message)
+        if message.pooled and not message.retained and len(self._pool) < POOL_LIMIT:
+            self._pool.append(message)
+
+    def release(self, message: CoherenceMessage) -> None:
+        """Return a retained message to the pool once it is fully done.
+
+        Safe to call with any message; only pooled, non-retained ones are
+        recycled.
+        """
+        if message.pooled and not message.retained and len(self._pool) < POOL_LIMIT:
+            self._pool.append(message)

@@ -160,8 +160,9 @@ class System:
         """Run to completion (every thread committed its Halt)."""
         for core in self.cores:
             core.start()
-        # Hot loop: locals bound once, and the unfinished list only
-        # re-filters the cores still running (finish events are rare).
+        # Hot loop: locals bound once; finished cores are removed in
+        # place (reverse scan) so the common no-finish iteration does
+        # not allocate a fresh list per event.
         queue = self.queue
         run_next = queue.run_next
         max_cycles = self.config.max_cycles
@@ -175,7 +176,9 @@ class System:
                     f"(policy={self.policy.name}, "
                     f"workload={self.workload.name})"
                 )
-            unfinished = [c for c in unfinished if not c.finished]
+            for index in range(len(unfinished) - 1, -1, -1):
+                if unfinished[index].finished:
+                    del unfinished[index]
         end_cycle = self.queue.now
         summaries = []
         for core in self.cores:

@@ -108,6 +108,20 @@ class OutOfOrderCore:
         self.memory = memory
         self.queue = queue
         self.stats = stats
+        # Pre-bound counter handles for the per-instruction hot path
+        # (dispatch/issue/commit/load/store fire on every instruction;
+        # binding once here skips the string-key lookup on each event).
+        self._c_dispatched = stats.counter("dispatched")
+        self._c_issued_ops = stats.counter("issued_ops")
+        self._c_committed = stats.counter("committed")
+        self._c_committed_by_class = {
+            klass: stats.counter(f"committed.{klass.value}") for klass in InstrClass
+        }
+        self._c_loads_performed = stats.counter("loads_performed")
+        self._c_stores_performed = stats.counter("stores_performed")
+        self._c_load_locks_performed = stats.counter("load_locks_performed")
+        self._c_squashes = stats.counter("squashes")
+        self._c_squashed_instrs = stats.counter("squashed_instrs")
 
         self.rename = RenameMap(initial_regs)
         self.rob = ReorderBuffer(self.cfg.rob_entries)
@@ -257,7 +271,7 @@ class OutOfOrderCore:
     def _dispatch(self, instr: DynInstr) -> None:
         instr.dispatch_cycle = self.queue.now
         self.rob.dispatch(instr)
-        self.stats.bump("dispatched")
+        self._c_dispatched.add()
         # Type-keyed table instead of an isinstance chain: one dict hit
         # per instruction on the hottest pipeline path.
         handler = _DISPATCH_BY_TYPE.get(type(instr.instr))
@@ -380,7 +394,7 @@ class OutOfOrderCore:
 
     def _issue_slot(self) -> int:
         """Reserve an issue slot; returns its absolute cycle."""
-        self.stats.bump("issued_ops")
+        self._c_issued_ops.add()
         return self.issue_bw.grant(self.queue.now)
 
     def _schedule_alu_execute(self, instr: DynInstr) -> None:
@@ -673,7 +687,7 @@ class OutOfOrderCore:
         instr.performed = True
         instr.perform_cycle = self.queue.now
         instr.result = self.memory.read(instr.address)
-        self.stats.bump("loads_performed")
+        self._c_loads_performed.add()
         if self.prefetcher is not None:
             self.prefetcher.observe_load(instr.pc, instr.address)
         self._complete(instr)
@@ -698,7 +712,7 @@ class OutOfOrderCore:
         instr.performed = True
         instr.perform_cycle = self.queue.now
         instr.result = self.memory.read(instr.address)
-        self.stats.bump("load_locks_performed")
+        self._c_load_locks_performed.add()
         self._try_compute_atomic_value(instr)
         self._complete(instr)
 
@@ -771,7 +785,7 @@ class OutOfOrderCore:
         assert store.store_value is not None
         self.memory.write(store.address, store.store_value)
         store.store_performed = True
-        self.stats.bump("stores_performed")
+        self._c_stores_performed.add()
 
         # SQid broadcast: forwarded atomics capture the lock here —
         # lock_on_access for ordinary stores, the unlock->lock transfer
@@ -882,8 +896,8 @@ class OutOfOrderCore:
             self.stats.bump("committed_spin")
         else:
             self.active_cycles += gap
-        self.stats.bump("committed")
-        self.stats.bump(f"committed.{instr.klass.value}")
+        self._c_committed.add()
+        self._c_committed_by_class[instr.klass].add()
 
         static = instr.instr
         dst = getattr(static, "dst", None)
@@ -968,8 +982,8 @@ class OutOfOrderCore:
     def _squash_from(self, seq: int, new_pc: int) -> None:
         """Flush all instructions with sequence >= ``seq``; refetch."""
         squashed = self.rob.squash_from(seq)
-        self.stats.bump("squashes")
-        self.stats.bump("squashed_instrs", len(squashed))
+        self._c_squashes.add()
+        self._c_squashed_instrs.add(len(squashed))
         self.rename.rollback(squashed)
         self.lq.squash_from(seq)
         self.sq.squash_from(seq)

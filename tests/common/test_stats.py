@@ -1,6 +1,6 @@
 """Tests for the statistics registry and histograms."""
 
-from repro.common.stats import Histogram, StatsRegistry
+from repro.common.stats import Histogram, HistogramSummary, StatsRegistry
 
 
 class TestHistogram:
@@ -37,6 +37,46 @@ class TestHistogram:
         a.merge(b)
         assert a.count == 2
         assert a.mean == 2.0
+
+    def test_percentile_boundaries_are_min_and_max(self):
+        hist = Histogram()
+        hist.add(4)
+        hist.add(7, weight=10)
+        hist.add(2)
+        assert hist.percentile(0.0) == hist.min == 2
+        assert hist.percentile(1.0) == hist.max == 7
+        # Out-of-range fractions clamp to the same boundaries.
+        assert hist.percentile(-0.5) == 2
+        assert hist.percentile(1.5) == 7
+
+    def test_percentile_boundaries_with_skewed_weights(self):
+        # Nearly all mass on the max bucket: fraction 0.0 must still
+        # return the (barely populated) min, and vice versa.
+        light_min = Histogram()
+        light_min.add(1, weight=1)
+        light_min.add(100, weight=999)
+        assert light_min.percentile(0.0) == 1
+        assert light_min.percentile(1.0) == 100
+        light_max = Histogram()
+        light_max.add(1, weight=999)
+        light_max.add(100, weight=1)
+        assert light_max.percentile(0.0) == 1
+        assert light_max.percentile(1.0) == 100
+        # Interior fractions are unaffected by the boundary rules.
+        assert light_max.percentile(0.5) == 1
+
+    def test_percentile_empty(self):
+        assert Histogram().percentile(0.0) == 0
+        assert Histogram().percentile(1.0) == 0
+
+    def test_summary_percentile_matches_live_histogram(self):
+        hist = Histogram()
+        hist.add(3, weight=2)
+        hist.add(8, weight=5)
+        hist.add(21)
+        summary = HistogramSummary(buckets=tuple(hist.items()))
+        for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert summary.percentile(fraction) == hist.percentile(fraction)
 
 
 class TestStatsRegistry:
@@ -90,3 +130,45 @@ class TestStatsRegistry:
         stats.scoped("dir").bump("recalls")
         stats.bump("other")
         assert stats.matching("dir.") == {"dir.recalls": 1}
+
+
+class TestBoundCounters:
+    def test_handle_records_into_registry(self):
+        stats = StatsRegistry()
+        handle = stats.scoped("core0").counter("commits")
+        handle.add()
+        handle.add(4)
+        assert stats.get("core0.commits") == 5
+
+    def test_prebound_but_unrecorded_is_invisible(self):
+        """Binding a handle must be exactly as if the site never ran."""
+        stats = StatsRegistry()
+        stats.counter("never_fired")
+        assert stats.counters() == {}
+        assert stats.get("never_fired", default=-1) == -1
+        assert stats.aggregate("never_fired") == 0
+        assert stats.matching("never") == {}
+        assert stats.snapshot().counters() == {}
+
+    def test_zero_valued_recording_is_visible(self):
+        """bump(x, 0) materializes the key — defaultdict semantics."""
+        stats = StatsRegistry()
+        stats.bump("zero", 0)
+        stats.counter("bound_zero").add(0)
+        assert stats.counters() == {"zero": 0, "bound_zero": 0}
+
+    def test_handle_and_bump_share_one_slot(self):
+        stats = StatsRegistry()
+        handle = stats.counter("x")
+        stats.bump("x", 2)
+        handle.add(3)
+        assert stats.get("x") == 5
+        assert stats.counter("x") is handle
+
+    def test_unrecorded_histogram_is_invisible(self):
+        stats = StatsRegistry()
+        bound = stats.histogram("latency")
+        assert stats.histograms() == {}
+        assert stats.snapshot().histograms() == {}
+        bound.add(10)
+        assert "latency" in stats.histograms()

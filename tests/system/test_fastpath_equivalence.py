@@ -1,0 +1,102 @@
+"""A/B equivalence of the hierarchy hot-path shortcuts.
+
+The zero-event L1-hit completion and the no-op fill elision
+(``mem/hierarchy.py``) are pure optimizations: with ``REPRO_NO_FASTPATH=1``
+every shortcut is disabled and all completions go through posted events.
+These tests run randomized workloads both ways and require the
+``ResultSummary`` canonical JSON to be byte-identical — any divergence in
+event ordering, stats, or timing fails loudly.
+
+The sync fast path only arms when the configured L1 hit latency is zero,
+so the config here uses ``tag_latency=0, data_latency=0`` for the L1D
+(the default presets keep hit latency 4 and exercise only the no-op
+elision).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.core.policy import ALL_POLICIES, FREE_ATOMICS_FWD
+from repro.system.simulator import run_workload
+from repro.workloads.generator import WorkloadScale, generate_workload
+from tests.conftest import counter_workload, small_system_config
+
+
+def zero_hit_config(num_cores: int):
+    """Small system whose L1D hits complete in zero cycles."""
+    config = small_system_config(num_cores)
+    memory = dataclasses.replace(
+        config.memory,
+        l1d=CacheConfig("L1D", 4 * 4 * 64, 4, 0, 0),
+    )
+    return config.replace(memory=memory)
+
+
+def canonical(workload, policy, config, monkeypatch, fastpath: bool) -> str:
+    if fastpath:
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    result = run_workload(workload, policy=policy, config=config)
+    return result.summary().canonical_json()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 99])
+@pytest.mark.parametrize("bench_name", ["AS", "canneal"])
+def test_randomized_workloads_identical_with_zero_latency_l1(
+    bench_name, seed, monkeypatch
+):
+    scale = WorkloadScale(num_threads=2, instructions_per_thread=300, seed=seed)
+    workload = generate_workload(bench_name, scale)
+    config = zero_hit_config(2)
+    with_fast = canonical(
+        workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=True
+    )
+    without = canonical(
+        workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=False
+    )
+    assert with_fast == without
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+def test_contended_counter_identical_across_policies(policy, monkeypatch):
+    config = zero_hit_config(3)
+    results = [
+        canonical(
+            counter_workload(3, 20), policy, config, monkeypatch, fastpath=fast
+        )
+        for fast in (True, False)
+    ]
+    assert results[0] == results[1]
+
+
+def test_default_preset_identical(monkeypatch):
+    """hit_latency=4 presets only elide no-op fills; still byte-identical."""
+    scale = WorkloadScale(num_threads=2, instructions_per_thread=300, seed=5)
+    workload = generate_workload("watersp", scale)
+    config = small_system_config(2)
+    with_fast = canonical(
+        workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=True
+    )
+    without = canonical(
+        workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=False
+    )
+    assert with_fast == without
+
+
+def test_sync_fastpath_actually_fires(monkeypatch):
+    """Guard against the fast path silently never arming (dead test risk)."""
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    from repro.system.simulator import System
+
+    system = System(
+        counter_workload(2, 15), policy=FREE_ATOMICS_FWD, config=zero_hit_config(2)
+    )
+    assert all(core.hierarchy._fastpath for core in system.cores)
+    system.run()
+    # Zero-latency hits must have completed synchronously at least once.
+    assert system.stats.aggregate("l1_hits") > 0
