@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Deep consistency-fuzz driver (see .github/workflows/fuzz.yml).
+
+A thin wrapper over ``python -m repro.consistency`` that works from a
+source checkout with no install step, always shrinks violations into
+repro files, and defaults to deep-fuzz scale.  The PR-gate smoke sweep
+lives in ci.yml; this script is the nightly/on-demand long haul::
+
+    python scripts/fuzz_consistency.py --tests 2000 --seed 0 --jobs 0
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv: list[str]) -> int:
+    from repro.consistency.cli import main as fuzz_main
+
+    if not any(arg.startswith("--tests") for arg in argv):
+        argv = ["--tests", "2000", *argv]
+    if "--shrink" not in argv:
+        argv = [*argv, "--shrink"]
+    return fuzz_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

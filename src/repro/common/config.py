@@ -199,6 +199,84 @@ class SystemConfig:
         """Return a copy with ``changes`` applied (dataclasses.replace)."""
         return dataclasses.replace(self, **changes)
 
+    def with_overrides(self, **knobs: object) -> "SystemConfig":
+        """Return a copy with flat knob names applied to nested fields.
+
+        The consistency fuzzer (and ablation sweeps) perturb individual
+        timing/sizing knobs buried several dataclasses deep; this maps a
+        flat name like ``l1_data_latency`` or ``watchdog_cycles`` onto
+        the right nested ``dataclasses.replace`` chain.  Unknown knob
+        names raise :class:`~repro.common.errors.ConfigError` so a typo
+        in a fuzz-knob table cannot silently perturb nothing.
+        """
+        top: dict[str, object] = {}
+        nested: dict[str, dict[str, object]] = {}
+        for name, value in knobs.items():
+            try:
+                path = _KNOB_PATHS[name]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown config knob {name!r}; expected one of "
+                    f"{sorted(_KNOB_PATHS)}"
+                ) from None
+            if len(path) == 1:
+                top[path[0]] = value
+            else:
+                nested.setdefault(path[0], {})[".".join(path[1:])] = value
+
+        config = self
+        for group, fields in nested.items():
+            section = getattr(config, group)
+            if group == "memory":
+                cache_changes: dict[str, dict[str, object]] = {}
+                flat: dict[str, object] = {}
+                for dotted, value in fields.items():
+                    if "." in dotted:
+                        cache, attr = dotted.split(".", 1)
+                        cache_changes.setdefault(cache, {})[attr] = value
+                    else:
+                        flat[dotted] = value
+                for cache, attrs in cache_changes.items():
+                    flat[cache] = dataclasses.replace(
+                        getattr(section, cache), **attrs
+                    )
+                section = dataclasses.replace(section, **flat)
+            else:
+                section = dataclasses.replace(section, **fields)
+            config = dataclasses.replace(config, **{group: section})
+        if top:
+            config = dataclasses.replace(config, **top)
+        return config
+
+
+#: Flat knob name -> attribute path inside :class:`SystemConfig`.
+_KNOB_PATHS: dict[str, tuple[str, ...]] = {
+    "num_cores": ("num_cores",),
+    "max_cycles": ("max_cycles",),
+    "fetch_width": ("core", "fetch_width"),
+    "commit_width": ("core", "commit_width"),
+    "rob_entries": ("core", "rob_entries"),
+    "lq_entries": ("core", "lq_entries"),
+    "sq_entries": ("core", "sq_entries"),
+    "mispredict_penalty": ("core", "mispredict_penalty"),
+    "store_prefetch_at_commit": ("core", "store_prefetch_at_commit"),
+    "l1_tag_latency": ("memory", "l1d", "tag_latency"),
+    "l1_data_latency": ("memory", "l1d", "data_latency"),
+    "l2_tag_latency": ("memory", "l2", "tag_latency"),
+    "l2_data_latency": ("memory", "l2", "data_latency"),
+    "l3_tag_latency": ("memory", "l3", "tag_latency"),
+    "l3_data_latency": ("memory", "l3", "data_latency"),
+    "directory_latency": ("memory", "directory", "latency"),
+    "network_latency": ("memory", "network_latency"),
+    "dram_latency": ("memory", "dram_latency"),
+    "prefetch_degree": ("memory", "prefetch_degree"),
+    "l1_stride_prefetcher": ("memory", "l1_stride_prefetcher"),
+    "aq_entries": ("free_atomics", "aq_entries"),
+    "watchdog_cycles": ("free_atomics", "watchdog_cycles"),
+    "max_forward_chain": ("free_atomics", "max_forward_chain"),
+    "watchdog_enabled": ("free_atomics", "watchdog_enabled"),
+}
+
 
 def icelake_config(num_cores: int = 32, **overrides: object) -> SystemConfig:
     """Table 1 preset: Icelake-like core (352-entry ROB)."""

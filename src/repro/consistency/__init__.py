@@ -1,27 +1,78 @@
-"""Memory-consistency validation: litmus tests, TSO model, invariants."""
+"""Memory-consistency validation: litmus tests, TSO model, fuzzing.
 
-from repro.consistency.litmus import (
-    LITMUS_TESTS,
-    LitmusResult,
-    LitmusTest,
-    run_litmus,
-    sweep_litmus,
-)
-from repro.consistency.model import (
-    CheckResult,
-    OpKind,
-    Operation,
-    TsoChecker,
-)
+This package hosts both sides of the correctness argument:
 
-__all__ = [
-    "CheckResult",
-    "LITMUS_TESTS",
-    "LitmusResult",
-    "LitmusTest",
-    "OpKind",
-    "Operation",
-    "TsoChecker",
-    "run_litmus",
-    "sweep_litmus",
-]
+- :mod:`repro.consistency.model` — the operational x86-TSO reference
+  machine and trace admissibility checker (the oracle);
+- :mod:`repro.consistency.litmus` — the hand-written litmus catalogue;
+- :mod:`repro.consistency.generator` — a diy-style generator that
+  enumerates/samples small multi-thread programs with outcome sets
+  derived from the reference model;
+- :mod:`repro.consistency.fuzz` — the schedule-perturbation fuzzer that
+  runs generated tests across policies and timing knobs and checks every
+  execution differentially against the oracle;
+- :mod:`repro.consistency.shrink` — minimizes violating cases and emits
+  reproducible repro files.
+
+Attributes are resolved lazily (PEP 562).  This is load-bearing, not a
+style choice: the simulator imports ``repro.consistency.model`` for
+trace recording, and importing any submodule first executes this package
+``__init__``.  An eager ``from .litmus import ...`` here would pull in
+the simulator while the package is still initializing and close an
+import cycle (previously papered over with a function-local import in
+``litmus.py``; see ``tests/test_import_isolation.py``).
+"""
+
+from importlib import import_module
+from typing import Any
+
+_EXPORTS = {
+    # model
+    "CheckResult": "repro.consistency.model",
+    "OpKind": "repro.consistency.model",
+    "Operation": "repro.consistency.model",
+    "TsoChecker": "repro.consistency.model",
+    # litmus
+    "LITMUS_TESTS": "repro.consistency.litmus",
+    "LitmusResult": "repro.consistency.litmus",
+    "LitmusTest": "repro.consistency.litmus",
+    "run_litmus": "repro.consistency.litmus",
+    "sweep_litmus": "repro.consistency.litmus",
+    # generator
+    "AbsOp": "repro.consistency.generator",
+    "GeneratedTest": "repro.consistency.generator",
+    "SHAPE_FAMILIES": "repro.consistency.generator",
+    "enumerate_outcomes": "repro.consistency.generator",
+    "generate_tests": "repro.consistency.generator",
+    # fuzz
+    "CaseRecord": "repro.consistency.fuzz",
+    "FuzzReport": "repro.consistency.fuzz",
+    "PerturbationKnobs": "repro.consistency.fuzz",
+    "Violation": "repro.consistency.fuzz",
+    "draw_knobs": "repro.consistency.fuzz",
+    "fuzz": "repro.consistency.fuzz",
+    "run_case": "repro.consistency.fuzz",
+    # shrink
+    "ShrinkResult": "repro.consistency.shrink",
+    "load_repro": "repro.consistency.shrink",
+    "shrink_case": "repro.consistency.shrink",
+    "write_repro": "repro.consistency.shrink",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.consistency``."""
+
+import sys
+
+from repro.consistency.cli import main
+
+sys.exit(main())

@@ -1,0 +1,147 @@
+"""``python -m repro.consistency`` — the consistency-fuzz sweep.
+
+Examples::
+
+    # PR-gate smoke: 40 tests, all four policies, 2 workers
+    python -m repro.consistency --tests 40 --seed 0 --jobs 2
+
+    # acceptance sweep with a machine-readable report
+    python -m repro.consistency --tests 200 --seed 0 --report fuzz.json
+
+    # deep fuzz: shrink any violation and drop repro files
+    python -m repro.consistency --tests 2000 --seed 7 --jobs 0 --shrink
+
+Exit status is non-zero iff at least one execution violated the x86-TSO
+reference model (forbidden outcome, inadmissible trace, or crash).
+The report JSON is a pure function of ``(--tests, --seed, --policies)``
+— worker count never changes a byte of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.consistency.fuzz import fuzz, knobs_for, resolve_policies
+from repro.consistency.generator import generate_tests
+from repro.core.policy import ALL_POLICIES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.consistency",
+        description="Litmus-test generator + schedule-perturbation fuzzer "
+        "with differential x86-TSO checking.",
+    )
+    parser.add_argument(
+        "--tests", type=int, default=200, metavar="N",
+        help="number of generated litmus tests (default: 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="generator/knob seed; the whole run is a pure function of it",
+    )
+    parser.add_argument(
+        "--policies", type=str, default=None, metavar="P[,P...]",
+        help="comma-separated policy names (default: all four: "
+        + ",".join(p.name for p in ALL_POLICIES) + ")",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="J",
+        help="worker processes (0 = all cores; default: REPRO_BENCH_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--shrink", action="store_true",
+        help="minimize each violating case and write repro files",
+    )
+    parser.add_argument(
+        "--repro-dir", type=Path, default=Path("consistency_repros"),
+        metavar="DIR", help="where --shrink drops repro files",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None, metavar="PATH",
+        help="write the full deterministic fuzz report as JSON",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="summary line only",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    policies = resolve_policies(
+        args.policies.split(",") if args.policies else None
+    )
+
+    started = time.perf_counter()
+    tests = generate_tests(args.tests, args.seed)
+    report = fuzz(tests, policies=policies, seed=args.seed, jobs=args.jobs)
+    elapsed = time.perf_counter() - started
+
+    if not args.quiet:
+        print(
+            f"generated {len(tests)} tests "
+            f"({len({t.name.rsplit('_', 1)[0] for t in tests})} shape families), "
+            f"policies: {', '.join(report.policies)}"
+        )
+        print(
+            f"ran {report.runs} executions in {elapsed:.1f}s: "
+            f"{report.num_violations} violations, "
+            f"{report.interesting_count} relaxed (TSO-not-SC) outcomes, "
+            f"{report.skipped_checks} trace checks skipped (state cap)"
+        )
+    if args.report is not None:
+        args.report.write_text(
+            json.dumps(report.to_jsonable(), indent=2, sort_keys=True) + "\n"
+        )
+        if not args.quiet:
+            print(f"report written to {args.report}")
+
+    if report.ok:
+        print(f"OK: {report.runs} executions, all admissible under x86-TSO")
+        return 0
+
+    knobs = knobs_for(tests, args.seed)
+    for record in report.violating:
+        print(
+            f"VIOLATION: {record.test_name} under {record.policy}: "
+            + "; ".join(f"{v.kind}: {v.detail}" for v in record.violations)
+        )
+    if args.shrink:
+        from repro.consistency.shrink import shrink_case, write_repro
+        from repro.core.policy import policy_by_name
+
+        args.repro_dir.mkdir(parents=True, exist_ok=True)
+        shrunk_tests = set()
+        for record in report.violating:
+            if record.test_index in shrunk_tests:
+                continue  # one repro per test; policies share knobs
+            shrunk_tests.add(record.test_index)
+            result = shrink_case(
+                tests[record.test_index],
+                policy_by_name(record.policy),
+                knobs[record.test_index],
+            )
+            path = args.repro_dir / f"{record.test_name}.{record.policy}.json"
+            write_repro(
+                path,
+                result.test,
+                result.policy,
+                result.knobs,
+                record=record,
+                seed=args.seed,
+            )
+            print(
+                f"shrunk {record.test_name} to {result.num_ops} ops "
+                f"in {result.probes} probes -> {path}"
+            )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,414 @@
+"""Schedule-perturbation fuzzer with differential TSO checking.
+
+Each generated test (:mod:`repro.consistency.generator`) is run under
+every requested :class:`~repro.core.policy.AtomicPolicy` while a seeded
+RNG perturbs the timing knobs that decide which interleavings actually
+happen on the simulator: per-thread/per-op nop padding, cache and
+interconnect latencies, Atomic Queue size, watchdog threshold, and the
+forwarding-chain bound.  Every execution is then checked two ways:
+
+1. **outcome check** — the observed final observations must be in the
+   test's TSO-reachable outcome set (the forward-enumerated oracle);
+2. **trace check** — the committed per-core memory-operation trace,
+   recorded via ``System(..., trace=True)``, must be admissible to
+   :class:`~repro.consistency.model.TsoChecker` (the backward search).
+
+The two oracles fail independently: a wrong value with a plausible
+ordering trips (1), a right-looking value from an impossible ordering
+trips (2).  Simulator crashes (deadlock, watchdog runaway) are recorded
+as violations too.
+
+Determinism: test ``i``'s knobs are drawn from ``fork(seed, i)`` and
+every case is a pure function of ``(test, policy, knobs)``, so reports
+are byte-identical no matter how many worker processes resolve them
+(the same property the parallel experiment engine relies on).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DirectoryConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from repro.common.rng import DeterministicRng
+from repro.consistency.generator import (
+    OUT_BASE,
+    GeneratedTest,
+    Outcome,
+    generate_tests,
+    loc_address,
+)
+from repro.consistency.model import OpKind, Operation, TsoChecker
+from repro.core.policy import ALL_POLICIES, AtomicPolicy, policy_by_name
+from repro.system.simulator import run_workload
+
+#: States the per-execution trace check may explore before giving up.
+#: A give-up is reported as ``checker_skipped`` — never as a violation.
+TRACE_CHECK_MAX_STATES = 400_000
+
+
+def fuzz_base_config(num_threads: int) -> SystemConfig:
+    """A small, fully featured system: fast to simulate, easy to stress.
+
+    Tiny caches and short latencies keep each litmus run in the tens of
+    microseconds of host time while still exercising evictions, recalls
+    and the AQ; the fuzz knobs then perturb around this point.
+    """
+    return SystemConfig(
+        num_cores=num_threads,
+        core=CoreConfig(rob_entries=64, lq_entries=32, sq_entries=24),
+        memory=MemoryConfig(
+            l1d=CacheConfig("L1D", 4 * 4 * 64, 4, 0, 2),
+            l2=CacheConfig("L2", 4 * 4 * 64 * 4, 8, 1, 3),
+            l3=CacheConfig("L3", 64 * 1024, 8, 1, 5),
+            directory=DirectoryConfig(coverage=4.0, ways=4, latency=2),
+            network_latency=2,
+            dram_latency=20,
+        ),
+        max_cycles=2_000_000,
+    )
+
+
+@dataclass(frozen=True)
+class PerturbationKnobs:
+    """One draw of the timing/sizing knobs for a fuzz case."""
+
+    pads: tuple[tuple[int, ...], ...]
+    l1_data_latency: int
+    l2_data_latency: int
+    network_latency: int
+    dram_latency: int
+    aq_entries: int
+    watchdog_cycles: int
+    max_forward_chain: int
+
+    def apply(self, base: SystemConfig) -> SystemConfig:
+        return base.with_overrides(
+            l1_data_latency=self.l1_data_latency,
+            l2_data_latency=self.l2_data_latency,
+            network_latency=self.network_latency,
+            dram_latency=self.dram_latency,
+            aq_entries=self.aq_entries,
+            watchdog_cycles=self.watchdog_cycles,
+            max_forward_chain=self.max_forward_chain,
+        )
+
+    def to_jsonable(self) -> dict:
+        return {
+            "pads": [list(plan) for plan in self.pads],
+            "l1_data_latency": self.l1_data_latency,
+            "l2_data_latency": self.l2_data_latency,
+            "network_latency": self.network_latency,
+            "dram_latency": self.dram_latency,
+            "aq_entries": self.aq_entries,
+            "watchdog_cycles": self.watchdog_cycles,
+            "max_forward_chain": self.max_forward_chain,
+        }
+
+    @staticmethod
+    def from_jsonable(data: Mapping) -> "PerturbationKnobs":
+        return PerturbationKnobs(
+            pads=tuple(tuple(plan) for plan in data["pads"]),
+            l1_data_latency=data["l1_data_latency"],
+            l2_data_latency=data["l2_data_latency"],
+            network_latency=data["network_latency"],
+            dram_latency=data["dram_latency"],
+            aq_entries=data["aq_entries"],
+            watchdog_cycles=data["watchdog_cycles"],
+            max_forward_chain=data["max_forward_chain"],
+        )
+
+
+def draw_knobs(rng: DeterministicRng, test: GeneratedTest) -> PerturbationKnobs:
+    """Sample one knob assignment for ``test`` from ``rng``.
+
+    One constraint is enforced after sampling: the coherence round trip
+    (2x network latency) must not be faster than the L1 data access.
+    Under that inversion the fuzzer found a genuine protocol livelock —
+    two cores contending for a line steal it from each other inside the
+    grant-to-perform window forever (the ``_perform_store`` /
+    ``_perform_load_lock`` "permission was stolen, re-acquire" retry
+    loops make no forward progress).  Real interconnects are never
+    faster than the L1 data array, so the draw is clamped rather than
+    the model changed; see docs/ARCHITECTURE.md section 10.
+    """
+    pads = tuple(
+        tuple(rng.randint(0, 6) for _ in ops) for ops in test.threads
+    )
+    l1_data_latency = rng.randint(1, 4)
+    network_latency = max(rng.randint(1, 8), (l1_data_latency + 1) // 2)
+    return PerturbationKnobs(
+        pads=pads,
+        l1_data_latency=l1_data_latency,
+        l2_data_latency=rng.randint(2, 8),
+        network_latency=network_latency,
+        dram_latency=rng.randint(10, 60),
+        aq_entries=rng.randint(1, 4),
+        watchdog_cycles=rng.choice((200, 400, 1000, 2000, 10_000)),
+        max_forward_chain=rng.choice((1, 2, 4, 32)),
+    )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One way a single execution contradicted the reference model."""
+
+    kind: str  # forbidden-outcome | inadmissible-trace | crash
+    detail: str
+
+    def to_jsonable(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class CaseRecord:
+    """Result of one (test, policy, knobs) execution."""
+
+    test_index: int
+    test_name: str
+    policy: str
+    outcome: Outcome
+    interesting: bool
+    violations: tuple[Violation, ...]
+    checker_states: int
+    checker_skipped: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_jsonable(self) -> dict:
+        return {
+            "test_index": self.test_index,
+            "test_name": self.test_name,
+            "policy": self.policy,
+            "outcome": [[label, value] for label, value in self.outcome],
+            "interesting": self.interesting,
+            "violations": [v.to_jsonable() for v in self.violations],
+            "checker_states": self.checker_states,
+            "checker_skipped": self.checker_skipped,
+        }
+
+
+def run_case(
+    test: GeneratedTest,
+    policy: AtomicPolicy,
+    knobs: PerturbationKnobs,
+    test_index: int = 0,
+) -> CaseRecord:
+    """Execute one fuzz case and check it against both oracles."""
+    config = knobs.apply(fuzz_base_config(test.num_threads))
+    workload = test.build(knobs.pads)
+    try:
+        result = run_workload(workload, policy=policy, config=config, trace=True)
+    except Exception as error:  # deadlock, watchdog runaway, cycle cap
+        return CaseRecord(
+            test_index=test_index,
+            test_name=test.name,
+            policy=policy.name,
+            outcome=(),
+            interesting=False,
+            violations=(
+                Violation("crash", f"{type(error).__name__}: {error}"),
+            ),
+            checker_states=0,
+            checker_skipped=False,
+        )
+
+    outcome = tuple(
+        sorted(
+            (label, result.read_word(address))
+            for label, address in test.observations().items()
+        )
+    )
+    violations: list[Violation] = []
+    if test.forbidden(outcome):
+        violations.append(
+            Violation(
+                "forbidden-outcome",
+                f"outcome {dict(outcome)} not TSO-reachable "
+                f"({len(test.allowed)} admissible outcomes)",
+            )
+        )
+
+    assert result.traces is not None
+    threads = [_shared_ops(trace) for trace in result.traces]
+    final_memory = {
+        loc_address(loc): result.read_word(loc_address(loc))
+        for loc in test.locations
+    }
+    checker = TsoChecker(
+        initial_memory=test.initial_memory(),
+        max_states=TRACE_CHECK_MAX_STATES,
+    )
+    checker_states = 0
+    checker_skipped = False
+    try:
+        check = checker.admissible(threads, final_memory=final_memory)
+        checker_states = check.states_explored
+        if not check.admissible:
+            violations.append(
+                Violation(
+                    "inadmissible-trace",
+                    f"no TSO interleaving reproduces the committed trace "
+                    f"(explored {check.states_explored} states)",
+                )
+            )
+    except RuntimeError:  # state-space cap: too big to decide, not a bug
+        checker_skipped = True
+
+    return CaseRecord(
+        test_index=test_index,
+        test_name=test.name,
+        policy=policy.name,
+        outcome=outcome,
+        interesting=test.interesting(outcome),
+        violations=tuple(violations),
+        checker_states=checker_states,
+        checker_skipped=checker_skipped,
+    )
+
+
+def _shared_ops(trace: Sequence[Operation]) -> list[Operation]:
+    """Drop observation-slot publishing stores from a committed trace.
+
+    Out-slot addresses are thread-private and never read by any core, so
+    eliding those stores never changes admissibility (a buffered store
+    only constrains others through memory, and the machine may always
+    drain before an RMW/fence) — it just shrinks the search space.
+    """
+    return [
+        op
+        for op in trace
+        if not (
+            op.kind is OpKind.STORE
+            and op.address is not None
+            and op.address >= OUT_BASE
+        )
+    ]
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Aggregate of a fuzz run; serializes deterministically."""
+
+    seed: int
+    num_tests: int
+    policies: tuple[str, ...]
+    records: tuple[CaseRecord, ...]
+
+    @property
+    def runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def violating(self) -> tuple[CaseRecord, ...]:
+        return tuple(r for r in self.records if not r.ok)
+
+    @property
+    def num_violations(self) -> int:
+        return sum(len(r.violations) for r in self.records)
+
+    @property
+    def interesting_count(self) -> int:
+        return sum(1 for r in self.records if r.interesting)
+
+    @property
+    def skipped_checks(self) -> int:
+        return sum(1 for r in self.records if r.checker_skipped)
+
+    @property
+    def ok(self) -> bool:
+        return self.num_violations == 0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "format": "repro-fuzz-report-v1",
+            "seed": self.seed,
+            "num_tests": self.num_tests,
+            "policies": list(self.policies),
+            "runs": self.runs,
+            "violations": self.num_violations,
+            "interesting": self.interesting_count,
+            "skipped_checks": self.skipped_checks,
+            "records": [r.to_jsonable() for r in self.records],
+        }
+
+
+def resolve_policies(names: Optional[Sequence[str]]) -> tuple[AtomicPolicy, ...]:
+    """Policy objects from names; all four when ``names`` is falsy."""
+    if not names:
+        return tuple(ALL_POLICIES)
+    return tuple(policy_by_name(name) for name in names)
+
+
+def _run_test(
+    args: tuple[int, GeneratedTest, PerturbationKnobs, tuple[AtomicPolicy, ...]]
+) -> list[CaseRecord]:
+    """Worker entry: one test under every policy (identical knobs)."""
+    test_index, test, knobs, policies = args
+    return [
+        run_case(test, policy, knobs, test_index=test_index)
+        for policy in policies
+    ]
+
+
+def fuzz(
+    tests: Sequence[GeneratedTest],
+    policies: Sequence[AtomicPolicy] = ALL_POLICIES,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> FuzzReport:
+    """Run every test under every policy with seeded knob draws.
+
+    Knobs are drawn per *test* (pure function of ``(seed, index)``) and
+    shared by all policies, so policy results stay comparable.  With
+    ``jobs`` > 1 tests fan across a ``ProcessPoolExecutor``; ordering
+    and content of the report are identical either way.
+    """
+    from repro.analysis.engine import resolve_jobs
+
+    root = DeterministicRng(seed)
+    work = [
+        (index, test, draw_knobs(root.fork(index), test), tuple(policies))
+        for index, test in enumerate(tests)
+    ]
+    jobs = resolve_jobs(jobs)
+    records: list[CaseRecord] = []
+    if jobs <= 1 or len(work) <= 1:
+        for item in work:
+            records.extend(_run_test(item))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+            for batch in pool.map(_run_test, work, chunksize=4):
+                records.extend(batch)
+    return FuzzReport(
+        seed=seed,
+        num_tests=len(tests),
+        policies=tuple(p.name for p in policies),
+        records=tuple(records),
+    )
+
+
+def fuzz_generated(
+    count: int,
+    seed: int,
+    policies: Sequence[AtomicPolicy] = ALL_POLICIES,
+    jobs: Optional[int] = None,
+) -> tuple[list[GeneratedTest], FuzzReport]:
+    """Generate ``count`` tests from ``seed`` and fuzz them."""
+    tests = generate_tests(count, seed)
+    return tests, fuzz(tests, policies=policies, seed=seed, jobs=jobs)
+
+
+def knobs_for(tests: Sequence[GeneratedTest], seed: int) -> list[PerturbationKnobs]:
+    """The knob draw each test receives under ``seed`` (for repros)."""
+    root = DeterministicRng(seed)
+    return [draw_knobs(root.fork(index), test) for index, test in enumerate(tests)]

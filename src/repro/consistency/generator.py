@@ -1,0 +1,568 @@
+"""A diy-style litmus-test generator with a model-derived outcome oracle.
+
+Related work ("Don't sit on the fence", Alglave et al.; "Property-Driven
+Fence Insertion", Joshi & Kroening) finds fence-removal bugs by
+systematically enumerating *small* concurrent programs rather than
+relying on the handful of shapes people write by hand.  This module does
+the same for the Free-atomics claim: it samples multi-thread programs
+from a shape grammar — the classic named shapes (SB, MP, LB, WRC, plus
+RMW-interleaved variants) and random mixes of loads / stores /
+fetch_adds / cmpxchg over 2-4 shared cachelines — and derives, for each
+program, the exact set of outcomes the x86-TSO abstract machine admits.
+
+The oracle is computed by *forward* enumeration of the same abstract
+machine that :class:`repro.consistency.model.TsoChecker` searches
+backwards: every interleaving of program steps and store-buffer drains
+is explored, and the reachable final observations (every value read,
+plus the final shared memory) are collected.  ``forbidden`` is then
+simply "outcome not in the TSO-reachable set" — no hand-written
+predicates to get wrong.  A second, sequentially-consistent enumeration
+(stores bypass the buffer) marks the outcomes that TSO allows but SC
+does not: observing one of those proves a run genuinely exercised
+store-buffer relaxation, mirroring the ``interesting`` flag of the
+hand-written catalogue.
+
+Programs are straight-line (no branches), so both enumerations and the
+per-execution trace checks stay litmus-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Sequence
+
+from repro.common.errors import ProgramError
+from repro.common.rng import DeterministicRng
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.base import Workload
+
+#: First shared location; consecutive locations sit on distinct lines.
+SHARED_BASE = 0x40000
+#: Cacheline stride between shared locations.
+LINE_STRIDE = 0x40
+#: Observation slots: far from the shared lines, one line per thread.
+OUT_BASE = 0x48000
+
+#: Op kinds of the shape grammar.  ``cas`` is x86 ``lock cmpxchg``.
+OP_KINDS = ("load", "store", "fetch_add", "cas", "fence")
+
+#: Kinds whose destination register observes a read value.
+READING_KINDS = frozenset({"load", "fetch_add", "cas"})
+
+
+def loc_address(loc: int) -> int:
+    """Byte address of shared location ``loc`` (distinct cachelines)."""
+    return SHARED_BASE + loc * LINE_STRIDE
+
+
+def out_slot(thread: int, index: int) -> int:
+    """Observation slot for the ``index``-th reading op of ``thread``."""
+    return OUT_BASE + thread * 0x200 + index * 8
+
+
+@dataclass(frozen=True)
+class AbsOp:
+    """One abstract instruction of a generated litmus program.
+
+    - ``load``: read ``loc`` (observed);
+    - ``store``: write ``value`` to ``loc``;
+    - ``fetch_add``: atomically add ``value`` to ``loc`` (old observed);
+    - ``cas``: atomically write ``value`` to ``loc`` iff it holds
+      ``expected`` (old value observed either way — x86 semantics);
+    - ``fence``: mfence.
+    """
+
+    kind: str
+    loc: Optional[int] = None
+    value: Optional[int] = None
+    expected: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ProgramError(f"unknown op kind {self.kind!r}")
+        if self.kind == "fence":
+            return
+        if self.loc is None:
+            raise ProgramError(f"{self.kind} needs a location")
+        if self.kind in ("store", "fetch_add", "cas") and self.value is None:
+            raise ProgramError(f"{self.kind} needs a value")
+        if self.kind == "cas" and self.expected is None:
+            raise ProgramError("cas needs an expected value")
+
+    @property
+    def reads(self) -> bool:
+        return self.kind in READING_KINDS
+
+    @property
+    def is_rmw(self) -> bool:
+        return self.kind in ("fetch_add", "cas")
+
+    def new_value(self, old: int) -> int:
+        """The value this op leaves at its location, given the old one."""
+        if self.kind == "store":
+            assert self.value is not None
+            return self.value
+        if self.kind == "fetch_add":
+            assert self.value is not None
+            return old + self.value
+        if self.kind == "cas":
+            assert self.value is not None
+            return self.value if old == self.expected else old
+        raise ProgramError(f"{self.kind} writes nothing")
+
+    def to_jsonable(self) -> dict:
+        out: dict = {"kind": self.kind}
+        for name in ("loc", "value", "expected"):
+            attr = getattr(self, name)
+            if attr is not None:
+                out[name] = attr
+        return out
+
+    @staticmethod
+    def from_jsonable(data: Mapping) -> "AbsOp":
+        return AbsOp(
+            kind=data["kind"],
+            loc=data.get("loc"),
+            value=data.get("value"),
+            expected=data.get("expected"),
+        )
+
+
+#: An outcome: sorted tuple of (label, value).  Labels are ``r{t}.{j}``
+#: for the read of thread ``t``'s op ``j`` and ``m{loc}`` for the final
+#: value of a shared location.
+Outcome = tuple[tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class GeneratedTest:
+    """A generated litmus program plus its model-derived oracle.
+
+    ``allowed`` is the full TSO-reachable outcome set; ``sc_allowed``
+    the subset reachable without store buffering.  Both are computed in
+    ``generate()`` / ``__post_init__`` callers via :func:`derive_oracle`
+    and carried as plain data so the test pickles cleanly across fuzz
+    worker processes (unlike the closure-based hand catalogue).
+    """
+
+    name: str
+    threads: tuple[tuple[AbsOp, ...], ...]
+    initial: tuple[tuple[int, int], ...] = ()
+    allowed: frozenset = frozenset()
+    sc_allowed: frozenset = frozenset()
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def num_ops(self) -> int:
+        return sum(len(ops) for ops in self.threads)
+
+    @property
+    def locations(self) -> tuple[int, ...]:
+        used = {op.loc for ops in self.threads for op in ops if op.loc is not None}
+        used.update(loc for loc, _ in self.initial)
+        return tuple(sorted(used))
+
+    def initial_map(self) -> dict[int, int]:
+        return dict(self.initial)
+
+    def initial_memory(self) -> dict[int, int]:
+        """Initial memory keyed by byte address (for Workload/TsoChecker)."""
+        return {loc_address(loc): value for loc, value in self.initial}
+
+    # -- observation layout -------------------------------------------
+
+    def observations(self) -> dict[str, int]:
+        """Label -> byte address holding that observation after a run."""
+        layout: dict[str, int] = {}
+        for thread, ops in enumerate(self.threads):
+            slot = 0
+            for j, op in enumerate(ops):
+                if op.reads:
+                    layout[f"r{thread}.{j}"] = out_slot(thread, slot)
+                    slot += 1
+        for loc in self.locations:
+            layout[f"m{loc}"] = loc_address(loc)
+        return layout
+
+    def forbidden(self, outcome: Outcome) -> bool:
+        """True when ``outcome`` is not TSO-reachable for this program."""
+        return outcome not in self.allowed
+
+    def interesting(self, outcome: Outcome) -> bool:
+        """TSO-allowed but not SC-allowed: genuine relaxation observed."""
+        return outcome in self.allowed and outcome not in self.sc_allowed
+
+    # -- concrete program construction --------------------------------
+
+    def build(self, pads: Optional[Sequence[Sequence[int]]] = None) -> Workload:
+        """Assemble the concrete :class:`Workload` via ProgramBuilder.
+
+        ``pads[t][j]`` nops are inserted before thread ``t``'s op ``j``
+        — the fuzzer's per-thread timing perturbation.  Register map per
+        thread: r1 address, r2 read destination, r3 observation-slot
+        address, r4 cas-expected.
+        """
+        programs = []
+        for thread, ops in enumerate(self.threads):
+            builder = ProgramBuilder(f"{self.name}.t{thread}")
+            slot = 0
+            for j, op in enumerate(ops):
+                if pads is not None and thread < len(pads):
+                    plan = pads[thread]
+                    if j < len(plan):
+                        builder.pad(plan[j])
+                if op.kind == "fence":
+                    builder.fence()
+                    continue
+                assert op.loc is not None
+                builder.li(1, loc_address(op.loc))
+                if op.kind == "store":
+                    builder.store(imm=op.value, base=1)
+                    continue
+                if op.kind == "load":
+                    builder.load(2, base=1)
+                elif op.kind == "fetch_add":
+                    builder.fetch_add(dst=2, base=1, imm=op.value)
+                elif op.kind == "cas":
+                    builder.li(4, op.expected or 0)
+                    builder.cas(dst=2, base=1, expected=4, imm=op.value)
+                builder.li(3, out_slot(thread, slot))
+                builder.store(src=2, base=3)
+                slot += 1
+            programs.append(builder.build())
+        return Workload(self.name, programs, initial_memory=self.initial_memory())
+
+    # -- (de)serialization --------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """Plain-data form for repro files (oracle is re-derived on load)."""
+        return {
+            "name": self.name,
+            "initial": [list(pair) for pair in self.initial],
+            "threads": [
+                [op.to_jsonable() for op in ops] for ops in self.threads
+            ],
+        }
+
+    @staticmethod
+    def from_jsonable(data: Mapping) -> "GeneratedTest":
+        test = GeneratedTest(
+            name=data["name"],
+            threads=tuple(
+                tuple(AbsOp.from_jsonable(op) for op in ops)
+                for ops in data["threads"]
+            ),
+            initial=tuple((loc, value) for loc, value in data["initial"]),
+        )
+        return derive_oracle(test)
+
+
+# ----------------------------------------------------------------------
+# the oracle: forward enumeration of the x86-TSO abstract machine
+
+
+def enumerate_outcomes(
+    threads: Sequence[Sequence[AbsOp]],
+    initial: Mapping[int, int],
+    store_buffers: bool = True,
+    max_states: int = 500_000,
+) -> frozenset:
+    """All final outcomes the abstract machine can reach.
+
+    With ``store_buffers`` each thread owns a FIFO buffer drained
+    nondeterministically (x86-TSO); without, stores write memory
+    directly (SC).  RMWs and fences require an empty own buffer; an RMW
+    reads and writes memory in one indivisible step (type-1 atomicity).
+    Terminal states require every buffer drained, so final shared
+    memory is well-defined and part of the outcome.
+    """
+    traces = [tuple(ops) for ops in threads]
+    locations = sorted(
+        {op.loc for ops in traces for op in ops if op.loc is not None}
+        | set(initial)
+    )
+    start = (
+        tuple(0 for _ in traces),  # per-thread position
+        tuple(() for _ in traces),  # per-thread store buffer
+        frozenset(initial.items()),  # memory (missing keys read 0)
+        (),  # accumulated reads: ((label, value), ...)
+    )
+    outcomes: set[Outcome] = set()
+    seen: set = set()
+    stack = [start]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if len(seen) > max_states:
+            raise RuntimeError(
+                f"outcome enumeration exceeded {max_states} states "
+                f"({sum(map(len, traces))} ops); shrink the program"
+            )
+        positions, buffers, memory, reads = state
+        mem = dict(memory)
+        if all(
+            pos == len(traces[i]) for i, pos in enumerate(positions)
+        ) and not any(buffers):
+            finals = tuple((f"m{loc}", mem.get(loc, 0)) for loc in locations)
+            outcomes.add(tuple(sorted(reads + finals)))
+            continue
+        for thread in range(len(traces)):
+            buffer = buffers[thread]
+            if buffer:  # drain the oldest entry of this thread's buffer
+                loc, value = buffer[0]
+                stack.append(
+                    (
+                        positions,
+                        _set_at(buffers, thread, buffer[1:]),
+                        frozenset(
+                            {(k, v) for k, v in memory if k != loc}
+                            | {(loc, value)}
+                        ),
+                        reads,
+                    )
+                )
+            position = positions[thread]
+            if position >= len(traces[thread]):
+                continue
+            op = traces[thread][position]
+            advanced = _set_at(positions, thread, position + 1)
+            if op.kind == "fence":
+                if not buffer:
+                    stack.append((advanced, buffers, memory, reads))
+                continue
+            assert op.loc is not None
+            if op.kind == "load":
+                value = _buffered(buffer, op.loc)
+                if value is None:
+                    value = mem.get(op.loc, 0)
+                stack.append(
+                    (
+                        advanced,
+                        buffers,
+                        memory,
+                        reads + ((f"r{thread}.{position}", value),),
+                    )
+                )
+            elif op.kind == "store":
+                assert op.value is not None
+                if store_buffers:
+                    stack.append(
+                        (
+                            advanced,
+                            _set_at(buffers, thread, buffer + ((op.loc, op.value),)),
+                            memory,
+                            reads,
+                        )
+                    )
+                else:
+                    stack.append(
+                        (
+                            advanced,
+                            buffers,
+                            frozenset(
+                                {(k, v) for k, v in memory if k != op.loc}
+                                | {(op.loc, op.value)}
+                            ),
+                            reads,
+                        )
+                    )
+            else:  # RMW: own buffer empty, one indivisible memory step
+                if buffer:
+                    continue
+                old = mem.get(op.loc, 0)
+                stack.append(
+                    (
+                        advanced,
+                        buffers,
+                        frozenset(
+                            {(k, v) for k, v in memory if k != op.loc}
+                            | {(op.loc, op.new_value(old))}
+                        ),
+                        reads + ((f"r{thread}.{position}", old),),
+                    )
+                )
+    return frozenset(outcomes)
+
+
+def derive_oracle(test: GeneratedTest) -> GeneratedTest:
+    """Attach the TSO- and SC-reachable outcome sets to ``test``."""
+    initial = test.initial_map()
+    return replace(
+        test,
+        allowed=enumerate_outcomes(test.threads, initial, store_buffers=True),
+        sc_allowed=enumerate_outcomes(test.threads, initial, store_buffers=False),
+    )
+
+
+def _set_at(items: tuple, index: int, value: object) -> tuple:
+    return items[:index] + (value,) + items[index + 1 :]
+
+
+def _buffered(buffer: tuple, loc: int) -> Optional[int]:
+    for entry_loc, value in reversed(buffer):
+        if entry_loc == loc:
+            return value
+    return None
+
+
+# ----------------------------------------------------------------------
+# shape grammar
+
+
+def _fence_like(rng: DeterministicRng, scratch: int, value: int) -> AbsOp:
+    """An mfence or one of the RMWs the paper uses as a barrier."""
+    roll = rng.random()
+    if roll < 0.4:
+        return AbsOp("fence")
+    if roll < 0.8:
+        return AbsOp("fetch_add", loc=scratch, value=value)
+    return AbsOp("cas", loc=scratch, value=value, expected=0)
+
+
+def shape_sb(rng: DeterministicRng) -> GeneratedTest:
+    """Store buffering: st mine; [barrier?]; ld theirs (paper Fig. 10)."""
+    threads = []
+    barrier = rng.choice(("none", "both", "one"))
+    for thread, (mine, theirs) in enumerate(((0, 1), (1, 0))):
+        ops = [AbsOp("store", loc=mine, value=thread + 1)]
+        if barrier == "both" or (barrier == "one" and thread == 0):
+            ops.append(_fence_like(rng, scratch=2 + thread, value=1))
+        ops.append(AbsOp("load", loc=theirs))
+        threads.append(tuple(ops))
+    return GeneratedTest(name="sb", threads=tuple(threads))
+
+
+def shape_mp(rng: DeterministicRng) -> GeneratedTest:
+    """Message passing: data then flag; reader polls flag once."""
+    writer = [AbsOp("store", loc=0, value=42)]
+    if rng.chance(0.3):
+        writer.append(_fence_like(rng, scratch=2, value=1))
+    writer.append(AbsOp("store", loc=1, value=1))
+    reader = [AbsOp("load", loc=1), AbsOp("load", loc=0)]
+    return GeneratedTest(name="mp", threads=(tuple(writer), tuple(reader)))
+
+
+def shape_lb(rng: DeterministicRng) -> GeneratedTest:
+    """Load buffering: ld theirs; st mine.  TSO forbids both loads
+    seeing the other thread's store (no load-store reordering)."""
+    threads = []
+    for thread, (theirs, mine) in enumerate(((1, 0), (0, 1))):
+        ops = [AbsOp("load", loc=theirs)]
+        if rng.chance(0.3):
+            ops.append(_fence_like(rng, scratch=2 + thread, value=1))
+        ops.append(AbsOp("store", loc=mine, value=thread + 1))
+        threads.append(tuple(ops))
+    return GeneratedTest(name="lb", threads=tuple(threads))
+
+
+def shape_wrc(rng: DeterministicRng) -> GeneratedTest:
+    """Write-to-read causality across three threads."""
+    t0 = (AbsOp("store", loc=0, value=1),)
+    t1 = [AbsOp("load", loc=0)]
+    if rng.chance(0.3):
+        t1.append(_fence_like(rng, scratch=2, value=1))
+    t1.append(AbsOp("store", loc=1, value=1))
+    t2 = (AbsOp("load", loc=1), AbsOp("load", loc=0))
+    return GeneratedTest(name="wrc", threads=(t0, tuple(t1), t2))
+
+
+def shape_rmw_interleave(rng: DeterministicRng) -> GeneratedTest:
+    """2-3 threads hammering 1-2 lines with RMWs mixed with plain ops.
+
+    Exercises type-1 atomicity (lost updates), RMW-as-fence ordering,
+    and store->RMW same-line interactions — the paper's sections 3.3/3.4
+    territory, where forwarding chains and lock transfer live.
+    """
+    num_threads = rng.randint(2, 3)
+    num_locs = rng.randint(1, 2)
+    threads = []
+    for thread in range(num_threads):
+        ops = []
+        for j in range(rng.randint(2, 3)):
+            loc = rng.randint(0, num_locs - 1)
+            roll = rng.random()
+            value = thread * 16 + j + 1
+            if roll < 0.45:
+                ops.append(AbsOp("fetch_add", loc=loc, value=value))
+            elif roll < 0.6:
+                ops.append(
+                    AbsOp("cas", loc=loc, value=value, expected=rng.randint(0, 1))
+                )
+            elif roll < 0.8:
+                ops.append(AbsOp("store", loc=loc, value=value))
+            else:
+                ops.append(AbsOp("load", loc=loc))
+        threads.append(tuple(ops))
+    return GeneratedTest(name="rmw_mix", threads=tuple(threads))
+
+
+def shape_random(rng: DeterministicRng) -> GeneratedTest:
+    """Unstructured mix: 2-3 threads, 2-4 ops each, 2-4 shared lines.
+
+    Store values are unique per (thread, op) so any stale read is
+    attributable.  Same-location store->load pairs within a thread are
+    common by construction — exactly the pattern that catches a load
+    bypassing the store buffer.
+    """
+    num_threads = rng.randint(2, 3)
+    num_locs = rng.randint(2, 4)
+    initial = []
+    for loc in range(num_locs):
+        if rng.chance(0.25):
+            initial.append((loc, rng.randint(1, 7)))
+    threads = []
+    for thread in range(num_threads):
+        ops = []
+        for j in range(rng.randint(2, 4)):
+            loc = rng.randint(0, num_locs - 1)
+            roll = rng.random()
+            value = thread * 16 + j + 1
+            if roll < 0.33:
+                ops.append(AbsOp("store", loc=loc, value=value))
+            elif roll < 0.66:
+                ops.append(AbsOp("load", loc=loc))
+            elif roll < 0.81:
+                ops.append(AbsOp("fetch_add", loc=loc, value=value))
+            elif roll < 0.93:
+                ops.append(
+                    AbsOp("cas", loc=loc, value=value, expected=rng.randint(0, 2))
+                )
+            else:
+                ops.append(AbsOp("fence"))
+        threads.append(tuple(ops))
+    return GeneratedTest(
+        name="random", threads=tuple(threads), initial=tuple(initial)
+    )
+
+
+SHAPE_FAMILIES = (
+    shape_sb,
+    shape_mp,
+    shape_lb,
+    shape_wrc,
+    shape_rmw_interleave,
+    shape_random,
+    shape_random,  # random mixes get double weight in the rotation
+)
+
+
+def generate_tests(count: int, seed: int) -> list[GeneratedTest]:
+    """Deterministically sample ``count`` oracle-equipped tests.
+
+    Test ``i`` is a pure function of ``(seed, i)`` — each draws from its
+    own forked RNG stream — so any subset can be regenerated in any
+    order (or in any worker process) bit-identically.
+    """
+    root = DeterministicRng(seed)
+    tests = []
+    for index in range(count):
+        family = SHAPE_FAMILIES[index % len(SHAPE_FAMILIES)]
+        test = family(root.fork(index))
+        test = replace(test, name=f"{test.name}_{index:04d}")
+        tests.append(derive_oracle(test))
+    return tests

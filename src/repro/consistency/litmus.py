@@ -30,11 +30,12 @@ from typing import Callable, Mapping, Optional, Sequence
 from repro.common.config import SystemConfig, icelake_config
 from repro.core.policy import ALL_POLICIES, AtomicPolicy
 from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import run_workload
 from repro.workloads.base import Workload
 
-# NOTE: repro.system.simulator is imported lazily inside run_litmus —
-# the simulator itself imports repro.consistency.model for trace
-# recording, and a module-level import here would close that cycle.
+# repro.system.simulator imports repro.consistency.model for trace
+# recording; the package __init__ resolves its exports lazily (PEP 562)
+# precisely so this module-level import cannot close an import cycle.
 
 #: Shared locations used by the tests (all on distinct cachelines).
 X = 0x40000
@@ -80,8 +81,7 @@ class LitmusResult:
 
 
 def _padded(builder: ProgramBuilder, count: int) -> None:
-    for _ in range(count):
-        builder.nop()
+    builder.pad(count)
 
 
 # ----------------------------------------------------------------------
@@ -246,8 +246,6 @@ def run_litmus(
     config: Optional[SystemConfig] = None,
 ) -> Mapping[str, int]:
     """One litmus execution; returns the named observations."""
-    from repro.system.simulator import run_workload
-
     if config is None:
         config = icelake_config(num_cores=test.num_threads)
     workload = test.build(pads)

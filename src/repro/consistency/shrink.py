@@ -1,0 +1,241 @@
+"""Minimize violating fuzz cases and emit reproducible repro files.
+
+When the fuzzer finds a (program, policy, knobs) triple that violates
+the reference model, the raw case is rarely the best bug report: half
+the instructions are incidental and the knob draw is noisy.  The
+shrinker applies delta debugging at three levels, re-checking the
+violation after every candidate reduction:
+
+1. **threads** — drop whole threads;
+2. **instructions** — drop single abstract ops (to fixpoint, so a
+   2-instruction core of an 12-instruction program is found);
+3. **knobs** — zero the nop padding and walk every latency/size knob
+   back to its baseline value, keeping only the perturbations the
+   violation actually needs.
+
+The oracle (TSO/SC outcome sets) is re-derived after every structural
+edit — a shrunk program is a new litmus test with its own allowed set.
+
+The result is written as a self-contained JSON repro file: the abstract
+program, the policy, the surviving knobs, the violation evidence
+(including the committed traces via
+:func:`repro.system.trace.operations_to_jsonable`), and the generator
+seed.  ``load_repro`` + ``rerun_repro`` replay it exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.common.errors import ReproError
+from repro.consistency.fuzz import (
+    CaseRecord,
+    PerturbationKnobs,
+    fuzz_base_config,
+    run_case,
+)
+from repro.consistency.generator import GeneratedTest, derive_oracle
+from repro.core.policy import AtomicPolicy, policy_by_name
+
+#: A predicate deciding whether a candidate case still shows the bug.
+CheckFn = Callable[[GeneratedTest, AtomicPolicy, PerturbationKnobs], bool]
+
+REPRO_FORMAT = "repro-consistency-v1"
+
+
+def default_check(
+    test: GeneratedTest, policy: AtomicPolicy, knobs: PerturbationKnobs
+) -> bool:
+    return bool(run_case(test, policy, knobs).violations)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized violating case."""
+
+    test: GeneratedTest
+    policy: AtomicPolicy
+    knobs: PerturbationKnobs
+    #: (description, ops-after) log of every accepted reduction.
+    steps: tuple[tuple[str, int], ...]
+    #: Executions spent probing candidate reductions.
+    probes: int
+
+    @property
+    def num_ops(self) -> int:
+        return self.test.num_ops
+
+
+def _drop_thread(
+    test: GeneratedTest, knobs: PerturbationKnobs, thread: int
+) -> tuple[GeneratedTest, PerturbationKnobs]:
+    threads = test.threads[:thread] + test.threads[thread + 1 :]
+    pads = knobs.pads[:thread] + knobs.pads[thread + 1 :]
+    return (
+        derive_oracle(dataclasses.replace(test, threads=threads)),
+        dataclasses.replace(knobs, pads=pads),
+    )
+
+
+def _drop_op(
+    test: GeneratedTest, knobs: PerturbationKnobs, thread: int, op: int
+) -> tuple[GeneratedTest, PerturbationKnobs]:
+    ops = test.threads[thread]
+    new_ops = ops[:op] + ops[op + 1 :]
+    threads = test.threads[:thread] + (new_ops,) + test.threads[thread + 1 :]
+    plan = knobs.pads[thread]
+    new_plan = plan[:op] + plan[op + 1 :] if op < len(plan) else plan
+    pads = knobs.pads[:thread] + (new_plan,) + knobs.pads[thread + 1 :]
+    return (
+        derive_oracle(dataclasses.replace(test, threads=threads)),
+        dataclasses.replace(knobs, pads=pads),
+    )
+
+
+def shrink_case(
+    test: GeneratedTest,
+    policy: AtomicPolicy,
+    knobs: PerturbationKnobs,
+    check: CheckFn = default_check,
+    max_probes: int = 500,
+) -> ShrinkResult:
+    """Minimize ``(test, knobs)`` while ``check`` keeps reporting the bug.
+
+    ``check`` must be True for the input case; raises ``ReproError``
+    otherwise (shrinking a non-reproducing case would "minimize" it to
+    nothing and report garbage).
+    """
+    probes = 0
+
+    def probe(candidate: GeneratedTest, candidate_knobs: PerturbationKnobs) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        return check(candidate, policy, candidate_knobs)
+
+    if not check(test, policy, knobs):
+        raise ReproError(
+            f"cannot shrink {test.name!r} under {policy.name}: "
+            "the violation does not reproduce"
+        )
+    probes += 1
+    steps: list[tuple[str, int]] = []
+
+    # Structural pass to fixpoint: threads first (big bites), then ops.
+    changed = True
+    while changed:
+        changed = False
+        thread = 0
+        while test.num_threads > 1 and thread < test.num_threads:
+            candidate, candidate_knobs = _drop_thread(test, knobs, thread)
+            if probe(candidate, candidate_knobs):
+                test, knobs = candidate, candidate_knobs
+                steps.append((f"drop thread {thread}", test.num_ops))
+                changed = True
+            else:
+                thread += 1
+        for thread in range(test.num_threads):
+            op = 0
+            while op < len(test.threads[thread]):
+                if test.num_ops == 1:
+                    break
+                candidate, candidate_knobs = _drop_op(test, knobs, thread, op)
+                if probe(candidate, candidate_knobs):
+                    test, knobs = candidate, candidate_knobs
+                    steps.append((f"drop t{thread} op {op}", test.num_ops))
+                    changed = True
+                else:
+                    op += 1
+
+    # Knob pass: zero padding, then walk each scalar back to baseline.
+    zero_pads = tuple(tuple(0 for _ in plan) for plan in knobs.pads)
+    if zero_pads != knobs.pads:
+        candidate_knobs = dataclasses.replace(knobs, pads=zero_pads)
+        if probe(test, candidate_knobs):
+            knobs = candidate_knobs
+            steps.append(("zero all pads", test.num_ops))
+    baseline = fuzz_base_config(test.num_threads)
+    for name, default in (
+        ("l1_data_latency", baseline.memory.l1d.data_latency),
+        ("l2_data_latency", baseline.memory.l2.data_latency),
+        ("network_latency", baseline.memory.network_latency),
+        ("dram_latency", baseline.memory.dram_latency),
+        ("aq_entries", baseline.free_atomics.aq_entries),
+        ("watchdog_cycles", baseline.free_atomics.watchdog_cycles),
+        ("max_forward_chain", baseline.free_atomics.max_forward_chain),
+    ):
+        if getattr(knobs, name) == default:
+            continue
+        candidate_knobs = dataclasses.replace(knobs, **{name: default})
+        if probe(test, candidate_knobs):
+            knobs = candidate_knobs
+            steps.append((f"reset {name} to {default}", test.num_ops))
+
+    return ShrinkResult(
+        test=test,
+        policy=policy,
+        knobs=knobs,
+        steps=tuple(steps),
+        probes=probes,
+    )
+
+
+# ----------------------------------------------------------------------
+# repro files
+
+
+def write_repro(
+    path: Union[str, Path],
+    test: GeneratedTest,
+    policy: AtomicPolicy,
+    knobs: PerturbationKnobs,
+    record: Optional[CaseRecord] = None,
+    seed: Optional[int] = None,
+    traces: Optional[list] = None,
+) -> Path:
+    """Persist a violating (program, config, seed) triple as JSON."""
+    payload: dict = {
+        "format": REPRO_FORMAT,
+        "policy": policy.name,
+        "test": test.to_jsonable(),
+        "knobs": knobs.to_jsonable(),
+    }
+    if seed is not None:
+        payload["seed"] = seed
+    if record is not None:
+        payload["violations"] = [v.to_jsonable() for v in record.violations]
+        payload["outcome"] = [[label, value] for label, value in record.outcome]
+    if traces is not None:
+        from repro.system.trace import operations_to_jsonable
+
+        payload["traces"] = operations_to_jsonable(traces)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_repro(
+    path: Union[str, Path],
+) -> tuple[GeneratedTest, AtomicPolicy, PerturbationKnobs]:
+    """Load a repro file back into a runnable case."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != REPRO_FORMAT:
+        raise ReproError(
+            f"{path}: not a {REPRO_FORMAT} file "
+            f"(format={payload.get('format')!r})"
+        )
+    return (
+        GeneratedTest.from_jsonable(payload["test"]),
+        policy_by_name(payload["policy"]),
+        PerturbationKnobs.from_jsonable(payload["knobs"]),
+    )
+
+
+def rerun_repro(path: Union[str, Path]) -> CaseRecord:
+    """Replay a repro file and return the fresh check result."""
+    test, policy, knobs = load_repro(path)
+    return run_case(test, policy, knobs)

@@ -123,6 +123,12 @@ class ProgramBuilder:
     def nop(self) -> "ProgramBuilder":
         return self.emit(Alu(op=AluOp.NOP))
 
+    def pad(self, count: int) -> "ProgramBuilder":
+        """Emit ``count`` nops — timing perturbation for litmus/fuzz tests."""
+        for _ in range(count):
+            self.nop()
+        return self
+
     def pause(self) -> "ProgramBuilder":
         return self.emit(Pause())
 

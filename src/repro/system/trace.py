@@ -15,8 +15,9 @@ tracing a million-instruction run will happily eat your memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
+from repro.consistency.model import OpKind, Operation
 from repro.uarch.core import OutOfOrderCore
 from repro.uarch.dynins import DynInstr
 
@@ -196,3 +197,51 @@ class PipelineTracer:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+# ----------------------------------------------------------------------
+# committed-trace export (consistency repro files)
+
+
+def operations_to_jsonable(
+    traces: Sequence[Sequence[Operation]],
+) -> list[list[dict]]:
+    """JSON-able form of per-core committed memory-operation traces.
+
+    Used by the consistency fuzzer's repro files so a violating
+    execution's evidence travels with the (program, config, seed) triple
+    that produced it.  Round-trips through
+    :func:`operations_from_jsonable`.
+    """
+    out = []
+    for trace in traces:
+        rows = []
+        for op in trace:
+            row: dict = {"kind": op.kind.value}
+            if op.address is not None:
+                row["address"] = op.address
+            if op.value_read is not None:
+                row["read"] = op.value_read
+            if op.value_written is not None:
+                row["written"] = op.value_written
+            rows.append(row)
+        out.append(rows)
+    return out
+
+
+def operations_from_jsonable(
+    data: Sequence[Sequence[dict]],
+) -> list[list[Operation]]:
+    """Inverse of :func:`operations_to_jsonable`."""
+    return [
+        [
+            Operation(
+                kind=OpKind(row["kind"]),
+                address=row.get("address"),
+                value_read=row.get("read"),
+                value_written=row.get("written"),
+            )
+            for row in trace
+        ]
+        for trace in data
+    ]

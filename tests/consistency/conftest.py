@@ -1,0 +1,26 @@
+"""Shared fixtures for the consistency-fuzz suite."""
+
+import pytest
+
+import repro.uarch.core as uarch_core
+from repro.core.forwarding import LoadSource, LoadSourceDecision
+
+
+@pytest.fixture
+def bypassing_loads(monkeypatch):
+    """Inject a consistency bug: regular loads ignore the store buffer.
+
+    Patches the name *used by the core*
+    (``repro.uarch.core.decide_load_source``), not the defining module,
+    so the shim sits on exactly the seam a real regression would flow
+    through.  The bypass only bites in-process — fuzz with ``jobs=1``.
+    """
+    original = uarch_core.decide_load_source
+
+    def broken(load, sq, policy, max_forward_chain):
+        decision = original(load, sq, policy, max_forward_chain)
+        if not load.is_atomic and decision.action is not LoadSource.CACHE:
+            return LoadSourceDecision(LoadSource.CACHE)
+        return decision
+
+    monkeypatch.setattr(uarch_core, "decide_load_source", broken)

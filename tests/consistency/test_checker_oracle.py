@@ -1,0 +1,150 @@
+"""Self-validation of the TSO oracle itself.
+
+The fuzzer is only as good as its checker: if ``TsoChecker`` silently
+accepted forbidden traces, every fuzz sweep would be green noise.  This
+suite pins the oracle with hand-built traces whose verdict is known
+from the x86-TSO literature — known-forbidden executions must be
+rejected, known-allowed relaxed executions must be accepted — so a
+regression in the model search cannot hide behind a passing fuzz run.
+"""
+
+import pytest
+
+from repro.consistency.model import Operation, TsoChecker
+
+X, Y, Z = 0x100, 0x140, 0x180
+ld = Operation.load
+st = Operation.store
+rmw = Operation.rmw
+fence = Operation.fence
+
+
+def admissible(threads, initial=None, final=None) -> bool:
+    return bool(
+        TsoChecker(initial_memory=initial).admissible(threads, final_memory=final)
+    )
+
+
+class TestKnownForbidden:
+    def test_sb_with_mfences_both_zero(self):
+        # SB + mfence: the fence drains the buffer, so at least one
+        # load must observe the other thread's store.
+        threads = [
+            [st(X, 1), fence(), ld(Y, 0)],
+            [st(Y, 1), fence(), ld(X, 0)],
+        ]
+        assert not admissible(threads)
+
+    def test_sb_with_rmw_barriers_both_zero(self):
+        # Paper Figure 10: atomic RMWs in place of fences.
+        threads = [
+            [st(X, 1), rmw(Z, 0, 1), ld(Y, 0)],
+            [st(Y, 1), rmw(Z, 1, 2), ld(X, 0)],
+        ]
+        assert not admissible(threads)
+
+    def test_lost_rmw_update(self):
+        # Two fetch_adds both claiming to read 0 is a lost update —
+        # type-1 atomicity forbids it regardless of final memory.
+        assert not admissible([[rmw(X, 0, 1)], [rmw(X, 0, 1)]])
+
+    def test_rmw_final_memory_must_match(self):
+        assert not admissible(
+            [[rmw(X, 0, 1)], [rmw(X, 1, 2)]], final={X: 1}
+        )
+
+    def test_corr_inversion(self):
+        # CoRR: two reads of one location by one thread must respect
+        # coherence order — seeing 1 then 0 inverts it.
+        threads = [
+            [st(X, 1)],
+            [ld(X, 1), ld(X, 0)],
+        ]
+        assert not admissible(threads)
+
+    def test_mp_stale_data_after_flag(self):
+        # TSO keeps store order: flag==1 implies data visible.
+        threads = [
+            [st(X, 42), st(Y, 1)],
+            [ld(Y, 1), ld(X, 0)],
+        ]
+        assert not admissible(threads)
+
+    def test_load_buffering_forbidden(self):
+        # TSO never reorders a load with a younger store: both threads
+        # observing the other's (program-later) store is impossible.
+        threads = [
+            [ld(X, 1), st(Y, 1)],
+            [ld(Y, 1), st(X, 1)],
+        ]
+        assert not admissible(threads)
+
+    def test_iriw_forbidden_without_fences(self):
+        # TSO is multi-copy atomic: independent readers cannot disagree
+        # on the order of two independent writes, even with no fences.
+        threads = [
+            [st(X, 1)],
+            [st(Y, 1)],
+            [ld(X, 1), ld(Y, 0)],
+            [ld(Y, 1), ld(X, 0)],
+        ]
+        assert not admissible(threads)
+
+    def test_own_store_cannot_be_invisible(self):
+        # A load must see its own thread's latest same-address store
+        # (buffer forwarding) — reading the old value is forbidden.
+        assert not admissible([[st(X, 1), ld(X, 0)]])
+
+    def test_rmw_cannot_read_buffered_value(self):
+        # An RMW reads *memory* with an empty buffer; it can never pair
+        # with its own unflushed store's value and leave memory stale.
+        assert not admissible([[st(X, 5), rmw(X, 0, 1)]], final={X: 1})
+
+
+class TestKnownAllowedRelaxations:
+    def test_sb_both_zero_without_fences(self):
+        threads = [
+            [st(X, 1), ld(Y, 0)],
+            [st(Y, 1), ld(X, 0)],
+        ]
+        assert admissible(threads)
+
+    def test_own_buffer_forwarding_before_visibility(self):
+        # Thread 0 reads its buffered store while thread 1 still sees 0.
+        threads = [
+            [st(X, 1), ld(X, 1), ld(Y, 0)],
+            [st(Y, 1), ld(X, 0)],
+        ]
+        assert admissible(threads)
+
+    def test_delayed_drain_after_rmw_elsewhere(self):
+        # The RMW only drains its own buffer: thread 1's store may stay
+        # buffered while thread 0's RMW executes.
+        threads = [
+            [rmw(X, 0, 1)],
+            [st(X, 7), ld(X, 7)],
+        ]
+        assert admissible(threads, final={X: 7})
+
+    def test_mp_with_stale_flag_read(self):
+        # Reader polled before the flag landed: allowed (flag==0).
+        threads = [
+            [st(X, 42), st(Y, 1)],
+            [ld(Y, 0), ld(X, 0)],
+        ]
+        assert admissible(threads)
+
+    def test_witness_returned_for_admissible(self):
+        result = TsoChecker().admissible([[st(X, 1), ld(X, 1)]])
+        assert result.admissible and result.witness is not None
+
+
+class TestGuardRails:
+    def test_state_cap_raises_rather_than_guessing(self):
+        checker = TsoChecker(max_states=5)
+        threads = [
+            [st(X, 1), st(Y, 1), ld(Z, 0)],
+            [st(Z, 1), ld(X, 0)],
+        ]
+        with pytest.raises(RuntimeError):
+            checker.admissible(threads)

@@ -1,0 +1,120 @@
+"""Fuzzer determinism and clean-run behaviour.
+
+The determinism satellite: the same seed must produce byte-identical
+generated programs, knob draws and report JSON no matter how many
+worker processes run the cases — otherwise repro files and the CI
+smoke-fuzz gate would be lies.
+"""
+
+import json
+
+import pytest
+
+from repro.consistency.fuzz import (
+    draw_knobs,
+    fuzz,
+    fuzz_base_config,
+    knobs_for,
+    resolve_policies,
+    run_case,
+)
+from repro.consistency.generator import generate_tests
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.core.policy import ALL_POLICIES, BASELINE, FREE_ATOMICS
+
+TESTS = 12
+SEED = 20260806
+
+
+def report_bytes(jobs):
+    tests = generate_tests(TESTS, SEED)
+    report = fuzz(tests, policies=ALL_POLICIES, seed=SEED, jobs=jobs)
+    return json.dumps(report.to_jsonable(), sort_keys=True)
+
+
+class TestDeterminism:
+    def test_reports_identical_across_jobs(self):
+        serial = report_bytes(jobs=1)
+        parallel = report_bytes(jobs=2)
+        assert serial == parallel
+
+    def test_knob_draws_are_pure_functions_of_seed_and_index(self):
+        tests = generate_tests(TESTS, SEED)
+        a = knobs_for(tests, SEED)
+        b = knobs_for(tests, SEED)
+        assert [k.to_jsonable() for k in a] == [k.to_jsonable() for k in b]
+        # Order independence: drawing only test 5's knobs gives the
+        # same result as drawing all of them.
+        solo = draw_knobs(DeterministicRng(SEED).fork(5), tests[5])
+        assert solo == a[5]
+
+    def test_different_seeds_draw_different_knobs(self):
+        tests = generate_tests(TESTS, SEED)
+        assert [k.to_jsonable() for k in knobs_for(tests, SEED)] != [
+            k.to_jsonable() for k in knobs_for(tests, SEED + 1)
+        ]
+
+    def test_run_case_is_reproducible(self):
+        tests = generate_tests(4, SEED)
+        knobs = knobs_for(tests, SEED)
+        for index, test in enumerate(tests):
+            first = run_case(test, FREE_ATOMICS, knobs[index], index)
+            again = run_case(test, FREE_ATOMICS, knobs[index], index)
+            assert first.to_jsonable() == again.to_jsonable()
+
+
+class TestCleanRun:
+    def test_no_violations_on_clean_simulator(self):
+        tests = generate_tests(TESTS, SEED)
+        report = fuzz(tests, policies=ALL_POLICIES, seed=SEED, jobs=1)
+        assert report.ok, [
+            (r.test_name, r.policy, [v.detail for v in r.violations])
+            for r in report.violating
+        ]
+        assert report.runs == TESTS * len(ALL_POLICIES)
+        assert report.skipped_checks == 0
+
+    def test_report_shape(self):
+        tests = generate_tests(3, SEED)
+        report = fuzz(tests, policies=(BASELINE,), seed=SEED, jobs=1)
+        payload = report.to_jsonable()
+        assert payload["format"] == "repro-fuzz-report-v1"
+        assert payload["runs"] == 3
+        assert payload["policies"] == [BASELINE.name]
+        assert [r["test_index"] for r in payload["records"]] == [0, 1, 2]
+
+
+class TestKnobs:
+    def test_draw_respects_livelock_clamp(self):
+        # 2 x network_latency >= l1_data_latency must hold for every
+        # draw (see draw_knobs: permission ping-pong livelock).
+        tests = generate_tests(50, SEED)
+        for knobs in knobs_for(tests, SEED):
+            assert 2 * knobs.network_latency >= knobs.l1_data_latency
+            assert len(knobs.pads) > 0
+
+    def test_apply_round_trips_through_config(self):
+        tests = generate_tests(1, SEED)
+        knobs = knobs_for(tests, SEED)[0]
+        config = knobs.apply(fuzz_base_config(tests[0].num_threads))
+        assert config.memory.l1d.data_latency == knobs.l1_data_latency
+        assert config.memory.network_latency == knobs.network_latency
+        assert config.free_atomics.aq_entries == knobs.aq_entries
+        assert config.free_atomics.watchdog_cycles == knobs.watchdog_cycles
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigError):
+            fuzz_base_config(2).with_overrides(no_such_knob=3)
+
+
+class TestPolicyResolution:
+    def test_default_is_all_four(self):
+        assert resolve_policies(None) == tuple(ALL_POLICIES)
+
+    def test_by_name(self):
+        assert resolve_policies(["baseline"]) == (BASELINE,)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(Exception):
+            resolve_policies(["tso-but-wrong"])

@@ -1,0 +1,184 @@
+"""Tests for the litmus generator and its model-derived outcome oracle."""
+
+import pytest
+
+from repro.consistency.generator import (
+    AbsOp,
+    GeneratedTest,
+    SHAPE_FAMILIES,
+    derive_oracle,
+    enumerate_outcomes,
+    generate_tests,
+    loc_address,
+    out_slot,
+)
+
+
+def make(threads, initial=()):
+    return derive_oracle(
+        GeneratedTest(name="t", threads=threads, initial=initial)
+    )
+
+
+def outcome(**kv):
+    return tuple(sorted(kv.items()))
+
+
+SB = (
+    (AbsOp("store", loc=0, value=1), AbsOp("load", loc=1)),
+    (AbsOp("store", loc=1, value=1), AbsOp("load", loc=0)),
+)
+
+SB_FENCED = (
+    (AbsOp("store", loc=0, value=1), AbsOp("fence"), AbsOp("load", loc=1)),
+    (AbsOp("store", loc=1, value=1), AbsOp("fence"), AbsOp("load", loc=0)),
+)
+
+
+class TestOracleKnownShapes:
+    def test_sb_relaxed_outcome_allowed_but_not_sc(self):
+        test = make(SB)
+        relaxed = {"r0.1": 0, "r1.1": 0, "m0": 1, "m1": 1}
+        assert outcome(**relaxed) in test.allowed
+        assert outcome(**relaxed) not in test.sc_allowed
+        assert test.interesting(outcome(**relaxed))
+
+    def test_sb_all_four_read_pairs_reachable(self):
+        test = make(SB)
+        pairs = {
+            (dict(o)["r0.1"], dict(o)["r1.1"]) for o in test.allowed
+        }
+        assert pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_fenced_sb_forbids_0_0(self):
+        test = make(SB_FENCED)
+        assert outcome(**{"r0.2": 0, "r1.2": 0, "m0": 1, "m1": 1}) not in test.allowed
+        # With fences TSO collapses to the SC outcome set here.
+        assert test.allowed == test.sc_allowed
+
+    def test_rmw_barrier_forbids_0_0(self):
+        threads = (
+            (
+                AbsOp("store", loc=0, value=1),
+                AbsOp("fetch_add", loc=2, value=1),
+                AbsOp("load", loc=1),
+            ),
+            (
+                AbsOp("store", loc=1, value=1),
+                AbsOp("fetch_add", loc=3, value=1),
+                AbsOp("load", loc=0),
+            ),
+        )
+        test = make(threads)
+        for o in test.allowed:
+            values = dict(o)
+            assert not (values["r0.2"] == 0 and values["r1.2"] == 0)
+
+    def test_mp_no_stale_data_after_flag(self):
+        threads = (
+            (AbsOp("store", loc=0, value=42), AbsOp("store", loc=1, value=1)),
+            (AbsOp("load", loc=1), AbsOp("load", loc=0)),
+        )
+        test = make(threads)
+        for o in test.allowed:
+            values = dict(o)
+            if values["r1.0"] == 1:
+                assert values["r1.1"] == 42
+
+    def test_no_lost_fetch_add_updates(self):
+        threads = (
+            (AbsOp("fetch_add", loc=0, value=1),),
+            (AbsOp("fetch_add", loc=0, value=1),),
+        )
+        test = make(threads)
+        for o in test.allowed:
+            values = dict(o)
+            assert values["m0"] == 2
+            assert {values["r0.0"], values["r1.0"]} == {0, 1}
+
+    def test_cas_x86_semantics_always_reads(self):
+        # cmpxchg observes the old value whether or not it matches.
+        threads = (
+            (AbsOp("cas", loc=0, value=9, expected=5),),
+        )
+        hit = make(threads, initial=((0, 5),))
+        assert hit.allowed == {outcome(**{"r0.0": 5, "m0": 9})}
+        miss = make(threads, initial=((0, 3),))
+        assert miss.allowed == {outcome(**{"r0.0": 3, "m0": 3})}
+
+    def test_own_store_always_visible_to_own_load(self):
+        threads = ((AbsOp("store", loc=0, value=7), AbsOp("load", loc=0)),)
+        test = make(threads)
+        assert test.allowed == {outcome(**{"r0.1": 7, "m0": 7})}
+
+    def test_initial_memory_respected(self):
+        test = make(((AbsOp("load", loc=1),),), initial=((1, 13),))
+        assert test.allowed == {outcome(**{"r0.0": 13, "m1": 13})}
+
+    def test_state_cap_raises(self):
+        big = tuple(
+            tuple(AbsOp("store", loc=0, value=j + 1) for j in range(8))
+            for _ in range(3)
+        )
+        with pytest.raises(RuntimeError):
+            enumerate_outcomes(big, {}, max_states=100)
+
+
+class TestGeneration:
+    def test_deterministic_and_oracle_equipped(self):
+        a = generate_tests(20, 3)
+        b = generate_tests(20, 3)
+        assert [t.to_jsonable() for t in a] == [t.to_jsonable() for t in b]
+        assert [t.allowed for t in a] == [t.allowed for t in b]
+        for test in a:
+            assert test.allowed, f"{test.name}: empty outcome set"
+            assert test.sc_allowed <= test.allowed
+
+    def test_different_seeds_differ(self):
+        a = [t.to_jsonable() for t in generate_tests(20, 0)]
+        b = [t.to_jsonable() for t in generate_tests(20, 1)]
+        assert a != b
+
+    def test_every_family_appears(self):
+        names = {t.name.rsplit("_", 1)[0] for t in generate_tests(14, 0)}
+        assert names == {"sb", "mp", "lb", "wrc", "rmw_mix", "random"}
+        assert len(SHAPE_FAMILIES) == 7
+
+    def test_prefix_stability(self):
+        # Test i is a pure function of (seed, i): growing the count
+        # never changes earlier tests (cache/shard friendliness).
+        short = generate_tests(5, 11)
+        long = generate_tests(15, 11)
+        assert [t.to_jsonable() for t in short] == [
+            t.to_jsonable() for t in long[:5]
+        ]
+
+
+class TestBuildAndLayout:
+    def test_build_produces_runnable_workload(self):
+        test = make(SB)
+        workload = test.build()
+        assert workload.num_threads == 2
+        assert workload.initial_memory == {}
+
+    def test_pads_inject_nops(self):
+        test = make(SB)
+        plain = test.build()
+        padded = test.build(pads=((3, 0), (0, 5)))
+        assert len(padded.programs[0]) == len(plain.programs[0]) + 3
+        assert len(padded.programs[1]) == len(plain.programs[1]) + 5
+
+    def test_observation_layout_distinct_addresses(self):
+        test = make(SB, initial=((2, 5),))
+        layout = test.observations()
+        assert len(set(layout.values())) == len(layout)
+        assert layout["r0.1"] == out_slot(0, 0)
+        assert layout["m2"] == loc_address(2)
+
+    def test_serialization_round_trip(self):
+        for test in generate_tests(10, 5):
+            clone = GeneratedTest.from_jsonable(test.to_jsonable())
+            assert clone.threads == test.threads
+            assert clone.initial == test.initial
+            assert clone.allowed == test.allowed
+            assert clone.sc_allowed == test.sc_allowed

@@ -1,0 +1,161 @@
+"""Shrinker unit tests with synthetic check functions (no simulator)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.consistency.fuzz import PerturbationKnobs, fuzz_base_config
+from repro.consistency.generator import AbsOp, GeneratedTest, derive_oracle
+from repro.consistency.shrink import (
+    REPRO_FORMAT,
+    load_repro,
+    shrink_case,
+    write_repro,
+)
+from repro.core.policy import BASELINE
+
+
+def make_test(threads, initial=()):
+    return derive_oracle(
+        GeneratedTest(name="synthetic", threads=threads, initial=initial)
+    )
+
+
+def make_knobs(test, **overrides):
+    base = fuzz_base_config(test.num_threads)
+    values = dict(
+        pads=tuple(tuple(2 for _ in ops) for ops in test.threads),
+        l1_data_latency=base.memory.l1d.data_latency,
+        l2_data_latency=base.memory.l2.data_latency,
+        network_latency=base.memory.network_latency,
+        dram_latency=base.memory.dram_latency,
+        aq_entries=base.free_atomics.aq_entries,
+        watchdog_cycles=base.free_atomics.watchdog_cycles,
+        max_forward_chain=base.free_atomics.max_forward_chain,
+    )
+    values.update(overrides)
+    return PerturbationKnobs(**values)
+
+
+THREE_THREADS = (
+    (AbsOp("store", loc=0, value=1), AbsOp("load", loc=1)),
+    (AbsOp("store", loc=1, value=1), AbsOp("load", loc=0)),
+    (AbsOp("fetch_add", loc=2, value=1), AbsOp("load", loc=2)),
+)
+
+
+class TestShrinkCase:
+    def test_non_reproducing_case_is_rejected(self):
+        test = make_test(THREE_THREADS)
+        with pytest.raises(ReproError):
+            shrink_case(
+                test, BASELINE, make_knobs(test), check=lambda *a: False
+            )
+
+    def test_reduces_to_the_failure_core(self):
+        # "Bug" fires whenever thread containing the fetch_add survives.
+        test = make_test(THREE_THREADS)
+
+        def check(candidate, policy, knobs):
+            return any(
+                op.kind == "fetch_add"
+                for ops in candidate.threads
+                for op in ops
+            )
+
+        result = shrink_case(test, BASELINE, make_knobs(test), check=check)
+        assert result.num_ops == 1
+        assert result.test.num_threads == 1
+        assert result.test.threads[0][0].kind == "fetch_add"
+        # Pads track the structure and get zeroed in the knob pass.
+        assert result.knobs.pads == ((0,),)
+
+    def test_oracle_rederived_after_structural_edits(self):
+        test = make_test(THREE_THREADS)
+        result = shrink_case(
+            test,
+            BASELINE,
+            make_knobs(test),
+            check=lambda c, p, k: any(
+                op.kind == "fetch_add" for ops in c.threads for op in ops
+            ),
+        )
+        assert result.test.allowed  # oracle exists for the shrunk program
+        assert result.test.allowed != test.allowed
+
+    def test_knobs_walk_back_to_baseline(self):
+        test = make_test(THREE_THREADS)
+        noisy = make_knobs(
+            test, l1_data_latency=4, dram_latency=55, aq_entries=1
+        )
+        result = shrink_case(
+            test, BASELINE, noisy, check=lambda *a: True
+        )
+        clean = make_knobs(result.test)
+        assert result.knobs == dataclasses.replace(
+            clean, pads=result.knobs.pads
+        )
+        assert all(p == 0 for plan in result.knobs.pads for p in plan)
+
+    def test_needed_knob_is_kept(self):
+        test = make_test(THREE_THREADS)
+        noisy = make_knobs(test, l1_data_latency=4, dram_latency=55)
+
+        def check(candidate, policy, knobs):
+            return knobs.l1_data_latency == 4  # bug needs the slow L1
+
+        result = shrink_case(test, BASELINE, noisy, check=check)
+        assert result.knobs.l1_data_latency == 4
+        base = fuzz_base_config(result.test.num_threads)
+        assert result.knobs.dram_latency == base.memory.dram_latency
+
+    def test_probe_budget_is_respected(self):
+        test = make_test(THREE_THREADS)
+        calls = []
+
+        def check(candidate, policy, knobs):
+            calls.append(1)
+            return True
+
+        result = shrink_case(
+            test, BASELINE, make_knobs(test), check=check, max_probes=3
+        )
+        assert result.probes <= 3
+        # initial reproduce check + the capped probes
+        assert len(calls) <= 4
+
+    def test_never_shrinks_below_one_op(self):
+        test = make_test(((AbsOp("store", loc=0, value=1),),))
+        result = shrink_case(
+            test, BASELINE, make_knobs(test), check=lambda *a: True
+        )
+        assert result.num_ops == 1
+
+
+class TestReproFiles:
+    def test_round_trip(self, tmp_path):
+        test = make_test(THREE_THREADS, initial=((0, 3),))
+        knobs = make_knobs(test, network_latency=5)
+        path = write_repro(
+            tmp_path / "case.json", test, BASELINE, knobs, seed=9
+        )
+        loaded_test, loaded_policy, loaded_knobs = load_repro(path)
+        assert loaded_test.threads == test.threads
+        assert loaded_test.initial == test.initial
+        assert loaded_test.allowed == test.allowed
+        assert loaded_policy is BASELINE
+        assert loaded_knobs == knobs
+
+    def test_format_marker_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ReproError, match=REPRO_FORMAT):
+            load_repro(path)
+
+    def test_write_is_deterministic(self, tmp_path):
+        test = make_test(THREE_THREADS)
+        knobs = make_knobs(test)
+        a = write_repro(tmp_path / "a.json", test, BASELINE, knobs, seed=1)
+        b = write_repro(tmp_path / "b.json", test, BASELINE, knobs, seed=1)
+        assert a.read_text() == b.read_text()

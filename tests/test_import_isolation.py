@@ -1,0 +1,52 @@
+"""Every repro.* module must import cleanly in isolation.
+
+Regression test for a latent import cycle: ``repro.consistency``
+eagerly imported ``litmus`` (which needs the simulator) while the
+simulator imports ``repro.consistency.model`` for trace types — so
+``import repro.consistency`` worked or failed depending on what had
+been imported first.  The package now lazy-loads its submodules
+(PEP 562); this test keeps it that way by importing every module as
+the *first* repro import of a pristine interpreter state.
+"""
+
+import importlib
+import pkgutil
+import sys
+
+import pytest
+
+import repro
+
+
+def all_module_names():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith(".__main__"):
+            continue  # entry points call sys.exit on import
+        names.append(info.name)
+    return sorted(names)
+
+
+MODULES = all_module_names()
+
+
+def test_module_discovery_found_the_tree():
+    assert "repro.consistency.model" in MODULES
+    assert "repro.uarch.core" in MODULES
+    assert len(MODULES) > 25
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_imports_in_isolation(name):
+    saved = {
+        key: sys.modules.pop(key)
+        for key in list(sys.modules)
+        if key == "repro" or key.startswith("repro.")
+    }
+    try:
+        importlib.import_module(name)
+    finally:
+        for key in list(sys.modules):
+            if key == "repro" or key.startswith("repro."):
+                del sys.modules[key]
+        sys.modules.update(saved)
