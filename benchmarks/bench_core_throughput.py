@@ -1,0 +1,91 @@
+"""Core-pipeline throughput microbenchmark (not a paper figure).
+
+A deliberately LSQ-hostile point: every thread keeps a burst of stores
+and loads to the *same* cachelines in flight (deep store-queue and
+load-queue occupancy, constant same-line forwarding and violation
+checks) and closes each round with a contended fetch_add, so the
+per-cacheline LSQ address indexes, the ordering watermarks, and the
+retry queues introduced for the indexed core are all on the measured
+path.  A slowdown here that does not show in ``bench_event_kernel``
+points at the core's bookkeeping, not the event kernel.
+
+``core_events_per_sec`` is importable without pytest — the bench
+harness (``scripts/bench_harness.py``) records it next to
+``kernel_events_per_sec`` and gates both in CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.config import icelake_config
+from repro.core.policy import FREE_ATOMICS_FWD
+from repro.isa.builder import ProgramBuilder
+from repro.system.simulator import System
+from repro.workloads.base import Workload
+
+#: All threads hammer these two lines (word size 8, line size 64).
+_SHARED_BASE = 0x4000
+_COUNTER_BASE = 0x8000
+_NUM_THREADS = 4
+_ROUNDS = 80
+_BURST = 6  # stores+loads kept in flight per round, all on one line
+
+
+def lsq_contention_workload(
+    num_threads: int = _NUM_THREADS, rounds: int = _ROUNDS
+) -> Workload:
+    """Every thread: a same-line store/load burst, then a shared atomic."""
+    programs = []
+    for _ in range(num_threads):
+        builder = ProgramBuilder("lsq_contention")
+        builder.li(1, _SHARED_BASE)
+        builder.li(4, _COUNTER_BASE)
+        builder.li(2, 0)
+        builder.label("loop")
+        for k in range(_BURST):
+            # The loads deliberately trail the stores on the same line,
+            # exercising youngest-older-store forwarding lookups.
+            builder.store(imm=k + 1, base=1, offset=8 * k)
+            builder.load(3, base=1, offset=8 * ((k + 3) % _BURST))
+        builder.fetch_add(dst=5, base=4, imm=1)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, rounds, "loop")
+        builder.halt()
+        programs.append(builder.build())
+    return Workload("core_lsq_contention", programs)
+
+
+def core_events_per_sec(repeats: int = 5) -> float:
+    """Best-of-``repeats`` simulator event rate on the contention point.
+
+    The numerator is the queue's order counter after the run — every
+    scheduled event carries one tick of it, and a run-to-completion
+    executes (or skips, for the few cancelled handles) all of them, so
+    it is a faithful count of events processed.
+    """
+    workload = lsq_contention_workload()
+    config = icelake_config(num_cores=workload.num_threads)
+    best = 0.0
+    expected = workload.num_threads * _ROUNDS
+    for _ in range(repeats):
+        system = System(workload, policy=FREE_ATOMICS_FWD, config=config)
+        start = time.perf_counter()
+        result = system.run()
+        elapsed = time.perf_counter() - start
+        assert result.read_word(_COUNTER_BASE) == expected
+        best = max(best, system.queue._order / elapsed)
+    return best
+
+
+def bench_core_lsq_contention(benchmark):
+    workload = lsq_contention_workload()
+    config = icelake_config(num_cores=workload.num_threads)
+
+    def run():
+        return System(workload, policy=FREE_ATOMICS_FWD, config=config).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.read_word(_COUNTER_BASE) == workload.num_threads * _ROUNDS
+    # Sanity: the point actually keeps the LSQ busy with atomics in play.
+    assert result.committed_atomics == workload.num_threads * _ROUNDS

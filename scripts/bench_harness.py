@@ -8,7 +8,9 @@ the kernel's raw event rate.  Metrics:
 
 - ``sim_cycles_per_sec`` — simulated cycles advanced per host second;
 - ``sim_points_per_sec`` — full simulation points per host second;
-- ``kernel_events_per_sec`` — EventQueue post+run throughput.
+- ``kernel_events_per_sec`` — EventQueue post+run throughput;
+- ``core_events_per_sec`` — full-core event rate on the LSQ-contention
+  microbenchmark (benchmarks/bench_core_throughput.py).
 
 Intended for CI (see .github/workflows/ci.yml): the JSON lands in the
 repo root so successive PRs leave a performance trajectory.
@@ -16,9 +18,10 @@ repo root so successive PRs leave a performance trajectory.
 ``--compare`` runs the same sweep but diffs the fresh numbers against
 the committed BENCH_harness.json instead of overwriting it, printing a
 per-metric percentage delta.  ``--fail-threshold PCT`` (implies
-``--compare``) exits non-zero when ``kernel_events_per_sec`` — the only
-metric independent of sweep scale and host load shape — regressed by
-more than PCT percent; CI uses this as the perf-regression gate.
+``--compare``) exits non-zero when ``kernel_events_per_sec`` or
+``core_events_per_sec`` — the metrics independent of sweep scale and
+host load shape — regressed by more than PCT percent; CI uses this as
+the perf-regression gate.
 
 Usage::
 
@@ -38,8 +41,13 @@ import time
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))  # for the benchmarks/ package
 
 OUTPUT = ROOT / "BENCH_harness.json"
+
+#: Metrics gated by --fail-threshold: pure-CPU microbenchmarks whose
+#: value does not depend on sweep scale or parallel-job load shape.
+GATED_METRICS = ("kernel_events_per_sec", "core_events_per_sec")
 
 BENCHMARKS = ("AS", "watersp", "canneal")
 
@@ -86,7 +94,8 @@ def compare_metrics(
     """Print per-metric deltas vs the committed baseline.
 
     Returns a process exit code: non-zero when ``fail_threshold`` is set
-    and ``kernel_events_per_sec`` regressed by more than that percentage.
+    and any metric in :data:`GATED_METRICS` regressed by more than that
+    percentage.
     """
     print(f"{'metric':<24} {'baseline':>14} {'fresh':>14} {'delta':>9}")
     for key in sorted(set(committed) | set(fresh)):
@@ -98,24 +107,27 @@ def compare_metrics(
         print(f"{key:<24} {old:>14} {new:>14} {delta}")
     if fail_threshold is None:
         return 0
-    old = committed.get("kernel_events_per_sec")
-    new = fresh.get("kernel_events_per_sec")
-    if not old or new is None:
-        print("[gate] no committed kernel_events_per_sec to compare against")
-        return 0
-    regression = (old - new) / old * 100.0
-    if regression > fail_threshold:
-        print(
-            f"[gate] FAIL: kernel_events_per_sec regressed "
-            f"{regression:.1f}% (> {fail_threshold:.0f}% allowed)"
-        )
-        return 1
-    print(
-        f"[gate] OK: kernel_events_per_sec "
-        f"{'regression' if regression > 0 else 'improvement'} "
-        f"{abs(regression):.1f}% (threshold {fail_threshold:.0f}%)"
-    )
-    return 0
+    code = 0
+    for metric in GATED_METRICS:
+        old = committed.get(metric)
+        new = fresh.get(metric)
+        if not old or new is None:
+            print(f"[gate] no committed {metric} to compare against")
+            continue
+        regression = (old - new) / old * 100.0
+        if regression > fail_threshold:
+            print(
+                f"[gate] FAIL: {metric} regressed "
+                f"{regression:.1f}% (> {fail_threshold:.0f}% allowed)"
+            )
+            code = 1
+        else:
+            print(
+                f"[gate] OK: {metric} "
+                f"{'regression' if regression > 0 else 'improvement'} "
+                f"{abs(regression):.1f}% (threshold {fail_threshold:.0f}%)"
+            )
+    return code
 
 
 def main() -> int:
@@ -152,6 +164,7 @@ def main() -> int:
     if not args.cached:
         os.environ["REPRO_CACHE"] = "off"
 
+    from benchmarks.bench_core_throughput import core_events_per_sec
     from repro.analysis.engine import prefetch, resolve_jobs
     from repro.analysis.runner import ExperimentScale
     from repro.core.policy import ALL_POLICIES
@@ -192,6 +205,7 @@ def main() -> int:
             "total_sim_cycles": total_cycles,
             "sim_cycles_per_sec": round(total_cycles / wall, 1),
             "kernel_events_per_sec": round(kernel_events_per_sec(), 1),
+            "core_events_per_sec": round(core_events_per_sec(), 1),
         },
     }
     if args.compare:

@@ -99,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one canonical simulation point under cProfile and "
         "print the top-25 cumulative hotspots (no experiment needed)",
     )
+    parser.add_argument(
+        "--profile-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="with --profile: also dump the raw pstats data to PATH, "
+        "so hotspots can be re-examined (pstats.Stats(PATH), snakeviz, "
+        "gprof2dot, ...) without re-running the sweep",
+    )
     return parser
 
 
@@ -106,13 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
 PROFILE_TOP = 25
 
 
-def run_profile(scale: ExperimentScale) -> None:
+def run_profile(
+    scale: ExperimentScale, out: Optional[pathlib.Path] = None
+) -> None:
     """Profile a canonical point and print the hottest call sites.
 
     Uses the highest-traffic configuration (the paper's ``free+fwd``
     policy on the atomic-heavy ``AS`` microbenchmark) with the caches
     bypassed, so the profile reflects the simulator hot path rather
-    than cache lookups.
+    than cache lookups.  When ``out`` is given the raw pstats data is
+    dumped there as well, so future hot-path hunts can slice the same
+    run differently (``pstats.Stats(str(out))``) without re-running it.
     """
     import cProfile
     import pstats
@@ -130,6 +143,10 @@ def run_profile(scale: ExperimentScale) -> None:
     run_benchmark("AS", policy_by_name("free+fwd"), scale)
     profiler.disable()
     stats = pstats.Stats(profiler)
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        stats.dump_stats(str(out))
+        print(f"[raw pstats written to {out}]")
     stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
 
 
@@ -184,9 +201,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.experiment is None and not args.profile:
             return 0
     if args.profile:
-        run_profile(build_scale(args))
+        run_profile(build_scale(args), out=args.profile_out)
         if args.experiment is None:
             return 0
+    elif args.profile_out is not None:
+        parser.error("--profile-out requires --profile")
     if args.experiment is None:
         parser.error(
             "an experiment is required unless --clear-cache or --profile is given"

@@ -39,7 +39,12 @@ import os
 from dataclasses import dataclass
 
 from repro import __version__
-from repro.common.cache import ResultCache, cache_enabled, content_key
+from repro.common.cache import (
+    SIM_CODE_VERSION,
+    ResultCache,
+    cache_enabled,
+    content_key,
+)
 from repro.common.config import SystemConfig, icelake_config, skylake_config
 from repro.common.errors import ConfigError
 from repro.core.policy import AtomicPolicy
@@ -132,12 +137,19 @@ def disk_cache_key(
     core_preset: str,
     digest: str,
 ) -> str:
-    """Stable content hash identifying one simulation point on disk."""
+    """Stable content hash identifying one simulation point on disk.
+
+    Includes the package version *and* :data:`SIM_CODE_VERSION`: the
+    latter is bumped on in-between-releases changes to simulation
+    semantics, so a summary cached by older core code misses instead of
+    being served stale.
+    """
     return content_key(
         {
             "kind": "run_benchmark",
             "schema": SUMMARY_SCHEMA,
             "version": __version__,
+            "sim_code_version": SIM_CODE_VERSION,
             "benchmark": benchmark,
             "policy": policy_name,
             "scale": dataclasses.asdict(scale),

@@ -33,6 +33,15 @@ import pathlib
 import tempfile
 from typing import Mapping, Optional
 
+#: Simulator code version, mixed into every disk-cache key.
+#:
+#: The package version only changes at releases, but core-semantics
+#: changes land between them; bump this integer whenever a change could
+#: alter any simulation outcome (event ordering, policy behaviour,
+#: timing), so summaries cached by older code can never be served.
+#: Pure refactors that are verified byte-identical may leave it alone.
+SIM_CODE_VERSION = 1
+
 #: Environment variable selecting the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 

@@ -81,7 +81,7 @@ class EventQueue:
     __slots__ = (
         "_heap",
         "_order",
-        "_now",
+        "now",
         "_ring",
         "_ring_pos",
         "_ring_count",
@@ -94,7 +94,11 @@ class EventQueue:
         # Heap entries are (cycle, order, callback, handle_or_None).
         self._heap: list[tuple] = []
         self._order = 0
-        self._now = 0
+        #: Current simulation cycle.  A plain attribute, not a property:
+        #: every component reads it on every event, and the descriptor
+        #: call was measurable.  External writers would desynchronize
+        #: the clock — read-only by convention.
+        self.now = 0
         # Microtasks: bare callbacks for the *current* cycle, run FIFO
         # before any ring/heap entry (see call_soon for why that is
         # exact).  Consumed by index to keep the drain allocation-free.
@@ -111,11 +115,6 @@ class EventQueue:
         # Lower bound on the earliest cycle that may hold a ring entry;
         # advanced lazily while scanning, pulled back by posts.
         self._ring_next = 0
-
-    @property
-    def now(self) -> int:
-        """Current simulation cycle."""
-        return self._now
 
     def __len__(self) -> int:
         return (
@@ -134,11 +133,11 @@ class EventQueue:
         """
         if self._micro_pos < len(self._micro):
             return False
-        bucket = self._ring[self._now & _RING_MASK]
-        if self._ring_pos[self._now & _RING_MASK] < len(bucket):
+        bucket = self._ring[self.now & _RING_MASK]
+        if self._ring_pos[self.now & _RING_MASK] < len(bucket):
             return False
         heap = self._heap
-        return not (heap and heap[0][0] == self._now)
+        return not (heap and heap[0][0] == self.now)
 
     def call_soon(self, callback: Callback) -> None:
         """Run ``callback`` right after the in-flight event returns.
@@ -166,7 +165,7 @@ class EventQueue:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         order = self._order
         self._order = order + 1
-        cycle = self._now + delay
+        cycle = self.now + delay
         event = Event(cycle, order, callback)
         if delay < RING_CYCLES:
             self._ring[cycle & _RING_MASK].append((order, callback, event))
@@ -179,7 +178,7 @@ class EventQueue:
 
     def schedule_at(self, cycle: int, callback: Callback) -> Event:
         """Schedule ``callback`` at an absolute cycle (>= now)."""
-        return self.schedule(cycle - self._now, callback)
+        return self.schedule(cycle - self.now, callback)
 
     def post(self, delay: int, callback: Callback) -> None:
         """Fast path: schedule a callback that will never be cancelled.
@@ -192,17 +191,17 @@ class EventQueue:
         order = self._order
         self._order = order + 1
         if delay < RING_CYCLES:
-            cycle = self._now + delay
+            cycle = self.now + delay
             self._ring[cycle & _RING_MASK].append((order, callback, None))
             self._ring_count += 1
             if cycle < self._ring_next:
                 self._ring_next = cycle
         else:
-            heapq.heappush(self._heap, (self._now + delay, order, callback, None))
+            heapq.heappush(self._heap, (self.now + delay, order, callback, None))
 
     def post_at(self, cycle: int, callback: Callback) -> None:
         """Fast-path :meth:`post` at an absolute cycle (>= now)."""
-        self.post(cycle - self._now, callback)
+        self.post(cycle - self.now, callback)
 
     def _scan_ring(self) -> int:
         """Cycle of the earliest pending ring entry (``_ring_count`` > 0).
@@ -211,8 +210,8 @@ class EventQueue:
         bucket it skips stays skipped until a post pulls the cursor back.
         """
         cycle = self._ring_next
-        if cycle < self._now:
-            cycle = self._now
+        if cycle < self.now:
+            cycle = self.now
         ring = self._ring
         pos = self._ring_pos
         while True:
@@ -264,23 +263,98 @@ class EventQueue:
                     cycle, _order, callback, handle = heapq.heappop(heap)
                     if handle is not None and handle.cancelled:
                         continue
-                    self._now = cycle
+                    self.now = cycle
                     callback()
                     return True
                 _order, callback, handle = self._pop_ring(ring_cycle)
                 if handle is not None and handle.cancelled:
                     continue
-                self._now = ring_cycle
+                self.now = ring_cycle
                 callback()
                 return True
             if heap:
                 cycle, _order, callback, handle = heapq.heappop(heap)
                 if handle is not None and handle.cancelled:
                     continue
-                self._now = cycle
+                self.now = cycle
                 callback()
                 return True
             return False
+
+    def drain(self, counter: list, max_cycles: int) -> int:
+        """Run events until a stop condition; the System.run hot loop.
+
+        ``counter`` is a one-element list holding the number of
+        unfinished cores; callbacks (each core's Halt commit) decrement
+        it.  Runs exactly the ``run_next`` event sequence and returns
+
+        - ``0`` when ``counter[0]`` reached zero (all cores finished),
+        - ``1`` when the queue went empty first (deadlock),
+        - ``2`` when ``now`` passed ``max_cycles`` after an event ran
+          (runaway run) — checked after every executed callback, like
+          the caller loop this inlines, so the same event that would
+          have run before the check still runs.
+
+        Equivalence: this is ``while counter[0]: run_next(); check
+        max_cycles`` with the per-event method call and the heap/ring
+        re-dispatch folded into one loop frame.  Cancelled entries are
+        skipped without touching the clock or the checks, exactly as
+        ``run_next``'s internal skip loop does.
+        """
+        heap = self._heap
+        micro = self._micro
+        ring = self._ring
+        pos = self._ring_pos
+        heappop = heapq.heappop
+        while counter[0]:
+            if micro:
+                p = self._micro_pos
+                callback = micro[p]
+                p += 1
+                if p == len(micro):
+                    micro.clear()
+                    self._micro_pos = 0
+                else:
+                    self._micro_pos = p
+                callback()
+            elif self._ring_count:
+                ring_cycle = self._scan_ring()
+                if heap and heap[0][0] <= ring_cycle:
+                    # Same-cycle heap entries are always older (posted
+                    # >= RING_CYCLES cycles earlier => smaller order).
+                    cycle, _order, callback, handle = heappop(heap)
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self.now = cycle
+                    callback()
+                else:
+                    b = ring_cycle & _RING_MASK
+                    bucket = ring[b]
+                    p = pos[b]
+                    entry = bucket[p]
+                    p += 1
+                    self._ring_count -= 1
+                    if p == len(bucket):
+                        bucket.clear()
+                        pos[b] = 0
+                    else:
+                        pos[b] = p
+                    _order, callback, handle = entry
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self.now = ring_cycle
+                    callback()
+            elif heap:
+                cycle, _order, callback, handle = heappop(heap)
+                if handle is not None and handle.cancelled:
+                    continue
+                self.now = cycle
+                callback()
+            else:
+                return 1
+            if self.now > max_cycles:
+                return 2
+        return 0
 
     def run_cycle(self) -> Optional[int]:
         """Drain every event of the earliest pending cycle, batched.
@@ -297,7 +371,7 @@ class EventQueue:
             # Pending microtasks belong to the current cycle by
             # construction (call_soon requires idle_now), so it is the
             # earliest pending cycle.
-            cycle = self._now
+            cycle = self.now
         elif self._ring_count:
             cycle = self._scan_ring()
             if heap and heap[0][0] < cycle:
@@ -306,7 +380,7 @@ class EventQueue:
             cycle = heap[0][0]
         else:
             return None
-        self._now = cycle
+        self.now = cycle
         # Priority within the cycle: microtasks (always oldest — they
         # could only be registered while nothing else was pending at
         # now), then heap (posted >= RING_CYCLES earlier than any ring
@@ -371,7 +445,7 @@ class EventQueue:
                     _c, _order, callback, handle = heapq.heappop(heap)
                     if handle is not None and handle.cancelled:
                         continue
-                    self._now = cycle
+                    self.now = cycle
                     callback()
                     continue
                 if ring_cycle > limit_cycle:
@@ -379,7 +453,7 @@ class EventQueue:
                 _order, callback, handle = self._pop_ring(ring_cycle)
                 if handle is not None and handle.cancelled:
                     continue
-                self._now = ring_cycle
+                self.now = ring_cycle
                 callback()
                 continue
             if heap:
@@ -389,9 +463,9 @@ class EventQueue:
                 _c, _order, callback, handle = heapq.heappop(heap)
                 if handle is not None and handle.cancelled:
                     continue
-                self._now = cycle
+                self.now = cycle
                 callback()
                 continue
             break
-        if self._now < limit_cycle:
-            self._now = limit_cycle
+        if self.now < limit_cycle:
+            self.now = limit_cycle

@@ -16,6 +16,18 @@ The hardware's four CAM searches map to these methods:
    capture the lock (lock_on_access / do_not_unlock transfer).
 4. seqNum search (flush / re-schedule): :meth:`squash_from`.
 
+Searches 1–3 are the memory system's per-request hot path (the
+hierarchy consults them through its LockView on every access and
+replacement decision), so the queue keeps incrementally maintained
+indexes: per-line / per-(set,way) / per-set lock *counts* — counts, not
+sets, because two entries can legitimately hold the same line at once
+during a do_not_unlock transfer window — and a source-store -> entries
+map for the SQid broadcast.  The indexes are updated inside
+:meth:`AtomicQueueEntry.lock` / :meth:`~AtomicQueueEntry.release` and
+the ``source_store`` property setter, so direct mutations (as the unit
+tests perform) keep them exact.  ``REPRO_NO_FASTPATH=1`` (read at
+construction) routes the searches through the original linear scans.
+
 Entries store the line number alongside set/way purely as a simulator
 convenience (the hardware needs only set/way; the line is recoverable
 from the tag array).
@@ -23,6 +35,7 @@ from the tag array).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Iterator, Optional
 
 from repro.common.stats import StatsRegistry
@@ -36,9 +49,11 @@ class AtomicQueueEntry:
     """One AQ entry: Locked bit, L1D set/way, seqNum, SQid (section 4.1)."""
 
     __slots__ = ("instr", "seq", "locked", "set_index", "way", "line",
-                 "source_store", "chain_depth")
+                 "_source_store", "chain_depth", "_owner")
 
-    def __init__(self, instr: DynInstr) -> None:
+    def __init__(
+        self, instr: DynInstr, owner: Optional["AtomicQueue"] = None
+    ) -> None:
         self.instr = instr
         self.seq = instr.seq
         self.locked = False
@@ -46,24 +61,50 @@ class AtomicQueueEntry:
         self.way: Optional[int] = None
         self.line: Optional[int] = None
         #: The store this atomic forwarded from (the SQid field), if any.
-        self.source_store: Optional[DynInstr] = None
+        self._source_store: Optional[DynInstr] = None
         #: Consecutive-forwarding depth, for the chain bound (3.3.4).
         self.chain_depth = 0
+        #: Owning queue, for index maintenance (None once deallocated or
+        #: for free-standing entries).
+        self._owner = owner
+
+    @property
+    def source_store(self) -> Optional[DynInstr]:
+        return self._source_store
+
+    @source_store.setter
+    def source_store(self, store: Optional[DynInstr]) -> None:
+        old = self._source_store
+        if old is store:
+            return
+        self._source_store = store
+        owner = self._owner
+        if owner is not None:
+            if old is not None:
+                owner._unmap_source(old, self)
+            if store is not None:
+                owner._map_source(store, self)
 
     def lock(self, line: int, set_index: int, way: int) -> None:
+        if self.locked and self._owner is not None:  # pragma: no cover
+            self._owner._on_entry_released(self)  # defensive: re-lock
         self.locked = True
         self.line = line
         self.set_index = set_index
         self.way = way
+        if self._owner is not None:
+            self._owner._on_entry_locked(self)
 
     def release(self) -> None:
+        if self.locked and self._owner is not None:
+            self._owner._on_entry_released(self)
         self.locked = False
 
     def __repr__(self) -> str:
         state = (
             f"locked {self.line:#x}@s{self.set_index}w{self.way}"
             if self.locked
-            else ("forwarded" if self.source_store is not None else "idle")
+            else ("forwarded" if self._source_store is not None else "idle")
         )
         return f"AQEntry(seq={self.seq}, {state})"
 
@@ -83,6 +124,62 @@ class AtomicQueue:
         #: Called with a line number when its last lock is lifted; wired
         #: to PrivateHierarchy.notify_unlock so deferred requests replay.
         self._on_fully_unlocked = on_fully_unlocked
+        self._fast = os.environ.get("REPRO_NO_FASTPATH") != "1"
+        # Lock-count indexes (see module docstring).
+        self._line_locks: dict[int, int] = {}
+        self._setway_locks: dict[tuple[int, int], int] = {}
+        self._set_way_counts: dict[int, dict[int, int]] = {}
+        self._locked_count = 0
+        self._by_source: dict[DynInstr, list[AtomicQueueEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # index maintenance (called from the entry's mutators)
+
+    def _on_entry_locked(self, entry: AtomicQueueEntry) -> None:
+        line, set_index, way = entry.line, entry.set_index, entry.way
+        self._locked_count += 1
+        self._line_locks[line] = self._line_locks.get(line, 0) + 1
+        key = (set_index, way)
+        self._setway_locks[key] = self._setway_locks.get(key, 0) + 1
+        ways = self._set_way_counts.setdefault(set_index, {})
+        ways[way] = ways.get(way, 0) + 1
+
+    def _on_entry_released(self, entry: AtomicQueueEntry) -> None:
+        line, set_index, way = entry.line, entry.set_index, entry.way
+        self._locked_count -= 1
+        count = self._line_locks[line] - 1
+        if count:
+            self._line_locks[line] = count
+        else:
+            del self._line_locks[line]
+        key = (set_index, way)
+        count = self._setway_locks[key] - 1
+        if count:
+            self._setway_locks[key] = count
+        else:
+            del self._setway_locks[key]
+        ways = self._set_way_counts[set_index]
+        count = ways[way] - 1
+        if count:
+            ways[way] = count
+        else:
+            del ways[way]
+            if not ways:
+                del self._set_way_counts[set_index]
+
+    def _map_source(self, store: DynInstr, entry: AtomicQueueEntry) -> None:
+        bucket = self._by_source.get(store)
+        if bucket is None:
+            self._by_source[store] = [entry]
+        else:
+            bucket.append(entry)
+
+    def _unmap_source(self, store: DynInstr, entry: AtomicQueueEntry) -> None:
+        bucket = self._by_source[store]
+        if len(bucket) == 1:
+            del self._by_source[store]
+        else:
+            bucket.remove(entry)
 
     # ------------------------------------------------------------------
     # allocation / deallocation
@@ -106,7 +203,7 @@ class AtomicQueue:
         if self.full:
             self._stats.bump("alloc_stalls")
             return None
-        entry = AtomicQueueEntry(instr)
+        entry = AtomicQueueEntry(instr, owner=self)
         self._entries.append(entry)
         instr.aq_entry = entry
         self._stats.peak("occupancy_peak", len(self._entries))
@@ -119,6 +216,8 @@ class AtomicQueue:
         line = entry.line
         was_locked = entry.locked
         entry.release()
+        entry.source_store = None  # drop any stale SQid mapping
+        entry._owner = None
         if was_locked and line is not None and not self.is_line_locked(line):
             self._on_fully_unlocked(line)
 
@@ -126,15 +225,22 @@ class AtomicQueue:
     # search 1 & 2: locked lines / locked ways
 
     def is_line_locked(self, line: int) -> bool:
+        if self._fast:
+            return line in self._line_locks
         return any(e.locked and e.line == line for e in self._entries)
 
     def is_locked_setway(self, set_index: int, way: int) -> bool:
+        if self._fast:
+            return (set_index, way) in self._setway_locks
         return any(
             e.locked and e.set_index == set_index and e.way == way
             for e in self._entries
         )
 
     def locked_l1_ways(self, set_index: int) -> set[int]:
+        if self._fast:
+            ways = self._set_way_counts.get(set_index)
+            return set(ways) if ways else set()
         return {
             e.way  # type: ignore[misc]
             for e in self._entries
@@ -146,6 +252,8 @@ class AtomicQueue:
 
     @property
     def any_locked(self) -> bool:
+        if self._fast:
+            return self._locked_count > 0
         return any(e.locked for e in self._entries)
 
     def oldest_locked_entry(self) -> Optional[AtomicQueueEntry]:
@@ -175,6 +283,16 @@ class AtomicQueue:
         the unlock-then-lock transfer that realizes do_not_unlock for a
         forwarding store_unlock (section 4.2).
         """
+        if self._fast:
+            bucket = self._by_source.get(store)
+            if not bucket:
+                return
+            # Copy: clearing source_store edits the bucket in place.
+            for entry in list(bucket):
+                entry.lock(line, set_index, way)
+                entry.source_store = None
+                self._stats.bump("lock_captures")
+            return
         for entry in self._entries:
             if entry.source_store is store:
                 entry.lock(line, set_index, way)
@@ -192,6 +310,11 @@ class AtomicQueue:
         Unlock-on-squash: a flushed Locked entry stops participating in
         the searches; if that leaves the line with no lock, deferred
         remote requests are replayed.
+
+        Flushed entries keep their ``source_store`` (and their owner
+        backref, so clearing it later maintains the SQid map) because
+        the caller still needs it to revoke the forwarding
+        responsibility.
         """
         flushed = [e for e in self._entries if e.seq >= seq]
         if not flushed:
@@ -200,8 +323,9 @@ class AtomicQueue:
         freed_lines = []
         for entry in flushed:
             entry.instr.aq_entry = None
-            if entry.locked and entry.line is not None:
-                freed_lines.append(entry.line)
+            if entry.locked:
+                if entry.line is not None:
+                    freed_lines.append(entry.line)
                 entry.release()
                 self._stats.bump("unlock_on_squash")
         for line in freed_lines:

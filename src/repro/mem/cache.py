@@ -9,6 +9,7 @@ invalidation.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Callable, Iterable, Optional
 
 from repro.common.config import CacheConfig
@@ -27,10 +28,14 @@ class CacheArray:
         self.num_sets = config.num_sets
         self.ways = config.ways
         self._replacement = replacement or LruPolicy(self.num_sets, self.ways)
-        # _lines[set][way] -> line number or None
-        self._lines: list[list[Optional[int]]] = [
-            [None] * self.ways for _ in range(self.num_sets)
-        ]
+        # _lines[set][way] -> line number or None.  Rows are allocated on
+        # first touch: short-running simulations visit a handful of the
+        # (possibly thousands of) sets, and eagerly building every way
+        # list dominated System construction cost in sweeps.
+        ways = self.ways
+        self._lines: defaultdict[int, list[Optional[int]]] = defaultdict(
+            lambda: [None] * ways
+        )
         self._where: dict[int, tuple[int, int]] = {}
 
     def set_of(self, line: int) -> int:

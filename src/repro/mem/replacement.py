@@ -8,6 +8,7 @@ caller turns into a blocked fill (and, ultimately, watchdog recovery).
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Iterable, Optional, Protocol
 
 
@@ -28,7 +29,12 @@ class LruPolicy:
 
     def __init__(self, num_sets: int, ways: int) -> None:
         self._ways = ways
-        self._stamps = [[0] * ways for _ in range(num_sets)]
+        # Per-set stamp rows, allocated on first touch (a fresh row of
+        # zeros is indistinguishable from an untouched eager row, and
+        # most sets are never referenced in short runs).
+        self._stamps: defaultdict[int, list[int]] = defaultdict(
+            lambda: [0] * ways
+        )
         self._clock = 0
 
     def touch(self, set_index: int, way: int) -> None:

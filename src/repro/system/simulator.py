@@ -160,25 +160,33 @@ class System:
         """Run to completion (every thread committed its Halt)."""
         for core in self.cores:
             core.start()
-        # Hot loop: locals bound once; finished cores are removed in
-        # place (reverse scan) so the common no-finish iteration does
-        # not allocate a fresh list per event.
-        queue = self.queue
-        run_next = queue.run_next
-        max_cycles = self.config.max_cycles
-        unfinished = list(self.cores)
-        while unfinished:
-            if not run_next():
-                self._raise_deadlock({c.core_id for c in unfinished})
-            if queue.now > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={self.config.max_cycles} "
-                    f"(policy={self.policy.name}, "
-                    f"workload={self.workload.name})"
-                )
-            for index in range(len(unfinished) - 1, -1, -1):
-                if unfinished[index].finished:
-                    del unfinished[index]
+        # Hot loop: locals bound once.  Idle-core quiescing: a finished
+        # core schedules no further events (fetch stopped at its Halt,
+        # commit at the Halt's retirement) and is never polled — each
+        # core decrements ``remaining`` exactly once, from its Halt
+        # commit, so the loop's only per-event work is the counter
+        # check.  Blocked-but-unfinished cores are likewise silent: they
+        # are re-armed purely by memory responses, store-perform waiters
+        # and unlock notifications (see OutOfOrderCore._maybe_resume_fetch
+        # and AtomicQueue's on_fully_unlocked wiring).
+        remaining = [len(self.cores)]
+
+        def core_finished() -> None:
+            remaining[0] -= 1
+
+        for core in self.cores:
+            core.on_finished = core_finished
+        outcome = self.queue.drain(remaining, self.config.max_cycles)
+        if outcome == 1:
+            self._raise_deadlock(
+                {c.core_id for c in self.cores if not c.finished}
+            )
+        if outcome == 2:
+            raise SimulationError(
+                f"exceeded max_cycles={self.config.max_cycles} "
+                f"(policy={self.policy.name}, "
+                f"workload={self.workload.name})"
+            )
         end_cycle = self.queue.now
         summaries = []
         for core in self.cores:

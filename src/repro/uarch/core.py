@@ -34,7 +34,9 @@ reused.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import os
+from collections import deque
+from typing import Callable, Deque, Optional
 
 from repro.common.config import SystemConfig
 from repro.common.events import EventQueue
@@ -48,26 +50,31 @@ from repro.core.responsibilities import (
     revoke_forwarding_responsibility,
 )
 from repro.core.watchdog import DeadlockWatchdog
-from repro.isa.instructions import (
-    Alu,
-    AtomicRMW,
-    Branch,
-    Fence,
-    Halt,
-    Load,
-    LoadImm,
-    Pause,
-    Store,
-)
 from repro.isa.program import Program
 from repro.isa.semantics import evaluate_alu, evaluate_atomic, evaluate_branch
 from repro.mem.data import GlobalMemory
 from repro.mem.hierarchy import PrivateHierarchy
-from repro.mem.lines import align_word, line_of, word_index
+from repro.mem.lines import ADDRESS_MASK, LINE_BYTES, WORD_BYTES
 from repro.mem.prefetch import StridePrefetcher
 from repro.uarch.bandwidth import BandwidthLimiter
 from repro.uarch.branch import BimodalPredictor
+from repro.uarch.decode import (
+    EXEC_CONST,
+    EXEC_MOV,
+    KIDX_ATOMIC,
+    KIDX_BRANCH,
+    KIDX_FENCE,
+    KIDX_HALT,
+    KIDX_LOAD,
+    KIDX_ORDER,
+    KIDX_STORE,
+    DecodedOp,
+    decode_program,
+)
 from repro.uarch.dynins import (
+    F_STALLED_ATOMIC,
+    F_WAIT_AGEN,
+    F_WAIT_FENCE,
     DynInstr,
     ForwardKind,
     InstrClass,
@@ -82,6 +89,10 @@ from repro.uarch.storeset import StoreSetPredictor
 AGEN_LATENCY = 1
 #: Latency of the PAUSE spin hint (x86 PAUSE stalls for tens of cycles).
 PAUSE_LATENCY = 24
+
+# Address arithmetic, inlined into _agen (see mem.lines for the layout).
+_WORD_SHIFT = WORD_BYTES.bit_length() - 1
+_LINE_SHIFT = LINE_BYTES.bit_length() - 1
 
 
 class OutOfOrderCore:
@@ -108,23 +119,34 @@ class OutOfOrderCore:
         self.memory = memory
         self.queue = queue
         self.stats = stats
-        # Pre-bound counter handles for the per-instruction hot path
+        # Pre-bound counter *methods* for the per-instruction hot path
         # (dispatch/issue/commit/load/store fire on every instruction;
-        # binding once here skips the string-key lookup on each event).
-        self._c_dispatched = stats.counter("dispatched")
-        self._c_issued_ops = stats.counter("issued_ops")
-        self._c_committed = stats.counter("committed")
-        self._c_committed_by_class = {
-            klass: stats.counter(f"committed.{klass.value}") for klass in InstrClass
+        # binding ``.add`` once here skips both the string-key lookup
+        # and the attribute load on each event).
+        self._c_dispatched = stats.counter("dispatched").add
+        self._c_issued_ops = stats.counter("issued_ops").add
+        self._c_committed = stats.counter("committed").add
+        # Created in InstrClass declaration order (stable registry key
+        # order), then laid out as a kidx-indexed tuple so commit can
+        # index by small int instead of hashing an enum.
+        by_class = {
+            klass: stats.counter(f"committed.{klass.value}").add
+            for klass in InstrClass
         }
-        self._c_loads_performed = stats.counter("loads_performed")
-        self._c_stores_performed = stats.counter("stores_performed")
-        self._c_load_locks_performed = stats.counter("load_locks_performed")
-        self._c_squashes = stats.counter("squashes")
-        self._c_squashed_instrs = stats.counter("squashed_instrs")
+        self._c_committed_by_kidx = tuple(by_class[k] for k in KIDX_ORDER)
+        self._c_loads_performed = stats.counter("loads_performed").add
+        self._c_stores_performed = stats.counter("stores_performed").add
+        self._c_load_locks_performed = stats.counter("load_locks_performed").add
+        self._c_squashes = stats.counter("squashes").add
+        self._c_squashed_instrs = stats.counter("squashed_instrs").add
 
         self.rename = RenameMap(initial_regs)
         self.rob = ReorderBuffer(self.cfg.rob_entries)
+        # The ROB deque is never reassigned, so bind it once: dispatch,
+        # commit and the commit-readiness probe run on every instruction
+        # and skip the property/method indirection.
+        self._rob_entries = self.rob._entries
+        self._rob_capacity = self.rob.capacity
         self.lq = LoadQueue(self.cfg.lq_entries)
         self.sq = StoreQueue(self.cfg.sq_entries)
         self.aq = AtomicQueue(
@@ -153,6 +175,12 @@ class OutOfOrderCore:
             )
         self.issue_bw = BandwidthLimiter(self.cfg.commit_width)
         self.max_forward_chain = config.free_atomics.max_forward_chain
+        #: Per-position static decode records (memoized on the program,
+        #: so cores sharing a program share the records — see
+        #: repro.uarch.decode).
+        self._decoded: list[DecodedOp] = decode_program(
+            program, self.cfg.alu_latency, PAUSE_LATENCY
+        )
 
         # Frontend state.
         self.pc = 0
@@ -162,19 +190,42 @@ class OutOfOrderCore:
         self.finish_cycle: Optional[int] = None
         self._fetch_scheduled = False
         self._fetch_epoch = 0
+        self._fetch_cb = lambda: self._fetch_tick(0)
         self._dispatch_blocked = False
         self._commit_scheduled = False
+        self._commit_cb = self._commit_tick  # pre-bound: posted every commit
         self._last_commit_cycle = 0
 
-        # Waiting pools.
-        self._stalled_atomics: list[DynInstr] = []
-        self._loads_waiting_agen: list[DynInstr] = []
-        self._loads_waiting_fence: list[DynInstr] = []
-        self._fences: list[DynInstr] = []
+        # Indexed-ordering fast paths (A/B escape hatch, read once here
+        # like mem.hierarchy does): the bookkeeping below is maintained
+        # either way; only the O(1) queries consult it.
+        self._fast = os.environ.get("REPRO_NO_FASTPATH") != "1"
+
+        # Waiting pools: intrusive queues.  Membership is mirrored in
+        # DynInstr.flags (F_STALLED_ATOMIC / F_WAIT_AGEN / F_WAIT_FENCE)
+        # so enqueue never scans for duplicates; _drain_retry_pool is
+        # the only consumer and clears the flag as it drains.
+        self._stalled_atomics: Deque[DynInstr] = deque()
+        self._loads_waiting_agen: Deque[DynInstr] = deque()
+        self._loads_waiting_fence: Deque[DynInstr] = deque()
+        #: In-flight fences, program-ordered; the front is the oldest,
+        #: which is all _blocked_by_fence needs.  Commit pops the front,
+        #: squash pops the suffix.
+        self._fences: Deque[DynInstr] = deque()
+        #: Atomics currently in the SQ, program-ordered.  An atomic
+        #: leaves the SQ exactly when its store_unlock performs, so
+        #: every member is unperformed and the front is the oldest
+        #: unperformed atomic — the O(1) answer to
+        #: _blocked_by_fenced_atomic's scan.
+        self._atomics_sq: Deque[DynInstr] = deque()
 
         # Accounting.
         self.active_cycles = 0
         self.quiescent_cycles = 0
+        #: Invoked once, when the Halt commits; the System uses it to
+        #: keep a finished-core count instead of polling every core
+        #: after every event (idle-core quiescing).
+        self.on_finished: Optional[Callable[[], None]] = None
         #: When set (System(trace=True)), committed memory operations are
         #: appended here in commit order, for the TSO checker.
         self.commit_trace: Optional[list[Operation]] = None
@@ -204,8 +255,9 @@ class OutOfOrderCore:
         if self._fetch_scheduled:
             return
         self._fetch_scheduled = True
-        epoch = self._fetch_epoch
-        self.queue.post(delay, lambda: self._fetch_tick(epoch))
+        # _fetch_cb is rebuilt whenever the epoch changes (squash), so
+        # the common case posts a pre-allocated closure.
+        self.queue.post(delay, self._fetch_cb)
 
     def _maybe_resume_fetch(self) -> None:
         """Resources freed: resume a dispatch-blocked frontend."""
@@ -217,28 +269,69 @@ class OutOfOrderCore:
         self._fetch_scheduled = False
         if epoch != self._fetch_epoch or self.halted or self.finished:
             return
+        # The whole tick runs synchronously (dispatch handlers never
+        # advance the clock or squash), so pc / next_seq / now live in
+        # locals and are written back on every exit path.
+        decoded = self._decoded
+        last = len(decoded) - 1
+        rob_entries = self._rob_entries
+        rob_capacity = self._rob_capacity
+        now = self.queue.now
+        seq = self.next_seq
+        pc = self.pc
+        c_dispatched = self._c_dispatched
+        table = _DISPATCH_TABLE
+        # PipelineTracer (and tests) may patch _dispatch on the
+        # *instance*; honour the hook instead of the inline fast path.
+        dispatch_hook = self.__dict__.get("_dispatch")
         fetched = 0
         while fetched < self.cfg.fetch_width:
-            static = self.program.fetch(self.pc)
-            if not self._has_dispatch_room(static):
+            # Mirror Program.fetch: wrong-path fetch past either end of
+            # the program resolves to the trailing Halt.
+            dec = decoded[pc] if 0 <= pc < last else decoded[last]
+            kidx = dec.kidx
+            if len(rob_entries) >= rob_capacity:
+                self.stats.bump("dispatch_stall.rob")
+                self.pc = pc
+                self.next_seq = seq
                 self._dispatch_blocked = True
                 return
-            instr = DynInstr(self.next_seq, static, self.pc)
-            self.next_seq += 1
-            self._predict(instr)
-            self._dispatch(instr)
-            self.pc = instr.next_pc
-            fetched += 1
-            if isinstance(static, Halt):
-                self.halted = True
+            if KIDX_ATOMIC <= kidx <= KIDX_STORE and not self._lsq_room(kidx):
+                self.pc = pc
+                self.next_seq = seq
+                self._dispatch_blocked = True
                 return
+            instr = DynInstr(seq, dec.static, pc, dec.klass, dec)
+            seq += 1
+            if kidx == KIDX_BRANCH:
+                taken = self.predictor.predict(pc, dec.static)
+                instr.pred_taken = taken
+                if taken:
+                    instr.next_pc = dec.target_index
+            # Inlined _dispatch (hottest pipeline path): direct ROB
+            # append is safe — room was just checked and fetch hands out
+            # strictly increasing sequence numbers.
+            if dispatch_hook is not None:
+                dispatch_hook(instr)
+            else:
+                instr.dispatch_cycle = now
+                rob_entries.append(instr)
+                c_dispatched()
+                table[kidx](self, instr)
+            pc = instr.next_pc
+            fetched += 1
+            if kidx == KIDX_HALT:
+                self.halted = True
+                self.pc = pc
+                self.next_seq = seq
+                return
+        self.pc = pc
+        self.next_seq = seq
         self._schedule_fetch(1)
 
-    def _has_dispatch_room(self, static: object) -> bool:
-        if self.rob.full:
-            self.stats.bump("dispatch_stall.rob")
-            return False
-        if isinstance(static, AtomicRMW):
+    def _lsq_room(self, kidx: int) -> bool:
+        """Dispatch-room check for the memory classes (ROB already ok)."""
+        if kidx == KIDX_ATOMIC:
             if self.aq.full:
                 self.stats.bump("dispatch_stall.aq")
                 self.stats.bump("aq.alloc_stalls")
@@ -247,38 +340,54 @@ class OutOfOrderCore:
                 self.stats.bump("dispatch_stall.lsq")
                 return False
             return True
-        if isinstance(static, Load):
+        if kidx == KIDX_LOAD:
             if self.lq.full:
                 self.stats.bump("dispatch_stall.lq")
                 return False
             return True
-        if isinstance(static, Store):
+        if self.sq.full:
+            self.stats.bump("dispatch_stall.sq")
+            return False
+        return True
+
+    def _has_dispatch_room(self, klass: InstrClass) -> bool:
+        if len(self._rob_entries) >= self._rob_capacity:
+            self.stats.bump("dispatch_stall.rob")
+            return False
+        if klass is InstrClass.ATOMIC:
+            if self.aq.full:
+                self.stats.bump("dispatch_stall.aq")
+                self.stats.bump("aq.alloc_stalls")
+                return False
+            if self.lq.full or self.sq.full:
+                self.stats.bump("dispatch_stall.lsq")
+                return False
+            return True
+        if klass is InstrClass.LOAD:
+            if self.lq.full:
+                self.stats.bump("dispatch_stall.lq")
+                return False
+            return True
+        if klass is InstrClass.STORE:
             if self.sq.full:
                 self.stats.bump("dispatch_stall.sq")
                 return False
             return True
         return True
 
-    def _predict(self, instr: DynInstr) -> None:
-        static = instr.instr
-        if isinstance(static, Branch):
-            taken = self.predictor.predict(instr.pc, static)
-            instr.pred_taken = taken
-            instr.next_pc = static.target_index if taken else instr.pc + 1
-        else:
-            instr.next_pc = instr.pc + 1
-
     def _dispatch(self, instr: DynInstr) -> None:
         instr.dispatch_cycle = self.queue.now
-        self.rob.dispatch(instr)
-        self._c_dispatched.add()
-        # Type-keyed table instead of an isinstance chain: one dict hit
-        # per instruction on the hottest pipeline path.
-        handler = _DISPATCH_BY_TYPE.get(type(instr.instr))
-        if handler is None:  # pragma: no cover - exhaustive over the ISA
-            raise TypeError(f"cannot dispatch {instr.instr!r}")
-        handler(self, instr)
-        self._maybe_schedule_commit()
+        # Direct ROB append: _has_dispatch_room already guaranteed space
+        # and fetch hands out strictly increasing sequence numbers, so
+        # ReorderBuffer.dispatch's guards cannot fire here.
+        self._rob_entries.append(instr)
+        self._c_dispatched()
+        # kidx-indexed table: one tuple index per instruction on the
+        # hottest pipeline path (no enum hash, no isinstance chain).
+        # No commit probe afterwards: dispatching cannot make the ROB
+        # head newly commit-ready — the only synchronous completions
+        # happen inside the handlers, via _complete, which probes.
+        _DISPATCH_TABLE[instr.dec.kidx](self, instr)
 
     def _dispatch_fence(self, instr: DynInstr) -> None:
         self._fences.append(instr)
@@ -288,75 +397,78 @@ class OutOfOrderCore:
         self._complete(instr)
 
     def _capture_sources(self, instr: DynInstr, regs: tuple[int, ...], kind: str) -> None:
-        """Resolve source registers now or subscribe to their producers."""
-        for reg in dict.fromkeys(regs):  # unique, order-preserving
-            ready, value, producer = self.rename.read_or_producer(reg)
-            if ready:
-                instr.src_values[reg] = value
+        """Resolve source registers now or subscribe to their producers.
+
+        ``regs`` comes from the decode record, already deduplicated.
+        RenameMap.read_or_producer is inlined: this runs for every
+        source register of every dispatched instruction.
+        """
+        rename = self.rename
+        producers = rename._producer
+        values = instr.src_values
+        for reg in regs:
+            producer = producers[reg]
+            if producer is None:
+                values[reg] = rename.regfile[reg]
+            elif producer.completed:
+                values[reg] = producer.result  # type: ignore[assignment]
             else:
-                assert producer is not None
-                producer.dependents.append((instr, kind, reg))
+                subscribers = producer.dependents
+                if subscribers is None:
+                    subscribers = producer.dependents = []
+                subscribers.append((instr, kind, reg))
                 if kind == "addr":
                     instr.addr_pending += 1
                 else:
                     instr.value_pending += 1
 
-    def _claim_dst(self, instr: DynInstr, dst: Optional[int]) -> None:
-        if dst is not None:
-            self.rename.claim(dst, instr)
-
     # -- per-class dispatch --------------------------------------------
 
     def _dispatch_alu(self, instr: DynInstr) -> None:
-        static = instr.instr
-        if isinstance(static, LoadImm):
-            self._claim_dst(instr, static.dst)
-        elif isinstance(static, Alu):
-            self._capture_sources(instr, static.source_registers(), "value")
-            self._claim_dst(instr, static.dst)
+        dec = instr.dec
+        if dec.value_regs:
+            self._capture_sources(instr, dec.value_regs, "value")
+        if dec.dst is not None:
+            self.rename.claim(dec.dst, instr)
         if instr.value_pending == 0:
             self._schedule_alu_execute(instr)
 
     def _dispatch_branch(self, instr: DynInstr) -> None:
-        static = instr.instr
-        assert isinstance(static, Branch)
-        self._capture_sources(instr, static.source_registers(), "value")
+        self._capture_sources(instr, instr.dec.value_regs, "value")
         if instr.value_pending == 0:
             self._schedule_branch_execute(instr)
 
     def _dispatch_load(self, instr: DynInstr) -> None:
-        static = instr.instr
-        assert isinstance(static, Load)
+        dec = instr.dec
         self.lq.insert(instr)
-        self._capture_sources(instr, static.mem.source_registers(), "addr")
-        self._claim_dst(instr, static.dst)
+        self._capture_sources(instr, dec.addr_regs, "addr")
+        self.rename.claim(dec.dst, instr)
         if instr.addr_pending == 0:
             self._schedule_agen(instr)
 
     def _dispatch_store(self, instr: DynInstr) -> None:
-        static = instr.instr
-        assert isinstance(static, Store)
+        dec = instr.dec
         self.sq.insert(instr)
         self.storeset.on_store_dispatch(instr)
-        self._capture_sources(instr, static.mem.source_registers(), "addr")
-        if static.src is not None:
-            self._capture_sources(instr, (static.src,), "value")
+        self._capture_sources(instr, dec.addr_regs, "addr")
+        if dec.value_regs:
+            self._capture_sources(instr, dec.value_regs, "value")
         if instr.addr_pending == 0:
             self._schedule_agen(instr)
         if instr.value_pending == 0:
             self._store_data_ready(instr)
 
     def _dispatch_atomic(self, instr: DynInstr) -> None:
-        static = instr.instr
-        assert isinstance(static, AtomicRMW)
+        dec = instr.dec
         self.lq.insert(instr)
         self.sq.insert(instr)
+        self._atomics_sq.append(instr)
         allocated = self.aq.allocate(instr)
         assert allocated is not None, "dispatch room was checked"
         self.storeset.on_store_dispatch(instr)
-        self._capture_sources(instr, static.mem.source_registers(), "addr")
-        self._capture_sources(instr, static.value_registers(), "value")
-        self._claim_dst(instr, static.dst)
+        self._capture_sources(instr, dec.addr_regs, "addr")
+        self._capture_sources(instr, dec.value_regs, "value")
+        self.rename.claim(dec.dst, instr)
         if instr.addr_pending == 0:
             self._schedule_agen(instr)
 
@@ -365,7 +477,10 @@ class OutOfOrderCore:
 
     def _producer_completed(self, producer: DynInstr) -> None:
         """Wake consumers of a completed producer."""
-        for consumer, kind, reg in producer.dependents:
+        subscribers = producer.dependents
+        if subscribers is None:
+            return
+        for consumer, kind, reg in subscribers:
             if consumer.squashed:
                 continue
             consumer.src_values[reg] = producer.result  # type: ignore[assignment]
@@ -377,7 +492,7 @@ class OutOfOrderCore:
                 consumer.value_pending -= 1
                 if consumer.value_pending == 0:
                     self._value_operands_ready(consumer)
-        producer.dependents.clear()
+        subscribers.clear()
 
     def _value_operands_ready(self, instr: DynInstr) -> None:
         klass = instr.klass
@@ -393,48 +508,54 @@ class OutOfOrderCore:
             raise AssertionError(f"unexpected value wakeup for {instr}")
 
     def _issue_slot(self) -> int:
-        """Reserve an issue slot; returns its absolute cycle."""
-        self._c_issued_ops.add()
-        return self.issue_bw.grant(self.queue.now)
+        """Reserve an issue slot; returns its absolute cycle.
+
+        The BandwidthLimiter.grant logic is inlined (same state, same
+        result) — this runs once per issued µop.
+        """
+        self._c_issued_ops()
+        bw = self.issue_bw
+        now = self.queue.now
+        cycle = bw._cycle
+        if now > cycle:
+            bw._cycle = now
+            bw._used = 1
+            return now
+        if bw._used < bw._width:
+            bw._used += 1
+            return cycle
+        cycle += 1
+        bw._cycle = cycle
+        bw._used = 1
+        return cycle
 
     def _schedule_alu_execute(self, instr: DynInstr) -> None:
-        static = instr.instr
-        if isinstance(static, Pause):
-            latency = PAUSE_LATENCY
-        elif isinstance(static, LoadImm):
-            latency = 1
-        else:
-            assert isinstance(static, Alu)
-            latency = max(static.latency, self.cfg.alu_latency)
         slot = self._issue_slot()
         instr.issue_cycle = slot
-        delay = slot - self.queue.now + latency
+        delay = slot - self.queue.now + instr.dec.alu_latency
         self.queue.post(delay, lambda: self._execute_alu(instr))
 
     def _execute_alu(self, instr: DynInstr) -> None:
         if instr.squashed:
             return
-        static = instr.instr
-        if isinstance(static, LoadImm):
-            instr.result = static.value & ((1 << 64) - 1)
-        elif isinstance(static, Pause):
-            instr.result = 0
+        dec = instr.dec
+        mode = dec.exec_mode
+        if mode == EXEC_CONST:
+            instr.result = dec.const
         else:
-            assert isinstance(static, Alu)
-            if static.op.value == "nop":
-                instr.result = 0
+            src1 = (
+                instr.src_values.get(dec.src1, 0) if dec.src1 is not None else 0
+            )
+            if mode == EXEC_MOV:
+                instr.result = src1 if dec.src1 is not None else dec.const
             else:
-                src1 = instr.src_values.get(static.src1, 0) if static.src1 is not None else 0
-                if static.imm is not None:
-                    src2 = static.imm & ((1 << 64) - 1)
-                elif static.src2 is not None:
-                    src2 = instr.src_values[static.src2]
+                if dec.imm_masked is not None:
+                    src2 = dec.imm_masked
+                elif dec.src2 is not None:
+                    src2 = instr.src_values[dec.src2]
                 else:
                     src2 = 0
-                if static.op.value == "mov":
-                    instr.result = src1 if static.src1 is not None else (static.imm or 0)
-                else:
-                    instr.result = evaluate_alu(static, src1, src2)
+                instr.result = evaluate_alu(dec.static, src1, src2)
         self._complete(instr)
 
     def _schedule_branch_execute(self, instr: DynInstr) -> None:
@@ -446,20 +567,19 @@ class OutOfOrderCore:
     def _resolve_branch(self, instr: DynInstr) -> None:
         if instr.squashed:
             return
-        static = instr.instr
-        assert isinstance(static, Branch)
-        src1 = instr.src_values.get(static.src1, 0) if static.src1 is not None else 0
-        if static.imm is not None:
-            src2 = static.imm & ((1 << 64) - 1)
-        elif static.src2 is not None:
-            src2 = instr.src_values[static.src2]
+        dec = instr.dec
+        src1 = instr.src_values.get(dec.src1, 0) if dec.src1 is not None else 0
+        if dec.imm_masked is not None:
+            src2 = dec.imm_masked
+        elif dec.src2 is not None:
+            src2 = instr.src_values[dec.src2]
         else:
             src2 = 0
-        taken = evaluate_branch(static, src1, src2)
+        taken = evaluate_branch(dec.static, src1, src2)
         instr.actual_taken = taken
-        instr.actual_target = static.target_index if taken else instr.pc + 1
+        instr.actual_target = dec.target_index if taken else instr.pc + 1
         mispredicted = taken != instr.pred_taken
-        self.predictor.train(instr.pc, static, taken, mispredicted)
+        self.predictor.train(instr.pc, dec.static, taken, mispredicted)
         self._complete(instr)
         if mispredicted:
             self.stats.bump("squash.branch")
@@ -476,21 +596,25 @@ class OutOfOrderCore:
     def _agen(self, instr: DynInstr) -> None:
         if instr.squashed or instr.addr_ready:
             return
-        mem = instr.instr.mem  # type: ignore[union-attr]
-        address = instr.src_values.get(mem.base, 0) + mem.offset
-        if mem.index is not None:
-            address += instr.src_values.get(mem.index, 0)
-        address = align_word(address)
+        dec = instr.dec
+        address = instr.src_values.get(dec.mem_base, 0) + dec.mem_offset
+        if dec.mem_index is not None:
+            address += instr.src_values.get(dec.mem_index, 0)
+        # align_word / word_index / line_of, inlined (hot path).
+        address &= ADDRESS_MASK
         instr.address = address
-        instr.word = word_index(address)
-        instr.line = line_of(address)
+        instr.word = address >> _WORD_SHIFT
+        instr.line = address >> _LINE_SHIFT
         instr.addr_ready = True
+        if instr.is_load_like:
+            self.lq.on_addr_resolved(instr)
 
         if instr.is_store_like:
+            self.sq.on_addr_resolved(instr)
             self._check_violations(instr)
             if instr.squashed:
                 return
-            self._retry_pool(self._loads_waiting_agen)
+            self._drain_retry_pool(self._loads_waiting_agen, F_WAIT_AGEN)
             if instr.klass is InstrClass.STORE:
                 self._maybe_complete_store(instr)
         if instr.is_load_like:
@@ -504,17 +628,7 @@ class OutOfOrderCore:
         memory dependence — Table 2's MDV events.
         """
         assert store.word is not None
-        victim: Optional[DynInstr] = None
-        for load in self.lq:
-            if (
-                load.seq > store.seq
-                and load.performed
-                and not load.committed
-                and load.word == store.word
-                and (load.forwarded_from is None or load.forwarded_from < store.seq)
-            ):
-                if victim is None or load.seq < victim.seq:
-                    victim = load
+        victim = self.lq.oldest_violating_load(store.seq, store.word)
         if victim is not None:
             self.storeset.train_violation(victim, store)
             self.stats.bump("squash.mem_dep")
@@ -540,13 +654,15 @@ class OutOfOrderCore:
         # atomic (Mem_Fence2).
         if self.policy.fenced and self._blocked_by_fenced_atomic(instr):
             return
+        is_atomic = instr.klass is InstrClass.ATOMIC
         # Gate 3: the atomic policy's own issue conditions (Mem_Fence1).
-        if instr.is_atomic and not self._atomic_may_issue(instr):
+        if is_atomic and not self._atomic_may_issue(instr):
             return
         # Gate 4: StoreSet-predicted dependence on an unresolved store.
         predicted = self.storeset.predicted_dependency(instr)
         if predicted is not None and not predicted.addr_ready:
-            if instr not in self._loads_waiting_agen:
+            if not (instr.flags & F_WAIT_AGEN):
+                instr.flags |= F_WAIT_AGEN
                 self._loads_waiting_agen.append(instr)
             return
 
@@ -559,13 +675,13 @@ class OutOfOrderCore:
         if decision.action is LoadSource.WAIT_DATA:
             store = decision.store
             assert store is not None
-            store.data_waiters.append(lambda: self._try_start_load(instr))
+            self._subscribe_data(store, lambda: self._try_start_load(instr))
             return
         if decision.action is LoadSource.WAIT_PERFORM:
             store = decision.store
             assert store is not None
-            store.perform_waiters.append(lambda: self._try_start_load(instr))
-            self.stats.bump("load_lock_rescheduled" if instr.is_atomic else "load_wait_store")
+            self._subscribe_perform(store, lambda: self._try_start_load(instr))
+            self.stats.bump("load_lock_rescheduled" if is_atomic else "load_wait_store")
             return
 
         # Cache path.
@@ -573,7 +689,7 @@ class OutOfOrderCore:
         instr.issue_cycle = self.queue.now
         line = instr.line
         assert line is not None
-        if instr.is_atomic:
+        if is_atomic:
             instr.locality = (
                 LocalityClass.WRITE_HIT
                 if self.hierarchy.has_write_permission(line)
@@ -583,25 +699,62 @@ class OutOfOrderCore:
         else:
             self.hierarchy.request_read(line, lambda: self._perform_load(instr))
 
+    def _subscribe_data(self, store: DynInstr, callback: Callable[[], None]) -> None:
+        waiters = store.data_waiters
+        if waiters is None:
+            waiters = store.data_waiters = []
+        waiters.append(callback)
+
+    def _subscribe_perform(self, store: DynInstr, callback: Callable[[], None]) -> None:
+        waiters = store.perform_waiters
+        if waiters is None:
+            waiters = store.perform_waiters = []
+        waiters.append(callback)
+
     def _blocked_by_fence(self, instr: DynInstr) -> bool:
-        for fence in self._fences:
-            if fence.squashed or fence.committed:
-                continue
-            if fence.seq < instr.seq:
-                if instr not in self._loads_waiting_fence:
-                    self._loads_waiting_fence.append(instr)
-                return True
-        return False
+        if self._fast:
+            # _fences holds only live (uncommitted, unsquashed) fences
+            # in program order, so the front is the oldest: one compare
+            # replaces the scan.
+            fences = self._fences
+            if not (fences and fences[0].seq < instr.seq):
+                return False
+        else:
+            for fence in self._fences:
+                if fence.squashed or fence.committed:
+                    continue
+                if fence.seq < instr.seq:
+                    break
+            else:
+                return False
+        if not (instr.flags & F_WAIT_FENCE):
+            instr.flags |= F_WAIT_FENCE
+            self._loads_waiting_fence.append(instr)
+        return True
 
     def _blocked_by_fenced_atomic(self, instr: DynInstr) -> bool:
         """Mem_Fence2: younger loads wait for the atomic to fully perform."""
+        if self._fast:
+            # Every atomic still in the SQ is unperformed (it leaves the
+            # SQ the moment its store_unlock performs), so the front of
+            # the program-ordered _atomics_sq deque is the oldest
+            # unperformed atomic — the one the scan would find.
+            atomics = self._atomics_sq
+            if atomics:
+                store = atomics[0]
+                if store.seq < instr.seq:
+                    self._subscribe_perform(
+                        store, lambda: self._try_start_load(instr)
+                    )
+                    return True
+            return False
         for store in self.sq:
             if store.seq >= instr.seq:
                 break
             if store is instr:
                 continue
             if store.is_atomic and not store.store_performed:
-                store.perform_waiters.append(lambda: self._try_start_load(instr))
+                self._subscribe_perform(store, lambda: self._try_start_load(instr))
                 return True
         return False
 
@@ -619,21 +772,13 @@ class OutOfOrderCore:
             # +Spec: all older *memory* operations must be done (older
             # loads committed — gone from the LQ; older stores performed
             # — gone from the SQ or uncommitted-none), but older ALU ops
-            # and branches may still be in flight.
-            for load in self.lq:
-                if load.seq >= instr.seq:
-                    break
-                if load is not instr:
-                    self._mark_head_wait(instr)
-                    self._stall_atomic(instr)
-                    return False
-            for store in self.sq:
-                if store.seq >= instr.seq:
-                    break
-                if store is not instr:
-                    self._mark_head_wait(instr)
-                    self._stall_atomic(instr)
-                    return False
+            # and branches may still be in flight.  ``instr`` itself sits
+            # in both queues, so "any older entry" is exactly "the front
+            # is older than instr" — the queues are program-ordered.
+            if self.lq.has_older_than(instr.seq) or self.sq.has_older_than(instr.seq):
+                self._mark_head_wait(instr)
+                self._stall_atomic(instr)
+                return False
         # ...and the SB must be drained.
         if not self.sq.sb_empty_below(instr.seq):
             self._mark_head_wait(instr)
@@ -646,7 +791,8 @@ class OutOfOrderCore:
             instr.head_wait_cycle = self.queue.now
 
     def _stall_atomic(self, instr: DynInstr) -> None:
-        if instr not in self._stalled_atomics:
+        if not (instr.flags & F_STALLED_ATOMIC):
+            instr.flags |= F_STALLED_ATOMIC
             self._stalled_atomics.append(instr)
 
     def _forward_load(self, instr: DynInstr, store: DynInstr) -> None:
@@ -656,9 +802,11 @@ class OutOfOrderCore:
         instr.issue_cycle = self.queue.now
         instr.forwarded_from = store.seq
         instr.forward_kind = (
-            ForwardKind.FROM_ATOMIC if store.is_atomic else ForwardKind.FROM_STORE
+            ForwardKind.FROM_ATOMIC
+            if store.klass is InstrClass.ATOMIC
+            else ForwardKind.FROM_STORE
         )
-        if instr.is_atomic:
+        if instr.klass is InstrClass.ATOMIC:
             instr.locality = LocalityClass.FORWARDED
             assert instr.aq_entry is not None
             grant_forwarding_responsibility(instr.aq_entry, store)
@@ -687,7 +835,7 @@ class OutOfOrderCore:
         instr.performed = True
         instr.perform_cycle = self.queue.now
         instr.result = self.memory.read(instr.address)
-        self._c_loads_performed.add()
+        self._c_loads_performed()
         if self.prefetcher is not None:
             self.prefetcher.observe_load(instr.pc, instr.address)
         self._complete(instr)
@@ -712,7 +860,7 @@ class OutOfOrderCore:
         instr.performed = True
         instr.perform_cycle = self.queue.now
         instr.result = self.memory.read(instr.address)
-        self._c_load_locks_performed.add()
+        self._c_load_locks_performed()
         self._try_compute_atomic_value(instr)
         self._complete(instr)
 
@@ -722,41 +870,44 @@ class OutOfOrderCore:
             return
         if instr.value_pending > 0:
             return
-        static = instr.instr
-        assert isinstance(static, AtomicRMW)
-        if static.imm is not None:
-            operand = static.imm & ((1 << 64) - 1)
-        elif static.src is not None:
-            operand = instr.src_values[static.src]
+        dec = instr.dec
+        if dec.store_imm is not None:
+            operand = dec.store_imm
+        elif dec.store_src is not None:
+            operand = instr.src_values[dec.store_src]
         else:
             operand = 0
         expected = (
-            instr.src_values[static.expected] if static.expected is not None else 0
+            instr.src_values[dec.expected] if dec.expected is not None else 0
         )
         assert instr.result is not None
         instr.new_value_ready = True
-        instr.store_value = evaluate_atomic(static, instr.result, operand, expected)
+        instr.store_value = evaluate_atomic(
+            dec.static, instr.result, operand, expected
+        )
         instr.store_data_ready = True
-        for waiter in instr.data_waiters:
-            waiter()
-        instr.data_waiters.clear()
+        waiters = instr.data_waiters
+        if waiters is not None:
+            for waiter in waiters:
+                waiter()
+            waiters.clear()
         self._maybe_schedule_commit()
 
     # ==================================================================
     # memory unit: stores and the store buffer
 
     def _store_data_ready(self, instr: DynInstr) -> None:
-        static = instr.instr
-        assert isinstance(static, Store)
-        if static.imm is not None:
-            instr.store_value = static.imm & ((1 << 64) - 1)
+        dec = instr.dec
+        if dec.store_imm is not None:
+            instr.store_value = dec.store_imm
         else:
-            assert static.src is not None
-            instr.store_value = instr.src_values[static.src]
+            instr.store_value = instr.src_values[dec.store_src]
         instr.store_data_ready = True
-        for waiter in instr.data_waiters:
-            waiter()
-        instr.data_waiters.clear()
+        waiters = instr.data_waiters
+        if waiters is not None:
+            for waiter in waiters:
+                waiter()
+            waiters.clear()
         self._maybe_complete_store(instr)
 
     def _maybe_complete_store(self, instr: DynInstr) -> None:
@@ -785,25 +936,33 @@ class OutOfOrderCore:
         assert store.store_value is not None
         self.memory.write(store.address, store.store_value)
         store.store_performed = True
-        self._c_stores_performed.add()
+        self._c_stores_performed()
 
         # SQid broadcast: forwarded atomics capture the lock here —
         # lock_on_access for ordinary stores, the unlock->lock transfer
         # (do_not_unlock) for store_unlocks (section 4.2).
         set_index, way = location
         self.aq.on_store_broadcast(store, line, set_index, way)
-        if store.is_atomic:
+        if store.klass is InstrClass.ATOMIC:
             entry = store.aq_entry
             assert entry is not None
             instr_done = self.queue.now
             store.done_cycle = instr_done
             self._record_atomic_cost(store)
             self.aq.deallocate(entry)
+            # The atomic leaves the SQ now; keep the program-ordered
+            # mirror exact (atomics drain from the SB front, in order).
+            if self._atomics_sq and self._atomics_sq[0] is store:
+                self._atomics_sq.popleft()
+            else:  # pragma: no cover - defensive; SB drains in order
+                self._atomics_sq.remove(store)
         self.sq.release(store)
         self.storeset.forget(store)
-        for waiter in store.perform_waiters:
-            waiter()
-        store.perform_waiters.clear()
+        waiters = store.perform_waiters
+        if waiters is not None:
+            for waiter in waiters:
+                waiter()
+            waiters.clear()
         self._maybe_resume_fetch()  # SQ/AQ entries freed
         self._on_sb_progress()
         self._try_drain_sb()
@@ -823,13 +982,26 @@ class OutOfOrderCore:
 
     def _on_sb_progress(self) -> None:
         """SB drained one entry: re-evaluate everything gated on it."""
-        self._retry_pool(self._stalled_atomics)
+        self._drain_retry_pool(self._stalled_atomics, F_STALLED_ATOMIC)
         self._maybe_schedule_commit()
 
-    def _retry_pool(self, pool: list[DynInstr]) -> None:
+    def _drain_retry_pool(self, pool: Deque[DynInstr], flag: int) -> None:
+        """Retry every waiter in arrival order.
+
+        Two phases, like the rebuild-and-rescan lists this replaces:
+        first the dead entries (squashed / already performed or issued)
+        are dropped and every membership flag is cleared, then the
+        survivors retry — a retry may legitimately re-enqueue its
+        instruction (or a later survivor) into this same, now-empty
+        pool.
+        """
         if not pool:
             return
-        pending = [i for i in pool if not (i.squashed or i.performed or i.mem_issued)]
+        pending = []
+        for instr in pool:
+            instr.flags &= ~flag
+            if not (instr.squashed or instr.performed or instr.mem_issued):
+                pending.append(instr)
         pool.clear()
         for instr in pending:
             self._try_start_load(instr)
@@ -847,84 +1019,96 @@ class OutOfOrderCore:
     def _maybe_schedule_commit(self) -> None:
         if self._commit_scheduled:
             return
-        head = self.rob.head
-        if head is None or not self._commit_ready(head):
+        entries = self._rob_entries
+        if not entries:
+            return
+        head = entries[0]
+        if not head.completed or not self._commit_ready(head):
             return
         self._commit_scheduled = True
-        self.queue.post(1, self._commit_tick)
+        self.queue.post(1, self._commit_cb)
 
     def _commit_ready(self, instr: DynInstr) -> bool:
         if not instr.completed:
             return False
+        if instr.dec.commit_simple:
+            return True
         if instr.klass is InstrClass.ATOMIC:
             return (
                 instr.performed
                 and instr.new_value_ready
                 and self.sq.sb_empty_below(instr.seq)
             )
-        if instr.klass is InstrClass.FENCE:
-            return self.sq.sb_empty_below(instr.seq)
-        if instr.klass is InstrClass.HALT:
-            # The thread only finishes once its stores are visible.
-            return self.sq.sb_empty_below(instr.seq)
-        return True
+        # FENCE and HALT both wait for their stores to be visible.
+        return self.sq.sb_empty_below(instr.seq)
 
     def _commit_tick(self) -> None:
         self._commit_scheduled = False
+        entries = self._rob_entries
         committed = 0
         while committed < self.cfg.commit_width:
-            head = self.rob.head
-            if head is None or not self._commit_ready(head):
+            if not entries:
                 break
-            self.rob.commit_head()
+            head = entries[0]
+            if not self._commit_ready(head):
+                break
+            entries.popleft()
             self._do_commit(head)
             committed += 1
             if self.finished:
                 break
         if committed:
-            self._retry_pool(self._stalled_atomics)
+            self._drain_retry_pool(self._stalled_atomics, F_STALLED_ATOMIC)
             self._maybe_resume_fetch()
         self._maybe_schedule_commit()
 
     def _do_commit(self, instr: DynInstr) -> None:
         now = self.queue.now
+        dec = instr.dec
         instr.committed = True
         gap = now - self._last_commit_cycle
         self._last_commit_cycle = now
-        if instr.is_spin:
+        if dec.spin:
             self.quiescent_cycles += gap
             self.stats.bump("committed_spin")
         else:
             self.active_cycles += gap
-        self._c_committed.add()
-        self._c_committed_by_class[instr.klass].add()
+        self._c_committed()
+        kidx = dec.kidx
+        self._c_committed_by_kidx[kidx]()
 
-        static = instr.instr
-        dst = getattr(static, "dst", None)
+        dst = dec.dst
         if dst is not None and instr.result is not None:
             self.rename.commit(dst, instr, instr.result)
         if self.commit_trace is not None:
             self._record_trace(instr)
 
-        klass = instr.klass
-        if klass is InstrClass.LOAD:
+        if kidx <= KIDX_BRANCH:  # ALU and BRANCH: nothing else to do
+            return
+        if kidx == KIDX_LOAD:
             self.lq.release(instr)
-        elif klass is InstrClass.STORE:
+        elif kidx == KIDX_STORE:
             self._prefetch_store_permission(instr)
             self._try_drain_sb()
-        elif klass is InstrClass.ATOMIC:
+        elif kidx == KIDX_ATOMIC:
             self.lq.release(instr)
             self.watchdog.reset()
             self._commit_atomic_stats(instr)
             self._try_drain_sb()
-        elif klass is InstrClass.FENCE:
-            if instr in self._fences:
+        elif kidx == KIDX_FENCE:
+            # Fences commit in order, so the committing fence is the
+            # front of the program-ordered deque.
+            if self._fences and self._fences[0] is instr:
+                self._fences.popleft()
+            elif instr in self._fences:  # pragma: no cover - defensive
                 self._fences.remove(instr)
             self.stats.bump("fences_executed")
-            self._retry_pool(self._loads_waiting_fence)
-        elif klass is InstrClass.HALT:
+            self._drain_retry_pool(self._loads_waiting_fence, F_WAIT_FENCE)
+        else:  # KIDX_HALT
             self.finished = True
             self.finish_cycle = now
+            if self.on_finished is not None:
+                self.on_finished()
 
     def _prefetch_store_permission(self, store: DynInstr) -> None:
         """At-commit store prefetch (Table 1, [54]): grab write
@@ -982,8 +1166,8 @@ class OutOfOrderCore:
     def _squash_from(self, seq: int, new_pc: int) -> None:
         """Flush all instructions with sequence >= ``seq``; refetch."""
         squashed = self.rob.squash_from(seq)
-        self._c_squashes.add()
-        self._c_squashed_instrs.add(len(squashed))
+        self._c_squashes()
+        self._c_squashed_instrs(len(squashed))
         self.rename.rollback(squashed)
         self.lq.squash_from(seq)
         self.sq.squash_from(seq)
@@ -991,12 +1175,21 @@ class OutOfOrderCore:
             instr.squashed = True
             if instr.is_store_like:
                 self.storeset.forget(instr)
-        self._fences = [f for f in self._fences if not f.squashed]
+        # Both deques are program-ordered and everything squashed is a
+        # suffix (seq >= squash seq), so pop from the back.
+        fences = self._fences
+        while fences and fences[-1].seq >= seq:
+            fences.pop()
+        atomics = self._atomics_sq
+        while atomics and atomics[-1].seq >= seq:
+            atomics.pop()
 
         # Redirect fetch (a nested squash from the AQ unlock path below
         # may override this with an older redirect — that is correct).
         self.halted = False
-        self._fetch_epoch += 1
+        epoch = self._fetch_epoch + 1
+        self._fetch_epoch = epoch
+        self._fetch_cb = lambda: self._fetch_tick(epoch)
         self._fetch_scheduled = False
         self._dispatch_blocked = False
         self.pc = new_pc
@@ -1031,17 +1224,15 @@ class OutOfOrderCore:
         self.queue.post(0, lambda: self.hierarchy.notify_unlock(line))
 
 
-#: Dispatch handlers keyed by static instruction type (hot-path table;
-#: the ISA classes are final, so exact-type lookup is equivalent to the
-#: isinstance chain it replaces).
-_DISPATCH_BY_TYPE = {
-    Alu: OutOfOrderCore._dispatch_alu,
-    LoadImm: OutOfOrderCore._dispatch_alu,
-    Pause: OutOfOrderCore._dispatch_alu,
-    Branch: OutOfOrderCore._dispatch_branch,
-    AtomicRMW: OutOfOrderCore._dispatch_atomic,
-    Load: OutOfOrderCore._dispatch_load,
-    Store: OutOfOrderCore._dispatch_store,
-    Fence: OutOfOrderCore._dispatch_fence,
-    Halt: OutOfOrderCore._dispatch_halt,
-}
+#: Dispatch handlers indexed by the decode record's ``kidx`` (hot-path
+#: table; tuple indexing by small int, no enum hashing).  Must follow
+#: :data:`repro.uarch.decode.KIDX_ORDER`.
+_DISPATCH_TABLE = (
+    OutOfOrderCore._dispatch_alu,  # KIDX_ALU
+    OutOfOrderCore._dispatch_branch,  # KIDX_BRANCH
+    OutOfOrderCore._dispatch_atomic,  # KIDX_ATOMIC
+    OutOfOrderCore._dispatch_load,  # KIDX_LOAD
+    OutOfOrderCore._dispatch_store,  # KIDX_STORE
+    OutOfOrderCore._dispatch_fence,  # KIDX_FENCE
+    OutOfOrderCore._dispatch_halt,  # KIDX_HALT
+)

@@ -9,6 +9,15 @@ active :class:`~repro.core.policy.AtomicPolicy`).
 Squash safety: events scheduled on behalf of an instruction check
 ``instr.squashed`` (and that the instruction object is still the one the
 event was created for — sequence numbers are never reused).
+
+Hot-path design: one ``DynInstr`` is created per fetched instruction, so
+the constructor avoids per-instance work wherever the answer is shared
+(the class is looked up in a type-keyed table instead of an isinstance
+chain, and the caller may pass a precomputed klass) or usually unused
+(the dependent/waiter containers are created lazily on first append).
+Pool membership (the core's retry queues and the LSQ address indexes)
+is tracked in the ``flags`` bitmask so "is it already queued?" is one
+AND instead of a list scan.
 """
 
 from __future__ import annotations
@@ -46,6 +55,10 @@ class InstrClass(enum.Enum):
 
     @staticmethod
     def of(instruction: Instruction) -> "InstrClass":
+        klass = KLASS_BY_TYPE.get(type(instruction))
+        if klass is not None:
+            return klass
+        # Fallback for subclasses (none exist in the ISA today).
         if isinstance(instruction, AtomicRMW):
             return InstrClass.ATOMIC
         if isinstance(instruction, Load):
@@ -61,6 +74,34 @@ class InstrClass(enum.Enum):
         if isinstance(instruction, (Alu, LoadImm, Pause)):
             return InstrClass.ALU
         raise TypeError(f"unknown instruction type: {instruction!r}")
+
+
+#: Exact-type classification table (the ISA classes are final, so this is
+#: equivalent to the isinstance chain above, minus the per-call checks).
+KLASS_BY_TYPE: dict[type, InstrClass] = {
+    Alu: InstrClass.ALU,
+    LoadImm: InstrClass.ALU,
+    Pause: InstrClass.ALU,
+    Branch: InstrClass.BRANCH,
+    AtomicRMW: InstrClass.ATOMIC,
+    Load: InstrClass.LOAD,
+    Store: InstrClass.STORE,
+    Fence: InstrClass.FENCE,
+    Halt: InstrClass.HALT,
+}
+
+
+# -- flags bitmask bits ---------------------------------------------------
+#: Queued in the core's stalled-atomics retry pool.
+F_STALLED_ATOMIC = 1
+#: Queued in the core's waiting-for-store-agen retry pool.
+F_WAIT_AGEN = 2
+#: Queued in the core's waiting-for-fence retry pool.
+F_WAIT_FENCE = 4
+#: Present in the LoadQueue's per-word/per-line address indexes.
+F_LQ_INDEXED = 8
+#: Present in the StoreQueue's per-word address index.
+F_SQ_INDEXED = 16
 
 
 class ForwardKind(enum.Enum):
@@ -85,6 +126,7 @@ class DynInstr:
         "seq",
         "instr",
         "klass",
+        "dec",
         "pc",
         "pred_taken",
         "next_pc",
@@ -114,7 +156,7 @@ class DynInstr:
         "aq_entry",
         "locked_line",
         "new_value_ready",
-        "lock_on_behalf",
+        "_lock_on_behalf",
         "do_not_unlock",
         "locality",
         "actual_taken",
@@ -123,14 +165,24 @@ class DynInstr:
         "head_wait_cycle",
         "issue_cycle",
         "done_cycle",
-        "waiting_issue",
         "mem_issued",
+        "flags",
     )
 
-    def __init__(self, seq: int, instruction: Instruction, pc: int) -> None:
+    def __init__(
+        self,
+        seq: int,
+        instruction: Instruction,
+        pc: int,
+        klass: Optional[InstrClass] = None,
+        dec: Optional[object] = None,
+    ) -> None:
         self.seq = seq
         self.instr = instruction
-        self.klass = InstrClass.of(instruction)
+        self.klass = klass if klass is not None else InstrClass.of(instruction)
+        #: Shared static-decode record (repro.uarch.decode.DecodedOp);
+        #: set by the fetch stage, None for free-standing test instances.
+        self.dec = dec
         self.pc = pc
         # frontend
         self.pred_taken = False
@@ -144,10 +196,13 @@ class DynInstr:
         self.src_values: dict[int, int] = {}
         self.addr_pending = 0
         self.value_pending = 0
-        #: (consumer, kind) pairs to wake on completion; kind is
+        #: (consumer, kind, reg) triples to wake on completion; kind is
         #: "addr"/"value" telling the consumer which counter to decrement.
-        self.dependents: list[tuple["DynInstr", str]] = []
-        self.prev_producer: dict[int, Optional["DynInstr"]] = {}
+        #: Lazily created on first subscription.
+        self.dependents: Optional[list[tuple["DynInstr", str, int]]] = None
+        #: Snapshot of the previous producer per claimed destination
+        #: register (rename rollback); lazily created on first claim.
+        self.prev_producer: Optional[dict[int, Optional["DynInstr"]]] = None
         # memory
         self.address: Optional[int] = None
         self.word: Optional[int] = None
@@ -161,16 +216,16 @@ class DynInstr:
         self.store_value: Optional[int] = None
         self.store_performed = False  # store part: written to cache
         self.store_issued = False  # store part: drain request sent
-        #: callbacks fired when the store part performs (leaves the SB).
-        self.perform_waiters: list = []
-        #: callbacks fired when the store's data becomes ready.
-        self.data_waiters: list = []
+        #: callbacks fired when the store part performs (leaves the SB);
+        #: lazily created on first append.
+        self.perform_waiters: Optional[list] = None
+        #: callbacks fired when the store's data becomes ready; lazy.
+        self.data_waiters: Optional[list] = None
         # atomics
         self.aq_entry: Optional["AtomicQueueEntry"] = None
         self.locked_line: Optional[int] = None
         self.new_value_ready = False
-        #: AQ entries this (ordinary) store must lock on behalf of.
-        self.lock_on_behalf: list["AtomicQueueEntry"] = []
+        self._lock_on_behalf: Optional[list["AtomicQueueEntry"]] = None
         self.do_not_unlock = False
         self.locality: Optional[LocalityClass] = None
         # branches
@@ -182,10 +237,19 @@ class DynInstr:
         self.issue_cycle = -1
         self.done_cycle = -1
         # scheduling flags
-        self.waiting_issue = False
         self.mem_issued = False
+        #: Membership bitmask (retry pools, LSQ indexes) — see F_* bits.
+        self.flags = 0
 
     # -- classification helpers ------------------------------------------
+
+    @property
+    def lock_on_behalf(self) -> list["AtomicQueueEntry"]:
+        """AQ entries this (ordinary) store must lock on behalf of."""
+        existing = self._lock_on_behalf
+        if existing is None:
+            existing = self._lock_on_behalf = []
+        return existing
 
     @property
     def is_load_like(self) -> bool:

@@ -2,21 +2,54 @@
 
 Both queues hold the owning :class:`DynInstr` objects directly.  Entries
 arrive in program order, commit from the front, and squash from the back,
-so deques are exact.  Searches are linear scans — the queues are at most
-128/72 entries, and scans happen per memory operation, not per cycle.
+so deques are exact.
+
+Address indexes (tentpole of the LSQ overhaul): every entry whose
+address has resolved is also present in per-word (and, for loads,
+per-line) dict-of-list buckets, so the per-memory-op searches —
+youngest-older-store forwarding lookups, memory-dependence violation
+checks, and load->load ordering checks — touch only the entries on the
+*same word/line* instead of the whole queue.  The buckets hold exactly
+the addr-resolved, in-queue entries:
+
+- entries enter a bucket at :meth:`insert` (when the address is already
+  resolved, as in unit tests) or at :meth:`on_addr_resolved` (called by
+  the core's agen);
+- entries leave at :meth:`release` (commit / SB drain) and
+  :meth:`squash_from`;
+- membership is tracked by the ``F_LQ_INDEXED`` / ``F_SQ_INDEXED`` bits
+  of ``DynInstr.flags`` so no operation ever double-inserts or scans a
+  bucket to test membership.
+
+Buckets are unordered sets-in-a-list; the queries that need an extremum
+(*oldest* violating load, *youngest* matching store) take a min/max over
+the bucket, which is equivalent to the program-ordered scan they replace
+because the deque order is exactly seq order.  The indexes are always
+maintained; only the *queries* consult them, and ``REPRO_NO_FASTPATH=1``
+(read at queue construction) routes every query through the original
+full-queue scan instead — the A/B escape hatch used by the equivalence
+tests.
 
 The store queue contains both ordinary stores and the store_unlock part
 of atomics.  Its committed prefix is the store buffer (SB): only the
 oldest committed, unperformed entry may write to the cache, giving TSO
-its store->store order.
+its store->store order.  In-order commit plus in-order front release
+make the committed entries a *prefix* of the queue, which is what lets
+:meth:`StoreQueue.sb_empty_below` answer from the front entry alone.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Deque, Iterator, Optional
 
-from repro.uarch.dynins import DynInstr
+from repro.uarch.dynins import DynInstr, F_LQ_INDEXED, F_SQ_INDEXED
+
+
+def _fastpath_enabled() -> bool:
+    """Read the A/B escape hatch (at construction, like mem.hierarchy)."""
+    return os.environ.get("REPRO_NO_FASTPATH") != "1"
 
 
 class LoadQueue:
@@ -25,6 +58,11 @@ class LoadQueue:
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
         self._entries: Deque[DynInstr] = deque()
+        self._fast = _fastpath_enabled()
+        #: addr-resolved entries bucketed by word / by line (see module
+        #: docstring for the entry/exit points and membership flag).
+        self._by_word: dict[int, list[DynInstr]] = {}
+        self._by_line: dict[int, list[DynInstr]] = {}
 
     @property
     def full(self) -> bool:
@@ -40,6 +78,41 @@ class LoadQueue:
         if self.full:
             raise OverflowError("LQ full")
         self._entries.append(instr)
+        if instr.addr_ready:
+            self._index(instr)
+
+    def on_addr_resolved(self, instr: DynInstr) -> None:
+        """Agen resolved the entry's address: enter the buckets."""
+        if not (instr.flags & F_LQ_INDEXED):
+            self._index(instr)
+
+    def _index(self, instr: DynInstr) -> None:
+        instr.flags |= F_LQ_INDEXED
+        word = instr.word
+        bucket = self._by_word.get(word)
+        if bucket is None:
+            self._by_word[word] = [instr]
+        else:
+            bucket.append(instr)
+        line = instr.line
+        bucket = self._by_line.get(line)
+        if bucket is None:
+            self._by_line[line] = [instr]
+        else:
+            bucket.append(instr)
+
+    def _unindex(self, instr: DynInstr) -> None:
+        instr.flags &= ~F_LQ_INDEXED
+        bucket = self._by_word[instr.word]
+        if len(bucket) == 1:
+            del self._by_word[instr.word]
+        else:
+            bucket.remove(instr)
+        bucket = self._by_line[instr.line]
+        if len(bucket) == 1:
+            del self._by_line[instr.line]
+        else:
+            bucket.remove(instr)
 
     def release(self, instr: DynInstr) -> None:
         """Remove a committed load from the front region."""
@@ -47,12 +120,21 @@ class LoadQueue:
             self._entries.popleft()
         else:  # pragma: no cover - defensive; commits are in order
             self._entries.remove(instr)
+        if instr.flags & F_LQ_INDEXED:
+            self._unindex(instr)
 
     def squash_from(self, seq: int) -> list[DynInstr]:
         squashed: list[DynInstr] = []
         while self._entries and self._entries[-1].seq >= seq:
-            squashed.append(self._entries.pop())
+            instr = self._entries.pop()
+            squashed.append(instr)
+            if instr.flags & F_LQ_INDEXED:
+                self._unindex(instr)
         return squashed
+
+    def has_older_than(self, seq: int) -> bool:
+        """Any entry older than ``seq``?  O(1): the front is the oldest."""
+        return bool(self._entries) and self._entries[0].seq < seq
 
     def oldest_ordering_violation(self, line: int) -> Optional[DynInstr]:
         """Oldest speculatively performed load that read ``line``.
@@ -64,6 +146,20 @@ class LoadQueue:
         store early is TSO-legal), and performed load_locks hold the line
         locked, so the line cannot have left while they are in flight.
         """
+        if self._fast:
+            # Performed entries are always addr-resolved, so the line
+            # bucket sees every candidate the full scan would.
+            victim: Optional[DynInstr] = None
+            for load in self._by_line.get(line, ()):
+                if (
+                    load.performed
+                    and not load.committed
+                    and load.forwarded_from is None
+                    and not load.is_atomic
+                ):
+                    if victim is None or load.seq < victim.seq:
+                        victim = load
+            return victim
         for load in self._entries:
             if (
                 load.performed
@@ -75,6 +171,30 @@ class LoadQueue:
                 return load
         return None
 
+    def oldest_violating_load(self, store_seq: int, word: int) -> Optional[DynInstr]:
+        """Oldest load that mis-speculated past a store to ``word``.
+
+        A younger load that already performed without taking its value
+        from the store (or a younger one) violated the memory dependence
+        — Table 2's MDV events.  The queue scan and the word bucket find
+        the same victim: the bucket holds every addr-resolved load on
+        the word, a superset of the performed ones, and the minimum seq
+        over the bucket equals the first match in queue (seq) order.
+        """
+        victim: Optional[DynInstr] = None
+        candidates = self._by_word.get(word, ()) if self._fast else self._entries
+        for load in candidates:
+            if (
+                load.seq > store_seq
+                and load.performed
+                and not load.committed
+                and load.word == word
+                and (load.forwarded_from is None or load.forwarded_from < store_seq)
+            ):
+                if victim is None or load.seq < victim.seq:
+                    victim = load
+        return victim
+
 
 class StoreQueue:
     """Program-ordered queue of stores and atomic store_unlocks."""
@@ -82,6 +202,9 @@ class StoreQueue:
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
         self._entries: Deque[DynInstr] = deque()
+        self._fast = _fastpath_enabled()
+        #: addr-resolved entries bucketed by word (see module docstring).
+        self._by_word: dict[int, list[DynInstr]] = {}
 
     @property
     def full(self) -> bool:
@@ -97,6 +220,29 @@ class StoreQueue:
         if self.full:
             raise OverflowError("SQ full")
         self._entries.append(instr)
+        if instr.addr_ready:
+            self._index(instr)
+
+    def on_addr_resolved(self, instr: DynInstr) -> None:
+        """Agen resolved the entry's address: enter the word bucket."""
+        if not (instr.flags & F_SQ_INDEXED):
+            self._index(instr)
+
+    def _index(self, instr: DynInstr) -> None:
+        instr.flags |= F_SQ_INDEXED
+        bucket = self._by_word.get(instr.word)
+        if bucket is None:
+            self._by_word[instr.word] = [instr]
+        else:
+            bucket.append(instr)
+
+    def _unindex(self, instr: DynInstr) -> None:
+        instr.flags &= ~F_SQ_INDEXED
+        bucket = self._by_word[instr.word]
+        if len(bucket) == 1:
+            del self._by_word[instr.word]
+        else:
+            bucket.remove(instr)
 
     def release(self, instr: DynInstr) -> None:
         """Remove a performed store (it has left the SB)."""
@@ -104,12 +250,21 @@ class StoreQueue:
             self._entries.popleft()
         else:  # pragma: no cover - defensive; SB drains in order
             self._entries.remove(instr)
+        if instr.flags & F_SQ_INDEXED:
+            self._unindex(instr)
 
     def squash_from(self, seq: int) -> list[DynInstr]:
         squashed: list[DynInstr] = []
         while self._entries and self._entries[-1].seq >= seq:
-            squashed.append(self._entries.pop())
+            instr = self._entries.pop()
+            squashed.append(instr)
+            if instr.flags & F_SQ_INDEXED:
+                self._unindex(instr)
         return squashed
+
+    def has_older_than(self, seq: int) -> bool:
+        """Any entry older than ``seq``?  O(1): the front is the oldest."""
+        return bool(self._entries) and self._entries[0].seq < seq
 
     @property
     def sb_head(self) -> Optional[DynInstr]:
@@ -122,6 +277,14 @@ class StoreQueue:
 
     def sb_empty_below(self, seq: int) -> bool:
         """True when no committed store older than ``seq`` remains."""
+        if self._fast:
+            # Committed entries form a prefix of the queue (in-order
+            # commit, in-order front release), so the front entry alone
+            # decides: if it is uncommitted, so is everything behind it.
+            if not self._entries:
+                return True
+            head = self._entries[0]
+            return head.seq >= seq or not head.committed
         for store in self._entries:
             if store.seq >= seq:
                 return True
@@ -136,6 +299,12 @@ class StoreQueue:
 
     def youngest_matching_store(self, word: int, before_seq: int) -> Optional[DynInstr]:
         """Youngest older store with a resolved address equal to ``word``."""
+        if self._fast:
+            best: Optional[DynInstr] = None
+            for store in self._by_word.get(word, ()):
+                if store.seq < before_seq and (best is None or store.seq > best.seq):
+                    best = store
+            return best
         for store in reversed(self._entries):
             if store.seq >= before_seq:
                 continue

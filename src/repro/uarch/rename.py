@@ -45,7 +45,10 @@ class RenameMap:
 
     def claim(self, reg: int, instr: DynInstr) -> None:
         """Make ``instr`` the producer of ``reg``, remembering the old one."""
-        instr.prev_producer[reg] = self._producer[reg]
+        snapshot = instr.prev_producer
+        if snapshot is None:
+            snapshot = instr.prev_producer = {}
+        snapshot[reg] = self._producer[reg]
         self._producer[reg] = instr
 
     def commit(self, reg: int, instr: DynInstr, value: int) -> None:
@@ -57,6 +60,8 @@ class RenameMap:
     def rollback(self, squashed_youngest_first: list[DynInstr]) -> None:
         """Undo the claims of a squashed suffix (must be youngest-first)."""
         for instr in squashed_youngest_first:
+            if instr.prev_producer is None:
+                continue
             for reg, previous in instr.prev_producer.items():
                 if self._producer[reg] is instr:
                     self._producer[reg] = previous

@@ -90,6 +90,33 @@ class TestCacheKeys:
             disk_cache_key("AS", "baseline", varied, "icelake", digest)
         )
 
+    def test_sim_code_version_bump_misses_cache(self, tmp_path, monkeypatch):
+        """A summary cached by older core code can never be served.
+
+        Simulates a core-semantics change landing between releases:
+        the entry written under the old ``SIM_CODE_VERSION`` must be a
+        miss (not a hit, not an error) once the version is bumped.
+        """
+        import repro.analysis.runner as runner_module
+        from repro.common.cache import ResultCache
+
+        scale = ExperimentScale(num_threads=2)
+        digest = config_digest(make_bench_config(scale))
+        cache = ResultCache(tmp_path)
+
+        old_key = disk_cache_key("AS", "baseline", scale, "icelake", digest)
+        cache.put(old_key, {"cycles": 123})
+        assert cache.get(old_key) == {"cycles": 123}
+
+        monkeypatch.setattr(
+            runner_module,
+            "SIM_CODE_VERSION",
+            runner_module.SIM_CODE_VERSION + 1,
+        )
+        new_key = disk_cache_key("AS", "baseline", scale, "icelake", digest)
+        assert new_key != old_key
+        assert cache.get(new_key) is None
+
 
 class TestHashability:
     def test_scale_is_hashable_cache_key(self):

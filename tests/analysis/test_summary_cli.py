@@ -124,6 +124,30 @@ class TestCli:
         assert main(["--clear-cache"]) == 0
         assert "cleared" in capsys.readouterr().out
 
+    def test_profile_out_dumps_raw_pstats(self, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "hot" / "profile.pstats"
+        code = main(
+            [
+                "--profile",
+                "--profile-out", str(out),
+                "--threads", "2",
+                "--instrs", "120",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "cumulative" in printed  # table sorted by cumulative time
+        assert str(out) in printed
+        # The dump must round-trip through pstats without re-running.
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_profile_out_requires_profile(self):
+        with pytest.raises(SystemExit):
+            main(["--profile-out", "x.pstats"])
+
     def test_no_experiment_without_clear_cache_errors(self):
         with pytest.raises(SystemExit):
             main([])

@@ -19,9 +19,11 @@ import dataclasses
 
 import pytest
 
-from repro.common.config import CacheConfig
+from repro.common.config import CacheConfig, icelake_config
+from repro.consistency.litmus import LITMUS_TESTS
 from repro.core.policy import ALL_POLICIES, FREE_ATOMICS_FWD
 from repro.system.simulator import run_workload
+from repro.system.trace import operations_to_jsonable
 from repro.workloads.generator import WorkloadScale, generate_workload
 from tests.conftest import counter_workload, small_system_config
 
@@ -86,6 +88,69 @@ def test_default_preset_identical(monkeypatch):
         workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=False
     )
     assert with_fast == without
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+@pytest.mark.parametrize("seed", [3, 11])
+def test_randomized_workloads_identical_all_policies(policy, seed, monkeypatch):
+    """LSQ-index + quiescing fast paths, A/B across every atomic policy.
+
+    The older randomized test pinned free+fwd; the indexed-core fast
+    paths (per-line SQ/LQ maps, ordering watermarks, retry queues, the
+    drained System loop) take policy-dependent branches — fenced
+    atomics, speculative loads, atomic forwarding — so each policy gets
+    its own byte-identity check.
+    """
+    scale = WorkloadScale(num_threads=2, instructions_per_thread=250, seed=seed)
+    workload = generate_workload("AS", scale)
+    config = zero_hit_config(2)
+    with_fast = canonical(workload, policy, config, monkeypatch, fastpath=True)
+    without = canonical(workload, policy, config, monkeypatch, fastpath=False)
+    assert with_fast == without
+
+
+def _litmus_run(test, policy, pads, monkeypatch, fastpath: bool):
+    if fastpath:
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    config = icelake_config(num_cores=test.num_threads)
+    result = run_workload(
+        test.build(pads), policy=policy, config=config, trace=True
+    )
+    observations = {
+        label: result.read_word(addr)
+        for label, addr in test.observations.items()
+    }
+    return (
+        observations,
+        operations_to_jsonable(result.traces),
+        result.summary().canonical_json(),
+    )
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+@pytest.mark.parametrize("name", sorted(LITMUS_TESTS))
+def test_litmus_suite_identical_traces(name, policy, monkeypatch):
+    """Full litmus suite both ways: identical committed traces.
+
+    Stronger than summary identity alone — the per-core committed
+    memory-operation traces pin the exact interleaving the consistency
+    checker sees, so a fast path that reordered commits while keeping
+    aggregate stats intact would still fail here.
+    """
+    test = LITMUS_TESTS[name]
+    pads = [0, 3] + [0] * max(0, test.num_threads - 2)
+    obs_fast, traces_fast, json_fast = _litmus_run(
+        test, policy, pads, monkeypatch, fastpath=True
+    )
+    obs_slow, traces_slow, json_slow = _litmus_run(
+        test, policy, pads, monkeypatch, fastpath=False
+    )
+    assert obs_fast == obs_slow
+    assert traces_fast == traces_slow
+    assert json_fast == json_slow
+    assert not test.forbidden(obs_fast)
 
 
 def test_sync_fastpath_actually_fires(monkeypatch):
