@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI gate: validate a Chrome trace produced by ``--trace-out``.
+
+Usage::
+
+    python scripts/check_trace.py trace.json [--require cat,cat,...]
+
+Checks that the file parses, passes ``repro.obs.validate_trace``
+(the subset of the trace_event spec the exporter targets), contains
+the required event categories, and that its embedded health report
+recorded clean online audits.  Exits non-zero with a diagnostic on
+any failure.
+
+The default required set matches the CI smoke trace (the contended
+``atomic_increment`` litmus program); a trace of an atomic-free
+program legitimately has no ``aq``/``watchdog`` events — validate it
+with ``--require pipeline,coherence``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_trace  # noqa: E402
+
+#: Categories the CI smoke trace must emit (``replace`` and ``audit``
+#: are legitimately absent on small, healthy runs).
+REQUIRED_CATEGORIES = ("pipeline", "aq", "watchdog", "coherence")
+
+
+def check(path: pathlib.Path, required=REQUIRED_CATEGORIES) -> int:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"FAIL: cannot read {path}: {error}")
+        return 1
+    failures = [f"schema: {error}" for error in validate_trace(payload)]
+    events = payload.get("traceEvents", [])
+    cats = {e.get("cat") for e in events if isinstance(e, dict)}
+    for category in required:
+        if category not in cats:
+            failures.append(f"missing event category {category!r}")
+    if not any(e.get("ph") == "X" for e in events if isinstance(e, dict)):
+        failures.append("no span (ph='X') events — lock holds/txns missing")
+    health = payload.get("otherData", {}).get("health")
+    if not isinstance(health, dict):
+        failures.append("otherData.health missing")
+    else:
+        audits = health.get("audits", {})
+        if audits.get("runs", 0) < 1:
+            failures.append("health.audits.runs < 1 — online auditing never ran")
+        found = list(audits.get("violations", [])) + list(
+            audits.get("final_violations", [])
+        )
+        failures.extend(f"audit violation: {v}" for v in found)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print(
+        f"OK: {len(events)} trace events, categories "
+        f"{sorted(c for c in cats if c)}, clean audits"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=pathlib.Path)
+    parser.add_argument(
+        "--require",
+        default=",".join(REQUIRED_CATEGORIES),
+        help="comma-separated event categories the trace must contain",
+    )
+    args = parser.parse_args(argv)
+    required = tuple(c for c in args.require.split(",") if c)
+    return check(args.trace, required)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

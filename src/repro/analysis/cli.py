@@ -8,6 +8,7 @@ Examples::
     python -m repro.analysis all --json-dir results/ --jobs 4
     python -m repro.analysis all --jobs 0        # 0 = all cores
     python -m repro.analysis --clear-cache       # drop the disk cache
+    python -m repro.analysis --trace-out trace.json   # Chrome trace of a litmus run
 
 Simulation points are resolved through the in-process memo and the
 persistent disk cache (see ``repro.common.cache``); ``--jobs N`` (or
@@ -108,6 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
         "so hotspots can be re-examined (pstats.Stats(PATH), snakeviz, "
         "gprof2dot, ...) without re-running the sweep",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="run one litmus program with full observability attached "
+        "and write the event stream as Chrome trace_event JSON to PATH "
+        "(open in Perfetto or chrome://tracing; no experiment needed)",
+    )
+    parser.add_argument(
+        "--trace-litmus",
+        default="atomic_increment",
+        metavar="NAME",
+        help="with --trace-out: which litmus program to trace "
+        "(default: atomic_increment, the contended fetch_add test)",
+    )
     return parser
 
 
@@ -148,6 +165,64 @@ def run_profile(
         stats.dump_stats(str(out))
         print(f"[raw pstats written to {out}]")
     stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
+
+
+#: Online invariant-audit cadence for traced runs (cycles).
+TRACE_AUDIT_INTERVAL = 64
+
+
+def run_trace(
+    out: pathlib.Path, litmus_name: str, scale: ExperimentScale
+) -> int:
+    """Trace one litmus program and write a Chrome trace_event file.
+
+    The run uses the paper's free+fwd policy with every observability
+    category enabled and online invariant auditing sampling every
+    :data:`TRACE_AUDIT_INTERVAL` cycles; the emitted JSON is validated
+    against the exporter's schema before it is written.  Returns a
+    process exit code (non-zero when validation or auditing failed).
+    """
+    from repro.common.config import icelake_config
+    from repro.consistency.litmus import LITMUS_TESTS
+    from repro.obs import ObsConfig, Observability, validate_trace
+    from repro.system.simulator import System
+
+    test = LITMUS_TESTS.get(litmus_name)
+    if test is None:
+        print(
+            f"unknown litmus test {litmus_name!r}; "
+            f"available: {', '.join(sorted(LITMUS_TESTS))}"
+        )
+        return 2
+    workload = test.build((0,) * test.num_threads)
+    config = icelake_config(num_cores=test.num_threads)
+    obs = Observability(
+        ObsConfig(audit_interval_cycles=TRACE_AUDIT_INTERVAL)
+    )
+    print(
+        f"[tracing litmus={test.name} threads={test.num_threads} "
+        f"policy=free+fwd audit-every={TRACE_AUDIT_INTERVAL} cycles]"
+    )
+    result = System(workload, config=config, observability=obs).run()
+    health = result.health or {}
+    payload = obs.chrome_payload()
+    errors = validate_trace(payload)
+    for error in errors:
+        print(f"[trace-schema] {error}")
+    path = obs.write_chrome_trace(out)
+    audits = health.get("audits", {})
+    violations = list(audits.get("violations", [])) + list(
+        audits.get("final_violations", [])
+    )
+    for violation in violations:
+        print(f"[audit] {violation}")
+    print(
+        f"[{result.cycles} cycles, {obs.bus.total()} events "
+        f"({obs.bus.dropped} dropped), {audits.get('runs', 0)} online "
+        f"audits, {len(violations)} violation(s)]"
+    )
+    print(f"[chrome trace written to {path}]")
+    return 1 if (errors or violations) else 0
 
 
 def run_experiment(
@@ -202,13 +277,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
     if args.profile:
         run_profile(build_scale(args), out=args.profile_out)
-        if args.experiment is None:
+        if args.experiment is None and args.trace_out is None:
             return 0
     elif args.profile_out is not None:
         parser.error("--profile-out requires --profile")
+    if args.trace_out is not None:
+        code = run_trace(args.trace_out, args.trace_litmus, build_scale(args))
+        if args.experiment is None or code:
+            return code
     if args.experiment is None:
         parser.error(
-            "an experiment is required unless --clear-cache or --profile is given"
+            "an experiment is required unless --clear-cache, --profile "
+            "or --trace-out is given"
         )
     scale = build_scale(args)
     names = (

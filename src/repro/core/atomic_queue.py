@@ -256,6 +256,73 @@ class AtomicQueue:
             return self._locked_count > 0
         return any(e.locked for e in self._entries)
 
+    def audit_indexes(self) -> list[str]:
+        """Cross-check the lock-count/SQid indexes against the entries.
+
+        The indexes (line/set-way lock counts, locked total, by-source
+        SQid map) are pure redundancy over the entry list; any
+        divergence is fast-path bookkeeping corruption that would make
+        ``is_line_locked`` / ``locked_l1_ways`` / ``on_store_broadcast``
+        silently wrong.  Returns violation strings (empty = consistent).
+        Part of the online invariant audit (:mod:`repro.mem.invariants`).
+        """
+        problems: list[str] = []
+        line_counts: dict[int, int] = {}
+        setway_counts: dict[tuple[int, int], int] = {}
+        locked = 0
+        for entry in self._entries:
+            if entry.locked:
+                locked += 1
+                line_counts[entry.line] = line_counts.get(entry.line, 0) + 1
+                key = (entry.set_index, entry.way)
+                setway_counts[key] = setway_counts.get(key, 0) + 1
+        if locked != self._locked_count:
+            problems.append(
+                f"AQ: {locked} locked entries but locked_count={self._locked_count}"
+            )
+        if line_counts != self._line_locks:
+            problems.append(
+                f"AQ: line-lock index {self._line_locks} != actual {line_counts}"
+            )
+        if setway_counts != self._setway_locks:
+            problems.append(
+                f"AQ: set/way index {self._setway_locks} != actual {setway_counts}"
+            )
+        derived_ways = {
+            s: {w: n for (s2, w), n in self._setway_locks.items() if s2 == s}
+            for s in {s for (s, _w) in self._setway_locks}
+        }
+        ways_index = {s: d for s, d in self._set_way_counts.items() if d}
+        if derived_ways != ways_index:
+            problems.append(
+                f"AQ: per-set way counts {ways_index} != derived {derived_ways}"
+            )
+        by_source: dict[int, int] = {}
+        for entry in self._entries:
+            if entry.source_store is not None:
+                by_source[id(entry.source_store)] = (
+                    by_source.get(id(entry.source_store), 0) + 1
+                )
+        mapped = {
+            id(store): len(bucket)
+            for store, bucket in self._by_source.items()
+            if bucket
+        }
+        if by_source != mapped:
+            problems.append(
+                "AQ: SQid map disagrees with entries "
+                f"(mapped sizes {sorted(mapped.values())}, "
+                f"actual {sorted(by_source.values())})"
+            )
+        for store, bucket in self._by_source.items():
+            for entry in bucket:
+                if entry.source_store is not store:
+                    problems.append(
+                        f"AQ: SQid bucket for store seq={store.seq} holds "
+                        f"entry seq={entry.seq} with a different source"
+                    )
+        return problems
+
     def oldest_locked_entry(self) -> Optional[AtomicQueueEntry]:
         """Watchdog flush point: the oldest *squashable* lock holder.
 

@@ -44,10 +44,26 @@ class DeadlockWatchdog:
         self._stats = stats
         self._last_activity = 0
         self._check_scheduled = False
+        self._timeouts = 0
+        #: Optional observer invoked with the flushed entry on every
+        #: timeout, before the flush runs (cold path: only on actual
+        #: fires).  Used by :mod:`repro.obs`; None costs nothing.
+        self.on_timeout: Optional[Callable[[AtomicQueueEntry], None]] = None
 
     @property
     def timeouts(self) -> int:
-        return self._stats.get("watchdog_timeouts")
+        """Timeouts fired by *this* watchdog instance.
+
+        Deliberately instance-local: the previous implementation read
+        the ``watchdog_timeouts`` counter back out of the stats
+        registry, so any two watchdogs sharing a registry (scoped or
+        not — e.g. a fresh ``System`` built over a reused registry, or
+        standalone watchdogs in tests) aliased each other's counts and
+        the property leaked state across runs.  The registry counter is
+        still bumped for the run summary; this property no longer
+        depends on it.
+        """
+        return self._timeouts
 
     def reset(self) -> None:
         """A load_lock performed or an atomic committed: restart the timer."""
@@ -73,7 +89,10 @@ class DeadlockWatchdog:
         oldest = self._aq.oldest_locked_entry()
         if oldest is None:  # pragma: no cover - any_locked implies an entry
             return
+        self._timeouts += 1
         self._stats.bump("watchdog_timeouts")
         self._last_activity = self._queue.now
+        if self.on_timeout is not None:
+            self.on_timeout(oldest)
         self._on_flush(oldest)
         self._ensure_check()

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterator, Optional
 
 from repro.common.config import MemoryConfig
 from repro.common.errors import SimulationError
@@ -407,6 +407,15 @@ class DirectoryController:
 
     def entry(self, line: int) -> Optional[DirectoryEntry]:
         return self._entries.get(line)
+
+    def entries(self) -> Iterator[tuple[int, DirectoryEntry]]:
+        """Iterate ``(line, entry)`` pairs (invariant-audit introspection).
+
+        Lets :mod:`repro.mem.invariants` run the *reverse* agreement
+        check — every holder the directory records actually caches the
+        line — which the core-side walk cannot see.
+        """
+        return iter(self._entries.items())
 
     @property
     def pending_transactions(self) -> int:

@@ -356,3 +356,12 @@ class PrivateHierarchy:
 
     def deferred_count(self, line: int) -> int:
         return len(self._deferred.get(line, ()))
+
+    def deferred_lines(self) -> dict[int, int]:
+        """Deferred-request counts by line (invariant-audit introspection).
+
+        On a quiesced system every deferral must have been replayed (a
+        lock lift schedules ``notify_unlock``), so any residue here on
+        an unlocked line is a missed-replay bug.
+        """
+        return {line: len(msgs) for line, msgs in self._deferred.items() if msgs}

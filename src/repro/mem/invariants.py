@@ -8,17 +8,30 @@ healthy).  Checked invariants:
 2. **Writer exclusivity** — if a core holds M/E, no other core holds
    the line in any valid state.
 3. **Directory agreement** — every core-side valid line is tracked by a
-   directory entry naming that core (modulo lines with an in-flight
-   transaction, whose bookkeeping is transiently ahead of the caches).
+   directory entry naming that core.  Under ``strict_directory`` the
+   agreement is exact — including lines with an in-flight transaction:
+   the directory records a requester in ``holders`` *before* sending
+   the grant and removes invalidated sharers only on their acks, so a
+   cached copy unknown to the directory is drift at any point in the
+   run, not a transient.
 4. **Inclusion** — every L1-resident line is L2-resident.
 5. **Lock residency** — every line locked by a core's AQ is present in
    that core's L1 with write permission, at the recorded set/way.
 6. **Queue sanity** — per core: LQ/SQ/AQ entries are in sequence order
    and AQ occupancy within capacity.
+7. **Fast-path indexes** — the LSQ word/line buckets and the AQ
+   lock-count/SQid indexes exactly mirror the queues they accelerate
+   (``audit_indexes`` on each structure).
+8. **Quiesced-only** (``quiesced=True``; sound only once the event
+   queue has drained empty) — no pending directory transactions, no
+   directory-recorded holder without a cached copy (the *reverse* of
+   check 3), and no deferred coherence request stranded on an unlocked
+   line.
 
-Tests sprinkle these checks through long contended runs; they are the
-simulator's equivalent of the protocol assertions a SLICC model would
-carry.
+Tests sprinkle these checks through long contended runs, and the
+observability layer (:mod:`repro.obs`) samples them periodically
+during ``System.run``; they are the simulator's equivalent of the
+protocol assertions a SLICC model would carry.
 """
 
 from __future__ import annotations
@@ -31,7 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system.simulator import System
 
 
-def verify_system(system: "System", strict_directory: bool = False) -> List[str]:
+def verify_system(
+    system: "System",
+    strict_directory: bool = False,
+    quiesced: bool = False,
+) -> List[str]:
     """Audit coherence/locking invariants; returns violation messages."""
     violations: List[str] = []
     violations.extend(_check_single_writer(system))
@@ -39,6 +56,9 @@ def verify_system(system: "System", strict_directory: bool = False) -> List[str]
     violations.extend(_check_locks(system))
     violations.extend(_check_queues(system))
     violations.extend(_check_directory(system, strict=strict_directory))
+    violations.extend(_check_fastpath_indexes(system))
+    if quiesced:
+        violations.extend(_check_quiesced(system))
     return violations
 
 
@@ -135,11 +155,28 @@ def _check_queues(system: "System") -> List[str]:
 def _check_directory(system: "System", strict: bool) -> List[str]:
     """Core-side valid lines must be known to the directory.
 
-    Directory state legitimately runs ahead of the caches while
-    messages are in flight (grants not yet installed, PutLines not yet
-    processed), so the default check only flags cores holding lines the
-    directory attributes to nobody; ``strict`` requires exact agreement
-    and is only sound on a quiesced system (empty event queue).
+    The default check only flags cores holding lines the directory
+    attributes to nobody.  ``strict`` requires exact forward agreement
+    — *including* lines with an in-flight transaction.  That used to be
+    exempted ("directory runs ahead of the caches"), which made the
+    strict path vacuous exactly where drift hides: under contention
+    most hot lines have a transaction open most of the time.  The
+    exemption was never needed, because the protocol orders the
+    bookkeeping ahead of the messages in the safe direction:
+
+    - ``_complete_request`` records the requester as holder/owner
+      *before* posting the grant, so a core can never install a copy
+      the directory does not already attribute to it;
+    - invalidated sharers stay in ``holders`` until their INV acks
+      arrive, so a still-cached (deferred or in-flight) copy is always
+      attributed;
+    - ownership moves at transaction completion, before the new owner
+      can write, so ``writable`` implies directory owner at any event
+      boundary.
+
+    The remaining message-in-flight direction (directory records a
+    holder whose copy is gone — PutLine in flight) is only checkable
+    once the queue drains; see ``_check_quiesced``.
     """
     violations = []
     directory = system.directory
@@ -152,15 +189,72 @@ def _check_directory(system: "System", strict: bool) -> List[str]:
                     f"({state.value}) but unknown to the directory"
                 )
                 continue
-            if strict and entry.pending is None:
+            if strict:
                 if core.core_id not in entry.holders:
                     violations.append(
                         f"core {core.core_id}: line {line:#x} cached but "
                         f"directory lists holders {sorted(entry.holders)}"
+                        + (
+                            f" (pending {entry.pending.kind})"
+                            if entry.pending is not None
+                            else ""
+                        )
                     )
                 if state.writable and entry.owner != core.core_id:
                     violations.append(
                         f"core {core.core_id}: line {line:#x} writable but "
                         f"directory owner is {entry.owner}"
                     )
+    return violations
+
+
+def _check_fastpath_indexes(system: "System") -> List[str]:
+    """LSQ/AQ redundant indexes must exactly mirror their queues."""
+    violations = []
+    for core in system.cores:
+        for problems in (
+            core.lq.audit_indexes(),
+            core.sq.audit_indexes(),
+            core.aq.audit_indexes(),
+        ):
+            violations.extend(
+                f"core {core.core_id}: {problem}" for problem in problems
+            )
+    return violations
+
+
+def _check_quiesced(system: "System") -> List[str]:
+    """Checks that are only sound once the event queue drained empty.
+
+    With no messages in flight: every directory transaction must have
+    closed, every recorded holder must actually cache its line, and
+    every deferred coherence request must have been replayed (the lock
+    that deferred it cannot outlive the run).
+    """
+    violations = []
+    directory = system.directory
+    pending = directory.pending_transactions
+    if pending:
+        violations.append(
+            f"directory: {pending} transaction(s) still pending at quiesce"
+        )
+    num_cores = len(system.cores)
+    for line, entry in directory.entries():
+        for core_id in sorted(entry.holders):
+            if core_id >= num_cores:
+                continue  # pragma: no cover - defensive
+            state = system.cores[core_id].hierarchy.state_of(line)
+            if state is MESIState.INVALID:
+                violations.append(
+                    f"directory: core {core_id} recorded as holder of "
+                    f"{line:#x} but caches nothing"
+                )
+    for core, hierarchy in _core_states(system):
+        locked = core.aq.locked_lines()
+        for line, count in sorted(hierarchy.deferred_lines().items()):
+            if line not in locked:
+                violations.append(
+                    f"core {core.core_id}: {count} deferred request(s) "
+                    f"stranded on unlocked line {line:#x}"
+                )
     return violations

@@ -1,0 +1,44 @@
+"""Unified observability: structured tracing, health metrics, auditing.
+
+The package generalises the per-core :class:`~repro.system.trace.PipelineTracer`
+into a system-wide, zero-overhead-when-off event layer:
+
+- :mod:`repro.obs.events` — the :class:`ObsEvent` record and the
+  :class:`BoundedEventLog` capped ring buffer every sink is built on;
+- :mod:`repro.obs.bus` — the :class:`EventBus` fan-out point (ring sink
+  plus per-stream counters, extensible with custom sinks);
+- :mod:`repro.obs.config` — :class:`ObsConfig`, selecting event
+  categories, ring capacity and the invariant-audit cadence;
+- :mod:`repro.obs.attach` — :class:`Observability`, which instruments a
+  :class:`~repro.system.simulator.System` by wrapping instance methods
+  (the tracer's technique), schedules online ``verify_system`` audits,
+  and builds the end-of-run health report;
+- :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON export
+  (openable in Perfetto / ``chrome://tracing``) and a schema validator;
+- :mod:`repro.obs.health` — the run-health report builder.
+
+Overhead contract: with no :class:`Observability` attached the
+simulator executes **zero** observability code — instrumentation is
+installed by replacing instance attributes on an opted-in ``System``'s
+components, never by adding branches to the shared hot paths.  The only
+always-present costs are plain attribute stores on cold paths (a squash
+cause tag, an optional watchdog hook check on timeout), which the perf
+gate (``scripts/bench_harness.py --compare``) bounds.
+"""
+
+from repro.obs.attach import Observability
+from repro.obs.bus import EventBus
+from repro.obs.chrome import chrome_trace, validate_trace, write_chrome_trace
+from repro.obs.config import ObsConfig
+from repro.obs.events import BoundedEventLog, ObsEvent
+
+__all__ = [
+    "BoundedEventLog",
+    "EventBus",
+    "ObsConfig",
+    "ObsEvent",
+    "Observability",
+    "chrome_trace",
+    "validate_trace",
+    "write_chrome_trace",
+]

@@ -12,7 +12,7 @@ examples and the benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.common.config import SystemConfig, icelake_config
 from repro.common.errors import ConfigError, DeadlockError, SimulationError
@@ -26,6 +26,9 @@ from repro.mem.hierarchy import PrivateHierarchy
 from repro.mem.interconnect import Interconnect
 from repro.uarch.core import OutOfOrderCore
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.attach import Observability
 
 
 @dataclass
@@ -54,6 +57,9 @@ class SimulationResult:
     config: SystemConfig
     #: Per-core committed memory operations, when run with trace=True.
     traces: Optional[list[list[Operation]]] = None
+    #: Run-health report, when run with observability attached (see
+    #: :mod:`repro.obs.health`); carried into ``ResultSummary.meta``.
+    health: Optional[dict] = None
 
     @property
     def num_cores(self) -> int:
@@ -110,6 +116,7 @@ class System:
         policy: AtomicPolicy = FREE_ATOMICS_FWD,
         config: Optional[SystemConfig] = None,
         trace: bool = False,
+        observability: "Optional[Observability]" = None,
     ) -> None:
         if config is None:
             config = icelake_config(num_cores=workload.num_threads)
@@ -155,11 +162,34 @@ class System:
                 core.commit_trace = []
             self.cores.append(core)
         self._trace_enabled = trace
+        self._ran = False
+        #: Attached observer (:mod:`repro.obs`), or None.  Attachment
+        #: happens here — after every component exists — so the
+        #: wrappers see the final instance methods; with None the
+        #: simulator runs exactly the uninstrumented code.
+        self.obs = observability
+        if observability is not None:
+            observability.attach(self)
 
     def run(self) -> SimulationResult:
-        """Run to completion (every thread committed its Halt)."""
+        """Run to completion (every thread committed its Halt).
+
+        Single-use: a ``System`` is consumed by its run.  Re-running a
+        finished instance used to silently return a zero-cycle result
+        with stale watchdog/stats state (cores are finished, the queue
+        is empty), which poisoned sweep results when a harness reused
+        systems; now it raises.
+        """
+        if self._ran:
+            raise SimulationError(
+                "System.run() is single-use; build a fresh System "
+                f"(workload={self.workload.name}, policy={self.policy.name})"
+            )
+        self._ran = True
         for core in self.cores:
             core.start()
+        if self.obs is not None:
+            self.obs.on_run_start(self)
         # Hot loop: locals bound once.  Idle-core quiescing: a finished
         # core schedules no further events (fetch stopped at its Halt,
         # commit at the Halt's retirement) and is never polled — each
@@ -188,6 +218,11 @@ class System:
                 f"workload={self.workload.name})"
             )
         end_cycle = self.queue.now
+        health = (
+            self.obs.finalize_run(self, end_cycle)
+            if self.obs is not None
+            else None
+        )
         summaries = []
         for core in self.cores:
             core.finalize(end_cycle)
@@ -216,6 +251,7 @@ class System:
                 if self._trace_enabled
                 else None
             ),
+            health=health,
         )
 
     def _raise_deadlock(self, unfinished: set[int]) -> None:
@@ -239,6 +275,13 @@ def run_workload(
     policy: AtomicPolicy = FREE_ATOMICS_FWD,
     config: Optional[SystemConfig] = None,
     trace: bool = False,
+    observability: "Optional[Observability]" = None,
 ) -> SimulationResult:
     """Build a :class:`System` for ``workload`` and run it."""
-    return System(workload, policy=policy, config=config, trace=trace).run()
+    return System(
+        workload,
+        policy=policy,
+        config=config,
+        trace=trace,
+        observability=observability,
+    ).run()

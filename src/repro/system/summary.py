@@ -138,7 +138,15 @@ class ResultSummary:
 def summarize(
     result: SimulationResult, meta: Optional[dict] = None
 ) -> ResultSummary:
-    """Project a live :class:`SimulationResult` into a summary."""
+    """Project a live :class:`SimulationResult` into a summary.
+
+    A run-health report (observability-attached runs only) rides along
+    in ``meta["health"]``; runs without observability produce exactly
+    the meta they were given, keeping their canonical JSON byte-stable.
+    """
+    meta = dict(meta or {})
+    if result.health is not None and "health" not in meta:
+        meta["health"] = result.health
     return ResultSummary(
         workload_name=result.workload_name,
         policy_name=result.policy.name,
@@ -146,5 +154,5 @@ def summarize(
         num_cores=result.config.num_cores,
         stats=result.stats.snapshot(),
         cores=list(result.cores),
-        meta=dict(meta or {}),
+        meta=meta,
     )

@@ -8,8 +8,15 @@ renders an instruction-centric view:
 
     seq   42 pc   7 atomic   | D@100 P@131(lock 0x40) C@140 W@144
 
-Intended for small runs (tests, examples, debugging a litmus failure);
-tracing a million-instruction run will happily eat your memory.
+Events live in a capped ring (:class:`~repro.obs.events.BoundedEventLog`):
+once ``capacity`` is reached the oldest events are evicted and counted
+in :attr:`PipelineTracer.dropped`, so tracing an arbitrarily long run
+costs bounded memory and ``timeline`` simply renders the retained
+window.  (The original implementation kept an unbounded list and would
+"happily eat your memory" — its own words — on long runs.)
+
+For system-wide, multi-category tracing (coherence, AQ locks,
+watchdog, forwarding chains) see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.consistency.model import OpKind, Operation
+from repro.obs.events import DEFAULT_CAPACITY, BoundedEventLog
 from repro.uarch.core import OutOfOrderCore
 from repro.uarch.dynins import DynInstr
 
@@ -55,11 +63,20 @@ class _InstrTimeline:
 
 
 class PipelineTracer:
-    """Attachable per-core event recorder."""
+    """Attachable per-core event recorder (capped; see module docstring)."""
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.events: BoundedEventLog[TraceEvent] = BoundedEventLog(capacity)
         self._cores: list[OutOfOrderCore] = []
+
+    @property
+    def capacity(self) -> int:
+        return self.events.capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring to respect the capacity bound."""
+        return self.events.dropped
 
     def attach(self, core: OutOfOrderCore) -> "PipelineTracer":
         """Instrument ``core``; returns self for chaining."""

@@ -229,6 +229,11 @@ class OutOfOrderCore:
         #: When set (System(trace=True)), committed memory operations are
         #: appended here in commit order, for the TSO checker.
         self.commit_trace: Optional[list[Operation]] = None
+        #: Why the in-progress squash started (branch | mem_dep |
+        #: mem_order | watchdog); tagged at each squash site so
+        #: observers wrapping ``_squash_from`` can attribute the flush
+        #: without the hot path carrying any extra branches.
+        self.last_squash_cause: str = ""
 
     # ==================================================================
     # lifecycle
@@ -583,6 +588,7 @@ class OutOfOrderCore:
         self._complete(instr)
         if mispredicted:
             self.stats.bump("squash.branch")
+            self.last_squash_cause = "branch"
             self._squash_from(instr.seq + 1, instr.actual_target)
 
     # ==================================================================
@@ -632,6 +638,7 @@ class OutOfOrderCore:
         if victim is not None:
             self.storeset.train_violation(victim, store)
             self.stats.bump("squash.mem_dep")
+            self.last_squash_cause = "mem_dep"
             self._squash_from(victim.seq, victim.pc)
 
     # ==================================================================
@@ -1210,6 +1217,7 @@ class OutOfOrderCore:
         victim = self.lq.oldest_ordering_violation(line)
         if victim is not None:
             self.stats.bump("squash.mem_order")
+            self.last_squash_cause = "mem_order"
             self._squash_from(victim.seq, victim.pc)
 
     def _watchdog_flush(self, entry: AtomicQueueEntry) -> None:
@@ -1217,6 +1225,7 @@ class OutOfOrderCore:
         if instr.squashed or instr.committed:
             return
         self.stats.bump("squash.watchdog")
+        self.last_squash_cause = "watchdog"
         self._squash_from(instr.seq, instr.pc)
 
     def _schedule_unlock_notify(self, line: int) -> None:

@@ -136,6 +136,56 @@ class LoadQueue:
         """Any entry older than ``seq``?  O(1): the front is the oldest."""
         return bool(self._entries) and self._entries[0].seq < seq
 
+    def audit_indexes(self) -> list[str]:
+        """Cross-check the word/line buckets against the deque.
+
+        Returns violation strings (empty = consistent).  Part of the
+        online invariant audit (:mod:`repro.mem.invariants`): the
+        buckets are pure redundancy over the deque, so any divergence
+        is a fast-path bookkeeping bug that would silently corrupt
+        forwarding/violation queries.
+        """
+        problems: list[str] = []
+        in_queue = {id(instr) for instr in self._entries}
+        flagged = 0
+        for instr in self._entries:
+            if instr.addr_ready and not (instr.flags & F_LQ_INDEXED):
+                problems.append(
+                    f"LQ seq={instr.seq}: address resolved but not indexed"
+                )
+            if instr.flags & F_LQ_INDEXED:
+                flagged += 1
+        for label, buckets, field in (
+            ("by_word", self._by_word, "word"),
+            ("by_line", self._by_line, "line"),
+        ):
+            total = 0
+            for key, bucket in buckets.items():
+                if not bucket:
+                    problems.append(f"LQ {label}[{key:#x}]: empty bucket retained")
+                for instr in bucket:
+                    total += 1
+                    if id(instr) not in in_queue:
+                        problems.append(
+                            f"LQ {label}[{key:#x}]: stale seq={instr.seq} "
+                            "not in the queue"
+                        )
+                    elif not (instr.flags & F_LQ_INDEXED):
+                        problems.append(
+                            f"LQ {label}[{key:#x}]: seq={instr.seq} present "
+                            "but membership flag clear"
+                        )
+                    if getattr(instr, field) != key:
+                        problems.append(
+                            f"LQ {label}[{key:#x}]: seq={instr.seq} filed "
+                            f"under wrong {field}"
+                        )
+            if total != flagged:
+                problems.append(
+                    f"LQ {label}: holds {total} entries but {flagged} are flagged"
+                )
+        return problems
+
     def oldest_ordering_violation(self, line: int) -> Optional[DynInstr]:
         """Oldest speculatively performed load that read ``line``.
 
@@ -265,6 +315,45 @@ class StoreQueue:
     def has_older_than(self, seq: int) -> bool:
         """Any entry older than ``seq``?  O(1): the front is the oldest."""
         return bool(self._entries) and self._entries[0].seq < seq
+
+    def audit_indexes(self) -> list[str]:
+        """Cross-check the word buckets against the deque (see LoadQueue)."""
+        problems: list[str] = []
+        in_queue = {id(instr) for instr in self._entries}
+        flagged = 0
+        for instr in self._entries:
+            if instr.addr_ready and not (instr.flags & F_SQ_INDEXED):
+                problems.append(
+                    f"SQ seq={instr.seq}: address resolved but not indexed"
+                )
+            if instr.flags & F_SQ_INDEXED:
+                flagged += 1
+        total = 0
+        for word, bucket in self._by_word.items():
+            if not bucket:
+                problems.append(f"SQ by_word[{word:#x}]: empty bucket retained")
+            for instr in bucket:
+                total += 1
+                if id(instr) not in in_queue:
+                    problems.append(
+                        f"SQ by_word[{word:#x}]: stale seq={instr.seq} "
+                        "not in the queue"
+                    )
+                elif not (instr.flags & F_SQ_INDEXED):
+                    problems.append(
+                        f"SQ by_word[{word:#x}]: seq={instr.seq} present "
+                        "but membership flag clear"
+                    )
+                if instr.word != word:
+                    problems.append(
+                        f"SQ by_word[{word:#x}]: seq={instr.seq} filed "
+                        "under wrong word"
+                    )
+        if total != flagged:
+            problems.append(
+                f"SQ by_word: holds {total} entries but {flagged} are flagged"
+            )
+        return problems
 
     @property
     def sb_head(self) -> Optional[DynInstr]:

@@ -164,3 +164,33 @@ class TestCli:
         )
         assert code == 0
         assert "Figure 12" in capsys.readouterr().out
+
+
+class TestTraceOut:
+    def test_traced_litmus_writes_valid_chrome_json(self, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        out = tmp_path / "nested" / "trace.json"
+        assert main(["--trace-out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "0 violation(s)" in printed and str(out) in printed
+        payload = json.loads(out.read_text())
+        assert validate_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert {"pipeline:commit", "aq:lock", "aq:unlock", "watchdog:arm"} <= names
+        assert payload["otherData"]["health"]["audits"]["runs"] > 0
+
+    def test_trace_litmus_selects_program(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["--trace-out", str(out), "--trace-litmus", "store_buffering"]
+        )
+        assert code == 0
+        assert "litmus=store_buffering" in capsys.readouterr().out
+
+    def test_unknown_litmus_rejected(self, tmp_path, capsys):
+        code = main(
+            ["--trace-out", str(tmp_path / "t.json"), "--trace-litmus", "nope"]
+        )
+        assert code == 2
+        assert "available:" in capsys.readouterr().out

@@ -225,3 +225,53 @@ class TestWatchdog:
         while queue.run_next():
             pass
         assert not flushes
+
+
+class TestWatchdogAccounting:
+    """Regression tests: ``timeouts`` is instance-local state.
+
+    The property used to read the ``watchdog_timeouts`` counter back out
+    of the stats registry, so any two watchdogs sharing a registry
+    aliased each other's counts, and a fresh watchdog built over a
+    reused registry started "pre-fired".
+    """
+
+    def make_pair(self, shared_stats=None):
+        queue = EventQueue()
+        stats = shared_stats or StatsRegistry()
+        pair = []
+        for _ in range(2):
+            aq = AtomicQueue(4, stats, on_fully_unlocked=lambda line: None)
+            flush = lambda entry, aq=aq: aq.squash_from(entry.seq)
+            pair.append((aq, DeadlockWatchdog(queue, aq, 100, True, flush, stats)))
+        return queue, stats, pair
+
+    def fire(self, queue, aq, watchdog):
+        entry = aq.allocate(atomic(1))
+        entry.lock(10, 0, 0)
+        watchdog.reset()
+        while queue.run_next():
+            pass
+        return entry
+
+    def test_shared_registry_does_not_alias_counts(self):
+        queue, stats, [(aq0, wd0), (aq1, wd1)] = self.make_pair()
+        self.fire(queue, aq0, wd0)
+        assert wd0.timeouts == 1
+        assert wd1.timeouts == 0  # used to read 1 through the registry
+        assert stats.get("watchdog_timeouts") == 1  # summary counter intact
+
+    def test_fresh_instance_over_reused_registry_starts_at_zero(self):
+        queue, stats, [(aq0, wd0), _] = self.make_pair()
+        self.fire(queue, aq0, wd0)
+        assert stats.get("watchdog_timeouts") == 1
+        _, _, [(aq2, wd2), _] = self.make_pair(shared_stats=stats)
+        assert wd2.timeouts == 0
+
+    def test_on_timeout_hook_observes_each_fire(self):
+        queue, stats, [(aq0, wd0), _] = self.make_pair()
+        seen = []
+        wd0.on_timeout = seen.append
+        entry = self.fire(queue, aq0, wd0)
+        assert seen == [entry]
+        assert wd0.timeouts == 1

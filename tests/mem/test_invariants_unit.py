@@ -70,3 +70,130 @@ class TestSabotage:
         system.cores[1].hierarchy._state[line] = MESIState.SHARED
         violations = verify_system(system)
         assert any("coexists" in v for v in violations)
+
+
+class TestStrictDirectory:
+    """The strict forward check covers lines with in-flight transactions.
+
+    The old implementation exempted any line whose directory entry had a
+    pending transaction, which made the strict path vacuous exactly
+    where drift hides (under contention a hot line almost always has a
+    transaction open).  These tests fabricate drifted states and require
+    the strict check to flag them, pending or not.
+    """
+
+    def cached_line_of(self, system):
+        for core in system.cores:
+            for line in core.hierarchy._state:
+                entry = system.directory.entry(line)
+                if entry is not None:
+                    return core.core_id, line, entry
+        raise AssertionError("no cached line anywhere after the run")
+
+    def test_unattributed_holder_flagged_even_with_pending_txn(self):
+        from repro.mem.directory import Transaction
+
+        system = fresh_system()
+        core_id, line, entry = self.cached_line_of(system)
+        entry.sharers.discard(core_id)
+        if entry.owner == core_id:
+            entry.owner = None
+        entry.pending = Transaction(
+            txn_id=999, kind="GetS", line=line, requester=1 - core_id
+        )
+        violations = verify_system(system, strict_directory=True)
+        assert any(
+            "directory lists holders" in v and "(pending GetS)" in v
+            for v in violations
+        )
+        # Non-strict mode only checks directory *awareness*, not exact
+        # holder sets — the fabricated drift is invisible to it.
+        assert not any("lists holders" in v for v in verify_system(system))
+
+    def test_wrong_owner_for_writable_line_flagged(self):
+        system = fresh_system()
+        for core in system.cores:
+            hierarchy = core.hierarchy
+            writable = [
+                line
+                for line, state in hierarchy._state.items()
+                if state.writable
+            ]
+            if not writable:
+                continue
+            entry = system.directory.entry(writable[0])
+            entry.owner = 1 - core.core_id
+            violations = verify_system(system, strict_directory=True)
+            assert any("writable but" in v for v in violations)
+            return
+        raise AssertionError("no writable line after a counter run")
+
+
+class TestQuiescedChecks:
+    def test_phantom_holder_detected(self):
+        system = fresh_system()
+        caching, other = None, None
+        for core in system.cores:
+            if core.hierarchy._state:
+                caching = core
+            else:
+                other = core
+        assert caching is not None and other is not None
+        line = next(iter(caching.hierarchy._state))
+        entry = system.directory.entry(line)
+        entry.sharers.add(other.core_id)  # phantom: caches nothing there
+        assert other.hierarchy.state_of(line).name == "INVALID"
+        quiesced = verify_system(system, quiesced=True)
+        assert any("caches nothing" in v for v in quiesced)
+        # The reverse check is unsound mid-run (PutLine may be in
+        # flight), so the default audit must not include it.
+        assert not any("caches nothing" in v for v in verify_system(system))
+
+    def test_pending_transaction_at_quiesce_detected(self):
+        from repro.mem.directory import Transaction
+
+        system = fresh_system()
+        directory = system.directory
+        directory._pending_by_id[999] = Transaction(
+            txn_id=999, kind="GetX", line=0x123440, requester=0
+        )
+        quiesced = verify_system(system, quiesced=True)
+        assert any("still pending" in v for v in quiesced)
+
+    def test_stranded_deferred_request_detected(self):
+        system = fresh_system()
+        hierarchy = system.cores[0].hierarchy
+        line = 0x777740
+        hierarchy._deferred[line] = [object()]
+        assert line not in system.cores[0].aq.locked_lines()
+        quiesced = verify_system(system, quiesced=True)
+        assert any("stranded" in v and "deferred" in v for v in quiesced)
+
+
+class TestFastpathIndexAudit:
+    def test_stale_lq_bucket_entry_detected(self):
+        from repro.isa.instructions import Load, MemoryOperand
+        from repro.uarch.dynins import DynInstr, F_LQ_INDEXED
+
+        system = fresh_system()
+        core = system.cores[0]
+        ghost = DynInstr(77, Load(dst=1, mem=MemoryOperand(1)), 0)
+        ghost.word = 0x40
+        ghost.line = 0x40
+        ghost.addr_ready = True
+        ghost.flags |= F_LQ_INDEXED
+        core.lq._by_word.setdefault(0x40, []).append(ghost)
+        violations = verify_system(system)
+        assert any("stale" in v for v in violations)
+
+    def test_empty_retained_bucket_detected(self):
+        system = fresh_system()
+        system.cores[0].sq._by_word[0x99] = []
+        violations = verify_system(system)
+        assert any("empty bucket retained" in v for v in violations)
+
+    def test_aq_locked_count_drift_detected(self):
+        system = fresh_system()
+        system.cores[0].aq._locked_count += 1
+        violations = verify_system(system)
+        assert any("locked_count" in v for v in violations)

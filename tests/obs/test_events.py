@@ -1,0 +1,77 @@
+"""Unit tests for the bounded event ring and event identity."""
+
+import pytest
+
+from repro.obs.events import DEFAULT_CAPACITY, BoundedEventLog, ObsEvent
+
+
+class TestBoundedEventLog:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedEventLog(0)
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedEventLog(-5)
+
+    def test_under_capacity_keeps_everything(self):
+        log = BoundedEventLog(8)
+        for k in range(5):
+            log.append(k)
+        assert len(log) == 5
+        assert log.dropped == 0
+        assert list(log) == [0, 1, 2, 3, 4]
+
+    def test_over_capacity_evicts_oldest_and_counts(self):
+        log = BoundedEventLog(4)
+        for k in range(10):
+            log.append(k)
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert list(log) == [6, 7, 8, 9]  # newest window, oldest first
+
+    def test_indexing_and_slicing(self):
+        log = BoundedEventLog(4)
+        for k in range(6):
+            log.append(k)
+        assert log[0] == 2
+        assert log[-1] == 5
+        assert log[1:3] == [3, 4]
+
+    def test_snapshot_is_plain_list_copy(self):
+        log = BoundedEventLog(3)
+        log.append("a")
+        snap = log.snapshot()
+        assert snap == ["a"]
+        snap.append("b")
+        assert list(log) == ["a"]
+
+    def test_clear_resets_contents_and_dropped(self):
+        log = BoundedEventLog(2)
+        for k in range(5):
+            log.append(k)
+        assert log.dropped == 3
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+        assert not log
+
+    def test_default_capacity(self):
+        assert BoundedEventLog().capacity == DEFAULT_CAPACITY
+
+
+class TestObsEvent:
+    def test_key_is_info_order_insensitive(self):
+        a = ObsEvent(5, "aq", "lock", 1, 9, info={"x": 1, "y": 2})
+        b = ObsEvent(5, "aq", "lock", 1, 9, info={"y": 2, "x": 1})
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_fields(self):
+        base = ObsEvent(5, "aq", "lock", 1, 9)
+        assert base.key() != ObsEvent(6, "aq", "lock", 1, 9).key()
+        assert base.key() != ObsEvent(5, "aq", "unlock", 1, 9).key()
+        assert base.key() != ObsEvent(5, "aq", "lock", 2, 9).key()
+        assert base.key() != ObsEvent(5, "aq", "lock", 1, 9, dur=3).key()
+
+    def test_repr_mentions_category_and_kind(self):
+        event = ObsEvent(7, "watchdog", "fire", 0, 3, info={"line": 64})
+        text = repr(event)
+        assert "watchdog/fire" in text and "line" in text

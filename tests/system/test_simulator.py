@@ -143,3 +143,29 @@ class TestQuiescentAccounting:
         result = run_workload(workload, config=small_system_config(2))
         fast_core = result.cores[0]
         assert fast_core.quiescent_cycles > 0
+
+
+class TestRunLifecycle:
+    def test_run_is_single_use(self):
+        # A finished System silently "re-ran" to a zero-cycle result
+        # with stale state before; now it refuses.
+        from repro.common.errors import SimulationError
+
+        system = System(counter_workload(2, 3), config=small_system_config(2))
+        assert system.run().cycles > 0
+        with pytest.raises(SimulationError, match="single-use"):
+            system.run()
+
+    def test_watchdog_stats_independent_of_run_order(self):
+        from repro.core.policy import FREE_ATOMICS
+        from tests.integration.test_deadlocks import rmw_rmw_workload
+
+        workload, _ = rmw_rmw_workload(iterations=10)
+        config = small_system_config(2, watchdog_cycles=400)
+        lone = run_workload(workload, policy=FREE_ATOMICS, config=config)
+        # Interleave an unrelated quiet run; per-run watchdog totals
+        # must not depend on what ran before.
+        run_workload(counter_workload(2, 5), config=small_system_config(2))
+        again = run_workload(workload, policy=FREE_ATOMICS, config=config)
+        assert lone.timeouts == again.timeouts > 0
+        assert lone.summary().canonical_json() == again.summary().canonical_json()

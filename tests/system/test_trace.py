@@ -91,3 +91,50 @@ class TestTimeline:
         builder.nop()
         tracer, _ = traced_run(builder)
         assert "core0" in str(tracer.events[0])
+
+
+class TestBoundedRing:
+    """The tracer's event store is a capped ring, not an unbounded list."""
+
+    def long_run(self, capacity):
+        builder = ProgramBuilder()
+        builder.li(1, 0x1000)
+        builder.li(2, 0)
+        builder.label("loop")
+        builder.store(imm=1, base=1)
+        builder.addi(2, 2, 1)
+        builder.branch_lt(2, 40, "loop")
+        workload = Workload("traced", [builder.build()])
+        system = System(workload, config=small_system_config(1))
+        tracer = PipelineTracer(capacity=capacity)
+        tracer.attach(system.cores[0])
+        system.run()
+        return tracer
+
+    def test_capacity_enforced_and_drops_counted(self):
+        tracer = self.long_run(capacity=16)
+        assert tracer.capacity == 16
+        assert len(tracer) == 16
+        assert tracer.dropped > 0
+
+    def test_retained_window_is_newest_and_chronological(self):
+        big = self.long_run(capacity=10_000)
+        small = self.long_run(capacity=16)
+        assert small.dropped == len(big.events) - 16
+        tail = [
+            (e.cycle, e.kind, e.seq) for e in big.events.snapshot()[-16:]
+        ]
+        kept = [(e.cycle, e.kind, e.seq) for e in small.events]
+        assert kept == tail
+
+    def test_timeline_renders_after_eviction(self):
+        tracer = self.long_run(capacity=16)
+        text = tracer.timeline(0)
+        assert text  # only the retained window, but it still renders
+        rendered_seqs = {e.seq for e in tracer.events if e.kind != "squash"}
+        for line in text.splitlines():
+            assert int(line.split()[1]) in rendered_seqs
+
+    def test_default_capacity_untouched_runs_report_zero_dropped(self):
+        tracer = self.long_run(capacity=100_000)
+        assert tracer.dropped == 0
