@@ -1,0 +1,164 @@
+"""Per-stage cycle accounting for the core pipeline (not a paper figure).
+
+Times each pipeline stage of the batched core engine by wrapping the
+stage entry points every core reads dynamically (``_fetch_impl``,
+``_commit_cb``, ``_producer_completed``, the execute/agen/memory
+callbacks) with nesting-aware timers, then reports every stage's share
+of total run time.  Nested invocations — wakeup runs inside an execute
+callback, memory completions inside the drain loop — are attributed to
+the innermost stage (self time), so the shares sum to at most 100% and
+the remainder is reported as ``other`` (event kernel, coherence,
+scheduling glue).
+
+Stages:
+
+- ``fetch/dispatch`` — the batched fetch window, which renames and
+  dispatches inline (one call per cycle per active core);
+- ``wakeup``         — producer-completion broadcast to consumers;
+- ``execute``        — ALU/branch execute and address generation;
+- ``memory``         — load/lock/store perform callbacks from the
+  hierarchy and store-buffer drain;
+- ``commit``         — the batched commit window.
+
+Run it directly for a quick table::
+
+    PYTHONPATH=src python benchmarks/bench_stage_breakdown.py
+
+or via pytest-benchmark like the other ``bench_*`` modules.  Future
+perf PRs should target the top share with data instead of profiling by
+hand.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.common.config import icelake_config
+from repro.core.policy import FREE_ATOMICS_FWD
+from repro.system.simulator import System
+from repro.workloads.generator import WorkloadScale, generate_workload
+
+#: The measured point: a mixed kernel with enough atomics, branches and
+#: plain memory traffic that every stage is exercised.
+_BENCHMARK = "watersp"
+_SCALE = 800
+_NUM_THREADS = 4
+
+
+class StageAccountant:
+    """Nesting-aware wall-time accounting across wrapped stage calls."""
+
+    def __init__(self) -> None:
+        self.self_seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self._stack: list[list] = []  # [stage, child_seconds]
+
+    def wrap(self, stage: str, fn: Callable) -> Callable:
+        self.self_seconds.setdefault(stage, 0.0)
+        self.calls.setdefault(stage, 0)
+        stack = self._stack
+        perf_counter = time.perf_counter
+
+        def timed(*args):
+            start = perf_counter()
+            frame = [stage, 0.0]
+            stack.append(frame)
+            try:
+                return fn(*args)
+            finally:
+                elapsed = perf_counter() - start
+                stack.pop()
+                self.self_seconds[stage] += elapsed - frame[1]
+                self.calls[stage] += 1
+                if stack:
+                    stack[-1][1] += elapsed
+
+        return timed
+
+    def attach(self, core) -> None:
+        """Wrap one core's stage entry points.
+
+        Every wrapped attribute is one the core re-reads on each use
+        (``_schedule_fetch`` posts ``self._fetch_impl``, commit posts
+        ``self._commit_cb``, ``_complete`` calls
+        ``self._producer_completed``, and the schedule/memory paths
+        post the ``*_cb`` prebinds), so instance-level reassignment is
+        enough — the same convention the tracer and obs layers use.
+        """
+        core._fetch_impl = self.wrap("fetch/dispatch", core._fetch_impl)
+        core._commit_cb = self.wrap("commit", core._commit_cb)
+        core._producer_completed = self.wrap(
+            "wakeup", core._producer_completed
+        )
+        core._execute_alu_cb = self.wrap("execute", core._execute_alu_cb)
+        core._resolve_branch_cb = self.wrap("execute", core._resolve_branch_cb)
+        core._agen_cb = self.wrap("execute", core._agen_cb)
+        core._perform_load_cb = self.wrap("memory", core._perform_load_cb)
+        core._perform_load_lock_cb = self.wrap(
+            "memory", core._perform_load_lock_cb
+        )
+        core._perform_store_cb = self.wrap("memory", core._perform_store_cb)
+        core._finish_forward_cb = self.wrap("memory", core._finish_forward_cb)
+
+
+def stage_breakdown(
+    benchmark: str = _BENCHMARK,
+    scale: int = _SCALE,
+    num_threads: int = _NUM_THREADS,
+) -> dict:
+    """Run one instrumented point; returns shares and raw seconds."""
+    workload = generate_workload(
+        benchmark,
+        WorkloadScale(
+            num_threads=num_threads, instructions_per_thread=scale
+        ),
+    )
+    config = icelake_config(num_cores=num_threads)
+    system = System(workload, policy=FREE_ATOMICS_FWD, config=config)
+    accountant = StageAccountant()
+    for core in system.cores:
+        accountant.attach(core)
+    start = time.perf_counter()
+    system.run()
+    total = time.perf_counter() - start
+    stage_sum = sum(accountant.self_seconds.values())
+    self_seconds = dict(accountant.self_seconds)
+    self_seconds["other"] = max(0.0, total - stage_sum)
+    shares = {stage: seconds / total for stage, seconds in self_seconds.items()}
+    return {
+        "total_seconds": total,
+        "self_seconds": self_seconds,
+        "calls": dict(accountant.calls),
+        "shares": shares,
+    }
+
+
+def format_breakdown(result: dict) -> str:
+    lines = [
+        f"{'stage':<16} {'share':>7} {'seconds':>9} {'calls':>10}",
+    ]
+    calls = result["calls"]
+    seconds = result["self_seconds"]
+    for stage, share in sorted(
+        result["shares"].items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(
+            f"{stage:<16} {share * 100:6.1f}% "
+            f"{seconds.get(stage, 0.0):9.3f} {calls.get(stage, 0):>10}"
+        )
+    lines.append(f"{'total':<16} {'100.0%':>7} {result['total_seconds']:9.3f}")
+    return "\n".join(lines)
+
+
+def bench_stage_breakdown(benchmark):
+    """pytest-benchmark entry: the instrumented run, breakdown asserted sane."""
+    result = benchmark.pedantic(stage_breakdown, rounds=1, iterations=1)
+    # The wrappers must have seen every stage at least once.
+    for stage in ("fetch/dispatch", "wakeup", "execute", "memory", "commit"):
+        assert result["calls"][stage] > 0, stage
+    assert 0.0 <= result["shares"]["other"] <= 1.0
+
+
+if __name__ == "__main__":
+    print(format_breakdown(stage_breakdown()))

@@ -15,17 +15,24 @@ the kernel's raw event rate.  Metrics:
 Intended for CI (see .github/workflows/ci.yml): the JSON lands in the
 repo root so successive PRs leave a performance trajectory.
 
+The sweep runs ``--reps`` times (default 3) and records the fastest
+wall time — the measurement is CPU-bound, so the fastest rep is the
+least-perturbed one.  Each rep re-simulates every point (the result
+memo is cleared between reps); the shared workload/config/decode
+caches stay warm, matching the steady state of a long sweep.
+
 ``--compare`` runs the same sweep but diffs the fresh numbers against
 the committed BENCH_harness.json instead of overwriting it, printing a
 per-metric percentage delta.  ``--fail-threshold PCT`` (implies
-``--compare``) exits non-zero when ``kernel_events_per_sec`` or
-``core_events_per_sec`` — the metrics independent of sweep scale and
-host load shape — regressed by more than PCT percent; CI uses this as
-the perf-regression gate.
+``--compare``) exits non-zero when any metric in ``GATED_METRICS``
+(kernel events, core events, and the full-sweep ``sim_cycles_per_sec``)
+regressed by more than PCT percent; CI uses this as the
+perf-regression gate, on both the batched default and the
+``REPRO_NO_FASTPATH=1`` leg.
 
 Usage::
 
-    python scripts/bench_harness.py [--jobs N] [--quick] [--cached]
+    python scripts/bench_harness.py [--jobs N] [--quick] [--cached] [--reps N]
     python scripts/bench_harness.py --compare [--fail-threshold 25]
 """
 
@@ -45,9 +52,16 @@ sys.path.insert(0, str(ROOT))  # for the benchmarks/ package
 
 OUTPUT = ROOT / "BENCH_harness.json"
 
-#: Metrics gated by --fail-threshold: pure-CPU microbenchmarks whose
-#: value does not depend on sweep scale or parallel-job load shape.
-GATED_METRICS = ("kernel_events_per_sec", "core_events_per_sec")
+#: Metrics gated by --fail-threshold.  The kernel/core rates are
+#: pure-CPU microbenchmarks; ``sim_cycles_per_sec`` covers the full
+#: simulator sweep (best-of-``--reps`` to shed host-load noise — the
+#: committed baseline and the fresh run use the same sweep scale, so
+#: the ratio is meaningful even though the absolute value is not).
+GATED_METRICS = (
+    "kernel_events_per_sec",
+    "core_events_per_sec",
+    "sim_cycles_per_sec",
+)
 
 BENCHMARKS = ("AS", "watersp", "canneal")
 
@@ -144,6 +158,15 @@ def main() -> int:
         help="allow disk-cache hits (measures warm-cache latency instead)",
     )
     parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="sweep repetitions; the fastest wall time is recorded "
+        "(the result memo is cleared between reps so every rep "
+        "re-simulates, but decode/workload/config caches stay warm)",
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
         help="diff a fresh run against the committed BENCH_harness.json "
@@ -165,8 +188,8 @@ def main() -> int:
         os.environ["REPRO_CACHE"] = "off"
 
     from benchmarks.bench_core_throughput import core_events_per_sec
-    from repro.analysis.engine import prefetch, resolve_jobs
-    from repro.analysis.runner import ExperimentScale
+    from repro.analysis.engine import effective_jobs, prefetch, resolve_jobs
+    from repro.analysis.runner import ExperimentScale, clear_cache
     from repro.core.policy import ALL_POLICIES
 
     scale = (
@@ -180,10 +203,21 @@ def main() -> int:
         for policy in ALL_POLICIES
     ]
     jobs = resolve_jobs(args.jobs)
+    effective = effective_jobs(args.jobs, len(points))
 
-    start = time.perf_counter()
-    resolved = prefetch(points, jobs=jobs)
-    wall = time.perf_counter() - start
+    # Best-of-N sweep: each rep honestly re-simulates every point
+    # (clear_cache drops the result memo) while the shared decode/
+    # workload/config caches stay warm — the same steady state a long
+    # sweep reaches after its first few points.
+    reps = max(1, args.reps)
+    wall = float("inf")
+    resolved = {}
+    for rep in range(reps):
+        if rep:
+            clear_cache()
+        start = time.perf_counter()
+        resolved = prefetch(points, jobs=jobs)
+        wall = min(wall, time.perf_counter() - start)
     total_cycles = sum(summary.cycles for summary in resolved.values())
 
     record = {
@@ -195,6 +229,8 @@ def main() -> int:
             "num_threads": scale.num_threads,
             "instructions_per_thread": scale.instructions_per_thread,
             "jobs": jobs,
+            "effective_jobs": effective,
+            "sweep_reps": reps,
             "host_cpus": host_cpus(),
             "cached": bool(args.cached),
         },

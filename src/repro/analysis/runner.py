@@ -120,6 +120,42 @@ def bench_system_config(
     return config.replace(free_atomics=free_atomics)
 
 
+# -- shared-infrastructure memos ----------------------------------------
+#
+# Distinct from the *result* memo below: these cache the deterministic
+# inputs a simulation point is built from (the generated workload, the
+# resolved config and its digest), never a simulation outcome.  A batch
+# of points shares them — the 4 policies of one benchmark reuse one
+# generated workload and, via the decode cache memoized on the Program,
+# one static decode.  Sharing is semantically invisible: Workload is a
+# frozen dataclass, the System copies ``initial_memory`` into its own
+# GlobalMemory, and ``regs_for`` returns fresh dicts.
+
+_WORKLOAD_CACHE: dict[tuple, "object"] = {}
+_CONFIG_CACHE: dict[tuple, tuple[SystemConfig, str]] = {}
+
+
+def bench_workload(benchmark: str, scale: ExperimentScale):
+    """The (shared, immutable) generated workload for a harness point."""
+    key = (benchmark, scale.workload_scale)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = _WORKLOAD_CACHE[key] = generate_workload(benchmark, key[1])
+    return workload
+
+
+def bench_config_and_digest(
+    scale: ExperimentScale, core_preset: str = "icelake"
+) -> tuple[SystemConfig, str]:
+    """The (shared, frozen) resolved config and digest for a point."""
+    key = (scale, core_preset)
+    entry = _CONFIG_CACHE.get(key)
+    if entry is None:
+        config = bench_system_config(scale, core_preset)
+        entry = _CONFIG_CACHE[key] = (config, config_digest(config))
+    return entry
+
+
 def config_digest(config: SystemConfig) -> str:
     """Content digest of a fully-resolved system config.
 
@@ -196,8 +232,7 @@ def run_benchmark(
     if cached is not None:
         return cached
 
-    config = bench_system_config(scale, core_preset)
-    digest = config_digest(config)
+    config, digest = bench_config_and_digest(scale, core_preset)
     disk_key = disk_cache_key(benchmark, policy.name, scale, core_preset, digest)
     use_disk = cache_enabled()
     disk = ResultCache() if use_disk else None
@@ -213,7 +248,7 @@ def run_benchmark(
                 _CACHE[memo_key] = summary
                 return summary
 
-    workload = generate_workload(benchmark, scale.workload_scale)
+    workload = bench_workload(benchmark, scale)
     result = run_workload(workload, policy=policy, config=config)
     summary = result.summary(
         meta={
@@ -230,12 +265,21 @@ def run_benchmark(
     return summary
 
 
-def clear_cache(disk: bool = False) -> int:
+def clear_cache(disk: bool = False, infrastructure: bool = False) -> int:
     """Drop the in-process memo; with ``disk=True`` also the disk cache.
+
+    The shared-infrastructure memos (workloads, configs) survive a
+    default clear — they hold deterministic *inputs*, so clearing the
+    result memo and re-running re-simulates honestly with warm
+    infrastructure (the harness best-of-N sweep relies on this).  Pass
+    ``infrastructure=True`` to drop them too.
 
     Returns the number of disk entries removed (0 for memo-only clears).
     """
     _CACHE.clear()
+    if infrastructure:
+        _WORKLOAD_CACHE.clear()
+        _CONFIG_CACHE.clear()
     if disk:
         return ResultCache().clear()
     return 0

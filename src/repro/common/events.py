@@ -25,7 +25,12 @@ entries, so draining heap-then-ring per cycle reproduces the strict
 :meth:`EventQueue.post` is the fast path used by the simulator's
 internal components — none of them ever cancel, so it skips allocating
 an :class:`Event` handle entirely.  :meth:`EventQueue.schedule` keeps
-the cancellable API for callers that need it.
+the cancellable API for callers that need it.  :meth:`EventQueue.post1`
+additionally carries one argument for the callback: the pipeline posts
+hundreds of thousands of per-instruction events per run, and passing the
+instruction as a stored argument instead of closing over it skips a
+closure (plus cell) allocation per event — the drain loops invoke
+``callback(arg)`` directly off the queue entry.
 
 :meth:`EventQueue.call_soon` is the zero-entry completion path: when
 :meth:`idle_now` holds, it registers a callback that runs immediately
@@ -91,7 +96,8 @@ class EventQueue:
     )
 
     def __init__(self) -> None:
-        # Heap entries are (cycle, order, callback, handle_or_None).
+        # Heap entries are (cycle, order, callback, arg_or_None,
+        # handle_or_None); ``arg`` non-None means invoke ``callback(arg)``.
         self._heap: list[tuple] = []
         self._order = 0
         #: Current simulation cycle.  A plain attribute, not a property:
@@ -99,16 +105,17 @@ class EventQueue:
         #: call was measurable.  External writers would desynchronize
         #: the clock — read-only by convention.
         self.now = 0
-        # Microtasks: bare callbacks for the *current* cycle, run FIFO
-        # before any ring/heap entry (see call_soon for why that is
-        # exact).  Consumed by index to keep the drain allocation-free.
-        self._micro: list[Callback] = []
+        # Microtasks: (callback, arg_or_None) pairs for the *current*
+        # cycle, run FIFO before any ring/heap entry (see call_soon for
+        # why that is exact).  Consumed by index to keep the drain
+        # allocation-free.
+        self._micro: list[tuple] = []
         self._micro_pos = 0
         # Ring bucket b holds entries for exactly one in-flight cycle c
         # with c & _RING_MASK == b (no two pending cycles can collide
         # because ring delays are < RING_CYCLES).  Entries are
-        # (order, callback, handle_or_None); _ring_pos[b] is the index
-        # of the next unconsumed entry in bucket b.
+        # (order, callback, arg_or_None, handle_or_None); _ring_pos[b] is
+        # the index of the next unconsumed entry in bucket b.
         self._ring: list[list[tuple]] = [[] for _ in range(RING_CYCLES)]
         self._ring_pos = [0] * RING_CYCLES
         self._ring_count = 0
@@ -157,7 +164,17 @@ class EventQueue:
         iterations must run first, exactly as they would with a posted
         event.)
         """
-        self._micro.append(callback)
+        self._micro.append((callback, None))
+
+    def call_soon1(self, callback: Callable, arg) -> None:
+        """:meth:`call_soon` with one stored argument (``post1``'s twin).
+
+        Same legality rule (only when :meth:`idle_now` holds); ``arg``
+        must not be None.  The hierarchy's zero-latency hit path hands
+        the instruction through here so the core never allocates a
+        closure per satisfied memory request.
+        """
+        self._micro.append((callback, arg))
 
     def schedule(self, delay: int, callback: Callback) -> Event:
         """Schedule ``callback`` ``delay`` cycles from now; cancellable."""
@@ -168,12 +185,12 @@ class EventQueue:
         cycle = self.now + delay
         event = Event(cycle, order, callback)
         if delay < RING_CYCLES:
-            self._ring[cycle & _RING_MASK].append((order, callback, event))
+            self._ring[cycle & _RING_MASK].append((order, callback, None, event))
             self._ring_count += 1
             if cycle < self._ring_next:
                 self._ring_next = cycle
         else:
-            heapq.heappush(self._heap, (cycle, order, callback, event))
+            heapq.heappush(self._heap, (cycle, order, callback, None, event))
         return event
 
     def schedule_at(self, cycle: int, callback: Callback) -> Event:
@@ -192,12 +209,38 @@ class EventQueue:
         self._order = order + 1
         if delay < RING_CYCLES:
             cycle = self.now + delay
-            self._ring[cycle & _RING_MASK].append((order, callback, None))
+            self._ring[cycle & _RING_MASK].append((order, callback, None, None))
             self._ring_count += 1
             if cycle < self._ring_next:
                 self._ring_next = cycle
         else:
-            heapq.heappush(self._heap, (self.now + delay, order, callback, None))
+            heapq.heappush(
+                self._heap, (self.now + delay, order, callback, None, None)
+            )
+
+    def post1(self, delay: int, callback: Callable, arg) -> None:
+        """:meth:`post` with one stored argument for the callback.
+
+        Ordering-identical to ``post(delay, lambda: callback(arg))`` —
+        same sequence counter, same bucket — but allocation-free: the
+        argument rides in the queue entry and the drain loops call
+        ``callback(arg)`` directly.  ``arg`` must not be None (None is
+        the no-argument marker in the entry tuple).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        order = self._order
+        self._order = order + 1
+        if delay < RING_CYCLES:
+            cycle = self.now + delay
+            self._ring[cycle & _RING_MASK].append((order, callback, arg, None))
+            self._ring_count += 1
+            if cycle < self._ring_next:
+                self._ring_next = cycle
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, order, callback, arg, None)
+            )
 
     def post_at(self, cycle: int, callback: Callback) -> None:
         """Fast-path :meth:`post` at an absolute cycle (>= now)."""
@@ -244,14 +287,14 @@ class EventQueue:
         micro = self._micro
         if micro:
             p = self._micro_pos
-            callback = micro[p]
+            callback, arg = micro[p]
             p += 1
             if p == len(micro):
                 micro.clear()
                 self._micro_pos = 0
             else:
                 self._micro_pos = p
-            callback()
+            callback() if arg is None else callback(arg)
             return True
         heap = self._heap
         while True:
@@ -260,24 +303,24 @@ class EventQueue:
                 if heap and heap[0][0] <= ring_cycle:
                     # Same-cycle heap entries are always older (posted
                     # >= RING_CYCLES cycles earlier => smaller order).
-                    cycle, _order, callback, handle = heapq.heappop(heap)
+                    cycle, _order, callback, arg, handle = heapq.heappop(heap)
                     if handle is not None and handle.cancelled:
                         continue
                     self.now = cycle
-                    callback()
+                    callback() if arg is None else callback(arg)
                     return True
-                _order, callback, handle = self._pop_ring(ring_cycle)
+                _order, callback, arg, handle = self._pop_ring(ring_cycle)
                 if handle is not None and handle.cancelled:
                     continue
                 self.now = ring_cycle
-                callback()
+                callback() if arg is None else callback(arg)
                 return True
             if heap:
-                cycle, _order, callback, handle = heapq.heappop(heap)
+                cycle, _order, callback, arg, handle = heapq.heappop(heap)
                 if handle is not None and handle.cancelled:
                     continue
                 self.now = cycle
-                callback()
+                callback() if arg is None else callback(arg)
                 return True
             return False
 
@@ -309,27 +352,37 @@ class EventQueue:
         while counter[0]:
             if micro:
                 p = self._micro_pos
-                callback = micro[p]
+                callback, arg = micro[p]
                 p += 1
                 if p == len(micro):
                     micro.clear()
                     self._micro_pos = 0
                 else:
                     self._micro_pos = p
-                callback()
+                callback() if arg is None else callback(arg)
             elif self._ring_count:
-                ring_cycle = self._scan_ring()
+                # _scan_ring, inlined (hot loop: one call frame per event
+                # was measurable).  Resumes from _ring_next; every bucket
+                # skipped stays skipped until a post pulls the cursor back.
+                ring_cycle = self._ring_next
+                if ring_cycle < self.now:
+                    ring_cycle = self.now
+                while True:
+                    b = ring_cycle & _RING_MASK
+                    bucket = ring[b]
+                    if pos[b] < len(bucket):
+                        break
+                    ring_cycle += 1
+                self._ring_next = ring_cycle
                 if heap and heap[0][0] <= ring_cycle:
                     # Same-cycle heap entries are always older (posted
                     # >= RING_CYCLES cycles earlier => smaller order).
-                    cycle, _order, callback, handle = heappop(heap)
+                    cycle, _order, callback, arg, handle = heappop(heap)
                     if handle is not None and handle.cancelled:
                         continue
                     self.now = cycle
-                    callback()
+                    callback() if arg is None else callback(arg)
                 else:
-                    b = ring_cycle & _RING_MASK
-                    bucket = ring[b]
                     p = pos[b]
                     entry = bucket[p]
                     p += 1
@@ -339,17 +392,17 @@ class EventQueue:
                         pos[b] = 0
                     else:
                         pos[b] = p
-                    _order, callback, handle = entry
+                    _order, callback, arg, handle = entry
                     if handle is not None and handle.cancelled:
                         continue
                     self.now = ring_cycle
-                    callback()
+                    callback() if arg is None else callback(arg)
             elif heap:
-                cycle, _order, callback, handle = heappop(heap)
+                cycle, _order, callback, arg, handle = heappop(heap)
                 if handle is not None and handle.cancelled:
                     continue
                 self.now = cycle
-                callback()
+                callback() if arg is None else callback(arg)
             else:
                 return 1
             if self.now > max_cycles:
@@ -393,27 +446,27 @@ class EventQueue:
         while True:
             if micro:
                 p = self._micro_pos
-                callback = micro[p]
+                callback, arg = micro[p]
                 p += 1
                 if p == len(micro):
                     micro.clear()
                     self._micro_pos = 0
                 else:
                     self._micro_pos = p
-                callback()
+                callback() if arg is None else callback(arg)
                 continue
             if heap and heap[0][0] == cycle:
-                _cycle, _order, callback, handle = pop(heap)
+                _cycle, _order, callback, arg, handle = pop(heap)
                 if handle is None or not handle.cancelled:
-                    callback()
+                    callback() if arg is None else callback(arg)
                 continue
             if pos[b] < len(bucket):
                 p = pos[b]
                 pos[b] = p + 1
                 self._ring_count -= 1
-                _order, callback, handle = bucket[p]
+                _order, callback, arg, handle = bucket[p]
                 if handle is None or not handle.cancelled:
-                    callback()
+                    callback() if arg is None else callback(arg)
                 continue
             break
         bucket.clear()
@@ -427,14 +480,14 @@ class EventQueue:
         while True:
             if micro:
                 p = self._micro_pos
-                callback = micro[p]
+                callback, arg = micro[p]
                 p += 1
                 if p == len(micro):
                     micro.clear()
                     self._micro_pos = 0
                 else:
                     self._micro_pos = p
-                callback()
+                callback() if arg is None else callback(arg)
                 continue
             if self._ring_count:
                 ring_cycle = self._scan_ring()
@@ -442,29 +495,29 @@ class EventQueue:
                     cycle = heap[0][0]
                     if cycle > limit_cycle:
                         break
-                    _c, _order, callback, handle = heapq.heappop(heap)
+                    _c, _order, callback, arg, handle = heapq.heappop(heap)
                     if handle is not None and handle.cancelled:
                         continue
                     self.now = cycle
-                    callback()
+                    callback() if arg is None else callback(arg)
                     continue
                 if ring_cycle > limit_cycle:
                     break
-                _order, callback, handle = self._pop_ring(ring_cycle)
+                _order, callback, arg, handle = self._pop_ring(ring_cycle)
                 if handle is not None and handle.cancelled:
                     continue
                 self.now = ring_cycle
-                callback()
+                callback() if arg is None else callback(arg)
                 continue
             if heap:
                 cycle = heap[0][0]
                 if cycle > limit_cycle:
                     break
-                _c, _order, callback, handle = heapq.heappop(heap)
+                _c, _order, callback, arg, handle = heapq.heappop(heap)
                 if handle is not None and handle.cancelled:
                     continue
                 self.now = cycle
-                callback()
+                callback() if arg is None else callback(arg)
                 continue
             break
         if self.now < limit_cycle:

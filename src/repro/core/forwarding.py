@@ -21,11 +21,12 @@ forwarding one).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.policy import AtomicPolicy
 from typing import TYPE_CHECKING
+
+from repro.uarch.dynins import InstrClass
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.uarch.dynins import DynInstr
@@ -39,13 +40,28 @@ class LoadSource(enum.Enum):
     WAIT_PERFORM = "wait_perform"
 
 
-@dataclass(frozen=True)
 class LoadSourceDecision:
-    action: LoadSource
-    store: Optional[DynInstr] = None
+    """Read-only (action, store) pair.
+
+    A plain ``__slots__`` class instead of a frozen dataclass: one of
+    these is built per load-issue attempt, and the frozen-dataclass
+    ``object.__setattr__`` constructor showed up in profiles.
+    """
+
+    __slots__ = ("action", "store")
+
+    def __init__(
+        self, action: LoadSource, store: Optional["DynInstr"] = None
+    ) -> None:
+        self.action = action
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LoadSourceDecision({self.action!r}, {self.store!r})"
 
 
 _CACHE = LoadSourceDecision(LoadSource.CACHE)
+_ATOMIC = InstrClass.ATOMIC
 
 
 def decide_load_source(
@@ -59,7 +75,7 @@ def decide_load_source(
     store = sq.youngest_matching_store(load.word, load.seq)
     if store is None:
         return _CACHE
-    if load.is_atomic:
+    if load.klass is _ATOMIC:
         return _decide_for_load_lock(load, store, policy, max_forward_chain)
     return _decide_for_regular_load(store, policy)
 
@@ -67,7 +83,7 @@ def decide_load_source(
 def _decide_for_regular_load(
     store: DynInstr, policy: AtomicPolicy
 ) -> LoadSourceDecision:
-    if store.is_atomic and policy.fenced:
+    if store.klass is _ATOMIC and policy.fenced:
         # Fenced designs execute atomics in isolation: the fence gate has
         # already blocked younger loads until the store_unlock performed,
         # so a match here means the gate is mid-release; wait it out.
@@ -97,6 +113,6 @@ def _decide_for_load_lock(
 
 def chain_depth_of(store: DynInstr) -> int:
     """Forwarding-chain depth a forward from ``store`` would extend."""
-    if store.is_atomic and store.aq_entry is not None:
+    if store.klass is _ATOMIC and store.aq_entry is not None:
         return store.aq_entry.chain_depth
     return 0

@@ -73,6 +73,134 @@ def evaluate_branch(instruction: Branch, src1: int, src2: int) -> bool:
     raise ProgramError(f"unknown branch condition: {cond!r}")
 
 
+# -- decode-time folded evaluators ---------------------------------------
+#
+# One tiny function per ALU op / branch condition with the 64-bit masks
+# inlined.  The decode cache binds the matching function onto each static
+# position (``DecodedOp.alu_fn`` / ``branch_fn``) so the execute stage
+# pays a single call instead of walking the enum dispatch chains above.
+# Each function is value-identical to the corresponding ``evaluate_*``
+# branch (the interpreters keep using the chains; behaviour has exactly
+# one definition per op either way, checked by the A/B equivalence
+# suite).
+
+_MASK64 = (1 << 64) - 1
+_WRAP64 = 1 << 64
+
+
+def _alu_add(a: int, b: int) -> int:
+    return (a + b) & _MASK64
+
+
+def _alu_sub(a: int, b: int) -> int:
+    return (a - b) & _MASK64
+
+
+def _alu_and(a: int, b: int) -> int:
+    return (a & b) & _MASK64
+
+
+def _alu_or(a: int, b: int) -> int:
+    return (a | b) & _MASK64
+
+
+def _alu_xor(a: int, b: int) -> int:
+    return (a ^ b) & _MASK64
+
+
+def _alu_mul(a: int, b: int) -> int:
+    return (a * b) & _MASK64
+
+
+def _alu_mov(a: int, b: int) -> int:
+    return a & _MASK64
+
+
+def _alu_shl(a: int, b: int) -> int:
+    return (a << (b & 63)) & _MASK64
+
+
+def _alu_shr(a: int, b: int) -> int:
+    return (a & _MASK64) >> (b & 63)
+
+
+def _alu_cmp_lt(a: int, b: int) -> int:
+    a &= _MASK64
+    b &= _MASK64
+    if a & _SIGN_BIT:
+        a -= _WRAP64
+    if b & _SIGN_BIT:
+        b -= _WRAP64
+    return 1 if a < b else 0
+
+
+def _alu_cmp_eq(a: int, b: int) -> int:
+    return 1 if (a & _MASK64) == (b & _MASK64) else 0
+
+
+def _alu_nop(a: int, b: int) -> int:
+    return 0
+
+
+#: Per-op folded ALU evaluators, ``fn(src1, src2) -> result``.
+ALU_FN = {
+    AluOp.ADD: _alu_add,
+    AluOp.SUB: _alu_sub,
+    AluOp.AND: _alu_and,
+    AluOp.OR: _alu_or,
+    AluOp.XOR: _alu_xor,
+    AluOp.MUL: _alu_mul,
+    AluOp.MOV: _alu_mov,
+    AluOp.SHL: _alu_shl,
+    AluOp.SHR: _alu_shr,
+    AluOp.CMP_LT: _alu_cmp_lt,
+    AluOp.CMP_EQ: _alu_cmp_eq,
+    AluOp.NOP: _alu_nop,
+}
+
+
+def _br_always(a: int, b: int) -> bool:
+    return True
+
+
+def _br_eq(a: int, b: int) -> bool:
+    return (a & _MASK64) == (b & _MASK64)
+
+
+def _br_ne(a: int, b: int) -> bool:
+    return (a & _MASK64) != (b & _MASK64)
+
+
+def _br_lt(a: int, b: int) -> bool:
+    a &= _MASK64
+    b &= _MASK64
+    if a & _SIGN_BIT:
+        a -= _WRAP64
+    if b & _SIGN_BIT:
+        b -= _WRAP64
+    return a < b
+
+
+def _br_ge(a: int, b: int) -> bool:
+    a &= _MASK64
+    b &= _MASK64
+    if a & _SIGN_BIT:
+        a -= _WRAP64
+    if b & _SIGN_BIT:
+        b -= _WRAP64
+    return a >= b
+
+
+#: Per-condition folded branch evaluators, ``fn(src1, src2) -> taken``.
+BRANCH_FN = {
+    BranchCond.ALWAYS: _br_always,
+    BranchCond.EQ: _br_eq,
+    BranchCond.NE: _br_ne,
+    BranchCond.LT: _br_lt,
+    BranchCond.GE: _br_ge,
+}
+
+
 def evaluate_atomic(
     instruction: AtomicRMW, old_value: int, operand: int, expected: int
 ) -> int:

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping
 
-from repro.isa.registers import truncate
-from repro.mem.lines import align_word
+from repro.isa.registers import REGISTER_MASK
+from repro.mem.lines import ADDRESS_MASK
 
 
 class GlobalMemory:
@@ -25,10 +25,12 @@ class GlobalMemory:
                 self.write(address, value)
 
     def read(self, address: int) -> int:
-        return self._words.get(align_word(address), 0)
+        # align_word inlined: read runs once per performed load.
+        return self._words.get(address & ADDRESS_MASK, 0)
 
     def write(self, address: int, value: int) -> None:
-        self._words[align_word(address)] = truncate(value)
+        # align_word / truncate inlined (one store-perform per store).
+        self._words[address & ADDRESS_MASK] = value & REGISTER_MASK
 
     def snapshot(self) -> dict[int, int]:
         """A copy of all non-zero words (for checks and debugging)."""

@@ -75,7 +75,8 @@ class _NoLocks:
 @dataclass
 class _Waiter:
     need_write: bool
-    callback: Callable[[], None]
+    callback: Callable
+    arg: object = None
 
 
 @dataclass
@@ -141,16 +142,21 @@ class PrivateHierarchy:
     def l1_location(self, line: int) -> Optional[tuple[int, int]]:
         return self._l1.lookup(line, touch=False)
 
-    def request_read(self, line: int, callback: Callable[[], None]) -> None:
-        """Make ``line`` readable; fire ``callback`` when data is ready."""
-        self._access(line, need_write=False, callback=callback)
+    def request_read(self, line: int, callback: Callable, arg=None) -> None:
+        """Make ``line`` readable; fire ``callback`` when data is ready.
 
-    def request_write(self, line: int, callback: Callable[[], None]) -> None:
+        ``arg`` (when not None) is handed to ``callback`` at completion
+        time — the core passes the instruction through the queue entry
+        instead of closing over it (see :meth:`EventQueue.post1`).
+        """
+        self._access(line, need_write=False, callback=callback, arg=arg)
+
+    def request_write(self, line: int, callback: Callable, arg=None) -> None:
         """Make ``line`` writable in the L1 (fill + GetX as needed)."""
-        self._access(line, need_write=True, callback=callback)
+        self._access(line, need_write=True, callback=callback, arg=arg)
 
     def _access(
-        self, line: int, need_write: bool, callback: Callable[[], None]
+        self, line: int, need_write: bool, callback: Callable, arg=None
     ) -> None:
         state = self._state.get(line, MESIState.INVALID)
         satisfied = state.writable if need_write else state.readable
@@ -166,30 +172,36 @@ class PrivateHierarchy:
                 # docstring for why inline invocation would NOT be
                 # equivalent).
                 if self._fastpath and self._queue.idle_now():
-                    self._queue.call_soon(callback)
+                    if arg is None:
+                        self._queue.call_soon(callback)
+                    else:
+                        self._queue.call_soon1(callback, arg)
                     return
-                self._queue.post(self._l1_hit_latency, callback)
+                if arg is None:
+                    self._queue.post(self._l1_hit_latency, callback)
+                else:
+                    self._queue.post1(self._l1_hit_latency, callback, arg)
             else:
                 self._c_l2_hits.add()
-                self._fill_l1_then(line, self._l2_hit_latency, callback)
+                self._fill_l1_then(line, self._l2_hit_latency, callback, arg)
             return
         self._c_misses.add()
         mshr = self._mshrs.get(line)
         if mshr is not None:
-            mshr.waiters.append(_Waiter(need_write, callback))
+            mshr.waiters.append(_Waiter(need_write, callback, arg))
             if need_write and not mshr.requested_write:
                 # The in-flight GetS will not suffice; a GetX follows when
                 # the response arrives (handled in _on_data).
                 self._stats.bump("upgrade_after_gets")
             return
         mshr = _Mshr(line=line, requested_write=need_write)
-        mshr.waiters.append(_Waiter(need_write, callback))
+        mshr.waiters.append(_Waiter(need_write, callback, arg))
         self._mshrs[line] = mshr
         kind = MessageKind.GET_X if need_write else MessageKind.GET_S
         self._network.send_msg(kind, line, self.core_id, DIRECTORY_NODE)
 
     def _fill_l1_then(
-        self, line: int, latency: int, callback: Callable[[], None]
+        self, line: int, latency: int, callback: Callable, arg=None
     ) -> None:
         """Ensure L1 presence (line already valid in L2), then callback.
 
@@ -204,7 +216,7 @@ class PrivateHierarchy:
             self._stats.bump("l1_fill_blocked")
             self._queue.post(
                 FILL_RETRY_CYCLES,
-                lambda: self._fill_l1_then(line, latency, callback),
+                lambda: self._fill_l1_then(line, latency, callback, arg),
             )
             return
         if callback is _noop and latency == 0 and self._shortcuts:
@@ -213,7 +225,10 @@ class PrivateHierarchy:
             # unconditionally equivalent regardless of hit latency;
             # gated on REPRO_NO_FASTPATH so the tests A/B everything.)
             return
-        self._queue.post(latency, callback)
+        if arg is None:
+            self._queue.post(latency, callback)
+        else:
+            self._queue.post1(latency, callback, arg)
 
     # ------------------------------------------------------------------
     # network-facing handlers
@@ -253,12 +268,16 @@ class PrivateHierarchy:
         for waiter in mshr.waiters:
             if waiter.need_write and not granted.writable:
                 unsatisfied.append(waiter)
-            else:
+            elif waiter.arg is None:
                 self._queue.post(fill_latency, waiter.callback)
+            else:
+                self._queue.post1(fill_latency, waiter.callback, waiter.arg)
         for waiter in unsatisfied:
             # The grant was only S but this waiter needs write permission:
             # go around again with a GetX (upgrade).
-            self._access(line, need_write=True, callback=waiter.callback)
+            self._access(
+                line, need_write=True, callback=waiter.callback, arg=waiter.arg
+            )
 
     def _install(self, line: int) -> None:
         """Fill L2 then L1, cascading evictions (L2 is inclusive of L1)."""

@@ -173,6 +173,12 @@ class Observability:
         core._perform_store = perform_store  # type: ignore[method-assign]
         core._do_commit = do_commit  # type: ignore[method-assign]
         core._squash_from = squash_from  # type: ignore[method-assign]
+        # The memory-request paths hand prebound ``*_cb`` aliases of
+        # these methods to the hierarchy/event queue — refresh them so
+        # the wrappers see those invocations too.
+        core._perform_load_cb = perform_load
+        core._perform_load_lock_cb = perform_lock
+        core._perform_store_cb = perform_store
 
     def _attach_forwarding(self, core: "OutOfOrderCore") -> None:
         bus, queue, cid = self.bus, core.queue, core.core_id

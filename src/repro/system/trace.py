@@ -163,6 +163,12 @@ class PipelineTracer:
         core._do_commit = do_commit  # type: ignore[method-assign]
         core._squash_from = squash_from  # type: ignore[method-assign]
         core._finish_forward = finish_forward  # type: ignore[method-assign]
+        # The memory-request paths hand prebound ``*_cb`` aliases of
+        # these methods to the hierarchy/event queue — refresh them so
+        # the wrappers see those invocations too.
+        core._perform_load_cb = perform_load
+        core._perform_load_lock_cb = perform_lock
+        core._perform_store_cb = perform_store
         return self
 
     # ------------------------------------------------------------------

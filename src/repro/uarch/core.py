@@ -51,9 +51,10 @@ from repro.core.responsibilities import (
 )
 from repro.core.watchdog import DeadlockWatchdog
 from repro.isa.program import Program
-from repro.isa.semantics import evaluate_alu, evaluate_atomic, evaluate_branch
+from repro.isa.registers import REGISTER_MASK
+from repro.isa.semantics import evaluate_atomic
 from repro.mem.data import GlobalMemory
-from repro.mem.hierarchy import PrivateHierarchy
+from repro.mem.hierarchy import PrivateHierarchy, _noop
 from repro.mem.lines import ADDRESS_MASK, LINE_BYTES, WORD_BYTES
 from repro.mem.prefetch import StridePrefetcher
 from repro.uarch.bandwidth import BandwidthLimiter
@@ -61,6 +62,7 @@ from repro.uarch.branch import BimodalPredictor
 from repro.uarch.decode import (
     EXEC_CONST,
     EXEC_MOV,
+    KIDX_ALU,
     KIDX_ATOMIC,
     KIDX_BRANCH,
     KIDX_FENCE,
@@ -139,6 +141,38 @@ class OutOfOrderCore:
         self._c_load_locks_performed = stats.counter("load_locks_performed").add
         self._c_squashes = stats.counter("squashes").add
         self._c_squashed_instrs = stats.counter("squashed_instrs").add
+        # Commit-path bumps that fire per instruction (spin workloads
+        # commit mostly spin ops; every atomic takes the whole block in
+        # _commit_atomic_stats) — prebound like the counters above.
+        # Never-fired prebinds stay invisible (Counter.live).
+        self._c_committed_spin = stats.counter("committed_spin").add
+        self._c_atomics_committed = stats.counter("atomics_committed").add
+        self._c_atomics_committed_spin = stats.counter(
+            "atomics_committed_spin"
+        ).add
+        # Policy-constant choice, resolved once.
+        self._c_atomic_fence_pair = (
+            stats.counter("fences_omitted").add
+            if policy.is_free
+            else stats.counter("fences_executed").add
+        )
+        self._c_fwd_from_atomic = stats.counter("atomics_fwd_from_atomic").add
+        self._c_fwd_from_store = stats.counter("atomics_fwd_from_store").add
+        self._c_loc_forwarded = stats.counter("atomic_locality.forwarded").add
+        self._c_loc_write_hit = stats.counter("atomic_locality.write_hit").add
+        self._c_loc_miss = stats.counter("atomic_locality.miss").add
+        # Frontend/memory stall bumps: spin workloads stall the frontend
+        # on most fetch ticks, so these fire about as often as the
+        # per-instruction counters above.
+        self._c_stall_rob = stats.counter("dispatch_stall.rob").add
+        self._c_stall_aq = stats.counter("dispatch_stall.aq").add
+        self._c_aq_alloc_stalls = stats.counter("aq.alloc_stalls").add
+        self._c_stall_lsq = stats.counter("dispatch_stall.lsq").add
+        self._c_stall_lq = stats.counter("dispatch_stall.lq").add
+        self._c_stall_sq = stats.counter("dispatch_stall.sq").add
+        self._c_load_wait_store = stats.counter("load_wait_store").add
+        self._c_load_lock_resched = stats.counter("load_lock_rescheduled").add
+        self._c_atomic_forwarded = stats.counter("atomic_forwarded").add
 
         self.rename = RenameMap(initial_regs)
         self.rob = ReorderBuffer(self.cfg.rob_entries)
@@ -169,7 +203,7 @@ class OutOfOrderCore:
         self.prefetcher: Optional[StridePrefetcher] = None
         if config.memory.l1_stride_prefetcher:
             self.prefetcher = StridePrefetcher(
-                issue=lambda line: hierarchy.request_read(line, lambda: None),
+                issue=lambda line: hierarchy.request_read(line, _noop),
                 stats=stats,
                 degree=config.memory.prefetch_degree,
             )
@@ -190,16 +224,40 @@ class OutOfOrderCore:
         self.finish_cycle: Optional[int] = None
         self._fetch_scheduled = False
         self._fetch_epoch = 0
-        self._fetch_cb = lambda: self._fetch_tick(0)
         self._dispatch_blocked = False
         self._commit_scheduled = False
-        self._commit_cb = self._commit_tick  # pre-bound: posted every commit
         self._last_commit_cycle = 0
 
         # Indexed-ordering fast paths (A/B escape hatch, read once here
         # like mem.hierarchy does): the bookkeeping below is maintained
-        # either way; only the O(1) queries consult it.
+        # either way; only the O(1) queries consult it.  The batched
+        # fetch/commit twins below additionally swap in whole-window
+        # loop bodies; REPRO_NO_FASTPATH=1 keeps the object-at-a-time
+        # originals.
         self._fast = os.environ.get("REPRO_NO_FASTPATH") != "1"
+        self._fetch_impl = self._fetch_tick_fast if self._fast else self._fetch_tick
+        # pre-bound: posted every commit
+        self._commit_cb = self._commit_tick_fast if self._fast else self._commit_tick
+
+        # Loop-invariant hot-path prebinds (the batched windows and the
+        # per-event callbacks below read these instead of chasing
+        # self.cfg / bound-method attributes on every instruction).
+        self._fetch_width = self.cfg.fetch_width
+        self._commit_width = self.cfg.commit_width
+        self._decoded_last = len(self._decoded) - 1
+        self._regfile = self.rename.regfile
+        self._producers = self.rename._producer
+        self._execute_alu_cb = self._execute_alu
+        self._resolve_branch_cb = self._resolve_branch
+        self._agen_cb = self._agen
+        self._notify_unlock_cb = hierarchy.notify_unlock
+        self._finish_forward_cb = self._finish_forward_pair
+        # Arg-carrying memory-request callbacks (the hierarchy passes
+        # the instruction back through the queue entry — no closure per
+        # load/store request).
+        self._perform_load_cb = self._perform_load
+        self._perform_load_lock_cb = self._perform_load_lock
+        self._perform_store_cb = self._perform_store
 
         # Waiting pools: intrusive queues.  Membership is mirrored in
         # DynInstr.flags (F_STALLED_ATOMIC / F_WAIT_AGEN / F_WAIT_FENCE)
@@ -260,9 +318,9 @@ class OutOfOrderCore:
         if self._fetch_scheduled:
             return
         self._fetch_scheduled = True
-        # _fetch_cb is rebuilt whenever the epoch changes (squash), so
-        # the common case posts a pre-allocated closure.
-        self.queue.post(delay, self._fetch_cb)
+        # The tick's epoch rides along as the stored event argument —
+        # no closure object and no wrapper frame per fetch tick.
+        self.queue.post1(delay, self._fetch_impl, self._fetch_epoch)
 
     def _maybe_resume_fetch(self) -> None:
         """Resources freed: resume a dispatch-blocked frontend."""
@@ -296,7 +354,7 @@ class OutOfOrderCore:
             dec = decoded[pc] if 0 <= pc < last else decoded[last]
             kidx = dec.kidx
             if len(rob_entries) >= rob_capacity:
-                self.stats.bump("dispatch_stall.rob")
+                self._c_stall_rob()
                 self.pc = pc
                 self.next_seq = seq
                 self._dispatch_blocked = True
@@ -334,48 +392,202 @@ class OutOfOrderCore:
         self.next_seq = seq
         self._schedule_fetch(1)
 
+    def _fetch_tick_fast(self, epoch: int) -> None:
+        """Batched fast-path twin of :meth:`_fetch_tick`.
+
+        Same per-instruction decisions in the same order — the window
+        loop just hoists every loop-invariant lookup (widths, decode
+        table bounds), tracks ROB room as a local countdown instead of
+        re-measuring the deque, and adds the dispatched counter once for
+        the whole window.  ``REPRO_NO_FASTPATH=1`` keeps the
+        object-at-a-time original above.
+        """
+        self._fetch_scheduled = False
+        if epoch != self._fetch_epoch or self.halted or self.finished:
+            return
+        decoded = self._decoded
+        last = self._decoded_last
+        rob_entries = self._rob_entries
+        room = self._rob_capacity - len(rob_entries)
+        now = self.queue.now
+        seq = self.next_seq
+        pc = self.pc
+        width = self._fetch_width
+        table = _DISPATCH_TABLE
+        producers = self._producers
+        regfile = self._regfile
+        bw = self.issue_bw
+        bw_width = bw._width
+        post1 = self.queue.post1
+        execute_alu_cb = self._execute_alu_cb
+        resolve_branch_cb = self._resolve_branch_cb
+        branch_latency = self.cfg.branch_latency
+        # PipelineTracer (and tests) may patch _dispatch on the
+        # *instance*; honour the hook instead of the inline fast path.
+        dispatch_hook = self.__dict__.get("_dispatch")
+        fetched = 0
+        dispatched = 0
+        issued = 0
+        blocked = False
+        while fetched < width:
+            # Mirror Program.fetch: wrong-path fetch past either end of
+            # the program resolves to the trailing Halt.
+            dec = decoded[pc] if 0 <= pc < last else decoded[last]
+            kidx = dec.kidx
+            if room <= 0:
+                self._c_stall_rob()
+                blocked = True
+                break
+            if KIDX_ATOMIC <= kidx <= KIDX_STORE and not self._lsq_room(kidx):
+                blocked = True
+                break
+            instr = DynInstr(seq, dec.static, pc, dec.klass, dec)
+            seq += 1
+            room -= 1
+            if kidx == KIDX_BRANCH:
+                taken = self.predictor.predict(pc, dec.static)
+                instr.pred_taken = taken
+                if taken:
+                    instr.next_pc = dec.target_index
+            if dispatch_hook is not None:
+                dispatch_hook(instr)
+            elif kidx <= KIDX_BRANCH:
+                # _dispatch_alu/_dispatch_branch, inlined: the two most
+                # frequent classes skip the per-instruction dispatcher
+                # call frame.  Same captures, same subscriber tuples,
+                # same schedule calls as the out-of-line twins.
+                instr.dispatch_cycle = now
+                rob_entries.append(instr)
+                dispatched += 1
+                regs = dec.value_regs
+                pending = 0
+                if regs:
+                    values = instr.src_values
+                    for reg in regs:
+                        producer = producers[reg]
+                        if producer is None:
+                            values[reg] = regfile[reg]
+                        elif producer.completed:
+                            values[reg] = producer.result  # type: ignore[assignment]
+                        else:
+                            subscribers = producer.dependents
+                            if subscribers is None:
+                                subscribers = producer.dependents = []
+                            subscribers.append((instr, "value", reg))
+                            pending += 1
+                    if pending:
+                        instr.value_pending = pending
+                if kidx == KIDX_ALU:
+                    dst = dec.dst
+                    if dst is not None:
+                        # rename.claim, inlined.
+                        snapshot = instr.prev_producer
+                        if snapshot is None:
+                            snapshot = instr.prev_producer = {}
+                        snapshot[dst] = producers[dst]
+                        producers[dst] = instr
+                    if pending == 0:
+                        # _schedule_alu_execute + _issue_slot, inlined
+                        # (queue.now is constant across the fetch tick,
+                        # so the hoisted ``now`` matches what the
+                        # out-of-line twin would read); the issued_ops
+                        # counter is added once per window below.
+                        issued += 1
+                        cycle = bw._cycle
+                        if now > cycle:
+                            bw._cycle = now
+                            bw._used = 1
+                            slot = now
+                        elif bw._used < bw_width:
+                            bw._used += 1
+                            slot = cycle
+                        else:
+                            cycle += 1
+                            bw._cycle = cycle
+                            bw._used = 1
+                            slot = cycle
+                        instr.issue_cycle = slot
+                        post1(slot - now + dec.alu_latency, execute_alu_cb, instr)
+                elif pending == 0:
+                    issued += 1
+                    cycle = bw._cycle
+                    if now > cycle:
+                        bw._cycle = now
+                        bw._used = 1
+                        slot = now
+                    elif bw._used < bw_width:
+                        bw._used += 1
+                        slot = cycle
+                    else:
+                        cycle += 1
+                        bw._cycle = cycle
+                        bw._used = 1
+                        slot = cycle
+                    instr.issue_cycle = slot
+                    post1(slot - now + branch_latency, resolve_branch_cb, instr)
+            else:
+                instr.dispatch_cycle = now
+                rob_entries.append(instr)
+                dispatched += 1
+                table[kidx](self, instr)
+            pc = instr.next_pc
+            fetched += 1
+            if kidx == KIDX_HALT:
+                self.halted = True
+                break
+        self.pc = pc
+        self.next_seq = seq
+        if dispatched:
+            self._c_dispatched(dispatched)
+        if issued:
+            self._c_issued_ops(issued)
+        if blocked:
+            self._dispatch_blocked = True
+        elif not self.halted:
+            self._schedule_fetch(1)
+
     def _lsq_room(self, kidx: int) -> bool:
         """Dispatch-room check for the memory classes (ROB already ok)."""
         if kidx == KIDX_ATOMIC:
             if self.aq.full:
-                self.stats.bump("dispatch_stall.aq")
-                self.stats.bump("aq.alloc_stalls")
+                self._c_stall_aq()
+                self._c_aq_alloc_stalls()
                 return False
             if self.lq.full or self.sq.full:
-                self.stats.bump("dispatch_stall.lsq")
+                self._c_stall_lsq()
                 return False
             return True
         if kidx == KIDX_LOAD:
             if self.lq.full:
-                self.stats.bump("dispatch_stall.lq")
+                self._c_stall_lq()
                 return False
             return True
         if self.sq.full:
-            self.stats.bump("dispatch_stall.sq")
+            self._c_stall_sq()
             return False
         return True
 
     def _has_dispatch_room(self, klass: InstrClass) -> bool:
         if len(self._rob_entries) >= self._rob_capacity:
-            self.stats.bump("dispatch_stall.rob")
+            self._c_stall_rob()
             return False
         if klass is InstrClass.ATOMIC:
             if self.aq.full:
-                self.stats.bump("dispatch_stall.aq")
-                self.stats.bump("aq.alloc_stalls")
+                self._c_stall_aq()
+                self._c_aq_alloc_stalls()
                 return False
             if self.lq.full or self.sq.full:
-                self.stats.bump("dispatch_stall.lsq")
+                self._c_stall_lsq()
                 return False
             return True
         if klass is InstrClass.LOAD:
             if self.lq.full:
-                self.stats.bump("dispatch_stall.lq")
+                self._c_stall_lq()
                 return False
             return True
         if klass is InstrClass.STORE:
             if self.sq.full:
-                self.stats.bump("dispatch_stall.sq")
+                self._c_stall_sq()
                 return False
             return True
         return True
@@ -428,27 +640,84 @@ class OutOfOrderCore:
                     instr.value_pending += 1
 
     # -- per-class dispatch --------------------------------------------
+    #
+    # The three hottest dispatchers inline _capture_sources (same loop,
+    # same subscriber tuples) — the per-instruction call plus the
+    # kind-string plumbing were measurable.  Store/atomic keep the
+    # shared helper.
 
     def _dispatch_alu(self, instr: DynInstr) -> None:
         dec = instr.dec
-        if dec.value_regs:
-            self._capture_sources(instr, dec.value_regs, "value")
+        regs = dec.value_regs
+        if regs:
+            producers = self._producers
+            regfile = self._regfile
+            values = instr.src_values
+            pending = 0
+            for reg in regs:
+                producer = producers[reg]
+                if producer is None:
+                    values[reg] = regfile[reg]
+                elif producer.completed:
+                    values[reg] = producer.result  # type: ignore[assignment]
+                else:
+                    subscribers = producer.dependents
+                    if subscribers is None:
+                        subscribers = producer.dependents = []
+                    subscribers.append((instr, "value", reg))
+                    pending += 1
+            if pending:
+                instr.value_pending = pending
         if dec.dst is not None:
             self.rename.claim(dec.dst, instr)
         if instr.value_pending == 0:
             self._schedule_alu_execute(instr)
 
     def _dispatch_branch(self, instr: DynInstr) -> None:
-        self._capture_sources(instr, instr.dec.value_regs, "value")
-        if instr.value_pending == 0:
+        producers = self._producers
+        regfile = self._regfile
+        values = instr.src_values
+        pending = 0
+        for reg in instr.dec.value_regs:
+            producer = producers[reg]
+            if producer is None:
+                values[reg] = regfile[reg]
+            elif producer.completed:
+                values[reg] = producer.result  # type: ignore[assignment]
+            else:
+                subscribers = producer.dependents
+                if subscribers is None:
+                    subscribers = producer.dependents = []
+                subscribers.append((instr, "value", reg))
+                pending += 1
+        if pending:
+            instr.value_pending = pending
+        else:
             self._schedule_branch_execute(instr)
 
     def _dispatch_load(self, instr: DynInstr) -> None:
         dec = instr.dec
         self.lq.insert(instr)
-        self._capture_sources(instr, dec.addr_regs, "addr")
+        producers = self._producers
+        regfile = self._regfile
+        values = instr.src_values
+        pending = 0
+        for reg in dec.addr_regs:
+            producer = producers[reg]
+            if producer is None:
+                values[reg] = regfile[reg]
+            elif producer.completed:
+                values[reg] = producer.result  # type: ignore[assignment]
+            else:
+                subscribers = producer.dependents
+                if subscribers is None:
+                    subscribers = producer.dependents = []
+                subscribers.append((instr, "addr", reg))
+                pending += 1
+        if pending:
+            instr.addr_pending = pending
         self.rename.claim(dec.dst, instr)
-        if instr.addr_pending == 0:
+        if pending == 0:
             self._schedule_agen(instr)
 
     def _dispatch_store(self, instr: DynInstr) -> None:
@@ -500,14 +769,16 @@ class OutOfOrderCore:
         subscribers.clear()
 
     def _value_operands_ready(self, instr: DynInstr) -> None:
-        klass = instr.klass
-        if klass is InstrClass.ALU:
+        # kidx compare (small ints) instead of enum identity: this runs
+        # once per woken consumer, and the enum attribute loads showed.
+        kidx = instr.dec.kidx
+        if kidx == KIDX_ALU:
             self._schedule_alu_execute(instr)
-        elif klass is InstrClass.BRANCH:
+        elif kidx == KIDX_BRANCH:
             self._schedule_branch_execute(instr)
-        elif klass is InstrClass.STORE:
+        elif kidx == KIDX_STORE:
             self._store_data_ready(instr)
-        elif klass is InstrClass.ATOMIC:
+        elif kidx == KIDX_ATOMIC:
             self._try_compute_atomic_value(instr)
         else:  # pragma: no cover - no other class captures value sources
             raise AssertionError(f"unexpected value wakeup for {instr}")
@@ -538,7 +809,9 @@ class OutOfOrderCore:
         slot = self._issue_slot()
         instr.issue_cycle = slot
         delay = slot - self.queue.now + instr.dec.alu_latency
-        self.queue.post(delay, lambda: self._execute_alu(instr))
+        # post1 + a prebound callback: no closure and no bound-method
+        # allocation per scheduled µop (ordering-identical to post()).
+        self.queue.post1(delay, self._execute_alu_cb, instr)
 
     def _execute_alu(self, instr: DynInstr) -> None:
         if instr.squashed:
@@ -560,14 +833,16 @@ class OutOfOrderCore:
                     src2 = instr.src_values[dec.src2]
                 else:
                     src2 = 0
-                instr.result = evaluate_alu(dec.static, src1, src2)
+                # Decode-time folded evaluator (one call, masks inlined;
+                # value-identical to evaluate_alu).
+                instr.result = dec.alu_fn(src1, src2)
         self._complete(instr)
 
     def _schedule_branch_execute(self, instr: DynInstr) -> None:
         slot = self._issue_slot()
         instr.issue_cycle = slot
         delay = slot - self.queue.now + self.cfg.branch_latency
-        self.queue.post(delay, lambda: self._resolve_branch(instr))
+        self.queue.post1(delay, self._resolve_branch_cb, instr)
 
     def _resolve_branch(self, instr: DynInstr) -> None:
         if instr.squashed:
@@ -580,7 +855,7 @@ class OutOfOrderCore:
             src2 = instr.src_values[dec.src2]
         else:
             src2 = 0
-        taken = evaluate_branch(dec.static, src1, src2)
+        taken = dec.branch_fn(src1, src2)
         instr.actual_taken = taken
         instr.actual_target = dec.target_index if taken else instr.pc + 1
         mispredicted = taken != instr.pred_taken
@@ -597,7 +872,7 @@ class OutOfOrderCore:
     def _schedule_agen(self, instr: DynInstr) -> None:
         slot = self._issue_slot()
         delay = slot - self.queue.now + AGEN_LATENCY
-        self.queue.post(delay, lambda: self._agen(instr))
+        self.queue.post1(delay, self._agen_cb, instr)
 
     def _agen(self, instr: DynInstr) -> None:
         if instr.squashed or instr.addr_ready:
@@ -612,18 +887,19 @@ class OutOfOrderCore:
         instr.word = address >> _WORD_SHIFT
         instr.line = address >> _LINE_SHIFT
         instr.addr_ready = True
-        if instr.is_load_like:
+        load_like = dec.load_like
+        if load_like:
             self.lq.on_addr_resolved(instr)
 
-        if instr.is_store_like:
+        if dec.store_like:
             self.sq.on_addr_resolved(instr)
             self._check_violations(instr)
             if instr.squashed:
                 return
             self._drain_retry_pool(self._loads_waiting_agen, F_WAIT_AGEN)
-            if instr.klass is InstrClass.STORE:
+            if dec.kidx == KIDX_STORE:
                 self._maybe_complete_store(instr)
-        if instr.is_load_like:
+        if load_like:
             self._try_start_load(instr)
 
     def _check_violations(self, store: DynInstr) -> None:
@@ -688,7 +964,10 @@ class OutOfOrderCore:
             store = decision.store
             assert store is not None
             self._subscribe_perform(store, lambda: self._try_start_load(instr))
-            self.stats.bump("load_lock_rescheduled" if is_atomic else "load_wait_store")
+            if is_atomic:
+                self._c_load_lock_resched()
+            else:
+                self._c_load_wait_store()
             return
 
         # Cache path.
@@ -702,9 +981,9 @@ class OutOfOrderCore:
                 if self.hierarchy.has_write_permission(line)
                 else LocalityClass.MISS
             )
-            self.hierarchy.request_write(line, lambda: self._perform_load_lock(instr))
+            self.hierarchy.request_write(line, self._perform_load_lock_cb, instr)
         else:
-            self.hierarchy.request_read(line, lambda: self._perform_load(instr))
+            self.hierarchy.request_read(line, self._perform_load_cb, instr)
 
     def _subscribe_data(self, store: DynInstr, callback: Callable[[], None]) -> None:
         waiters = store.data_waiters
@@ -817,10 +1096,15 @@ class OutOfOrderCore:
             instr.locality = LocalityClass.FORWARDED
             assert instr.aq_entry is not None
             grant_forwarding_responsibility(instr.aq_entry, store)
-            self.stats.bump("atomic_forwarded")
+            self._c_atomic_forwarded()
         value = store.store_value
         latency = self.config.memory.l1d.hit_latency
-        self.queue.post(latency, lambda: self._finish_forward(instr, value))
+        # post1 + a 2-tuple instead of a closure over (self, instr,
+        # value): forwarding fires constantly in the fwd policies.
+        self.queue.post1(latency, self._finish_forward_cb, (instr, value))
+
+    def _finish_forward_pair(self, pair: tuple) -> None:
+        self._finish_forward(pair[0], pair[1])
 
     def _finish_forward(self, instr: DynInstr, value: int) -> None:
         if instr.squashed:
@@ -828,7 +1112,7 @@ class OutOfOrderCore:
         instr.performed = True
         instr.perform_cycle = self.queue.now
         instr.result = value
-        if instr.is_atomic:
+        if instr.dec.kidx == KIDX_ATOMIC:
             # A forwarded load_lock "performs" logically when its
             # forwarding store does; the watchdog cares about lock
             # acquisition, which here transfers at store-perform time.
@@ -857,7 +1141,7 @@ class OutOfOrderCore:
         if location is None or not self.hierarchy.has_write_permission(line):
             # Lost the line between grant and perform (rare race):
             # re-schedule, as hardware would (footnote 1 of the paper).
-            self.hierarchy.request_write(line, lambda: self._perform_load_lock(instr))
+            self.hierarchy.request_write(line, self._perform_load_lock_cb, instr)
             return
         set_index, way = location
         entry = instr.aq_entry
@@ -929,7 +1213,7 @@ class OutOfOrderCore:
         head.store_issued = True
         line = head.line
         assert line is not None
-        self.hierarchy.request_write(line, lambda: self._perform_store(head))
+        self.hierarchy.request_write(line, self._perform_store_cb, head)
 
     def _perform_store(self, store: DynInstr) -> None:
         assert store.committed and not store.store_performed
@@ -938,7 +1222,7 @@ class OutOfOrderCore:
         location = self.hierarchy.l1_location(line)
         if location is None or not self.hierarchy.has_write_permission(line):
             # Permission was stolen between grant and write: re-acquire.
-            self.hierarchy.request_write(line, lambda: self._perform_store(store))
+            self.hierarchy.request_write(line, self._perform_store_cb, store)
             return
         assert store.store_value is not None
         self.memory.write(store.address, store.store_value)
@@ -1030,7 +1314,11 @@ class OutOfOrderCore:
         if not entries:
             return
         head = entries[0]
-        if not head.completed or not self._commit_ready(head):
+        if not head.completed:
+            return
+        # commit_simple heads (ALU/BRANCH/LOAD/STORE) need no further
+        # readiness check — skip the _commit_ready call they'd pass.
+        if not head.dec.commit_simple and not self._commit_ready(head):
             return
         self._commit_scheduled = True
         self.queue.post(1, self._commit_cb)
@@ -1069,6 +1357,127 @@ class OutOfOrderCore:
             self._maybe_resume_fetch()
         self._maybe_schedule_commit()
 
+    def _commit_tick_fast(self) -> None:
+        """Batched fast-path twin of :meth:`_commit_tick`.
+
+        Inlines :meth:`_commit_ready` and :meth:`_do_commit` into one
+        window loop with the loop-invariant lookups hoisted (the cycle
+        number, the store buffer, the rename arrays, the trace sink) and
+        the total committed counter added once per window.  Decision
+        order and side effects are identical to the original, which
+        ``REPRO_NO_FASTPATH=1`` keeps running.
+        """
+        # PipelineTracer / obs wrap _do_commit on the *instance*; the
+        # inlined window would bypass the wrapper, so honour the hook by
+        # running the object-at-a-time original (same decisions).
+        if "_do_commit" in self.__dict__:
+            self._commit_tick()
+            return
+        self._commit_scheduled = False
+        entries = self._rob_entries
+        width = self._commit_width
+        now = self.queue.now
+        sq = self.sq
+        by_kidx = self._c_committed_by_kidx
+        trace = self.commit_trace
+        regfile = self._regfile
+        producers = self._producers
+        committed = 0
+        spin_committed = 0
+        # Per-class committed counters, accumulated in locals and added
+        # once after the window (exact: aggregate counters only — the
+        # rare ATOMIC/FENCE/HALT classes keep the direct call).
+        n_alu = n_br = n_ld = n_st = 0
+        while committed < width and entries:
+            head = entries[0]
+            if not head.completed:
+                break
+            dec = head.dec
+            kidx = dec.kidx
+            if not dec.commit_simple:
+                if kidx == KIDX_ATOMIC:
+                    if not (
+                        head.performed
+                        and head.new_value_ready
+                        and sq.sb_empty_below(head.seq)
+                    ):
+                        break
+                # FENCE and HALT both wait for their stores to be visible.
+                elif not sq.sb_empty_below(head.seq):
+                    break
+            entries.popleft()
+            # -- _do_commit, inlined ------------------------------------
+            head.committed = True
+            gap = now - self._last_commit_cycle
+            self._last_commit_cycle = now
+            if dec.spin:
+                self.quiescent_cycles += gap
+                spin_committed += 1
+            else:
+                self.active_cycles += gap
+            dst = dec.dst
+            result = head.result
+            if dst is not None and result is not None:
+                # rename.commit, inlined (truncate == mask).
+                regfile[dst] = result & REGISTER_MASK
+                if producers[dst] is head:
+                    producers[dst] = None
+            if trace is not None:
+                self._record_trace(head)
+            committed += 1
+            if kidx == KIDX_ALU:
+                n_alu += 1
+                continue
+            if kidx == KIDX_BRANCH:
+                n_br += 1
+                continue
+            if kidx == KIDX_LOAD:
+                n_ld += 1
+                self.lq.release(head)
+            elif kidx == KIDX_STORE:
+                n_st += 1
+                self._prefetch_store_permission(head)
+                self._try_drain_sb()
+            elif kidx == KIDX_ATOMIC:
+                by_kidx[KIDX_ATOMIC]()
+                self.lq.release(head)
+                self.watchdog.reset()
+                self._commit_atomic_stats(head)
+                self._try_drain_sb()
+            elif kidx == KIDX_FENCE:
+                by_kidx[KIDX_FENCE]()
+                # Fences commit in order, so the committing fence is the
+                # front of the program-ordered deque.
+                if self._fences and self._fences[0] is head:
+                    self._fences.popleft()
+                elif head in self._fences:  # pragma: no cover - defensive
+                    self._fences.remove(head)
+                self.stats.bump("fences_executed")
+                self._drain_retry_pool(self._loads_waiting_fence, F_WAIT_FENCE)
+            else:  # KIDX_HALT
+                by_kidx[KIDX_HALT]()
+                self.finished = True
+                self.finish_cycle = now
+                if self.on_finished is not None:
+                    self.on_finished()
+                break
+        if committed:
+            self._c_committed(committed)
+            if n_alu:
+                by_kidx[KIDX_ALU](n_alu)
+            if n_br:
+                by_kidx[KIDX_BRANCH](n_br)
+            if n_ld:
+                by_kidx[KIDX_LOAD](n_ld)
+            if n_st:
+                by_kidx[KIDX_STORE](n_st)
+            if spin_committed:
+                # Aggregate counter: one add for the window is exact.
+                self._c_committed_spin(spin_committed)
+            self._drain_retry_pool(self._stalled_atomics, F_STALLED_ATOMIC)
+            self._maybe_resume_fetch()
+        self._maybe_schedule_commit()
+
     def _do_commit(self, instr: DynInstr) -> None:
         now = self.queue.now
         dec = instr.dec
@@ -1077,7 +1486,7 @@ class OutOfOrderCore:
         self._last_commit_cycle = now
         if dec.spin:
             self.quiescent_cycles += gap
-            self.stats.bump("committed_spin")
+            self._c_committed_spin()
         else:
             self.active_cycles += gap
         self._c_committed()
@@ -1128,7 +1537,7 @@ class OutOfOrderCore:
             return
         if not self.hierarchy.has_write_permission(line):
             self.stats.bump("store_prefetches")
-            self.hierarchy.request_write(line, lambda: None)
+            self.hierarchy.request_write(line, _noop)
 
     def _record_trace(self, instr: DynInstr) -> None:
         assert self.commit_trace is not None
@@ -1149,23 +1558,22 @@ class OutOfOrderCore:
             self.commit_trace.append(Operation.fence())
 
     def _commit_atomic_stats(self, instr: DynInstr) -> None:
-        self.stats.bump("atomics_committed")
-        if instr.is_spin:
-            self.stats.bump("atomics_committed_spin")
-        if self.policy.is_free:
-            self.stats.bump("fences_omitted", 2)
+        self._c_atomics_committed()
+        if instr.dec.spin:
+            self._c_atomics_committed_spin()
+        self._c_atomic_fence_pair(2)
+        kind = instr.forward_kind
+        if kind is ForwardKind.FROM_ATOMIC:
+            self._c_fwd_from_atomic()
+        elif kind is ForwardKind.FROM_STORE:
+            self._c_fwd_from_store()
+        locality = instr.locality
+        if locality is LocalityClass.FORWARDED:
+            self._c_loc_forwarded()
+        elif locality is LocalityClass.WRITE_HIT:
+            self._c_loc_write_hit()
         else:
-            self.stats.bump("fences_executed", 2)
-        if instr.forward_kind is ForwardKind.FROM_ATOMIC:
-            self.stats.bump("atomics_fwd_from_atomic")
-        elif instr.forward_kind is ForwardKind.FROM_STORE:
-            self.stats.bump("atomics_fwd_from_store")
-        if instr.locality is LocalityClass.FORWARDED:
-            self.stats.bump("atomic_locality.forwarded")
-        elif instr.locality is LocalityClass.WRITE_HIT:
-            self.stats.bump("atomic_locality.write_hit")
-        else:
-            self.stats.bump("atomic_locality.miss")
+            self._c_loc_miss()
 
     # ==================================================================
     # squash
@@ -1180,7 +1588,7 @@ class OutOfOrderCore:
         self.sq.squash_from(seq)
         for instr in squashed:
             instr.squashed = True
-            if instr.is_store_like:
+            if instr.dec.store_like:
                 self.storeset.forget(instr)
         # Both deques are program-ordered and everything squashed is a
         # suffix (seq >= squash seq), so pop from the back.
@@ -1194,9 +1602,7 @@ class OutOfOrderCore:
         # Redirect fetch (a nested squash from the AQ unlock path below
         # may override this with an older redirect — that is correct).
         self.halted = False
-        epoch = self._fetch_epoch + 1
-        self._fetch_epoch = epoch
-        self._fetch_cb = lambda: self._fetch_tick(epoch)
+        self._fetch_epoch += 1
         self._fetch_scheduled = False
         self._dispatch_blocked = False
         self.pc = new_pc
@@ -1230,7 +1636,7 @@ class OutOfOrderCore:
 
     def _schedule_unlock_notify(self, line: int) -> None:
         """Decouple deferred-request replay from the unlocking event."""
-        self.queue.post(0, lambda: self.hierarchy.notify_unlock(line))
+        self.queue.post1(0, self._notify_unlock_cb, line)
 
 
 #: Dispatch handlers indexed by the decode record's ``kidx`` (hot-path

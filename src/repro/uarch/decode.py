@@ -34,6 +34,7 @@ from repro.isa.instructions import (
     Store,
 )
 from repro.isa.program import Program
+from repro.isa.semantics import ALU_FN, BRANCH_FN
 from repro.uarch.dynins import InstrClass
 
 _MASK64 = (1 << 64) - 1
@@ -92,6 +93,10 @@ class DecodedOp:
         "store_src",
         "store_imm",
         "expected",
+        "alu_fn",
+        "branch_fn",
+        "load_like",
+        "store_like",
     )
 
     def __init__(
@@ -115,6 +120,10 @@ class DecodedOp:
         self.store_src: Optional[int] = None
         self.store_imm: Optional[int] = None
         self.expected: Optional[int] = None
+        #: Folded evaluator for EXEC_EVAL ALU ops / branch conditions
+        #: (see repro.isa.semantics.ALU_FN / BRANCH_FN).
+        self.alu_fn = None
+        self.branch_fn = None
 
         kind = type(static)
         if kind is Alu:
@@ -135,6 +144,7 @@ class DecodedOp:
                 self.const = static.imm or 0
             else:
                 self.exec_mode = EXEC_EVAL
+                self.alu_fn = ALU_FN[static.op]
         elif kind is LoadImm:
             self.klass = InstrClass.ALU
             self.dst = static.dst
@@ -153,6 +163,7 @@ class DecodedOp:
             if static.imm is not None:
                 self.imm_masked = static.imm & _MASK64
             self.target_index = static.target_index
+            self.branch_fn = BRANCH_FN[static.cond]
         elif kind is Load:
             self.klass = InstrClass.LOAD
             self.dst = static.dst
@@ -180,10 +191,14 @@ class DecodedOp:
             self.klass = InstrClass.HALT
         else:  # pragma: no cover - subclassed ISA types
             self.klass = InstrClass.of(static)
-        self.kidx = _KIDX_BY_KLASS[self.klass]
+        kidx = self.kidx = _KIDX_BY_KLASS[self.klass]
         #: Commit needs no store-buffer check (everything but
         #: ATOMIC/FENCE/HALT commits as soon as it completed).
-        self.commit_simple = self.kidx < KIDX_FENCE and self.kidx != KIDX_ATOMIC
+        self.commit_simple = kidx < KIDX_FENCE and kidx != KIDX_ATOMIC
+        #: Precomputed DynInstr.is_load_like / is_store_like (the hot
+        #: memory-unit paths read a slot instead of a property call).
+        self.load_like = kidx == KIDX_LOAD or kidx == KIDX_ATOMIC
+        self.store_like = kidx == KIDX_STORE or kidx == KIDX_ATOMIC
 
     def _decode_mem(self, mem) -> None:
         self.addr_regs = _dedup(mem.source_registers())

@@ -43,7 +43,9 @@ class StoreSetPredictor:
 
     def predicted_dependency(self, load: DynInstr) -> Optional[DynInstr]:
         """The store this load should wait on, if prediction says so."""
-        set_id = self._set_for(load.pc)
+        # _set_for inlined: this is probed by every load issue attempt,
+        # and loads outside any set (the common case) exit on one get.
+        set_id = self._ssit.get(load.pc % self._entries)
         if set_id is None:
             return None
         store = self._lfst.get(set_id)

@@ -5,14 +5,22 @@ same point run serially, in a pool worker, and restored from the disk
 cache must yield byte-identical ResultSummary JSON.
 """
 
+import gc
+import io
+import pickle
+from multiprocessing.reduction import ForkingPickler
+
 import pytest
 
 from repro.analysis.engine import (
     JOBS_ENV,
+    batch_gc_tuning,
+    effective_jobs,
     experiment_points,
     harness_points,
     prefetch,
     resolve_jobs,
+    run_batch,
 )
 from repro.analysis.runner import (
     ExperimentScale,
@@ -54,6 +62,43 @@ class TestResolveJobs:
         monkeypatch.setenv(JOBS_ENV, "many")
         with pytest.raises(ConfigError):
             resolve_jobs()
+
+
+class TestEffectiveJobs:
+    """The harness records what actually ran, via effective_jobs."""
+
+    def test_serial_for_one_point(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert effective_jobs(8, 1) == 1
+
+    def test_capped_by_point_count(self):
+        assert effective_jobs(8, 3) == 3
+
+    def test_resolved_when_points_abound(self):
+        assert effective_jobs(2, 12) == 2
+
+    def test_serial_request_stays_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert effective_jobs(None, 12) == 1
+
+
+class TestBatchRunner:
+    def test_run_batch_dedups_and_memoizes(self):
+        resolved = run_batch([POINT, POINT])
+        assert set(resolved) == {POINT}
+        assert memoized(*POINT) is resolved[POINT]
+
+    def test_run_batch_skips_memoized(self):
+        run_benchmark("AS", FREE_ATOMICS_FWD, SCALE)
+        assert run_batch([POINT]) == {}
+
+    def test_gc_tuning_restores_host_state(self):
+        from repro.analysis.engine import _BATCH_GC_THRESHOLDS
+
+        before = gc.get_threshold()
+        with batch_gc_tuning():
+            assert gc.get_threshold() == _BATCH_GC_THRESHOLDS
+        assert gc.get_threshold() == before
 
 
 class TestPointEnumeration:
@@ -141,3 +186,34 @@ class TestDeterminismUnderParallelism:
         assert restored.stats.aggregate("committed") == (
             summary.stats.aggregate("committed")
         )
+
+    def test_obs_summary_survives_engine_pickling(self):
+        """meta['health'] must survive the pool's pickle transport.
+
+        The parallel engine ships ResultSummary objects between worker
+        and parent via multiprocessing's ForkingPickler; an
+        observability-attached summary carries the (nested, dict-heavy)
+        run-health report in ``meta['health']``, which is exactly the
+        part a lossy ``__reduce__`` or a non-picklable leak (a bound
+        method, a live core) would corrupt first.
+        """
+        from repro.analysis.runner import bench_system_config, bench_workload
+        from repro.obs.attach import Observability
+        from repro.system.simulator import run_workload
+
+        workload = bench_workload("AS", SCALE)
+        config = bench_system_config(SCALE)
+        result = run_workload(
+            workload,
+            policy=FREE_ATOMICS_FWD,
+            config=config,
+            observability=Observability(),
+        )
+        summary = result.summary(meta={"benchmark": "AS"})
+        assert "health" in summary.meta
+
+        buffer = io.BytesIO()
+        ForkingPickler(buffer).dump(summary)
+        restored = pickle.loads(buffer.getvalue())
+        assert restored.meta["health"] == summary.meta["health"]
+        assert restored.canonical_json() == summary.canonical_json()

@@ -16,6 +16,7 @@ elision).
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
 
@@ -151,6 +152,62 @@ def test_litmus_suite_identical_traces(name, policy, monkeypatch):
     assert traces_fast == traces_slow
     assert json_fast == json_slow
     assert not test.forbidden(obs_fast)
+
+
+def _obs_run(workload, policy, config, monkeypatch, fastpath: bool):
+    """One observability-attached run: event stream + counts + summary."""
+    if fastpath:
+        monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    from repro.obs.attach import Observability
+
+    obs = Observability()
+    result = run_workload(
+        workload, policy=policy, config=config, observability=obs
+    )
+    events = [
+        (e.cycle, e.cat, e.kind, e.src, e.seq, e.dur, e.info)
+        for e in obs.bus.ring
+    ]
+    return events, dict(obs.bus.counts), result.summary().canonical_json()
+
+
+@pytest.mark.parametrize("bench_name", ["AS", "watersp"])
+def test_obs_attached_event_streams_identical(bench_name, monkeypatch):
+    """Obs-attached A/B: the batched engine must fall back to (or alias-
+    refresh into) the hook paths so wrapped stages see every invocation —
+    the full structured event stream, the exact per-stream counts, and
+    the summary (including ``meta['health']``) must match byte for byte.
+    """
+    scale = WorkloadScale(num_threads=2, instructions_per_thread=300, seed=9)
+    workload = generate_workload(bench_name, scale)
+    config = zero_hit_config(2)
+    fast = _obs_run(workload, FREE_ATOMICS_FWD, config, monkeypatch, True)
+    slow = _obs_run(workload, FREE_ATOMICS_FWD, config, monkeypatch, False)
+    assert fast[0] == slow[0], "structured event streams diverge"
+    assert fast[1] == slow[1], "per-stream event counts diverge"
+    assert fast[2] == slow[2], "summaries (incl. health) diverge"
+    assert "health" in json.loads(fast[2])["meta"]
+
+
+@pytest.mark.parametrize("bench_name,seed", [("AS", 13), ("watersp", 21)])
+def test_randomized_8_thread_workloads_identical(bench_name, seed, monkeypatch):
+    """A/B at 8 threads: more cores than any other equivalence point,
+    so cross-core interleavings (directory traffic, lock convoys, the
+    quiescing of idle cores) cover orderings the 2-thread points cannot
+    reach.
+    """
+    scale = WorkloadScale(num_threads=8, instructions_per_thread=200, seed=seed)
+    workload = generate_workload(bench_name, scale)
+    config = zero_hit_config(8)
+    with_fast = canonical(
+        workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=True
+    )
+    without = canonical(
+        workload, FREE_ATOMICS_FWD, config, monkeypatch, fastpath=False
+    )
+    assert with_fast == without
 
 
 def test_sync_fastpath_actually_fires(monkeypatch):
