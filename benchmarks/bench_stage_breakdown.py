@@ -20,6 +20,17 @@ Stages:
   hierarchy and store-buffer drain;
 - ``commit``         — the batched commit window.
 
+The memory system below the cores is split into its own sub-stages so
+perf PRs can see where coherence time goes instead of lumping it into
+``other``:
+
+- ``mem:cache``        — per-core hierarchy work: ``_access`` (L1/L2
+  lookups, miss allocation) and the L1 controller's ``on_message``
+  coherence handler;
+- ``mem:directory``    — the directory controller's ``on_message``;
+- ``mem:interconnect`` — crossbar injection (``send``) and the
+  batched/single delivery events (``_deliver_batch``/``_deliver1``).
+
 Run it directly for a quick table::
 
     PYTHONPATH=src python benchmarks/bench_stage_breakdown.py
@@ -60,12 +71,12 @@ class StageAccountant:
         stack = self._stack
         perf_counter = time.perf_counter
 
-        def timed(*args):
+        def timed(*args, **kwargs):
             start = perf_counter()
             frame = [stage, 0.0]
             stack.append(frame)
             try:
-                return fn(*args)
+                return fn(*args, **kwargs)
             finally:
                 elapsed = perf_counter() - start
                 stack.pop()
@@ -101,6 +112,31 @@ class StageAccountant:
         core._perform_store_cb = self.wrap("memory", core._perform_store_cb)
         core._finish_forward_cb = self.wrap("memory", core._finish_forward_cb)
 
+    def attach_memory(self, system) -> None:
+        """Wrap the memory system below the cores into ``mem:*`` stages.
+
+        The interconnect reads ``self.send`` / ``self._deliver*`` and the
+        cores read ``hierarchy._access`` through instance attributes on
+        every use, so instance-level reassignment works as it does for
+        the core stages.  The coherence *handlers* are different: the
+        interconnect captures them into its dense ``_handlers`` table at
+        registration time (index ``node + 1``, directory at node ``-1``),
+        so those are wrapped in the table itself.
+        """
+        network = system.network
+        network.send = self.wrap("mem:interconnect", network.send)
+        network._deliver1 = self.wrap("mem:interconnect", network._deliver1)
+        network._deliver_batch = self.wrap(
+            "mem:interconnect", network._deliver_batch
+        )
+        handlers = network._handlers
+        handlers[0] = self.wrap("mem:directory", handlers[0])
+        for core in system.cores:
+            hierarchy = core.hierarchy
+            hierarchy._access = self.wrap("mem:cache", hierarchy._access)
+            index = hierarchy.core_id + 1
+            handlers[index] = self.wrap("mem:cache", handlers[index])
+
 
 def stage_breakdown(
     benchmark: str = _BENCHMARK,
@@ -119,6 +155,7 @@ def stage_breakdown(
     accountant = StageAccountant()
     for core in system.cores:
         accountant.attach(core)
+    accountant.attach_memory(system)
     start = time.perf_counter()
     system.run()
     total = time.perf_counter() - start
@@ -155,7 +192,16 @@ def bench_stage_breakdown(benchmark):
     """pytest-benchmark entry: the instrumented run, breakdown asserted sane."""
     result = benchmark.pedantic(stage_breakdown, rounds=1, iterations=1)
     # The wrappers must have seen every stage at least once.
-    for stage in ("fetch/dispatch", "wakeup", "execute", "memory", "commit"):
+    for stage in (
+        "fetch/dispatch",
+        "wakeup",
+        "execute",
+        "memory",
+        "commit",
+        "mem:cache",
+        "mem:directory",
+        "mem:interconnect",
+    ):
         assert result["calls"][stage] > 0, stage
     assert 0.0 <= result["shares"]["other"] <= 1.0
 

@@ -32,8 +32,15 @@ perf-regression gate, on both the batched default and the
 
 Usage::
 
-    python scripts/bench_harness.py [--jobs N] [--quick] [--cached] [--reps N]
+    python scripts/bench_harness.py [--jobs N] [--scale quick|default|paper]
+                                    [--cached] [--reps N]
     python scripts/bench_harness.py --compare [--fail-threshold 25]
+
+Recording runs also time one dedicated paper-scale point (canneal at
+32 threads, reduced instruction count, the ``free+fwd`` policy) and
+record it as ``paper_point_seconds``; ``--scale paper`` additionally
+runs the whole sweep at the 32-thread machine width (canneal only —
+see ``PAPER_BENCHMARKS``).
 """
 
 from __future__ import annotations
@@ -65,6 +72,24 @@ GATED_METRICS = (
 
 BENCHMARKS = ("AS", "watersp", "canneal")
 
+#: The paper's machine is 32 cores; ``--scale paper`` sweeps at that
+#: width and every recording run times one dedicated 32-core point.
+PAPER_THREADS = 32
+
+#: The 32-thread preset sweeps only ``canneal``: the barrier-heavy
+#: kernels (watersp, AS) spin-wait while all 32 threads arrive, so
+#: their simulated work grows roughly quadratically with thread count
+#: (~2 minutes per point on one host core) — far too slow for a
+#: recorded preset, and the extra work is pure spinning anyway.
+PAPER_BENCHMARKS = ("canneal",)
+
+#: (num_threads, instructions_per_thread) per ``--scale`` preset.
+SCALES = {
+    "quick": (2, 600),
+    "default": (4, 1000),
+    "paper": (PAPER_THREADS, 300),
+}
+
 
 def kernel_events_per_sec(num_events: int = 200_000, repeats: int = 5) -> float:
     """Raw EventQueue throughput: post + drain ``num_events`` callbacks.
@@ -91,6 +116,30 @@ def kernel_events_per_sec(num_events: int = 200_000, repeats: int = 5) -> float:
         elapsed = time.perf_counter() - start
         assert sink[0] == num_events
         best = max(best, num_events / elapsed)
+    return best
+
+
+def paper_point_seconds(reps: int = 2) -> float:
+    """Wall seconds for one paper-scale point: 32 threads, reduced
+    instruction count, the paper's headline policy (``free+fwd``).
+
+    Recorded alongside the sweep metrics so the trajectory tracks the
+    configuration the paper's figures actually need, not just the small
+    sweep; best-of-``reps`` like the sweep itself.
+    """
+    from repro.analysis.engine import prefetch
+    from repro.analysis.runner import ExperimentScale, clear_cache
+
+    scale = ExperimentScale(
+        num_threads=PAPER_THREADS, instructions_per_thread=300
+    )
+    point = [("canneal", "free+fwd", scale, "icelake")]
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        clear_cache()
+        start = time.perf_counter()
+        prefetch(point, jobs=1)
+        best = min(best, time.perf_counter() - start)
     return best
 
 
@@ -150,7 +199,14 @@ def main() -> int:
         "--jobs", type=int, default=None, help="worker processes (0 = all cores)"
     )
     parser.add_argument(
-        "--quick", action="store_true", help="smaller scale (for CI smoke)"
+        "--quick", action="store_true", help="alias for --scale quick"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="sweep scale preset: quick (CI smoke), default, or paper "
+        f"({PAPER_THREADS}-thread machine at reduced instruction count)",
     )
     parser.add_argument(
         "--cached",
@@ -192,14 +248,16 @@ def main() -> int:
     from repro.analysis.runner import ExperimentScale, clear_cache
     from repro.core.policy import ALL_POLICIES
 
-    scale = (
-        ExperimentScale(num_threads=2, instructions_per_thread=600)
-        if args.quick
-        else ExperimentScale(num_threads=4, instructions_per_thread=1000)
+    if args.quick:
+        args.scale = "quick"
+    num_threads, instructions = SCALES[args.scale]
+    scale = ExperimentScale(
+        num_threads=num_threads, instructions_per_thread=instructions
     )
+    benchmarks = PAPER_BENCHMARKS if args.scale == "paper" else BENCHMARKS
     points = [
         (name, policy.name, scale, "icelake")
-        for name in BENCHMARKS
+        for name in benchmarks
         for policy in ALL_POLICIES
     ]
     jobs = resolve_jobs(args.jobs)
@@ -224,10 +282,12 @@ def main() -> int:
         "schema": 1,
         "date": datetime.date.today().isoformat(),
         "config": {
-            "benchmarks": list(BENCHMARKS),
+            "benchmarks": list(benchmarks),
             "policies": [p.name for p in ALL_POLICIES],
+            "scale": args.scale,
             "num_threads": scale.num_threads,
             "instructions_per_thread": scale.instructions_per_thread,
+            "paper_point_threads": PAPER_THREADS,
             "jobs": jobs,
             "effective_jobs": effective,
             "sweep_reps": reps,
@@ -244,6 +304,13 @@ def main() -> int:
             "core_events_per_sec": round(core_events_per_sec(), 1),
         },
     }
+    if not args.compare:
+        # The dedicated 32-core point (the paper's machine width) rides
+        # along on every recording run; --compare skips it because it is
+        # not gated and would double the gate's wall time.
+        record["metrics"]["paper_point_seconds"] = round(
+            paper_point_seconds(), 3
+        )
     if args.compare:
         if not OUTPUT.exists():
             print(f"[no committed baseline at {OUTPUT}; nothing to compare]")

@@ -38,6 +38,9 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterator, Optional
 
+#: Shared empty result for locked_l1_ways (read-only by contract).
+_EMPTY_WAYS: set[int] = set()
+
 from repro.common.stats import StatsRegistry
 from typing import TYPE_CHECKING
 
@@ -240,7 +243,9 @@ class AtomicQueue:
     def locked_l1_ways(self, set_index: int) -> set[int]:
         if self._fast:
             ways = self._set_way_counts.get(set_index)
-            return set(ways) if ways else set()
+            # Callers only probe membership; the shared constant keeps
+            # the no-locks common case allocation-free.
+            return set(ways) if ways else _EMPTY_WAYS
         return {
             e.way  # type: ignore[misc]
             for e in self._entries

@@ -83,8 +83,10 @@ class CacheArray:
             return existing
         set_index = self.set_of(line)
         ways = self._lines[set_index]
+        if not isinstance(excluded_ways, (set, frozenset)):
+            excluded_ways = set(excluded_ways)
         for way in range(self.ways):
-            if ways[way] is None and way not in set(excluded_ways):
+            if ways[way] is None and way not in excluded_ways:
                 return self._place(set_index, way, line)
         victim_way = self._replacement.choose_victim(set_index, excluded_ways)
         if victim_way is None:

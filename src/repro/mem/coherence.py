@@ -16,20 +16,27 @@ from dataclasses import dataclass, field
 
 
 class MESIState(enum.Enum):
-    """Private-cache coherence states."""
+    """Private-cache coherence states.
+
+    ``writable``/``readable`` are plain member attributes (filled in
+    right below the class), not properties: the hierarchy reads one of
+    them on every memory access and the descriptor-call overhead was
+    measurable at sweep scale.
+    """
 
     MODIFIED = "M"
     EXCLUSIVE = "E"
     SHARED = "S"
     INVALID = "I"
 
-    @property
-    def writable(self) -> bool:
-        return self in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+    writable: bool
+    readable: bool
 
-    @property
-    def readable(self) -> bool:
-        return self is not MESIState.INVALID
+
+for _state in MESIState:
+    _state.writable = _state in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+    _state.readable = _state is not MESIState.INVALID
+del _state
 
 
 class MessageKind(enum.Enum):

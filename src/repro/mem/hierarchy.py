@@ -30,7 +30,6 @@ continuation skip the queue entirely.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.common.config import MemoryConfig
@@ -62,6 +61,10 @@ class LockView(Protocol):
     def locked_l1_ways(self, set_index: int) -> set[int]: ...
 
 
+#: Shared empty lock result (read-only by contract; see LockView).
+_EMPTY_WAYS: set[int] = set()
+
+
 class _NoLocks:
     """Default lock view: nothing is ever locked."""
 
@@ -69,21 +72,28 @@ class _NoLocks:
         return False
 
     def locked_l1_ways(self, set_index: int) -> set[int]:
-        return set()
+        return _EMPTY_WAYS
 
 
-@dataclass
-class _Waiter:
-    need_write: bool
-    callback: Callable
-    arg: object = None
-
-
-@dataclass
 class _Mshr:
-    line: int
-    requested_write: bool
-    waiters: List[_Waiter] = field(default_factory=list)
+    """One in-flight miss: the request sent plus the merged waiters.
+
+    Waiters are plain ``(need_write, callback, arg)`` tuples and the MSHR
+    objects themselves are pooled by the hierarchy (``_recycle_mshr``) —
+    miss handling is the steady-state path of every workload with a
+    working set beyond the L1, so it allocates nothing once warm.
+    """
+
+    __slots__ = ("line", "requested_write", "waiters")
+
+    def __init__(self, line: int, requested_write: bool) -> None:
+        self.line = line
+        self.requested_write = requested_write
+        self.waiters: List[tuple] = []
+
+
+#: Upper bound on pooled _Mshr objects per hierarchy.
+_MSHR_POOL_LIMIT = 32
 
 
 class PrivateHierarchy:
@@ -120,6 +130,7 @@ class PrivateHierarchy:
         self._fastpath = self._shortcuts and self._l1_hit_latency == 0
         self._state: Dict[int, MESIState] = {}
         self._mshrs: Dict[int, _Mshr] = {}
+        self._mshr_pool: List[_Mshr] = []
         self._deferred: Dict[int, List[CoherenceMessage]] = {}
         self.lock_view: LockView = _NoLocks()
         #: Called when a line leaves the hierarchy (Inv or L2 eviction).
@@ -188,14 +199,20 @@ class PrivateHierarchy:
         self._c_misses.add()
         mshr = self._mshrs.get(line)
         if mshr is not None:
-            mshr.waiters.append(_Waiter(need_write, callback, arg))
+            mshr.waiters.append((need_write, callback, arg))
             if need_write and not mshr.requested_write:
                 # The in-flight GetS will not suffice; a GetX follows when
                 # the response arrives (handled in _on_data).
                 self._stats.bump("upgrade_after_gets")
             return
-        mshr = _Mshr(line=line, requested_write=need_write)
-        mshr.waiters.append(_Waiter(need_write, callback, arg))
+        pool = self._mshr_pool
+        if pool:
+            mshr = pool.pop()
+            mshr.line = line
+            mshr.requested_write = need_write
+        else:
+            mshr = _Mshr(line, need_write)
+        mshr.waiters.append((need_write, callback, arg))
         self._mshrs[line] = mshr
         kind = MessageKind.GET_X if need_write else MessageKind.GET_S
         self._network.send_msg(kind, line, self.core_id, DIRECTORY_NODE)
@@ -263,21 +280,55 @@ class PrivateHierarchy:
             MessageKind.UNBLOCK, line, self.core_id, DIRECTORY_NODE
         )
         self._install(line)
-        unsatisfied: List[_Waiter] = []
+        waiters = mshr.waiters
         fill_latency = self._l1_hit_latency
-        for waiter in mshr.waiters:
-            if waiter.need_write and not granted.writable:
-                unsatisfied.append(waiter)
-            elif waiter.arg is None:
-                self._queue.post(fill_latency, waiter.callback)
+        if granted.writable and self._shortcuts:
+            # Every waiter is satisfied and the seed's per-waiter posts
+            # were consecutive (nothing could be posted between them), so
+            # one batch event running them back-to-back at the first
+            # post's position is exactly order-equivalent: any other
+            # event at that cycle has a strictly smaller or larger order
+            # counter and drains entirely before or after the batch.
+            if len(waiters) == 1:
+                need_write, callback, arg = waiters[0]
+                if arg is None:
+                    self._queue.post(fill_latency, callback)
+                else:
+                    self._queue.post1(fill_latency, callback, arg)
+                self._recycle_mshr(mshr)
             else:
-                self._queue.post1(fill_latency, waiter.callback, waiter.arg)
-        for waiter in unsatisfied:
-            # The grant was only S but this waiter needs write permission:
-            # go around again with a GetX (upgrade).
-            self._access(
-                line, need_write=True, callback=waiter.callback, arg=waiter.arg
-            )
+                self._queue.post1(fill_latency, self._run_waiters_cb, mshr)
+            return
+        unsatisfied: Optional[List[tuple]] = None
+        for waiter in waiters:
+            if waiter[0] and not granted.writable:
+                if unsatisfied is None:
+                    unsatisfied = []
+                unsatisfied.append(waiter)
+            elif waiter[2] is None:
+                self._queue.post(fill_latency, waiter[1])
+            else:
+                self._queue.post1(fill_latency, waiter[1], waiter[2])
+        if unsatisfied is not None:
+            for _, callback, arg in unsatisfied:
+                # The grant was only S but this waiter needs write
+                # permission: go around again with a GetX (upgrade).
+                self._access(line, need_write=True, callback=callback, arg=arg)
+        self._recycle_mshr(mshr)
+
+    def _run_waiters_cb(self, mshr: _Mshr) -> None:
+        """Batched MSHR completion: run all merged waiters in order."""
+        for need_write, callback, arg in mshr.waiters:
+            if arg is None:
+                callback()
+            else:
+                callback(arg)
+        self._recycle_mshr(mshr)
+
+    def _recycle_mshr(self, mshr: _Mshr) -> None:
+        if len(self._mshr_pool) < _MSHR_POOL_LIMIT:
+            mshr.waiters.clear()
+            self._mshr_pool.append(mshr)
 
     def _install(self, line: int) -> None:
         """Fill L2 then L1, cascading evictions (L2 is inclusive of L1)."""

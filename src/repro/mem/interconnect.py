@@ -1,4 +1,4 @@
-"""Crossbar interconnect model.
+"""Banked crossbar interconnect model.
 
 A fixed per-message latency plus per-endpoint injection serialization:
 each node can inject one message per cycle, so bursts from a single node
@@ -6,22 +6,40 @@ spread out in time (the property GARNET gives the paper that actually
 matters for ordering).  Delivery order between a fixed (src, dst) pair is
 FIFO, which the coherence protocol relies on.
 
+The crossbar is *banked* by line address: ``bank_of(line) = line %
+num_banks`` statically routes every message of a line through one bank
+(O(1), no arbitration state).  Banking is purely structural — the timing
+model (injection serialization + fixed latency) is unchanged — but it
+shards the delivery bookkeeping so each bank keeps one *open batch* per
+target cycle: messages from the same bank landing on the same cycle ride
+in one event-queue entry and drain as one list walk instead of one event
+each.  The piggyback is exact (see :meth:`Interconnect.send`) and is
+disabled along with every other shortcut by ``REPRO_NO_FASTPATH=1``.
+
 Hot-path design: :meth:`Interconnect.send_msg` allocates the
 :class:`CoherenceMessage` from a free-list pool and recycles it right
 after the destination handler returns, so the steady-state message churn
 of the directory/L1 exchange allocates nothing.  Handlers that keep a
 message alive past their return (deferral and blocked-request queues)
-mark it ``retained`` and give it back through :meth:`release` when
-done.  Same-cycle deliveries are batched by the event kernel's calendar
-ring — each delivery is one O(1) bucket append, and a whole cycle's
-messages drain as one list walk.
+mark it ``retained`` and give it back through :meth:`release` when done.
+Handlers and next-injection cycles live in dense lists indexed by
+``node + 1`` (the directory is node ``-1``), and deliveries are posted
+through ``post1`` with prebound callbacks — no per-message closure.
+
+Debug-mode leak checking: with ``REPRO_POOL_DEBUG=1`` the interconnect
+tracks every pooled message a handler retains and :meth:`assert_no_leaks`
+(called by ``System.run`` once the queue has drained empty) raises if
+any retained message was never released — the retain/release protocol's
+equivalent of an ASan leak report.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import os
+from typing import Callable, Dict, List, Optional
 
-from repro.common.events import EventQueue
+from repro.common.errors import SimulationError
+from repro.common.events import _RING_MASK, RING_CYCLES, EventQueue
 from repro.common.stats import StatsRegistry
 from repro.mem.coherence import CoherenceMessage, MessageKind
 
@@ -30,20 +48,27 @@ Handler = Callable[[CoherenceMessage], None]
 #: Maximum number of recycled messages kept on the free list.
 POOL_LIMIT = 512
 
+#: Default number of address banks (overridden via MemoryConfig.llc_banks).
+DEFAULT_BANKS = 8
+
 
 class Interconnect:
-    """Crossbar: endpoints register handlers; ``send`` routes messages."""
+    """Banked crossbar: endpoints register handlers; ``send`` routes."""
 
     def __init__(
         self,
         queue: EventQueue,
         latency: int,
         stats: StatsRegistry,
+        banks: int = DEFAULT_BANKS,
     ) -> None:
         if latency < 1:
             raise ValueError("network latency must be >= 1")
+        if banks < 1:
+            raise ValueError("interconnect banks must be >= 1")
         self._queue = queue
         self._latency = latency
+        self._num_banks = banks
         self._stats = stats.scoped("network")
         self._c_messages = self._stats.counter("messages")
         # Per-kind counters, pre-bound once (enum identity hash beats a
@@ -51,20 +76,44 @@ class Interconnect:
         self._c_kind: Dict[MessageKind, object] = {
             kind: self._stats.counter(f"kind.{kind.value}") for kind in MessageKind
         }
-        self._handlers: Dict[int, Handler] = {}
-        # Next free injection cycle per source endpoint.
-        self._next_inject: Dict[int, int] = {}
+        # Dense per-node tables indexed by node + 1 (directory = -1).
+        self._handlers: List[Optional[Handler]] = [None]
+        # Next free injection cycle per source endpoint (same indexing).
+        self._next_inject: List[int] = [0]
         # Free list of recycled CoherenceMessages (see send_msg/release).
         self._pool: list[CoherenceMessage] = []
+        #: One open batch per bank: (target_cycle, ring_bucket,
+        #: bucket_len_at_post, messages).  See ``send`` for the exactness
+        #: condition that allows appending to an open batch.
+        self._open: list[Optional[tuple]] = [None] * banks
+        self._batch_pool: list[list] = []
+        self._batching = os.environ.get("REPRO_NO_FASTPATH") != "1"
+        #: REPRO_POOL_DEBUG=1 turns on retain/release leak tracking.
+        self.debug_leaks = os.environ.get("REPRO_POOL_DEBUG") == "1"
+        self._retained_live: dict[int, CoherenceMessage] = {}
 
     @property
     def latency(self) -> int:
         return self._latency
 
+    @property
+    def num_banks(self) -> int:
+        return self._num_banks
+
+    def bank_of(self, line: int) -> int:
+        """Static O(1) routing: the bank every message of ``line`` uses."""
+        return line % self._num_banks
+
     def register(self, node: int, handler: Handler) -> None:
-        if node in self._handlers:
+        index = node + 1
+        handlers = self._handlers
+        if index >= len(handlers):
+            grow = index + 1 - len(handlers)
+            handlers.extend([None] * grow)
+            self._next_inject.extend([0] * grow)
+        if handlers[index] is not None:
             raise ValueError(f"node {node} already registered")
-        self._handlers[node] = handler
+        handlers[index] = handler
 
     def send_msg(
         self,
@@ -87,24 +136,74 @@ class Interconnect:
         self.send(message)
 
     def send(self, message: CoherenceMessage) -> None:
-        """Inject a message; it is delivered after injection + latency."""
-        handler = self._handlers.get(message.dst)
-        if handler is None:
+        """Inject a message; it is delivered after injection + latency.
+
+        Batching exactness: a message due at cycle ``C`` may join bank
+        ``b``'s open batch for ``C`` only while the calendar-ring bucket
+        of ``C`` has not grown since the batch's event was posted.  Then
+        no other event can sort between the batch members — ring entries
+        appended later carry larger order counters and drain after the
+        batch event, heap entries at ``C`` were posted >= RING_CYCLES
+        cycles earlier and drain before it, and microtasks cannot target
+        a future cycle — so running the members back-to-back inside one
+        event reproduces the one-event-per-message order bit-for-bit.
+        """
+        index = message.dst + 1
+        handlers = self._handlers
+        if index >= len(handlers) or handlers[index] is None:
             raise ValueError(f"no handler registered for node {message.dst}")
-        now = self._queue.now
-        inject_at = self._next_inject.get(message.src, now)
+        queue = self._queue
+        now = queue.now
+        src_index = message.src + 1
+        next_inject = self._next_inject
+        if src_index >= len(next_inject):
+            next_inject.extend([0] * (src_index + 1 - len(next_inject)))
+        inject_at = next_inject[src_index]
         if inject_at < now:
             inject_at = now
-        self._next_inject[message.src] = inject_at + 1
+        next_inject[src_index] = inject_at + 1
         self._c_messages.add()
         self._c_kind[message.kind].add()
         delay = (inject_at - now) + self._latency
-        self._queue.post(delay, lambda: self._deliver(handler, message))
+        if not self._batching or delay >= RING_CYCLES:
+            queue.post1(delay, self._deliver1, message)
+            return
+        cycle = now + delay
+        bank = message.line % self._num_banks
+        open_batch = self._open[bank]
+        if open_batch is not None and open_batch[0] == cycle:
+            bucket, posted_len, messages = open_batch[1], open_batch[2], open_batch[3]
+            if len(bucket) == posted_len:
+                messages.append(message)
+                return
+        batch_pool = self._batch_pool
+        messages = batch_pool.pop() if batch_pool else []
+        messages.append(message)
+        queue.post1(delay, self._deliver_batch, messages)
+        bucket = queue._ring[cycle & _RING_MASK]
+        self._open[bank] = (cycle, bucket, len(bucket), messages)
 
-    def _deliver(self, handler: Handler, message: CoherenceMessage) -> None:
-        handler(message)
-        if message.pooled and not message.retained and len(self._pool) < POOL_LIMIT:
+    def _deliver1(self, message: CoherenceMessage) -> None:
+        self._handlers[message.dst + 1](message)
+        if message.retained:
+            if self.debug_leaks and message.pooled:
+                self._retained_live[message.msg_id] = message
+        elif message.pooled and len(self._pool) < POOL_LIMIT:
             self._pool.append(message)
+
+    def _deliver_batch(self, messages: list) -> None:
+        handlers = self._handlers
+        pool = self._pool
+        for message in messages:
+            handlers[message.dst + 1](message)
+            if message.retained:
+                if self.debug_leaks and message.pooled:
+                    self._retained_live[message.msg_id] = message
+            elif message.pooled and len(pool) < POOL_LIMIT:
+                pool.append(message)
+        messages.clear()
+        if len(self._batch_pool) < 64:
+            self._batch_pool.append(messages)
 
     def release(self, message: CoherenceMessage) -> None:
         """Return a retained message to the pool once it is fully done.
@@ -112,5 +211,32 @@ class Interconnect:
         Safe to call with any message; only pooled, non-retained ones are
         recycled.
         """
-        if message.pooled and not message.retained and len(self._pool) < POOL_LIMIT:
-            self._pool.append(message)
+        if message.pooled and not message.retained:
+            if self.debug_leaks:
+                self._retained_live.pop(message.msg_id, None)
+            if len(self._pool) < POOL_LIMIT:
+                self._pool.append(message)
+
+    # ------------------------------------------------------------------
+    # debug-mode leak checking (REPRO_POOL_DEBUG=1)
+
+    def outstanding_retained(self) -> int:
+        """Retained pooled messages not yet released (debug mode only)."""
+        return len(self._retained_live)
+
+    def assert_no_leaks(self) -> None:
+        """Raise if any retained pooled message was never released.
+
+        Only sound once the event queue has drained empty: with no
+        messages in flight, every handler-retained message must have
+        been replayed and handed back through :meth:`release`.
+        """
+        if not self._retained_live:
+            return
+        leaked = ", ".join(
+            repr(message) for message in self._retained_live.values()
+        )
+        raise SimulationError(
+            f"{len(self._retained_live)} retained coherence message(s) "
+            f"never released: {leaked}"
+        )

@@ -44,7 +44,11 @@ class LruPolicy:
     def choose_victim(
         self, set_index: int, excluded_ways: Iterable[int]
     ) -> Optional[int]:
-        excluded = set(excluded_ways)
+        excluded = (
+            excluded_ways
+            if isinstance(excluded_ways, (set, frozenset))
+            else set(excluded_ways)
+        )
         stamps = self._stamps[set_index]
         victim = None
         victim_stamp = None

@@ -132,7 +132,10 @@ class System:
         self.stats = StatsRegistry()
         self.memory = GlobalMemory(workload.initial_memory)
         self.network = Interconnect(
-            self.queue, config.memory.network_latency, self.stats
+            self.queue,
+            config.memory.network_latency,
+            self.stats,
+            banks=config.memory.llc_banks,
         )
         self.directory = DirectoryController(
             self.queue,
@@ -217,6 +220,10 @@ class System:
                 f"(policy={self.policy.name}, "
                 f"workload={self.workload.name})"
             )
+        if self.network.debug_leaks and len(self.queue) == 0:
+            # Only sound on a fully drained queue: every handler-retained
+            # pooled message must have been replayed and released.
+            self.network.assert_no_leaks()
         end_cycle = self.queue.now
         health = (
             self.obs.finalize_run(self, end_cycle)

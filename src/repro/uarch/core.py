@@ -43,7 +43,11 @@ from repro.common.events import EventQueue
 from repro.common.stats import StatsRegistry
 from repro.consistency.model import Operation
 from repro.core.atomic_queue import AtomicQueue, AtomicQueueEntry
-from repro.core.forwarding import LoadSource, decide_load_source
+from repro.core.forwarding import (
+    _CACHE as _CACHE_DECISION,
+    LoadSource,
+    decide_load_source,
+)
 from repro.core.policy import AtomicPolicy
 from repro.core.responsibilities import (
     grant_forwarding_responsibility,
@@ -74,6 +78,7 @@ from repro.uarch.decode import (
     decode_program,
 )
 from repro.uarch.dynins import (
+    F_LQ_INDEXED,
     F_STALLED_ATOMIC,
     F_WAIT_AGEN,
     F_WAIT_FENCE,
@@ -421,6 +426,13 @@ class OutOfOrderCore:
         post1 = self.queue.post1
         execute_alu_cb = self._execute_alu_cb
         resolve_branch_cb = self._resolve_branch_cb
+        agen_cb = self._agen_cb
+        lq = self.lq
+        lq_entries = lq._entries
+        lq_capacity = lq._capacity
+        predictor = self.predictor
+        p_counters = predictor._counters
+        p_mask = predictor._mask
         branch_latency = self.cfg.branch_latency
         # PipelineTracer (and tests) may patch _dispatch on the
         # *instance*; honour the hook instead of the inline fast path.
@@ -438,14 +450,26 @@ class OutOfOrderCore:
                 self._c_stall_rob()
                 blocked = True
                 break
-            if KIDX_ATOMIC <= kidx <= KIDX_STORE and not self._lsq_room(kidx):
+            if kidx == KIDX_LOAD:
+                # _lsq_room's LOAD arm (LoadQueue.full), inlined.
+                if len(lq_entries) >= lq_capacity:
+                    self._c_stall_lq()
+                    blocked = True
+                    break
+            elif KIDX_ATOMIC <= kidx <= KIDX_STORE and not self._lsq_room(kidx):
                 blocked = True
                 break
             instr = DynInstr(seq, dec.static, pc, dec.klass, dec)
             seq += 1
             room -= 1
             if kidx == KIDX_BRANCH:
-                taken = self.predictor.predict(pc, dec.static)
+                # BimodalPredictor.predict, inlined (one call frame per
+                # fetched branch; ALWAYS branches skip the table).
+                if dec.branch_always:
+                    taken = True
+                else:
+                    predictor.lookups += 1
+                    taken = p_counters[pc & p_mask] >= 2
                 instr.pred_taken = taken
                 if taken:
                     instr.next_pc = dec.target_index
@@ -525,6 +549,57 @@ class OutOfOrderCore:
                         slot = cycle
                     instr.issue_cycle = slot
                     post1(slot - now + branch_latency, resolve_branch_cb, instr)
+            elif kidx == KIDX_LOAD:
+                # _dispatch_load + rename.claim + _schedule_agen +
+                # _issue_slot, inlined: loads are the hottest class the
+                # dispatch table still served (spin loops are fetch +
+                # load + branch).  Same insert/subscribe/claim order and
+                # the same slot arithmetic as the out-of-line twins;
+                # _lsq_room already guaranteed LQ space, and a freshly
+                # fetched load never has addr_ready, so LoadQueue.insert
+                # reduces to the bare append.
+                instr.dispatch_cycle = now
+                rob_entries.append(instr)
+                dispatched += 1
+                lq_entries.append(instr)
+                values = instr.src_values
+                pending = 0
+                for reg in dec.addr_regs:
+                    producer = producers[reg]
+                    if producer is None:
+                        values[reg] = regfile[reg]
+                    elif producer.completed:
+                        values[reg] = producer.result  # type: ignore[assignment]
+                    else:
+                        subscribers = producer.dependents
+                        if subscribers is None:
+                            subscribers = producer.dependents = []
+                        subscribers.append((instr, "addr", reg))
+                        pending += 1
+                if pending:
+                    instr.addr_pending = pending
+                dst = dec.dst
+                snapshot = instr.prev_producer
+                if snapshot is None:
+                    snapshot = instr.prev_producer = {}
+                snapshot[dst] = producers[dst]
+                producers[dst] = instr
+                if pending == 0:
+                    issued += 1
+                    cycle = bw._cycle
+                    if now > cycle:
+                        bw._cycle = now
+                        bw._used = 1
+                        slot = now
+                    elif bw._used < bw_width:
+                        bw._used += 1
+                        slot = cycle
+                    else:
+                        cycle += 1
+                        bw._cycle = cycle
+                        bw._used = 1
+                        slot = cycle
+                    post1(slot - now + AGEN_LATENCY, agen_cb, instr)
             else:
                 instr.dispatch_cycle = now
                 rob_entries.append(instr)
@@ -763,9 +838,19 @@ class OutOfOrderCore:
                 if consumer.addr_pending == 0:
                     self._schedule_agen(consumer)
             else:
-                consumer.value_pending -= 1
-                if consumer.value_pending == 0:
-                    self._value_operands_ready(consumer)
+                pending = consumer.value_pending - 1
+                consumer.value_pending = pending
+                if pending == 0:
+                    # _value_operands_ready's two hottest arms, inlined
+                    # (ALU/BRANCH wakeups dominate; the memory classes
+                    # keep the out-of-line dispatcher).
+                    kidx = consumer.dec.kidx
+                    if kidx == KIDX_ALU:
+                        self._schedule_alu_execute(consumer)
+                    elif kidx == KIDX_BRANCH:
+                        self._schedule_branch_execute(consumer)
+                    else:
+                        self._value_operands_ready(consumer)
         subscribers.clear()
 
     def _value_operands_ready(self, instr: DynInstr) -> None:
@@ -806,12 +891,29 @@ class OutOfOrderCore:
         return cycle
 
     def _schedule_alu_execute(self, instr: DynInstr) -> None:
-        slot = self._issue_slot()
-        instr.issue_cycle = slot
-        delay = slot - self.queue.now + instr.dec.alu_latency
-        # post1 + a prebound callback: no closure and no bound-method
+        # _issue_slot, inlined (one call frame per issued µop); post1 +
+        # a prebound callback: no closure and no bound-method
         # allocation per scheduled µop (ordering-identical to post()).
-        self.queue.post1(delay, self._execute_alu_cb, instr)
+        self._c_issued_ops()
+        bw = self.issue_bw
+        now = self.queue.now
+        cycle = bw._cycle
+        if now > cycle:
+            bw._cycle = now
+            bw._used = 1
+            slot = now
+        elif bw._used < bw._width:
+            bw._used += 1
+            slot = cycle
+        else:
+            cycle += 1
+            bw._cycle = cycle
+            bw._used = 1
+            slot = cycle
+        instr.issue_cycle = slot
+        self.queue.post1(
+            slot - now + instr.dec.alu_latency, self._execute_alu_cb, instr
+        )
 
     def _execute_alu(self, instr: DynInstr) -> None:
         if instr.squashed:
@@ -836,13 +938,44 @@ class OutOfOrderCore:
                 # Decode-time folded evaluator (one call, masks inlined;
                 # value-identical to evaluate_alu).
                 instr.result = dec.alu_fn(src1, src2)
-        self._complete(instr)
+        # _complete, inlined: the entry guard already established the
+        # µop is live, and an execute event fires at most once, so the
+        # squashed/completed re-checks cannot trigger here.
+        instr.completed = True
+        if instr.dependents:
+            self._producer_completed(instr)
+        if not self._commit_scheduled:
+            entries = self._rob_entries
+            if entries:
+                head = entries[0]
+                if head.completed and (
+                    head.dec.commit_simple or self._commit_ready(head)
+                ):
+                    self._commit_scheduled = True
+                    self.queue.post(1, self._commit_cb)
 
     def _schedule_branch_execute(self, instr: DynInstr) -> None:
-        slot = self._issue_slot()
+        # _issue_slot, inlined (see _schedule_alu_execute).
+        self._c_issued_ops()
+        bw = self.issue_bw
+        now = self.queue.now
+        cycle = bw._cycle
+        if now > cycle:
+            bw._cycle = now
+            bw._used = 1
+            slot = now
+        elif bw._used < bw._width:
+            bw._used += 1
+            slot = cycle
+        else:
+            cycle += 1
+            bw._cycle = cycle
+            bw._used = 1
+            slot = cycle
         instr.issue_cycle = slot
-        delay = slot - self.queue.now + self.cfg.branch_latency
-        self.queue.post1(delay, self._resolve_branch_cb, instr)
+        self.queue.post1(
+            slot - now + self.cfg.branch_latency, self._resolve_branch_cb, instr
+        )
 
     def _resolve_branch(self, instr: DynInstr) -> None:
         if instr.squashed:
@@ -859,8 +992,33 @@ class OutOfOrderCore:
         instr.actual_taken = taken
         instr.actual_target = dec.target_index if taken else instr.pc + 1
         mispredicted = taken != instr.pred_taken
-        self.predictor.train(instr.pc, dec.static, taken, mispredicted)
-        self._complete(instr)
+        # BimodalPredictor.train, inlined (ALWAYS branches are no-ops).
+        if not dec.branch_always:
+            predictor = self.predictor
+            if mispredicted:
+                predictor.mispredicts += 1
+            index = instr.pc & predictor._mask
+            counters = predictor._counters
+            counter = counters[index]
+            if taken:
+                if counter < 3:
+                    counters[index] = counter + 1
+            elif counter > 0:
+                counters[index] = counter - 1
+        # _complete, inlined (see _execute_alu): a resolve event fires
+        # at most once per live branch.
+        instr.completed = True
+        if instr.dependents:
+            self._producer_completed(instr)
+        if not self._commit_scheduled:
+            entries = self._rob_entries
+            if entries:
+                head = entries[0]
+                if head.completed and (
+                    head.dec.commit_simple or self._commit_ready(head)
+                ):
+                    self._commit_scheduled = True
+                    self.queue.post(1, self._commit_cb)
         if mispredicted:
             self.stats.bump("squash.branch")
             self.last_squash_cause = "branch"
@@ -870,9 +1028,24 @@ class OutOfOrderCore:
     # memory unit: address generation
 
     def _schedule_agen(self, instr: DynInstr) -> None:
-        slot = self._issue_slot()
-        delay = slot - self.queue.now + AGEN_LATENCY
-        self.queue.post1(delay, self._agen_cb, instr)
+        # _issue_slot, inlined (see _schedule_alu_execute).
+        self._c_issued_ops()
+        bw = self.issue_bw
+        now = self.queue.now
+        cycle = bw._cycle
+        if now > cycle:
+            bw._cycle = now
+            bw._used = 1
+            slot = now
+        elif bw._used < bw._width:
+            bw._used += 1
+            slot = cycle
+        else:
+            cycle += 1
+            bw._cycle = cycle
+            bw._used = 1
+            slot = cycle
+        self.queue.post1(slot - now + AGEN_LATENCY, self._agen_cb, instr)
 
     def _agen(self, instr: DynInstr) -> None:
         if instr.squashed or instr.addr_ready:
@@ -888,8 +1061,9 @@ class OutOfOrderCore:
         instr.line = address >> _LINE_SHIFT
         instr.addr_ready = True
         load_like = dec.load_like
-        if load_like:
-            self.lq.on_addr_resolved(instr)
+        if load_like and not (instr.flags & F_LQ_INDEXED):
+            # LoadQueue.on_addr_resolved, inlined (flag probe only).
+            self.lq._index(instr)
 
         if dec.store_like:
             self.sq.on_addr_resolved(instr)
@@ -931,7 +1105,16 @@ class OutOfOrderCore:
             return
 
         # Gate 1: explicit fences (mfence) block younger loads.
-        if self._blocked_by_fence(instr):
+        # _blocked_by_fence's fast-mode branch, inlined: fences are rare
+        # but the gate runs for every load issue attempt.
+        if self._fast:
+            fences = self._fences
+            if fences and fences[0].seq < instr.seq:
+                if not (instr.flags & F_WAIT_FENCE):
+                    instr.flags |= F_WAIT_FENCE
+                    self._loads_waiting_fence.append(instr)
+                return
+        elif self._blocked_by_fence(instr):
             return
         # Gate 2: fenced designs block loads younger than an unperformed
         # atomic (Mem_Fence2).
@@ -942,16 +1125,45 @@ class OutOfOrderCore:
         if is_atomic and not self._atomic_may_issue(instr):
             return
         # Gate 4: StoreSet-predicted dependence on an unresolved store.
-        predicted = self.storeset.predicted_dependency(instr)
-        if predicted is not None and not predicted.addr_ready:
-            if not (instr.flags & F_WAIT_AGEN):
-                instr.flags |= F_WAIT_AGEN
-                self._loads_waiting_agen.append(instr)
-            return
+        # StoreSet.predicted_dependency, inlined: loads outside any set
+        # (the common case) exit on one dict probe.
+        storeset = self.storeset
+        set_id = storeset._ssit.get(instr.pc % storeset._entries)
+        if set_id is not None:
+            predicted = storeset._lfst.get(set_id)
+            if (
+                predicted is not None
+                and not predicted.squashed
+                and predicted.seq < instr.seq
+                and not predicted.performed
+                and not predicted.addr_ready
+            ):
+                if not (instr.flags & F_WAIT_AGEN):
+                    instr.flags |= F_WAIT_AGEN
+                    self._loads_waiting_agen.append(instr)
+                return
 
-        decision = decide_load_source(
-            instr, self.sq, self.policy, self.max_forward_chain
-        )
+        # decide_load_source's no-matching-store arm, inlined for the
+        # fast leg (StoreQueue.youngest_matching_store over the word
+        # bucket); any in-flight same-word store falls through to the
+        # full decision function, which recomputes the same scan.
+        if self._fast:
+            best = None
+            for store in self.sq._by_word.get(instr.word, ()):
+                if store.seq < instr.seq and (
+                    best is None or store.seq > best.seq
+                ):
+                    best = store
+            if best is None:
+                decision = _CACHE_DECISION
+            else:
+                decision = decide_load_source(
+                    instr, self.sq, self.policy, self.max_forward_chain
+                )
+        else:
+            decision = decide_load_source(
+                instr, self.sq, self.policy, self.max_forward_chain
+            )
         if decision.action is LoadSource.FORWARD:
             self._forward_load(instr, decision.store)  # type: ignore[arg-type]
             return
@@ -983,7 +1195,11 @@ class OutOfOrderCore:
             )
             self.hierarchy.request_write(line, self._perform_load_lock_cb, instr)
         else:
-            self.hierarchy.request_read(line, self._perform_load_cb, instr)
+            # request_read is a bare forwarder to _access; skip its
+            # call frame on the hottest memory path.
+            self.hierarchy._access(
+                line, False, self._perform_load_cb, instr
+            )
 
     def _subscribe_data(self, store: DynInstr, callback: Callable[[], None]) -> None:
         waiters = store.data_waiters
@@ -1129,7 +1345,20 @@ class OutOfOrderCore:
         self._c_loads_performed()
         if self.prefetcher is not None:
             self.prefetcher.observe_load(instr.pc, instr.address)
-        self._complete(instr)
+        # _complete, inlined (see _execute_alu): the mem_issued gate
+        # makes the perform event unique per live load.
+        instr.completed = True
+        if instr.dependents:
+            self._producer_completed(instr)
+        if not self._commit_scheduled:
+            entries = self._rob_entries
+            if entries:
+                head = entries[0]
+                if head.completed and (
+                    head.dec.commit_simple or self._commit_ready(head)
+                ):
+                    self._commit_scheduled = True
+                    self.queue.post(1, self._commit_cb)
 
     def _perform_load_lock(self, instr: DynInstr) -> None:
         """The load_lock reads its value and locks the line (section 2)."""
@@ -1304,8 +1533,24 @@ class OutOfOrderCore:
         if instr.squashed or instr.completed:
             return
         instr.completed = True
-        self._producer_completed(instr)
-        self._maybe_schedule_commit()
+        # _producer_completed + _maybe_schedule_commit, with their cheap
+        # early-outs inlined: this runs once per completed µop and the
+        # common case (no subscribers, ROB head not ready) paid for two
+        # call frames just to return.  Decision order is identical.
+        if instr.dependents:
+            self._producer_completed(instr)
+        if self._commit_scheduled:
+            return
+        entries = self._rob_entries
+        if not entries:
+            return
+        head = entries[0]
+        if not head.completed:
+            return
+        if not head.dec.commit_simple and not self._commit_ready(head):
+            return
+        self._commit_scheduled = True
+        self.queue.post(1, self._commit_cb)
 
     def _maybe_schedule_commit(self) -> None:
         if self._commit_scheduled:

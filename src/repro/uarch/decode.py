@@ -25,6 +25,7 @@ from repro.isa.instructions import (
     AluOp,
     AtomicRMW,
     Branch,
+    BranchCond,
     Fence,
     Halt,
     Instruction,
@@ -95,6 +96,7 @@ class DecodedOp:
         "expected",
         "alu_fn",
         "branch_fn",
+        "branch_always",
         "load_like",
         "store_like",
     )
@@ -124,6 +126,10 @@ class DecodedOp:
         #: (see repro.isa.semantics.ALU_FN / BRANCH_FN).
         self.alu_fn = None
         self.branch_fn = None
+        #: Unconditional branch: predict/train skip the counter table
+        #: (the fetch/resolve fast paths read this slot instead of
+        #: re-testing ``static.cond`` through the enum).
+        self.branch_always = False
 
         kind = type(static)
         if kind is Alu:
@@ -164,6 +170,7 @@ class DecodedOp:
                 self.imm_masked = static.imm & _MASK64
             self.target_index = static.target_index
             self.branch_fn = BRANCH_FN[static.cond]
+            self.branch_always = static.cond is BranchCond.ALWAYS
         elif kind is Load:
             self.klass = InstrClass.LOAD
             self.dst = static.dst

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import SimulationError
 from repro.common.events import EventQueue
 from repro.common.stats import StatsRegistry
 from repro.mem.coherence import CoherenceMessage, MessageKind
@@ -141,7 +142,7 @@ class TestMessagePool:
         held = kept[0]
         # Not recycled: a second send must allocate a different object.
         seen = []
-        network._handlers[1] = seen.append
+        network._handlers[1 + 1] = seen.append  # dense table: node + 1
         network.send_msg(MessageKind.GET_S, 2, 0, 1)
         self.drain(queue)
         assert seen[0] is not held
@@ -168,3 +169,75 @@ class TestMessagePool:
             network.send_msg(MessageKind.GET_S, 1, 0, 1)
         self.drain(queue)
         assert len(network._pool) <= POOL_LIMIT
+
+
+class TestLeakCheck:
+    """REPRO_POOL_DEBUG=1 retain/release leak tracking."""
+
+    def drain(self, queue):
+        while queue.run_next():
+            pass
+
+    def make_debug_network(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+        queue = EventQueue()
+        network = Interconnect(queue, 5, StatsRegistry())
+        assert network.debug_leaks
+        return queue, network
+
+    def test_deliberate_leak_is_reported(self, monkeypatch):
+        """A handler that retains a pooled message and never releases it
+        must trip the leak check once the queue is empty."""
+        queue, network = self.make_debug_network(monkeypatch)
+
+        def leaky_handler(message):
+            message.retained = True  # kept past return, never released
+
+        network.register(1, leaky_handler)
+        network.send_msg(MessageKind.INV, 1, 0, 1)
+        self.drain(queue)
+        assert outstanding_exactly(network, 1)
+        with pytest.raises(SimulationError, match="never released"):
+            network.assert_no_leaks()
+
+    def test_release_clears_the_leak(self, monkeypatch):
+        queue, network = self.make_debug_network(monkeypatch)
+        kept = []
+
+        def keep(message):
+            message.retained = True
+            kept.append(message)
+
+        network.register(1, keep)
+        network.send_msg(MessageKind.INV, 1, 0, 1)
+        self.drain(queue)
+        assert outstanding_exactly(network, 1)
+        held = kept[0]
+        held.retained = False
+        network.release(held)
+        assert outstanding_exactly(network, 0)
+        network.assert_no_leaks()  # must not raise
+
+    def test_unretained_messages_never_tracked(self, monkeypatch):
+        queue, network = self.make_debug_network(monkeypatch)
+        network.register(1, lambda m: None)
+        for _ in range(5):
+            network.send_msg(MessageKind.GET_S, 1, 0, 1)
+        self.drain(queue)
+        assert outstanding_exactly(network, 0)
+        network.assert_no_leaks()
+
+    def test_leak_check_off_by_default(self):
+        """Without the env var the tracker stays empty even on a leak
+        (zero bookkeeping on the production path)."""
+        queue, network, _ = make_network()
+        assert not network.debug_leaks
+        network.register(1, lambda m: setattr(m, "retained", True))
+        network.send_msg(MessageKind.INV, 1, 0, 1)
+        while queue.run_next():
+            pass
+        network.assert_no_leaks()  # nothing tracked, nothing raised
+
+
+def outstanding_exactly(network, expected):
+    return network.outstanding_retained() == expected
