@@ -27,6 +27,7 @@ EXPERIMENTS = ROOT / "EXPERIMENTS.md"
 def regenerate(jobs: int | None) -> None:
     """Recompute the figure/table archives via the parallel engine."""
     sys.path.insert(0, str(ROOT / "src"))
+    from repro.analysis.calibration import calibration_rows
     from repro.analysis.engine import harness_points, prefetch
     from repro.analysis.figures import (
         figure1_rows,
@@ -44,6 +45,7 @@ def regenerate(jobs: int | None) -> None:
     )
     print(f"[resolved {len(resolved)} uncached simulation point(s)]")
     archives = {
+        "calibration_schweizer": calibration_rows,
         "figure01_atomic_cost": figure1_rows,
         "figure12_apki": figure12_rows,
         "figure13_locality": figure13_rows,

@@ -43,8 +43,10 @@ from repro.core.policy import (
     BASELINE_SPEC,
     FREE_ATOMICS,
     FREE_ATOMICS_FWD,
+    VERSIONED,
     AtomicPolicy,
     policy_by_name,
+    policy_names,
 )
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import Program
@@ -74,9 +76,11 @@ __all__ = [
     "SimulationResult",
     "System",
     "SystemConfig",
+    "VERSIONED",
     "Workload",
     "icelake_config",
     "policy_by_name",
+    "policy_names",
     "run_workload",
     "skylake_config",
     "__version__",

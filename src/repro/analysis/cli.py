@@ -24,6 +24,7 @@ import os
 import pathlib
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.calibration import calibration_rows
 from repro.analysis.engine import resolve_jobs, run_experiments_prefetch
 from repro.analysis.figures import (
     figure1_rows,
@@ -41,6 +42,10 @@ from repro.analysis.runner import (
 from repro.analysis.tables import table1_rows, table2_rows
 
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "calibration": (
+        "Calibration: per-atomic latency vs Schweizer et al. (PACT'15)",
+        calibration_rows,
+    ),
     "figure1": ("Figure 1: avg cycles per fenced atomic RMW", figure1_rows),
     "figure12": ("Figure 12: atomics per kilo-instruction", figure12_rows),
     "figure13": ("Figure 13: locality ratio of atomics", figure13_rows),

@@ -35,10 +35,11 @@ from repro.core.policy import (
     ALL_POLICIES,
     BASELINE,
     FREE_ATOMICS_FWD,
+    VERSIONED,
     policy_by_name,
 )
 from repro.system.summary import ResultSummary
-from repro.workloads.profiles import BENCHMARK_ORDER
+from repro.workloads.profiles import ATOMIC_INTENSIVE, BENCHMARK_ORDER
 
 #: Environment variable supplying the default worker count.
 JOBS_ENV = "REPRO_BENCH_JOBS"
@@ -124,6 +125,7 @@ def batch_gc_tuning() -> Iterator[None]:
 
 #: Policies each experiment simulates (None = not point-based).
 _EXPERIMENT_POLICIES = {
+    "calibration": (BASELINE, FREE_ATOMICS_FWD, VERSIONED),
     "figure1": (BASELINE,),
     "figure12": (BASELINE,),
     "figure13": (BASELINE, FREE_ATOMICS_FWD),
@@ -157,7 +159,14 @@ def experiment_points(
         policies = _EXPERIMENT_POLICIES[experiment]
     except KeyError:
         raise ConfigError(f"unknown experiment {experiment!r}") from None
-    names = tuple(benchmarks) if benchmarks else BENCHMARK_ORDER
+    if benchmarks:
+        names = tuple(benchmarks)
+    elif experiment == "calibration":
+        # calibration_rows defaults to the atomic-intensive subset —
+        # mirror it so the prefetch is exact.
+        names = tuple(n for n in BENCHMARK_ORDER if n in ATOMIC_INTENSIVE)
+    else:
+        names = BENCHMARK_ORDER
     points: list[Point] = []
     for name in names:
         for policy in policies:

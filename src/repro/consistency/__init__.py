@@ -11,6 +11,9 @@ This package hosts both sides of the correctness argument:
 - :mod:`repro.consistency.fuzz` — the schedule-perturbation fuzzer that
   runs generated tests across policies and timing knobs and checks every
   execution differentially against the oracle;
+- :mod:`repro.consistency.fence_insertion` — the automatic
+  fence-insertion transform (the software baseline comparison column),
+  checked against the stricter SC oracle;
 - :mod:`repro.consistency.shrink` — minimizes violating cases and emits
   reproducible repro files.
 
@@ -46,12 +49,20 @@ _EXPORTS = {
     "generate_tests": "repro.consistency.generator",
     # fuzz
     "CaseRecord": "repro.consistency.fuzz",
+    "FENCED_BASELINE_NAME": "repro.consistency.fuzz",
+    "FENCED_BASELINE_POLICY": "repro.consistency.fuzz",
     "FuzzReport": "repro.consistency.fuzz",
     "PerturbationKnobs": "repro.consistency.fuzz",
     "Violation": "repro.consistency.fuzz",
     "draw_knobs": "repro.consistency.fuzz",
     "fuzz": "repro.consistency.fuzz",
     "run_case": "repro.consistency.fuzz",
+    "run_fenced_case": "repro.consistency.fuzz",
+    # fence insertion
+    "FencedProgram": "repro.consistency.fence_insertion",
+    "insert_fences": "repro.consistency.fence_insertion",
+    "relabel_outcome": "repro.consistency.fence_insertion",
+    "sc_equivalent": "repro.consistency.fence_insertion",
     # shrink
     "ShrinkResult": "repro.consistency.shrink",
     "load_repro": "repro.consistency.shrink",

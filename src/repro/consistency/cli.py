@@ -2,7 +2,7 @@
 
 Examples::
 
-    # PR-gate smoke: 40 tests, all four policies, 2 workers
+    # PR-gate smoke: 40 tests, every policy + fenced baseline, 2 workers
     python -m repro.consistency --tests 40 --seed 0 --jobs 2
 
     # acceptance sweep with a machine-readable report
@@ -11,10 +11,12 @@ Examples::
     # deep fuzz: shrink any violation and drop repro files
     python -m repro.consistency --tests 2000 --seed 7 --jobs 0 --shrink
 
-Exit status is non-zero iff at least one execution violated the x86-TSO
-reference model (forbidden outcome, inadmissible trace, or crash).
-The report JSON is a pure function of ``(--tests, --seed, --policies)``
-— worker count never changes a byte of it.
+Exit status is non-zero iff at least one execution violated its
+reference model (forbidden outcome, inadmissible trace, or crash) — the
+x86-TSO oracle for the hardware policies, the stricter SC oracle for
+the fence-insertion baseline column.  The report JSON is a pure
+function of ``(--tests, --seed, --policies, --no-fenced-baseline)`` —
+worker count never changes a byte of it.
 """
 
 from __future__ import annotations
@@ -26,9 +28,16 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.consistency.fuzz import fuzz, knobs_for, resolve_policies
+from repro.consistency.fuzz import (
+    FENCED_BASELINE_NAME,
+    FENCED_BASELINE_POLICY,
+    fuzz,
+    knobs_for,
+    resolve_policies,
+    run_fenced_case,
+)
 from repro.consistency.generator import generate_tests
-from repro.core.policy import ALL_POLICIES
+from repro.core.policy import policy_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,8 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--policies", type=str, default=None, metavar="P[,P...]",
-        help="comma-separated policy names (default: all four: "
-        + ",".join(p.name for p in ALL_POLICIES) + ")",
+        help="comma-separated policy names (default: all of "
+        + ",".join(policy_names()) + ")",
+    )
+    parser.add_argument(
+        "--no-fenced-baseline", action="store_true",
+        help="skip the fence-insertion software baseline column "
+        f"({FENCED_BASELINE_NAME}: the transform applied on top of "
+        f"{FENCED_BASELINE_POLICY.name}, checked against the SC oracle)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="J",
@@ -80,7 +95,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     started = time.perf_counter()
     tests = generate_tests(args.tests, args.seed)
-    report = fuzz(tests, policies=policies, seed=args.seed, jobs=args.jobs)
+    report = fuzz(
+        tests,
+        policies=policies,
+        seed=args.seed,
+        jobs=args.jobs,
+        fenced_baseline=not args.no_fenced_baseline,
+    )
     elapsed = time.perf_counter() - started
 
     if not args.quiet:
@@ -122,10 +143,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if record.test_index in shrunk_tests:
                 continue  # one repro per test; policies share knobs
             shrunk_tests.add(record.test_index)
+            baseline = record.policy == FENCED_BASELINE_NAME
+            if baseline:
+                # The baseline column replays the whole transform +
+                # SC-oracle pipeline, not a single-policy TSO case.
+                policy = FENCED_BASELINE_POLICY
+                check = lambda t, _p, k: bool(run_fenced_case(t, k).violations)
+            else:
+                policy = policy_by_name(record.policy)
+                check = None
             result = shrink_case(
                 tests[record.test_index],
-                policy_by_name(record.policy),
+                policy,
                 knobs[record.test_index],
+                **({"check": check} if check is not None else {}),
             )
             path = args.repro_dir / f"{record.test_name}.{record.policy}.json"
             write_repro(
@@ -135,6 +166,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 result.knobs,
                 record=record,
                 seed=args.seed,
+                variant="fenced-baseline" if baseline else None,
             )
             print(
                 f"shrunk {record.test_name} to {result.num_ops} ops "

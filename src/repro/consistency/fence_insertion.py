@@ -1,0 +1,140 @@
+"""Automatic fence insertion: the software baseline for the comparison.
+
+"Don't sit on the fence" (Alglave et al., CAV 2014) restores sequential
+consistency on a relaxed machine by inserting the *minimal* set of
+fences the architecture needs.  On x86-TSO the only relaxation is the
+store buffer — a program-order store followed by a program-order load
+may be observed out of order — so SC is restored exactly by fencing
+every store->load pair that has no intervening fence or atomic RMW
+(RMWs drain the buffer, Sewell et al.'s x86-TSO machine).
+
+:func:`insert_fences` applies that transform to any generated litmus /
+fuzz program (:class:`~repro.consistency.generator.GeneratedTest`): it
+walks each thread and places one ``mfence`` directly before the first
+load of every unfenced store->load window.  Placing the fence before
+the *load* (not after the store) inserts at most one fence per
+store-run/load-run boundary, and makes the transform idempotent by
+construction — in the output every store->load pair is fenced, so a
+second application inserts nothing.
+
+Because inserted fences shift op positions, the transformed program's
+read labels (``r{t}.{j}``, position-indexed) differ from the
+original's.  The returned :class:`FencedProgram` carries the label map,
+and :func:`relabel_outcome` translates a transformed-program outcome
+back into the original program's label space so it can be checked
+against the original's oracle.  The headline property (proved in
+``tests/consistency/test_fence_insertion.py`` and re-checked on every
+fuzz case that runs the fenced baseline): the transformed program's
+TSO-reachable outcome set equals the original program's SC-reachable
+set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.consistency.generator import (
+    AbsOp,
+    GeneratedTest,
+    Outcome,
+    derive_oracle,
+    enumerate_outcomes,
+)
+
+#: Kinds that drain the store buffer on x86-TSO (an RMW executes with an
+#: empty buffer in one indivisible step; an mfence waits for a drain).
+BARRIER_KINDS = frozenset({"fence", "fetch_add", "cas"})
+
+
+@dataclass(frozen=True)
+class FencedProgram:
+    """A fence-inserted program plus the bookkeeping to compare it.
+
+    ``test`` is the transformed program with its own freshly derived
+    oracle.  ``label_map`` maps every transformed read label to the
+    original program's label for the same abstract op; memory labels
+    (``m{loc}``) are position-independent and map to themselves.
+    """
+
+    test: GeneratedTest
+    original: GeneratedTest
+    #: Number of mfences the transform inserted (0 == already fenced).
+    inserted: int
+    #: Transformed read label -> original read label.
+    label_map: tuple[tuple[str, str], ...]
+
+    @property
+    def is_fixpoint(self) -> bool:
+        """True when the input was already fully fenced."""
+        return self.inserted == 0
+
+
+def insert_fences(test: GeneratedTest) -> FencedProgram:
+    """Fence every unfenced store->load program-order pair of ``test``.
+
+    Scan each thread keeping a "buffer may be non-empty" flag: a store
+    sets it, a barrier kind clears it, and a load seen while it is set
+    gets an ``mfence`` inserted immediately before it (which also
+    clears the flag — consecutive loads share one fence).
+    """
+    inserted = 0
+    new_threads: list[tuple[AbsOp, ...]] = []
+    label_pairs: list[tuple[str, str]] = []
+    for thread, ops in enumerate(test.threads):
+        out: list[AbsOp] = []
+        pending_store = False
+        for j, op in enumerate(ops):
+            if op.kind == "load" and pending_store:
+                out.append(AbsOp("fence"))
+                inserted += 1
+                pending_store = False
+            if op.reads:
+                label_pairs.append((f"r{thread}.{len(out)}", f"r{thread}.{j}"))
+            out.append(op)
+            if op.kind == "store":
+                pending_store = True
+            elif op.kind in BARRIER_KINDS:
+                pending_store = False
+        new_threads.append(tuple(out))
+    transformed = derive_oracle(
+        replace(
+            test,
+            name=f"{test.name}.fenced",
+            threads=tuple(new_threads),
+            allowed=frozenset(),
+            sc_allowed=frozenset(),
+        )
+    )
+    return FencedProgram(
+        test=transformed,
+        original=test,
+        inserted=inserted,
+        label_map=tuple(label_pairs),
+    )
+
+
+def relabel_outcome(outcome: Outcome, fenced: FencedProgram) -> Outcome:
+    """Translate a transformed-program outcome into original labels."""
+    mapping = dict(fenced.label_map)
+    return tuple(
+        sorted((mapping.get(label, label), value) for label, value in outcome)
+    )
+
+
+def sc_equivalent(fenced: FencedProgram) -> bool:
+    """The transform's correctness property, decided by enumeration.
+
+    The transformed program's TSO-reachable outcomes (store buffers on),
+    relabelled back into the original's label space, must equal the
+    original program's SC-reachable outcomes.  This is the Alglave
+    guarantee specialised to x86-TSO: with every store->load pair
+    fenced, the buffer is empty at every load, so buffering can no
+    longer be observed.
+    """
+    tso_fenced = frozenset(
+        relabel_outcome(outcome, fenced)
+        for outcome in enumerate_outcomes(
+            fenced.test.threads, fenced.test.initial_map(), store_buffers=True
+        )
+    )
+    return tso_fenced == fenced.original.sc_allowed

@@ -46,12 +46,25 @@ from repro.consistency.generator import (
     loc_address,
 )
 from repro.consistency.model import OpKind, Operation, TsoChecker
-from repro.core.policy import ALL_POLICIES, AtomicPolicy, policy_by_name
+from repro.core.policy import (
+    ALL_POLICIES,
+    FREE_ATOMICS_FWD,
+    AtomicPolicy,
+    policy_by_name,
+)
 from repro.system.simulator import run_workload
 
 #: States the per-execution trace check may explore before giving up.
 #: A give-up is reported as ``checker_skipped`` — never as a violation.
 TRACE_CHECK_MAX_STATES = 400_000
+
+#: Hardware policy the software-fenced baseline runs under: the paper's
+#: headline design, so the comparison prices "software fences on free
+#: hardware" against "free hardware alone".
+FENCED_BASELINE_POLICY = FREE_ATOMICS_FWD
+
+#: Column label of the fenced-baseline comparison point in reports.
+FENCED_BASELINE_NAME = f"{FENCED_BASELINE_POLICY.name}+swfence"
 
 
 def fuzz_base_config(num_threads: int) -> SystemConfig:
@@ -276,6 +289,109 @@ def run_case(
     )
 
 
+def run_fenced_case(
+    test: GeneratedTest,
+    knobs: PerturbationKnobs,
+    test_index: int = 0,
+) -> CaseRecord:
+    """Execute the software-fenced baseline for one fuzz case.
+
+    The test is first run through the fence-insertion transform
+    (:mod:`repro.consistency.fence_insertion`), then executed on the
+    simulator under :data:`FENCED_BASELINE_POLICY` with the *same* knob
+    draw as the policy columns.  The oracle is strictly stronger than
+    the policy columns': a correctly fenced program may only produce
+    *SC*-reachable outcomes of the original program, and its committed
+    traces must be admissible to the reference machine with the store
+    buffers removed (``TsoChecker(sc=True)``).  Outcomes are relabelled
+    into the original program's label space so the report column is
+    directly comparable with the five policy columns.
+    """
+    from repro.consistency.fence_insertion import insert_fences, relabel_outcome
+
+    fenced = insert_fences(test)
+    config = knobs.apply(fuzz_base_config(test.num_threads))
+    workload = fenced.test.build(knobs.pads)
+    try:
+        result = run_workload(
+            workload,
+            policy=FENCED_BASELINE_POLICY,
+            config=config,
+            trace=True,
+        )
+    except Exception as error:  # deadlock, watchdog runaway, cycle cap
+        return CaseRecord(
+            test_index=test_index,
+            test_name=test.name,
+            policy=FENCED_BASELINE_NAME,
+            outcome=(),
+            interesting=False,
+            violations=(
+                Violation("crash", f"{type(error).__name__}: {error}"),
+            ),
+            checker_states=0,
+            checker_skipped=False,
+        )
+
+    raw_outcome = tuple(
+        sorted(
+            (label, result.read_word(address))
+            for label, address in fenced.test.observations().items()
+        )
+    )
+    outcome = relabel_outcome(raw_outcome, fenced)
+    violations: list[Violation] = []
+    if outcome not in test.sc_allowed:
+        violations.append(
+            Violation(
+                "forbidden-outcome",
+                f"outcome {dict(outcome)} not SC-reachable after fence "
+                f"insertion ({fenced.inserted} fences; "
+                f"{len(test.sc_allowed)} SC outcomes)",
+            )
+        )
+
+    assert result.traces is not None
+    threads = [_shared_ops(trace) for trace in result.traces]
+    final_memory = {
+        loc_address(loc): result.read_word(loc_address(loc))
+        for loc in test.locations
+    }
+    checker = TsoChecker(
+        initial_memory=test.initial_memory(),
+        max_states=TRACE_CHECK_MAX_STATES,
+        sc=True,
+    )
+    checker_states = 0
+    checker_skipped = False
+    try:
+        check = checker.admissible(threads, final_memory=final_memory)
+        checker_states = check.states_explored
+        if not check.admissible:
+            violations.append(
+                Violation(
+                    "inadmissible-trace",
+                    f"no SC interleaving reproduces the fenced committed "
+                    f"trace (explored {check.states_explored} states)",
+                )
+            )
+    except RuntimeError:  # state-space cap: too big to decide, not a bug
+        checker_skipped = True
+
+    return CaseRecord(
+        test_index=test_index,
+        test_name=test.name,
+        policy=FENCED_BASELINE_NAME,
+        outcome=outcome,
+        # SC admits no relaxed outcomes by definition; a TSO-not-SC
+        # observation here is a violation, never merely "interesting".
+        interesting=False,
+        violations=tuple(violations),
+        checker_states=checker_states,
+        checker_skipped=checker_skipped,
+    )
+
+
 def _shared_ops(trace: Sequence[Operation]) -> list[Operation]:
     """Drop observation-slot publishing stores from a committed trace.
 
@@ -343,21 +459,26 @@ class FuzzReport:
 
 
 def resolve_policies(names: Optional[Sequence[str]]) -> tuple[AtomicPolicy, ...]:
-    """Policy objects from names; all four when ``names`` is falsy."""
+    """Policy objects from names; every registered policy when falsy."""
     if not names:
         return tuple(ALL_POLICIES)
     return tuple(policy_by_name(name) for name in names)
 
 
 def _run_test(
-    args: tuple[int, GeneratedTest, PerturbationKnobs, tuple[AtomicPolicy, ...]]
+    args: tuple[
+        int, GeneratedTest, PerturbationKnobs, tuple[AtomicPolicy, ...], bool
+    ]
 ) -> list[CaseRecord]:
-    """Worker entry: one test under every policy (identical knobs)."""
-    test_index, test, knobs, policies = args
-    return [
+    """Worker entry: one test under every comparison point (same knobs)."""
+    test_index, test, knobs, policies, fenced_baseline = args
+    records = [
         run_case(test, policy, knobs, test_index=test_index)
         for policy in policies
     ]
+    if fenced_baseline:
+        records.append(run_fenced_case(test, knobs, test_index=test_index))
+    return records
 
 
 def fuzz(
@@ -365,11 +486,15 @@ def fuzz(
     policies: Sequence[AtomicPolicy] = ALL_POLICIES,
     seed: int = 0,
     jobs: Optional[int] = None,
+    fenced_baseline: bool = True,
 ) -> FuzzReport:
-    """Run every test under every policy with seeded knob draws.
+    """Run every test under every comparison point with seeded knobs.
 
     Knobs are drawn per *test* (pure function of ``(seed, index)``) and
     shared by all policies, so policy results stay comparable.  With
+    ``fenced_baseline`` (the default) each test additionally runs
+    through the fence-insertion transform under the stronger SC oracle
+    (:func:`run_fenced_case`) — the sixth comparison column.  With
     ``jobs`` > 1 tests fan across a ``ProcessPoolExecutor``; ordering
     and content of the report are identical either way.
     """
@@ -377,7 +502,13 @@ def fuzz(
 
     root = DeterministicRng(seed)
     work = [
-        (index, test, draw_knobs(root.fork(index), test), tuple(policies))
+        (
+            index,
+            test,
+            draw_knobs(root.fork(index), test),
+            tuple(policies),
+            fenced_baseline,
+        )
         for index, test in enumerate(tests)
     ]
     jobs = resolve_jobs(jobs)
@@ -389,10 +520,13 @@ def fuzz(
         with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
             for batch in pool.map(_run_test, work, chunksize=4):
                 records.extend(batch)
+    columns = tuple(p.name for p in policies)
+    if fenced_baseline:
+        columns += (FENCED_BASELINE_NAME,)
     return FuzzReport(
         seed=seed,
         num_tests=len(tests),
-        policies=tuple(p.name for p in policies),
+        policies=columns,
         records=tuple(records),
     )
 
@@ -402,10 +536,17 @@ def fuzz_generated(
     seed: int,
     policies: Sequence[AtomicPolicy] = ALL_POLICIES,
     jobs: Optional[int] = None,
+    fenced_baseline: bool = True,
 ) -> tuple[list[GeneratedTest], FuzzReport]:
     """Generate ``count`` tests from ``seed`` and fuzz them."""
     tests = generate_tests(count, seed)
-    return tests, fuzz(tests, policies=policies, seed=seed, jobs=jobs)
+    return tests, fuzz(
+        tests,
+        policies=policies,
+        seed=seed,
+        jobs=jobs,
+        fenced_baseline=fenced_baseline,
+    )
 
 
 def knobs_for(tests: Sequence[GeneratedTest], seed: int) -> list[PerturbationKnobs]:

@@ -98,15 +98,25 @@ _State = tuple[
 
 
 class TsoChecker:
-    """Decides whether observed traces fit the x86-TSO abstract machine."""
+    """Decides whether observed traces fit the x86-TSO abstract machine.
+
+    With ``sc=True`` the store buffers are removed — stores write memory
+    in one step — turning the same search into a *sequential
+    consistency* admissibility check.  The fence-insertion baseline
+    (:mod:`repro.consistency.fence_insertion`) is checked in this mode:
+    a correctly fenced program must not exhibit any buffering, so its
+    committed traces must be explainable without buffers at all.
+    """
 
     def __init__(
         self,
         initial_memory: Optional[Mapping[int, int]] = None,
         max_states: int = 2_000_000,
+        sc: bool = False,
     ) -> None:
         self._initial_memory = dict(initial_memory or {})
         self._max_states = max_states
+        self._sc = sc
 
     def admissible(
         self,
@@ -182,6 +192,16 @@ class TsoChecker:
                     if value == op.value_read:
                         yield (label, (advanced, buffers, memory))
                 elif op.kind is OpKind.STORE:
+                    if self._sc:  # no buffer: the store writes memory now
+                        yield (
+                            label,
+                            (
+                                advanced,
+                                buffers,
+                                mem_set(memory, op.address, op.value_written),
+                            ),
+                        )
+                        continue
                     new_buffer = buffer + ((op.address, op.value_written),)
                     yield (
                         label,

@@ -196,14 +196,23 @@ def write_repro(
     record: Optional[CaseRecord] = None,
     seed: Optional[int] = None,
     traces: Optional[list] = None,
+    variant: Optional[str] = None,
 ) -> Path:
-    """Persist a violating (program, config, seed) triple as JSON."""
+    """Persist a violating (program, config, seed) triple as JSON.
+
+    ``variant="fenced-baseline"`` marks a case from the fence-insertion
+    comparison column: ``policy`` is then the policy the *transformed*
+    program ran under, and :func:`rerun_repro` replays the whole
+    transform + SC-oracle check rather than the plain TSO case.
+    """
     payload: dict = {
         "format": REPRO_FORMAT,
         "policy": policy.name,
         "test": test.to_jsonable(),
         "knobs": knobs.to_jsonable(),
     }
+    if variant is not None:
+        payload["variant"] = variant
     if seed is not None:
         payload["seed"] = seed
     if record is not None:
@@ -236,6 +245,16 @@ def load_repro(
 
 
 def rerun_repro(path: Union[str, Path]) -> CaseRecord:
-    """Replay a repro file and return the fresh check result."""
+    """Replay a repro file and return the fresh check result.
+
+    A ``variant: "fenced-baseline"`` repro replays the fence-insertion
+    pipeline (transform, run, relabel, SC-oracle check) instead of the
+    plain single-policy TSO case.
+    """
     test, policy, knobs = load_repro(path)
+    payload = json.loads(Path(path).read_text())
+    if payload.get("variant") == "fenced-baseline":
+        from repro.consistency.fuzz import run_fenced_case
+
+        return run_fenced_case(test, knobs)
     return run_case(test, policy, knobs)

@@ -1,4 +1,5 @@
-"""Atomic-RMW execution policies — the four designs of Figure 14.
+"""Atomic-RMW execution policies — the four designs of Figure 14, plus
+the versioned release-consistency point of comparison.
 
 A policy is a small immutable flag set the core consults at the decision
 points the paper identifies:
@@ -14,6 +15,18 @@ points the paper identifies:
   *commit* waits for the SB to drain (section 3.2.3).
 - ``forward_to_atomic``: may a load_lock take its value from an older
   in-flight store via store-to-load forwarding?  Section 3.3.
+- ``versioned``: Louvre-style release-consistency ordering (Kumar et
+  al.): instead of the two pipeline fences, the core keeps a release
+  *version counter*.  Every atomic's store_unlock bumps the version when
+  it performs; an acquire (load_lock) chains on the previous release
+  (it issues only once every older atomic has performed), and a plain
+  load may issue speculatively but cannot *retire* until the version it
+  depends on is published — i.e. until no older atomic's release is
+  still pending.  Strictly more conservative than Free atomics (every
+  Free-admissible reordering it forbids is a stall, never a new
+  behaviour), so it inherits TSO admissibility; strictly cheaper than
+  the fenced designs (no issue-side SB drain for loads, speculation
+  everywhere).
 
 Regular loads may forward from a store_unlock whenever the design is
 unfenced (section 3.2.1); under a fenced design the fence makes the
@@ -29,12 +42,13 @@ from repro.common.errors import ConfigError
 
 @dataclass(frozen=True)
 class AtomicPolicy:
-    """Flag set selecting one of the paper's four designs."""
+    """Flag set selecting one of the registered atomic designs."""
 
     name: str
     speculative: bool
     fenced: bool
     forward_to_atomic: bool
+    versioned: bool = False
 
     def __post_init__(self) -> None:
         if self.forward_to_atomic and self.fenced:
@@ -47,10 +61,21 @@ class AtomicPolicy:
                 "an unfenced design is necessarily speculative "
                 "(the load_lock can be squashed)"
             )
+        if self.versioned and self.fenced:
+            raise ConfigError(
+                "versioned ordering replaces the fences; a policy cannot "
+                "be both versioned and fenced"
+            )
+        if self.versioned and self.forward_to_atomic:
+            raise ConfigError(
+                "versioned ordering serializes acquires on the previous "
+                "release; forwarding into the acquire would skip the "
+                "version check"
+            )
 
     @property
     def is_free(self) -> bool:
-        """True for the Free-atomics designs (no fences)."""
+        """True for the unfenced designs (Free atomics and versioned)."""
         return not self.fenced
 
     def __str__(self) -> str:
@@ -77,16 +102,38 @@ FREE_ATOMICS_FWD = AtomicPolicy(
     name="free+fwd", speculative=True, fenced=False, forward_to_atomic=True
 )
 
-ALL_POLICIES = (BASELINE, BASELINE_SPEC, FREE_ATOMICS, FREE_ATOMICS_FWD)
+#: Versioned release consistency (Louvre-style): acquire/release version
+#: chaining instead of pipeline fences.  Sits between the fenced designs
+#: and Free atomics in cost: loads speculate freely but retire behind
+#: pending releases, and acquires serialize on older atomics only.
+VERSIONED = AtomicPolicy(
+    name="versioned",
+    speculative=True,
+    fenced=False,
+    forward_to_atomic=False,
+    versioned=True,
+)
+
+ALL_POLICIES = (BASELINE, BASELINE_SPEC, FREE_ATOMICS, FREE_ATOMICS_FWD, VERSIONED)
 
 _BY_NAME = {policy.name: policy for policy in ALL_POLICIES}
 
 
+def policy_names() -> tuple[str, ...]:
+    """Registered policy names, in :data:`ALL_POLICIES` order.
+
+    The single source the CLI help strings and error messages derive
+    from — adding a policy to ``ALL_POLICIES`` updates every user-facing
+    enumeration automatically.
+    """
+    return tuple(policy.name for policy in ALL_POLICIES)
+
+
 def policy_by_name(name: str) -> AtomicPolicy:
-    """Look up one of the four standard policies by its name."""
+    """Look up one of the registered policies by its name."""
     try:
         return _BY_NAME[name]
     except KeyError:
         raise ConfigError(
-            f"unknown policy {name!r}; expected one of {sorted(_BY_NAME)}"
+            f"unknown policy {name!r}; expected one of {list(policy_names())}"
         ) from None

@@ -19,6 +19,11 @@ healthy).  Checked invariants:
    that core's L1 with write permission, at the recorded set/way.
 6. **Queue sanity** — per core: LQ/SQ/AQ entries are in sequence order
    and AQ occupancy within capacity.
+6b. **Release order** — the program-ordered mirror of unperformed
+   atomics (the versioned policy's acquire/retire watermark) holds
+   exactly the live atomic SQ entries, in sequence order, none
+   squashed; the published release version never runs ahead of the
+   atomics that have actually left the SQ.
 7. **Fast-path indexes** — the LSQ word/line buckets and the AQ
    lock-count/SQid indexes exactly mirror the queues they accelerate
    (``audit_indexes`` on each structure).
@@ -61,6 +66,7 @@ def verify_system(
     violations.extend(_check_inclusion(system))
     violations.extend(_check_locks(system))
     violations.extend(_check_queues(system))
+    violations.extend(_check_release_order(system))
     violations.extend(_check_directory(system, strict=strict_directory))
     violations.extend(_check_directory_tables(system))
     violations.extend(_check_fastpath_indexes(system))
@@ -156,6 +162,55 @@ def _check_queues(system: "System") -> List[str]:
             violations.append(f"core {core.core_id}: AQ out of order")
         if len(core.aq) > core.aq.capacity:
             violations.append(f"core {core.core_id}: AQ over capacity")
+    return violations
+
+
+def _check_release_order(system: "System") -> List[str]:
+    """The versioned policy's watermark mirrors the SQ's atomics exactly.
+
+    ``core._atomics_sq`` is maintained for every policy (dispatch
+    appends, perform pops, squash trims the suffix), and the versioned
+    gates read only its front — so any drift between it and the real
+    store queue silently weakens or deadlocks the ordering.  Audited
+    for all policies: the deque must hold exactly the live atomic SQ
+    entries, in program order, none squashed.
+    """
+    from repro.uarch.dynins import InstrClass
+
+    violations = []
+    for core in system.cores:
+        mirror = list(core._atomics_sq)
+        seqs = [instr.seq for instr in mirror]
+        if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+            violations.append(
+                f"core {core.core_id}: release mirror out of program order"
+            )
+        for instr in mirror:
+            if instr.squashed:
+                violations.append(
+                    f"core {core.core_id}: squashed atomic seq={instr.seq} "
+                    "still in release mirror"
+                )
+            if instr.klass is not InstrClass.ATOMIC:
+                violations.append(
+                    f"core {core.core_id}: non-atomic seq={instr.seq} "
+                    "in release mirror"
+                )
+        sq_atomics = {
+            instr.seq
+            for instr in core.sq
+            if instr.klass is InstrClass.ATOMIC and not instr.squashed
+        }
+        if set(seqs) != sq_atomics:
+            violations.append(
+                f"core {core.core_id}: release mirror {sorted(set(seqs))} "
+                f"!= SQ atomics {sorted(sq_atomics)}"
+            )
+        if core.release_version < 0:
+            violations.append(
+                f"core {core.core_id}: negative release version "
+                f"{core.release_version}"
+            )
     return violations
 
 

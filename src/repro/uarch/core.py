@@ -14,8 +14,10 @@ Pipeline model (all event-driven, no per-cycle polling):
   the private hierarchy.  Stores agen out of order but write strictly
   in order from the store buffer after commit.
 - **Commit**: in-order, ``commit_width`` per cycle.  Stores enter the SB
-  at commit; atomics additionally wait for the SB to drain (all four
-  policies — for fenced ones the condition is vacuous by construction).
+  at commit; atomics additionally wait for the SB to drain (every
+  policy — for fenced ones the condition is vacuous by construction).
+  Under the versioned policy, plain loads also wait at commit while an
+  older atomic's release is unpublished (the version gate).
 
 TSO enforcement:
 
@@ -178,6 +180,24 @@ class OutOfOrderCore:
         self._c_load_wait_store = stats.counter("load_wait_store").add
         self._c_load_lock_resched = stats.counter("load_lock_rescheduled").add
         self._c_atomic_forwarded = stats.counter("atomic_forwarded").add
+        # Versioned release-consistency bookkeeping.  The stall counters
+        # fire only under the versioned policy (never-fired prebinds stay
+        # invisible, so the other policies' summaries are untouched);
+        # the per-core flag keeps the hot commit window branch-cheap.
+        self._versioned = policy.versioned
+        self._c_version_chain_stall = stats.counter(
+            "versioned.acquire_chain_stalls"
+        ).add
+        self._c_version_commit_stall = stats.counter(
+            "versioned.load_commit_stalls"
+        ).add
+        #: Release version counter: bumped each time an atomic's
+        #: store_unlock performs (the release edge becoming globally
+        #: visible).  Maintained for every policy — it is one integer
+        #: add per committed atomic — but only the versioned policy
+        #: consults it (via the _atomics_sq watermark, which answers
+        #: "is any older release still unpublished" in O(1)).
+        self.release_version = 0
 
         self.rename = RenameMap(initial_regs)
         self.rob = ReorderBuffer(self.cfg.rob_entries)
@@ -315,6 +335,8 @@ class OutOfOrderCore:
             self.stats.set("finish_cycle", self.finish_cycle)
         self.stats.set("branch_lookups", self.predictor.lookups)
         self.stats.set("branch_mispredicts", self.predictor.mispredicts)
+        if self._versioned:
+            self.stats.set("release_version", self.release_version)
 
     # ==================================================================
     # fetch & dispatch
@@ -1263,6 +1285,25 @@ class OutOfOrderCore:
     def _atomic_may_issue(self, instr: DynInstr) -> bool:
         """Mem_Fence1 conditions, by policy (see policy module)."""
         if not self.policy.fenced:
+            if self._versioned:
+                # Acquire chaining: the load_lock (acquire) issues only
+                # once every older release has performed — i.e. when it
+                # is the front of the program-ordered _atomics_sq deque.
+                # Cheaper than Mem_Fence1 (no older-load / SB-drain
+                # wait); the retry arrives exactly when the blocking
+                # release publishes its version (perform_waiters).  The
+                # waiter is younger than the atomic it waits on, so a
+                # squash flushes both — the standard squash-safety
+                # argument of _blocked_by_fenced_atomic.
+                atomics = self._atomics_sq
+                if atomics and atomics[0] is not instr:
+                    if instr.head_wait_cycle < 0:
+                        self._c_version_chain_stall()
+                    self._mark_head_wait(instr)
+                    self._subscribe_perform(
+                        atomics[0], lambda: self._try_start_load(instr)
+                    )
+                    return False
             return True
         if not self.policy.speculative:
             # Baseline: the atomic must be the oldest instruction...
@@ -1470,6 +1511,11 @@ class OutOfOrderCore:
             store.done_cycle = instr_done
             self._record_atomic_cost(store)
             self.aq.deallocate(entry)
+            # The release edge is now globally visible: publish the next
+            # version.  The versioned policy's gates read the deque
+            # watermark below rather than comparing counters, but the
+            # counter is the architectural state they model.
+            self.release_version += 1
             # The atomic leaves the SQ now; keep the program-ordered
             # mirror exact (atomics drain from the SB front, in order).
             if self._atomics_sq and self._atomics_sq[0] is store:
@@ -1496,8 +1542,17 @@ class OutOfOrderCore:
                 )
             else:
                 self.stats.observe("atomic_drain_sb", 0)
+            block = max(0, instr.done_cycle - instr.issue_cycle)
+            self.stats.observe("atomic_block", block)
+            # Per-locality-class latency, for calibration against the
+            # measured atomic costs of Schweizer et al. (PACT'15) —
+            # see repro.analysis.calibration.  None classifies as miss,
+            # mirroring _commit_atomic_stats.
+            locality = instr.locality
             self.stats.observe(
-                "atomic_block", max(0, instr.done_cycle - instr.issue_cycle)
+                "atomic_latency."
+                + (locality.value if locality is not None else "miss"),
+                block,
             )
 
     def _on_sb_progress(self) -> None:
@@ -1572,6 +1627,22 @@ class OutOfOrderCore:
         if not instr.completed:
             return False
         if instr.dec.commit_simple:
+            # Versioned ordering: a plain load speculates freely but
+            # retires only once every older release has performed (the
+            # front of _atomics_sq is the oldest unpublished release).
+            # Only _commit_tick reaches here with a commit_simple head —
+            # every other probe site short-circuits on commit_simple —
+            # so this is the exact slow-leg twin of the inlined check in
+            # _commit_tick_fast.  Re-probe is guaranteed: the blocking
+            # atomic already committed, its SB entry always drains, and
+            # _perform_store -> _on_sb_progress re-arms commit.
+            if self._versioned and instr.dec.kidx == KIDX_LOAD:
+                atomics = self._atomics_sq
+                if atomics and atomics[0].seq < instr.seq:
+                    if instr.head_wait_cycle < 0:
+                        instr.head_wait_cycle = self.queue.now
+                        self._c_version_commit_stall()
+                    return False
             return True
         if instr.klass is InstrClass.ATOMIC:
             return (
@@ -1627,6 +1698,8 @@ class OutOfOrderCore:
         trace = self.commit_trace
         regfile = self._regfile
         producers = self._producers
+        versioned = self._versioned
+        atomics_sq = self._atomics_sq
         committed = 0
         spin_committed = 0
         # Per-class committed counters, accumulated in locals and added
@@ -1649,6 +1722,14 @@ class OutOfOrderCore:
                         break
                 # FENCE and HALT both wait for their stores to be visible.
                 elif not sq.sb_empty_below(head.seq):
+                    break
+            elif versioned and kidx == KIDX_LOAD:
+                # _commit_ready's versioned load-retire gate, inlined:
+                # loads wait out any older unpublished release.
+                if atomics_sq and atomics_sq[0].seq < head.seq:
+                    if head.head_wait_cycle < 0:
+                        head.head_wait_cycle = now
+                        self._c_version_commit_stall()
                     break
             entries.popleft()
             # -- _do_commit, inlined ------------------------------------

@@ -30,7 +30,7 @@ from repro.analysis.runner import (
     run_benchmark,
 )
 from repro.common.errors import ConfigError
-from repro.core.policy import BASELINE, FREE_ATOMICS_FWD
+from repro.core.policy import ALL_POLICIES, BASELINE, FREE_ATOMICS_FWD
 
 SCALE = ExperimentScale(num_threads=2, instructions_per_thread=400)
 POINT = ("AS", FREE_ATOMICS_FWD.name, SCALE, "icelake")
@@ -109,7 +109,16 @@ class TestPointEnumeration:
 
     def test_figure14_has_all_policies(self):
         points = experiment_points("figure14", SCALE, benchmarks=["AS"])
-        assert len(points) == 4
+        assert len(points) == len(ALL_POLICIES)
+        assert ("AS", "versioned", SCALE, "icelake") in points
+
+    def test_calibration_points_default_to_atomic_intensive(self):
+        from repro.workloads.profiles import ATOMIC_INTENSIVE
+
+        points = experiment_points("calibration", SCALE)
+        assert points
+        assert {p[0] for p in points} <= set(ATOMIC_INTENSIVE)
+        assert {p[1] for p in points} == {"baseline", "free+fwd", "versioned"}
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ConfigError):

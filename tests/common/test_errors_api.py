@@ -37,7 +37,11 @@ class TestPublicApi:
     def test_policies_exported(self):
         assert repro.BASELINE.name == "baseline"
         assert repro.FREE_ATOMICS_FWD.forward_to_atomic
-        assert len(repro.ALL_POLICIES) == 4
+        assert repro.VERSIONED.versioned
+        assert len(repro.ALL_POLICIES) == 5
+        assert repro.policy_names() == tuple(
+            p.name for p in repro.ALL_POLICIES
+        )
 
     def test_docstring_example_runs(self):
         # The module docstring's quickstart must actually work.

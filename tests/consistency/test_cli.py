@@ -3,8 +3,9 @@
 import json
 
 from repro.consistency.cli import build_parser, main
+from repro.consistency.fuzz import FENCED_BASELINE_NAME
 from repro.consistency.shrink import rerun_repro
-from repro.core.policy import ALL_POLICIES
+from repro.core.policy import ALL_POLICIES, policy_names
 
 
 class TestParser:
@@ -18,6 +19,15 @@ class TestParser:
     def test_policy_list(self):
         args = build_parser().parse_args(["--policies", "baseline,free"])
         assert args.policies == "baseline,free"
+
+    def test_help_lists_every_registered_policy(self):
+        # The help string is derived from ALL_POLICIES: registering a
+        # policy must surface it here without editing the CLI.
+        help_text = build_parser().format_help()
+        for name in policy_names():
+            assert name in help_text
+        assert "versioned" in help_text
+        assert "all four" not in help_text
 
 
 class TestCleanSweep:
@@ -33,10 +43,25 @@ class TestCleanSweep:
         first = (tmp_path / "report.json").read_text()
         payload = json.loads(first)
         assert payload["violations"] == 0
-        assert payload["runs"] == 5 * len(ALL_POLICIES)
+        # Every registered policy plus the fence-insertion baseline.
+        assert payload["runs"] == 5 * (len(ALL_POLICIES) + 1)
+        assert payload["policies"] == [
+            *(p.name for p in ALL_POLICIES), FENCED_BASELINE_NAME,
+        ]
 
         assert main(argv) == 0
         assert (tmp_path / "report.json").read_text() == first
+
+    def test_no_fenced_baseline_flag(self, tmp_path):
+        argv = [
+            "--tests", "3", "--seed", "0", "--jobs", "1",
+            "--no-fenced-baseline",
+            "--report", str(tmp_path / "report.json"), "--quiet",
+        ]
+        assert main(argv) == 0
+        payload = json.loads((tmp_path / "report.json").read_text())
+        assert payload["runs"] == 3 * len(ALL_POLICIES)
+        assert FENCED_BASELINE_NAME not in payload["policies"]
 
 
 class TestViolationPath:

@@ -1,0 +1,83 @@
+"""Replay the shrunk fuzzer regression corpus.
+
+Each ``corpus/*.json`` file is a minimized case the fuzzer once caught
+violating its oracle under an injected consistency bug (the
+store-buffer-bypassing-loads mutant of ``conftest.bypassing_loads``),
+shrunk by delta debugging and persisted via
+:func:`repro.consistency.shrink.write_repro`.  Replaying them is cheap
+(2-op programs) and pins down three things on every run:
+
+- the repro file format round-trips (``load_repro``/``rerun_repro``
+  stay compatible with archived files, including the
+  ``variant: fenced-baseline`` dispatch);
+- the *healthy* simulator is clean on exactly the programs that
+  historically exposed ordering bugs fastest;
+- replay is deterministic — two replays produce identical records.
+
+Re-injecting the mutant must flip every corpus case back to violating,
+which proves the replays still exercise the seam they were minimized
+against (a corpus that stays green under the bug would be dead weight).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.consistency.fuzz import FENCED_BASELINE_NAME
+from repro.consistency.shrink import REPRO_FORMAT, load_repro, rerun_repro
+
+CORPUS = sorted(
+    (Path(__file__).parent / "corpus").glob("*.json"),
+    key=lambda p: p.name,
+)
+
+
+def corpus_ids():
+    return [path.stem for path in CORPUS]
+
+
+def test_corpus_is_present():
+    # Guards against the glob silently matching nothing after a move.
+    assert len(CORPUS) >= 5
+    assert any(
+        json.loads(p.read_text()).get("variant") == "fenced-baseline"
+        for p in CORPUS
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+def test_replays_clean_on_healthy_simulator(path):
+    record = rerun_repro(path)
+    assert record.ok, (
+        f"{path.name} regressed: "
+        + "; ".join(f"{v.kind}: {v.detail}" for v in record.violations)
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+def test_replay_is_deterministic(path):
+    assert rerun_repro(path).to_jsonable() == rerun_repro(path).to_jsonable()
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+def test_file_format_round_trips(path):
+    payload = json.loads(path.read_text())
+    assert payload["format"] == REPRO_FORMAT
+    test, policy, knobs = load_repro(path)
+    assert test.num_ops >= 1
+    if payload.get("variant") == "fenced-baseline":
+        assert FENCED_BASELINE_NAME.startswith(policy.name)
+    # The archived violation evidence is carried along for forensics.
+    assert payload["violations"]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+def test_mutant_still_reproduces(path, bypassing_loads):
+    record = rerun_repro(path)
+    assert record.violations, (
+        f"{path.name} no longer violates under the injected bug; "
+        "the corpus entry has gone stale"
+    )

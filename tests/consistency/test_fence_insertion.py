@@ -1,0 +1,161 @@
+"""The fence-insertion transform: SC-equivalent, minimal, idempotent.
+
+Three claims, each over the generated-program distribution plus
+hand-built edge cases:
+
+1. **Semantic equivalence** — the transformed program's TSO-reachable
+   outcome set, relabelled back into the original's label space, equals
+   the original program's SC-reachable set (:func:`sc_equivalent`).
+2. **Idempotence** — applying the transform to its own output inserts
+   zero fences; programs with no unfenced store->load pair are
+   fixpoints from the start.
+3. **Placement** — a fence appears only where an unfenced store->load
+   window existed, at most one per store-run/load-run boundary, and
+   barrier kinds (mfence, fetch_add, cas) suppress insertion.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.fence_insertion import (
+    BARRIER_KINDS,
+    insert_fences,
+    relabel_outcome,
+    sc_equivalent,
+)
+from repro.consistency.fuzz import knobs_for, run_fenced_case
+from repro.consistency.generator import AbsOp, GeneratedTest, derive_oracle
+
+SEED = 20260808
+X, Y = 0x0, 0x40
+
+
+def _test_from(threads, name="hand"):
+    return derive_oracle(GeneratedTest(name=name, threads=threads))
+
+
+def _generated(count):
+    from repro.consistency.generator import generate_tests
+
+    return generate_tests(count, SEED)
+
+
+class TestEquivalence:
+    def test_generated_programs_sc_equivalent(self):
+        for test in _generated(40):
+            fenced = insert_fences(test)
+            assert sc_equivalent(fenced), (
+                f"{test.name}: fenced TSO outcomes != original SC outcomes"
+            )
+
+    def test_store_buffering_loses_relaxed_outcome(self):
+        # The canonical SB litmus: r0=0 & r1=0 is TSO-reachable but not
+        # SC-reachable; after fencing it must be gone.
+        test = _test_from(
+            (
+                (AbsOp("store", loc=X, value=1), AbsOp("load", loc=Y)),
+                (AbsOp("store", loc=Y, value=1), AbsOp("load", loc=X)),
+            ),
+            name="sb",
+        )
+        relaxed = test.allowed - test.sc_allowed
+        assert relaxed  # the test is meaningful
+        fenced = insert_fences(test)
+        assert fenced.inserted == 2
+        assert sc_equivalent(fenced)
+        relabelled = {
+            relabel_outcome(outcome, fenced) for outcome in fenced.test.allowed
+        }
+        assert relabelled.isdisjoint(relaxed)
+
+    def test_fenced_cases_pass_sc_oracle_on_simulator(self):
+        tests = _generated(6)
+        knobs = knobs_for(tests, SEED)
+        for index, test in enumerate(tests):
+            record = run_fenced_case(test, knobs[index], test_index=index)
+            assert record.ok, [v.detail for v in record.violations]
+            assert not record.interesting
+
+
+class TestIdempotence:
+    def test_double_application_inserts_nothing(self):
+        for test in _generated(40):
+            once = insert_fences(test)
+            twice = insert_fences(once.test)
+            assert twice.is_fixpoint, (
+                f"{test.name}: second application inserted {twice.inserted}"
+            )
+
+    def test_already_fenced_program_is_fixpoint(self):
+        test = _test_from(
+            (
+                (
+                    AbsOp("store", loc=X, value=1),
+                    AbsOp("fence"),
+                    AbsOp("load", loc=Y),
+                ),
+                (
+                    AbsOp("store", loc=Y, value=1),
+                    AbsOp("fetch_add", loc=X, value=0),
+                ),
+            ),
+            name="prefenced",
+        )
+        fenced = insert_fences(test)
+        assert fenced.is_fixpoint
+        assert fenced.test.threads == test.threads
+        # Fixpoint labels map to themselves.
+        assert all(new == old for new, old in fenced.label_map)
+
+class TestPlacement:
+    def test_consecutive_loads_share_one_fence(self):
+        test = _test_from(
+            (
+                (
+                    AbsOp("store", loc=X, value=1),
+                    AbsOp("load", loc=Y),
+                    AbsOp("load", loc=Y),
+                ),
+            ),
+            name="two_loads",
+        )
+        fenced = insert_fences(test)
+        assert fenced.inserted == 1
+        kinds = tuple(op.kind for op in fenced.test.threads[0])
+        assert kinds == ("store", "fence", "load", "load")
+
+    def test_rmw_suppresses_insertion(self):
+        for barrier in sorted(BARRIER_KINDS - {"fence"}):
+            op = (
+                AbsOp(barrier, loc=X, value=1, expected=0)
+                if barrier == "cas"
+                else AbsOp(barrier, loc=X, value=1)
+            )
+            test = _test_from(
+                ((AbsOp("store", loc=X, value=2), op, AbsOp("load", loc=Y)),),
+                name=f"barrier_{barrier}",
+            )
+            assert insert_fences(test).is_fixpoint
+
+    def test_load_before_store_needs_no_fence(self):
+        test = _test_from(
+            ((AbsOp("load", loc=Y), AbsOp("store", loc=X, value=1)),),
+            name="load_first",
+        )
+        assert insert_fences(test).is_fixpoint
+
+    def test_label_map_covers_every_reading_op(self):
+        for test in _generated(20):
+            fenced = insert_fences(test)
+            reading = sum(
+                1 for ops in test.threads for op in ops if op.reads
+            )
+            assert len(fenced.label_map) == reading
+            # Originals are exactly the original program's read labels.
+            originals = {old for _, old in fenced.label_map}
+            expected = {
+                f"r{t}.{j}"
+                for t, ops in enumerate(test.threads)
+                for j, op in enumerate(ops)
+                if op.reads
+            }
+            assert originals == expected

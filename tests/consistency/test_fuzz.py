@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.consistency.fuzz import (
+    FENCED_BASELINE_NAME,
     draw_knobs,
     fuzz,
     fuzz_base_config,
@@ -72,17 +73,32 @@ class TestCleanRun:
             (r.test_name, r.policy, [v.detail for v in r.violations])
             for r in report.violating
         ]
-        assert report.runs == TESTS * len(ALL_POLICIES)
+        # Every policy plus the default-on fence-insertion baseline.
+        assert report.runs == TESTS * (len(ALL_POLICIES) + 1)
+        assert report.policies[-1] == FENCED_BASELINE_NAME
         assert report.skipped_checks == 0
 
     def test_report_shape(self):
         tests = generate_tests(3, SEED)
-        report = fuzz(tests, policies=(BASELINE,), seed=SEED, jobs=1)
+        report = fuzz(
+            tests, policies=(BASELINE,), seed=SEED, jobs=1,
+            fenced_baseline=False,
+        )
         payload = report.to_jsonable()
         assert payload["format"] == "repro-fuzz-report-v1"
         assert payload["runs"] == 3
         assert payload["policies"] == [BASELINE.name]
         assert [r["test_index"] for r in payload["records"]] == [0, 1, 2]
+
+    def test_fenced_baseline_records_never_interesting(self):
+        tests = generate_tests(6, SEED)
+        report = fuzz(tests, policies=(BASELINE,), seed=SEED, jobs=1)
+        baseline_records = [
+            r for r in report.records if r.policy == FENCED_BASELINE_NAME
+        ]
+        assert len(baseline_records) == 6
+        assert all(not r.interesting for r in baseline_records)
+        assert all(r.ok for r in baseline_records)
 
 
 class TestKnobs:
@@ -109,7 +125,7 @@ class TestKnobs:
 
 
 class TestPolicyResolution:
-    def test_default_is_all_four(self):
+    def test_default_is_every_registered_policy(self):
         assert resolve_policies(None) == tuple(ALL_POLICIES)
 
     def test_by_name(self):

@@ -9,16 +9,20 @@ from repro.core.policy import (
     BASELINE_SPEC,
     FREE_ATOMICS,
     FREE_ATOMICS_FWD,
+    VERSIONED,
     AtomicPolicy,
     policy_by_name,
+    policy_names,
 )
 
 
 class TestStandardPolicies:
-    def test_four_designs(self):
-        assert len(ALL_POLICIES) == 4
+    def test_five_designs(self):
+        assert len(ALL_POLICIES) == 5
         names = [p.name for p in ALL_POLICIES]
-        assert names == ["baseline", "baseline+spec", "free", "free+fwd"]
+        assert names == [
+            "baseline", "baseline+spec", "free", "free+fwd", "versioned",
+        ]
 
     def test_baseline_is_fenced_nonspeculative(self):
         assert BASELINE.fenced and not BASELINE.speculative
@@ -32,10 +36,30 @@ class TestStandardPolicies:
         assert not FREE_ATOMICS.forward_to_atomic
         assert FREE_ATOMICS_FWD.forward_to_atomic
 
+    def test_versioned_is_unfenced_speculative_nonforwarding(self):
+        assert VERSIONED.is_free and VERSIONED.speculative
+        assert VERSIONED.versioned
+        assert not VERSIONED.forward_to_atomic
+        # Only the versioned design carries the flag.
+        assert [p.versioned for p in ALL_POLICIES] == [
+            False, False, False, False, True,
+        ]
+
     def test_lookup_by_name(self):
         assert policy_by_name("free+fwd") is FREE_ATOMICS_FWD
+        assert policy_by_name("versioned") is VERSIONED
         with pytest.raises(ConfigError, match="unknown policy"):
             policy_by_name("nope")
+
+    def test_unknown_name_error_lists_every_registered_policy(self):
+        # The message is derived from ALL_POLICIES, not hand-written.
+        with pytest.raises(ConfigError) as exc:
+            policy_by_name("nope")
+        for name in policy_names():
+            assert name in str(exc.value)
+
+    def test_policy_names_matches_registry(self):
+        assert policy_names() == tuple(p.name for p in ALL_POLICIES)
 
 
 class TestInvariants:
@@ -46,3 +70,17 @@ class TestInvariants:
     def test_unfenced_requires_speculative(self):
         with pytest.raises(ConfigError):
             AtomicPolicy("bad", speculative=False, fenced=False, forward_to_atomic=False)
+
+    def test_versioned_excludes_fenced(self):
+        with pytest.raises(ConfigError, match="versioned"):
+            AtomicPolicy(
+                "bad", speculative=True, fenced=True,
+                forward_to_atomic=False, versioned=True,
+            )
+
+    def test_versioned_excludes_forwarding_to_atomics(self):
+        with pytest.raises(ConfigError, match="versioned"):
+            AtomicPolicy(
+                "bad", speculative=True, fenced=False,
+                forward_to_atomic=True, versioned=True,
+            )
