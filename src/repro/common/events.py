@@ -93,6 +93,9 @@ class EventQueue:
         "_ring_next",
         "_micro",
         "_micro_pos",
+        "warp_jumps",
+        "_post_log",
+        "_post_log_refs",
     )
 
     def __init__(self) -> None:
@@ -122,6 +125,17 @@ class EventQueue:
         # Lower bound on the earliest cycle that may hold a ring entry;
         # advanced lazily while scanning, pulled back by posts.
         self._ring_next = 0
+        #: Clock advances of more than one cycle observed by ``drain``.
+        #: With spin fast-forward parking a core's events out of the
+        #: queue, these jumps are the "global time-warp": the drain loop
+        #: lands directly on the next pending cycle instead of walking
+        #: dead buckets.  Diagnostic only — never part of summaries.
+        self.warp_jumps = 0
+        # Post-cycle log used by the spin fast-forward observer: maps
+        # order -> cycle the entry was posted at.  None when recording
+        # is off (the common case; see begin_post_log).
+        self._post_log: Optional[dict] = None
+        self._post_log_refs = 0
 
     def __len__(self) -> int:
         return (
@@ -245,6 +259,141 @@ class EventQueue:
     def post_at(self, cycle: int, callback: Callback) -> None:
         """Fast-path :meth:`post` at an absolute cycle (>= now)."""
         self.post(cycle - self.now, callback)
+
+    # -- spin fast-forward support ------------------------------------
+    #
+    # The spin fast-forward engine (uarch/spinff.py) needs three things
+    # from the kernel that normal components never do: know *when* each
+    # pending entry was posted (to replay a parked core's events with
+    # the exact order a live run would have produced), physically remove
+    # a core's entries from the ring while it is parked, and splice them
+    # back at precise bucket positions on wakeup.  All of it is cold
+    # path — observation happens a handful of times per spin episode.
+
+    def begin_post_log(self) -> dict:
+        """Start recording ``order -> posting cycle`` for every post.
+
+        Zero-cost when off: recording swaps ``self.__class__`` to a
+        subclass whose ``post``/``post1``/``schedule`` write the log and
+        delegate (``post_at`` routes through ``post`` and is covered;
+        ``call_soon`` entries carry no order and never survive past the
+        current cycle, so they are irrelevant to the log's consumers).
+        Nestable — multiple observers share one log; the swap reverts
+        when the last one calls :meth:`end_post_log`.
+        """
+        log = self._post_log
+        if log is None:
+            log = {}
+            self._post_log = log
+            self.__class__ = _RecordingEventQueue
+        self._post_log_refs += 1
+        return log
+
+    def end_post_log(self) -> None:
+        """Stop recording (reference-counted; see :meth:`begin_post_log`)."""
+        self._post_log_refs -= 1
+        if self._post_log_refs <= 0:
+            self._post_log = None
+            self._post_log_refs = 0
+            self.__class__ = EventQueue
+
+    def ring_cycle_of(self, bucket_index: int) -> int:
+        """The in-flight cycle bucket ``bucket_index`` currently serves."""
+        return self.now + ((bucket_index - self.now) & _RING_MASK)
+
+    def iter_ring(self):
+        """Yield ``(due_cycle, order, callback, arg, handle)`` for every
+        live (unconsumed) ring entry, in per-bucket positional order."""
+        ring = self._ring
+        pos = self._ring_pos
+        now = self.now
+        for b in range(RING_CYCLES):
+            bucket = ring[b]
+            p = pos[b]
+            if p >= len(bucket):
+                continue
+            due = now + ((b - now) & _RING_MASK)
+            for entry in bucket[p:]:
+                yield (due, entry[0], entry[1], entry[2], entry[3])
+
+    def iter_heap(self):
+        """Yield ``(due_cycle, order, callback, arg, handle)`` for every
+        heap entry (cancelled ones included; callers filter)."""
+        for cycle, order, callback, arg, handle in self._heap:
+            yield (cycle, order, callback, arg, handle)
+
+    def micro_pending(self) -> bool:
+        return self._micro_pos < len(self._micro)
+
+    def extract_ring(self, predicate) -> list:
+        """Remove every live ring entry matching ``predicate`` and return
+        them as ``(due_cycle, order, callback, arg)`` in (due, bucket
+        position) order.
+
+        ``predicate(callback, arg)`` decides membership.  Entries with a
+        cancellable handle are never extracted (the handle would dangle);
+        the spin fast-forward engine only parks handle-free ``post``/
+        ``post1`` entries.  The current cycle's bucket may be mid-drain;
+        only its unconsumed tail is touched, which leaves the drain
+        loops' position bookkeeping exactly consistent.
+        """
+        ring = self._ring
+        pos = self._ring_pos
+        now = self.now
+        extracted = []
+        for b in range(RING_CYCLES):
+            bucket = ring[b]
+            p = pos[b]
+            if p >= len(bucket):
+                continue
+            due = now + ((b - now) & _RING_MASK)
+            keep = []
+            removed = 0
+            for entry in bucket[p:]:
+                if entry[3] is None and predicate(entry[1], entry[2]):
+                    extracted.append((due, entry[0], entry[1], entry[2]))
+                    removed += 1
+                else:
+                    keep.append(entry)
+            if removed:
+                del bucket[p:]
+                bucket.extend(keep)
+                self._ring_count -= removed
+        extracted.sort(key=lambda e: (e[0], e[1]))
+        return extracted
+
+    def splice_ring(self, due: int, index: int, callback, arg) -> None:
+        """Insert an entry into ``due``'s bucket at live position ``index``.
+
+        ``index`` counts from the bucket's current consume position;
+        entries already consumed this cycle are unaffected.  The entry
+        gets a fresh order counter — ring ordering is positional, so the
+        order value only needs to be unique, and a fresh one keeps the
+        global counter monotonic.
+        """
+        if due < self.now:
+            raise ValueError(f"cannot splice into the past (due={due})")
+        if due - self.now >= RING_CYCLES:
+            raise ValueError(f"splice beyond ring horizon (due={due})")
+        order = self._order
+        self._order = order + 1
+        b = due & _RING_MASK
+        bucket = self._ring[b]
+        p = self._ring_pos[b] + index
+        if p > len(bucket):
+            p = len(bucket)
+        bucket.insert(p, (order, callback, arg, None))
+        self._ring_count += 1
+        if due < self._ring_next:
+            self._ring_next = due
+
+    def bucket_live_entries(self, due: int) -> list:
+        """Live entries of ``due``'s bucket as ``(order, callback, arg)``,
+        in consume order (index 0 = next to run at that cycle)."""
+        b = due & _RING_MASK
+        bucket = self._ring[b]
+        p = self._ring_pos[b]
+        return [(e[0], e[1], e[2]) for e in bucket[p:]]
 
     def _scan_ring(self) -> int:
         """Cycle of the earliest pending ring entry (``_ring_count`` > 0).
@@ -380,6 +529,8 @@ class EventQueue:
                     cycle, _order, callback, arg, handle = heappop(heap)
                     if handle is not None and handle.cancelled:
                         continue
+                    if cycle > self.now + 1:
+                        self.warp_jumps += 1
                     self.now = cycle
                     callback() if arg is None else callback(arg)
                 else:
@@ -395,12 +546,16 @@ class EventQueue:
                     _order, callback, arg, handle = entry
                     if handle is not None and handle.cancelled:
                         continue
+                    if ring_cycle > self.now + 1:
+                        self.warp_jumps += 1
                     self.now = ring_cycle
                     callback() if arg is None else callback(arg)
             elif heap:
                 cycle, _order, callback, arg, handle = heappop(heap)
                 if handle is not None and handle.cancelled:
                     continue
+                if cycle > self.now + 1:
+                    self.warp_jumps += 1
                 self.now = cycle
                 callback() if arg is None else callback(arg)
             else:
@@ -522,3 +677,28 @@ class EventQueue:
             break
         if self.now < limit_cycle:
             self.now = limit_cycle
+
+
+class _RecordingEventQueue(EventQueue):
+    """EventQueue with the post-cycle log armed.
+
+    An :class:`EventQueue` becomes (and stops being) one of these by
+    plain ``__class__`` assignment — both classes have identical slot
+    layouts, so the swap is legal and costs nothing while recording is
+    off.  Only the posting entry points change; drain/run loops are
+    inherited untouched.
+    """
+
+    __slots__ = ()
+
+    def schedule(self, delay: int, callback: Callback) -> Event:
+        self._post_log[self._order] = self.now
+        return EventQueue.schedule(self, delay, callback)
+
+    def post(self, delay: int, callback: Callback) -> None:
+        self._post_log[self._order] = self.now
+        EventQueue.post(self, delay, callback)
+
+    def post1(self, delay: int, callback: Callable, arg) -> None:
+        self._post_log[self._order] = self.now
+        EventQueue.post1(self, delay, callback, arg)

@@ -344,6 +344,53 @@ class StatsRegistry:
             if c.live and k.startswith(prefix)
         }
 
+    # -- spin fast-forward support ------------------------------------
+
+    def snapshot_prefix(self, prefix: str) -> tuple:
+        """Raw ``(counters, histograms)`` snapshot of live slots whose
+        absolute key starts with ``prefix``.
+
+        Used by the spin fast-forward engine to capture one loop
+        iteration's worth of recording under a core's scope; see
+        :func:`diff_prefix_snapshots` / :meth:`apply_scaled_delta`.
+        """
+        counters = {
+            k: c.value
+            for k, c in self._counters.items()
+            if c.live and k.startswith(prefix)
+        }
+        histograms = {
+            k: dict(h._buckets)
+            for k, h in self._histograms.items()
+            if h.live and k.startswith(prefix)
+        }
+        return counters, histograms
+
+    def apply_scaled_delta(
+        self, counter_deltas: Mapping, hist_deltas: Mapping, k: int
+    ) -> None:
+        """Add ``k`` times a per-lap delta to the registry (absolute keys).
+
+        Exactly reproduces what ``k`` live repetitions of the recording
+        sites would have done: counter slots gain ``k * delta`` (and turn
+        live if the delta materialized them), histograms gain ``k`` times
+        each bucket weight with count/total maintained by ``add``.
+        """
+        for key, delta in counter_deltas.items():
+            slot = self._counters.get(key)
+            if slot is None:
+                slot = Counter()
+                self._counters[key] = slot
+            slot.value += k * delta
+            slot.live = True
+        for key, buckets in hist_deltas.items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = Histogram()
+                self._histograms[key] = hist
+            for value, weight in buckets.items():
+                hist.add(value, k * weight)
+
     def snapshot(self) -> StatsSummary:
         """Freeze the registry into a picklable :class:`StatsSummary`."""
         return StatsSummary(
@@ -357,3 +404,32 @@ class StatsRegistry:
 
     def __repr__(self) -> str:
         return f"StatsRegistry(scope={self._scope!r}, counters={len(self._counters)})"
+
+
+def diff_prefix_snapshots(before: tuple, after: tuple) -> tuple:
+    """Per-key delta between two :meth:`StatsRegistry.snapshot_prefix`
+    captures, dropping zero deltas.
+
+    Counter keys only ever grow during a run (``set``/``peak`` rewrites
+    happen at finalize, after the last possible capture), so a zero
+    delta means the lap did not touch the slot and scaling it would be
+    a no-op either way.
+    """
+    b_counters, b_hists = before
+    a_counters, a_hists = after
+    counter_deltas = {}
+    for key, value in a_counters.items():
+        delta = value - b_counters.get(key, 0)
+        if delta:
+            counter_deltas[key] = delta
+    hist_deltas = {}
+    for key, buckets in a_hists.items():
+        base = b_hists.get(key, {})
+        bucket_deltas = {}
+        for value, weight in buckets.items():
+            delta = weight - base.get(value, 0)
+            if delta:
+                bucket_deltas[value] = delta
+        if bucket_deltas:
+            hist_deltas[key] = bucket_deltas
+    return counter_deltas, hist_deltas

@@ -44,11 +44,31 @@ class DeadlockWatchdog:
         self._stats = stats
         self._last_activity = 0
         self._check_scheduled = False
+        self._deadline_cycle = 0
         self._timeouts = 0
         #: Optional observer invoked with the flushed entry on every
         #: timeout, before the flush runs (cold path: only on actual
         #: fires).  Used by :mod:`repro.obs`; None costs nothing.
         self.on_timeout: Optional[Callable[[AtomicQueueEntry], None]] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether a deadline check event is pending in the queue.
+
+        An armed watchdog is a *real* queue entry (``post_at``), never
+        removed early — so the global time-warp can advance at most to
+        the deadline before the check runs.  Spin-parking a core whose
+        watchdog is armed is still legal when its atomic queue is empty:
+        the check then takes the "nothing locked" early return at the
+        same absolute cycle whether or not the core is parked (see
+        ``repro.uarch.spinff``).
+        """
+        return self._check_scheduled
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """The cycle the pending check fires at, or None when unarmed."""
+        return self._deadline_cycle if self._check_scheduled else None
 
     @property
     def timeouts(self) -> int:
@@ -76,8 +96,9 @@ class DeadlockWatchdog:
         if not self._aq.any_locked:
             return
         self._check_scheduled = True
-        deadline = self._last_activity + self._threshold
-        self._queue.post_at(max(deadline, self._queue.now), self._check)
+        deadline = max(self._last_activity + self._threshold, self._queue.now)
+        self._deadline_cycle = deadline
+        self._queue.post_at(deadline, self._check)
 
     def _check(self) -> None:
         self._check_scheduled = False

@@ -37,6 +37,12 @@ class CacheArray:
             lambda: [None] * ways
         )
         self._where: dict[int, tuple[int, int]] = {}
+        #: Bumped on every placement/removal.  Together with the
+        #: replacement policy's ``rank_epoch`` this gives an O(1) proof
+        #: that the array is bit-identical at two instants — the spin
+        #: fast-forward signature compares these instead of serializing
+        #: every resident set (see ``repro.uarch.spinff``).
+        self.mut_epoch = 0
 
     def set_of(self, line: int) -> int:
         return line % self.num_sets
@@ -106,12 +112,14 @@ class CacheArray:
         return True
 
     def _place(self, set_index: int, way: int, line: int) -> tuple[int, int]:
+        self.mut_epoch += 1
         self._lines[set_index][way] = line
         self._where[line] = (set_index, way)
         self._replacement.touch(set_index, way)
         return (set_index, way)
 
     def _remove(self, line: int) -> None:
+        self.mut_epoch += 1
         set_index, way = self._where.pop(line)
         self._lines[set_index][way] = None
 

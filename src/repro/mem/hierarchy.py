@@ -129,9 +129,23 @@ class PrivateHierarchy:
         #: configured L1 hit latency (no simulated time may pass).
         self._fastpath = self._shortcuts and self._l1_hit_latency == 0
         self._state: Dict[int, MESIState] = {}
+        #: Bumped on every MESI-state change (grant, downgrade, invalidate,
+        #: eviction).  Equal values at two instants prove ``_state`` is
+        #: identical at those instants — the spin fast-forward signature
+        #: compares this instead of serializing the whole dict.
+        self.state_epoch = 0
         self._mshrs: Dict[int, _Mshr] = {}
         self._mshr_pool: List[_Mshr] = []
         self._deferred: Dict[int, List[CoherenceMessage]] = {}
+        #: Blocked-fill retries currently in flight (the closures posted
+        #: by ``_fill_l1_then``/``_install``).  Tracked because the spin
+        #: fast-forward engine cannot identify a closure's owner when it
+        #: scans the event queue — parking is only legal when this is 0.
+        self._fill_retries = 0
+        #: Lines a parked core's spin loop is reading (set by the spin
+        #: fast-forward engine at park, cleared at unpark).  Used for
+        #: wake-cause classification and the directory sharer audit.
+        self.spin_watch: frozenset[int] = frozenset()
         self.lock_view: LockView = _NoLocks()
         #: Called when a line leaves the hierarchy (Inv or L2 eviction).
         self.on_line_lost: Callable[[int], None] = lambda line: None
@@ -231,10 +245,13 @@ class PrivateHierarchy:
         )
         if filled is None:
             self._stats.bump("l1_fill_blocked")
-            self._queue.post(
-                FILL_RETRY_CYCLES,
-                lambda: self._fill_l1_then(line, latency, callback, arg),
-            )
+            self._fill_retries += 1
+
+            def retry() -> None:
+                self._fill_retries -= 1
+                self._fill_l1_then(line, latency, callback, arg)
+
+            self._queue.post(FILL_RETRY_CYCLES, retry)
             return
         if callback is _noop and latency == 0 and self._shortcuts:
             # Nothing to run and no time to pass: skip the queue.  (A
@@ -273,6 +290,7 @@ class PrivateHierarchy:
             MessageKind.DATA_S: MESIState.SHARED,
             MessageKind.DATA_M: MESIState.MODIFIED,
         }[message.kind]
+        self.state_epoch += 1
         self._state[line] = granted
         # Tell the directory the grant landed so it can serve the next
         # request for this line (closes the stale-grant ownership race).
@@ -340,7 +358,13 @@ class PrivateHierarchy:
             # All L2 ways held by locked/in-flight lines.  Keep the line
             # coherence-resident but uncached; retry the install.
             self._stats.bump("l2_fill_blocked")
-            self._queue.post(FILL_RETRY_CYCLES, lambda: self._install(line))
+            self._fill_retries += 1
+
+            def retry() -> None:
+                self._fill_retries -= 1
+                self._install(line)
+
+            self._queue.post(FILL_RETRY_CYCLES, retry)
             return
         self._fill_l1_then(line, 0, _noop)
 
@@ -363,6 +387,7 @@ class PrivateHierarchy:
     def _evict_from_l2(self, line: int) -> None:
         self._c_l2_evictions.add()
         self._l1.invalidate(line)
+        self.state_epoch += 1
         self._state.pop(line, None)
         self.on_line_lost(line)
         self._network.send_msg(
@@ -380,6 +405,7 @@ class PrivateHierarchy:
             self._c_invalidations.add()
             self._l1.invalidate(line)
             self._l2.invalidate(line)
+            self.state_epoch += 1
             self._state.pop(line, None)
             self.on_line_lost(line)
         self._network.send_msg(
@@ -398,6 +424,7 @@ class PrivateHierarchy:
             return
         line = message.line
         if self._state.get(line, MESIState.INVALID).writable:
+            self.state_epoch += 1
             self._state[line] = MESIState.SHARED
         self._network.send_msg(
             MessageKind.DOWNGRADE_ACK,
@@ -423,6 +450,30 @@ class PrivateHierarchy:
             message.retained = False
             self.on_message(message)
             self._network.release(message)
+
+    # ------------------------------------------------------------------
+    # spin fast-forward integration
+
+    def can_park(self) -> bool:
+        """True when the hierarchy holds no in-flight state: no MSHRs,
+        no deferred remote requests, no blocked-fill retry closures in
+        the event queue.  A parked core's hierarchy must be completely
+        quiescent — its only future activity may be the remote
+        INV/DOWNGRADE that wakes the core."""
+        return (
+            not self._mshrs
+            and not self._deferred
+            and self._fill_retries == 0
+        )
+
+    def watch_for_park(self, lines, hook) -> None:
+        """Register the spin watch set and the interconnect wake hook."""
+        self.spin_watch = frozenset(lines)
+        self._network.watch_node(self.core_id, hook)
+
+    def unwatch_for_park(self) -> None:
+        self._network.unwatch_node(self.core_id)
+        self.spin_watch = frozenset()
 
     def deferred_count(self, line: int) -> int:
         return len(self._deferred.get(line, ()))

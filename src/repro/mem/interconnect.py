@@ -91,6 +91,11 @@ class Interconnect:
         #: REPRO_POOL_DEBUG=1 turns on retain/release leak tracking.
         self.debug_leaks = os.environ.get("REPRO_POOL_DEBUG") == "1"
         self._retained_live: dict[int, CoherenceMessage] = {}
+        #: Spin fast-forward wake hooks: dst node -> callable invoked at
+        #: send time, *before* the delivery is posted (see ``send``).
+        #: None (not an empty dict) when nobody is parked, so the hot
+        #: path pays one attribute load + is-None test.
+        self._watchers: Optional[dict] = None
 
     @property
     def latency(self) -> int:
@@ -165,6 +170,17 @@ class Interconnect:
         self._c_messages.add()
         self._c_kind[message.kind].add()
         delay = (inject_at - now) + self._latency
+        watchers = self._watchers
+        if watchers is not None:
+            hook = watchers.get(message.dst)
+            if hook is not None:
+                # Fires before the delivery is posted (and before any
+                # batch append), so a wakeup the hook schedules for this
+                # cycle's lap boundary drains ahead of the delivery —
+                # transit is >= latency >= the spin period, so the
+                # parked core is always live again before the message
+                # lands.
+                hook(message, now, now + delay)
         if not self._batching or delay >= RING_CYCLES:
             queue.post1(delay, self._deliver1, message)
             return
@@ -216,6 +232,24 @@ class Interconnect:
                 self._retained_live.pop(message.msg_id, None)
             if len(self._pool) < POOL_LIMIT:
                 self._pool.append(message)
+
+    # ------------------------------------------------------------------
+    # spin fast-forward wake hooks
+
+    def watch_node(self, node: int, hook) -> None:
+        """Invoke ``hook(message, send_cycle, due_cycle)`` on every send
+        targeting ``node``, at send time, before the delivery posts."""
+        watchers = self._watchers
+        if watchers is None:
+            watchers = self._watchers = {}
+        watchers[node] = hook
+
+    def unwatch_node(self, node: int) -> None:
+        watchers = self._watchers
+        if watchers is not None:
+            watchers.pop(node, None)
+            if not watchers:
+                self._watchers = None
 
     # ------------------------------------------------------------------
     # debug-mode leak checking (REPRO_POOL_DEBUG=1)

@@ -70,6 +70,7 @@ def verify_system(
     violations.extend(_check_directory(system, strict=strict_directory))
     violations.extend(_check_directory_tables(system))
     violations.extend(_check_fastpath_indexes(system))
+    violations.extend(_check_parked(system))
     if quiesced:
         violations.extend(_check_quiesced(system))
     return violations
@@ -86,6 +87,40 @@ def assert_coherent(system: "System") -> None:
 def _core_states(system: "System"):
     for core in system.cores:
         yield core, core.hierarchy
+
+
+def _check_parked(system: "System") -> List[str]:
+    """Spin fast-forward park-state invariants (see repro.uarch.spinff).
+
+    A parked core is frozen mid-spin: it must have no in-flight memory
+    traffic (parking requires an idle hierarchy and stays legal because
+    every externally-triggered transition goes through the network), a
+    registered wake watcher (otherwise a message could land while the
+    core is absent from the calendar), and every watched spin line
+    still resident — the spin loop's loads hit those lines, and the
+    first coherence message that would take one away is exactly what
+    un-parks the core before the message is delivered.
+    """
+    violations = []
+    watchers = system.network._watchers
+    for core, hierarchy in _core_states(system):
+        if not core.parked:
+            continue
+        if not hierarchy.can_park():
+            violations.append(
+                f"core {core.core_id}: parked with in-flight memory traffic"
+            )
+        if watchers is None or core.core_id not in watchers:
+            violations.append(
+                f"core {core.core_id}: parked without a wake watcher"
+            )
+        for line in sorted(hierarchy.spin_watch):
+            if hierarchy.state_of(line) is MESIState.INVALID:
+                violations.append(
+                    f"core {core.core_id}: parked spinning on "
+                    f"non-resident line {line:#x}"
+                )
+    return violations
 
 
 def _check_single_writer(system: "System") -> List[str]:

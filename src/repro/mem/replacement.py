@@ -36,10 +36,22 @@ class LruPolicy:
             lambda: [0] * ways
         )
         self._clock = 0
+        #: Bumped whenever a touch changes some set's recency *order*.
+        #: A touch of the way that is already MRU only inflates its
+        #: stamp — every victim choice comes out the same — so equal
+        #: ``rank_epoch`` values at two instants prove the replacement
+        #: order of every set is identical at those instants.  The spin
+        #: fast-forward signature relies on this to avoid re-ranking
+        #: whole arrays (see ``repro.uarch.spinff``).
+        self.rank_epoch = 0
+        self._mru: dict[int, int] = {}
 
     def touch(self, set_index: int, way: int) -> None:
         self._clock += 1
         self._stamps[set_index][way] = self._clock
+        if self._mru.get(set_index) != way:
+            self.rank_epoch += 1
+            self._mru[set_index] = way
 
     def choose_victim(
         self, set_index: int, excluded_ways: Iterable[int]
@@ -67,6 +79,10 @@ class RoundRobinPolicy:
     def __init__(self, num_sets: int, ways: int) -> None:
         self._ways = ways
         self._next = [0] * num_sets
+        #: Interface parity with :class:`LruPolicy`; round-robin state
+        #: only changes in ``choose_victim``, which is always part of a
+        #: fill — and fills bump the owning array's ``mut_epoch``.
+        self.rank_epoch = 0
 
     def touch(self, set_index: int, way: int) -> None:
         """Round-robin ignores recency."""

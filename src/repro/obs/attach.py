@@ -92,6 +92,8 @@ class Observability:
                 self._attach_watchdog(core)
             if cfg.replacement or cfg.coherence:
                 self._attach_hierarchy(core)
+            if cfg.spinff:
+                self._attach_spinff(core)
         if cfg.coherence:
             self._attach_directory(system)
         return self
@@ -228,6 +230,36 @@ class Observability:
 
         aq._on_entry_locked = on_locked  # type: ignore[method-assign]
         aq._on_entry_released = on_released  # type: ignore[method-assign]
+
+    def _attach_spinff(self, core: "OutOfOrderCore") -> None:
+        """Stream spin fast-forward park/unpark events.
+
+        Note that pipeline tracing (``cfg.pipeline``) makes these
+        streams empty by construction: wrapping ``_do_commit`` routes
+        commit through the object-at-a-time leg, which never engages
+        the fast-forward engine — the detector is part of the batched
+        fast path it accelerates.
+        """
+        bus, queue, cid = self.bus, core.queue, core.core_id
+
+        def on_park(cycle: int, period: int, lines) -> None:
+            bus.emit(
+                cycle, "spinff", "park", cid,
+                info={"period": period, "lines": sorted(lines)},
+            )
+
+        def on_unpark(cycle, skipped, laps, first_send) -> None:
+            info = {"skipped": skipped, "laps": laps}
+            if first_send is not None:
+                send_cycle, kind, line, watched = first_send
+                info["wake_send_cycle"] = send_cycle
+                info["wake_kind"] = getattr(kind, "value", str(kind))
+                info["wake_line"] = line
+                info["wake_line_watched"] = watched
+            bus.emit(cycle, "spinff", "unpark", cid, dur=skipped, info=info)
+
+        core.on_park = on_park
+        core.on_unpark = on_unpark
 
     def _attach_watchdog(self, core: "OutOfOrderCore") -> None:
         bus, queue, cid = self.bus, core.queue, core.core_id

@@ -60,6 +60,12 @@ class SimulationResult:
     #: Run-health report, when run with observability attached (see
     #: :mod:`repro.obs.health`); carried into ``ResultSummary.meta``.
     health: Optional[dict] = None
+    #: Spin fast-forward diagnostics (parks, spin_cycles_skipped,
+    #: time_warp_jumps).  Deliberately NOT part of the stats registry or
+    #: :class:`ResultSummary`: the fast-forwarded and reference runs must
+    #: serialize byte-identically, and these numbers describe how the
+    #: run was simulated, not what it computed.
+    fastforward: Optional[dict] = None
 
     @property
     def num_cores(self) -> int:
@@ -211,6 +217,15 @@ class System:
             core.on_finished = core_finished
         outcome = self.queue.drain(remaining, self.config.max_cycles)
         if outcome == 1:
+            if any(core.parked for core in self.cores):
+                # A parked core spins forever with no wake in flight:
+                # the reference run would burn cycles until max_cycles,
+                # so report the same failure it would.
+                raise SimulationError(
+                    f"exceeded max_cycles={self.config.max_cycles} "
+                    f"(policy={self.policy.name}, "
+                    f"workload={self.workload.name})"
+                )
             self._raise_deadlock(
                 {c.core_id for c in self.cores if not c.finished}
             )
@@ -220,6 +235,7 @@ class System:
                 f"(policy={self.policy.name}, "
                 f"workload={self.workload.name})"
             )
+        assert not any(core.parked for core in self.cores)
         if self.network.debug_leaks and len(self.queue) == 0:
             # Only sound on a fully drained queue: every handler-retained
             # pooled message must have been replayed and released.
@@ -259,6 +275,13 @@ class System:
                 else None
             ),
             health=health,
+            fastforward={
+                "parks": sum(c.ff_parks for c in self.cores),
+                "spin_cycles_skipped": sum(
+                    c.spin_cycles_skipped for c in self.cores
+                ),
+                "time_warp_jumps": self.queue.warp_jumps,
+            },
         )
 
     def _raise_deadlock(self, unfinished: set[int]) -> None:

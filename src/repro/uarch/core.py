@@ -92,6 +92,7 @@ from repro.uarch.dynins import (
 from repro.uarch.lsq import LoadQueue, StoreQueue
 from repro.uarch.rename import RenameMap
 from repro.uarch.rob import ReorderBuffer
+from repro.uarch.spinff import STREAK_MIN as SPIN_STREAK_MIN, SpinFastForward
 from repro.uarch.storeset import StoreSetPredictor
 
 #: Address generation latency (cycles after issue).
@@ -317,6 +318,24 @@ class OutOfOrderCore:
         #: observers wrapping ``_squash_from`` can attribute the flush
         #: without the hot path carrying any extra branches.
         self.last_squash_cause: str = ""
+
+        # Spin fast-forward (see repro.uarch.spinff).  The engine only
+        # exists on the fast leg (REPRO_NO_FASTPATH=1 runs without it,
+        # which the A/B byte-identity tests rely on); REPRO_NO_SPINFF=1
+        # additionally disables just this engine for isolation.  The
+        # streak counter is the only cost the commit hot path pays when
+        # the core is not spinning.
+        self.parked = False
+        self.spin_cycles_skipped = 0
+        self.ff_parks = 0
+        #: Observability hooks: on_park(cycle, period, watched_lines),
+        #: on_unpark(cycle, skipped, laps, first_send | None).
+        self.on_park: Optional[Callable] = None
+        self.on_unpark: Optional[Callable] = None
+        self._spin_streak = 0
+        self._spinff: Optional[SpinFastForward] = None
+        if self._fast and os.environ.get("REPRO_NO_SPINFF") != "1":
+            self._spinff = SpinFastForward(self)
 
     # ==================================================================
     # lifecycle
@@ -1802,7 +1821,23 @@ class OutOfOrderCore:
                 self._c_committed_spin(spin_committed)
             self._drain_retry_pool(self._stalled_atomics, F_STALLED_ATOMIC)
             self._maybe_resume_fetch()
+            # Spin fast-forward streak: a window of exclusively
+            # side-effect-free classes (ALU/branch/load) extends it; any
+            # store/atomic/fence/halt in the window resets it.
+            if committed == n_alu + n_br + n_ld:
+                self._spin_streak += committed
+            else:
+                self._spin_streak = 0
+                spinff = self._spinff
+                if spinff is not None and spinff.observing:
+                    spinff.abort()
         self._maybe_schedule_commit()
+        if self._spin_streak >= SPIN_STREAK_MIN and not self.finished:
+            spinff = self._spinff
+            if spinff is not None:
+                # After _maybe_schedule_commit so a just-posted commit
+                # event is part of the parkable pending set.
+                spinff.on_commit_boundary()
 
     def _do_commit(self, instr: DynInstr) -> None:
         now = self.queue.now
@@ -1906,6 +1941,10 @@ class OutOfOrderCore:
 
     def _squash_from(self, seq: int, new_pc: int) -> None:
         """Flush all instructions with sequence >= ``seq``; refetch."""
+        self._spin_streak = 0
+        spinff = self._spinff
+        if spinff is not None and spinff.observing:
+            spinff.abort()
         squashed = self.rob.squash_from(seq)
         self._c_squashes()
         self._c_squashed_instrs(len(squashed))
