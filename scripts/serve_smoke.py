@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the ``repro.serve`` daemon (the CI serve job).
+
+Boots the daemon against a fresh cache, then asserts the acceptance
+demo from the serve subsystem's design:
+
+1. ``/readyz`` flips ready after startup;
+2. two concurrent identical sweep requests against the cold cache
+   produce exactly one simulation per point (single-flight, verified
+   via ``/metrics``: ``singleflight_hits`` > 0 and simulated-point
+   count equals the sweep's point count);
+3. an immediate replay of the same sweep is served entirely from the
+   disk cache in < 100 ms without touching the pool;
+4. SIGKILLing a pool worker mid-sweep does not lose completed points:
+   the daemon rebuilds the pool (``worker_restarts`` >= 1) and the
+   sweep still reports every point;
+5. SIGTERM shuts the daemon down cleanly (exit code 0).
+
+Exit status 0 on success; prints the failing assertion otherwise.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SWEEP = {
+    "benchmarks": ["AS", "watersp"],
+    "policies": ["baseline", "free+fwd"],
+    "threads": 2,
+    "instrs": 300,
+}
+#: Warm replays must come back faster than this (the "millions of
+#: users" bar: repeat requests are pure cache reads).
+REPLAY_BUDGET_SECONDS = 0.100
+
+
+class Daemon:
+    def __init__(self) -> None:
+        self.proc: subprocess.Popen | None = None
+        self.port: int | None = None
+
+    def start(self, cache_dir: str) -> None:
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0", "--jobs", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        assert self.proc.stdout is not None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise AssertionError("daemon exited before listening")
+            sys.stdout.write(f"[daemon] {line}")
+            if "listening on" in line:
+                self.port = int(line.rsplit(":", 1)[1].split()[0])
+                return
+        raise AssertionError("daemon never printed its listen line")
+
+    def get(self, path: str) -> tuple[int, dict]:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read().decode())
+        finally:
+            conn.close()
+
+    def sweep(self, payload: dict) -> tuple[int, list[dict]]:
+        """POST a sweep and decode the streamed NDJSON events."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=300)
+        try:
+            conn.request(
+                "POST",
+                "/v1/sweep",
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = response.read().decode()
+            events = [json.loads(line) for line in body.splitlines() if line]
+            return response.status, events
+        finally:
+            conn.close()
+
+    def stop(self) -> int:
+        assert self.proc is not None
+        self.proc.send_signal(signal.SIGTERM)
+        code = self.proc.wait(timeout=30)
+        rest = self.proc.stdout.read() if self.proc.stdout else ""
+        for line in rest.splitlines():
+            print(f"[daemon] {line}")
+        return code
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def main() -> int:
+    daemon = Daemon()
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as cache_dir:
+        daemon.start(cache_dir)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status, _payload = daemon.get("/readyz")
+                if status == 200:
+                    break
+                time.sleep(0.2)
+            require(status == 200, f"/readyz never became ready ({status})")
+            print("[smoke] ready")
+
+            # -- 2: concurrent identical sweeps, cold cache -------------
+            results: list[tuple[int, list[dict]]] = [None, None]  # type: ignore
+
+            def fire(slot: int) -> None:
+                results[slot] = daemon.sweep(SWEEP)
+
+            threads = [
+                threading.Thread(target=fire, args=(slot,)) for slot in (0, 1)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            num_points = len(SWEEP["benchmarks"]) * len(SWEEP["policies"])
+            for status, events in results:
+                require(status == 200, f"cold sweep status {status}")
+                done = events[-1]
+                require(
+                    done["event"] == "done" and done["ok"],
+                    f"cold sweep did not finish ok: {done}",
+                )
+                require(
+                    done["from_cache"] + done["simulated"] == num_points,
+                    f"cold sweep missing points: {done}",
+                )
+            _, metrics = daemon.get("/metrics")
+            sim_events = [
+                e
+                for _, events in results
+                for e in events
+                if e["event"] == "point" and e["source"] == "sim"
+            ]
+            require(
+                len(sim_events) == num_points,
+                f"expected exactly {num_points} simulations across both "
+                f"concurrent sweeps, saw {len(sim_events)}",
+            )
+            require(
+                metrics["singleflight_hits"] > 0,
+                f"single-flight never deduped: {metrics}",
+            )
+            print(
+                f"[smoke] single-flight ok: {num_points} simulations, "
+                f"{metrics['singleflight_hits']} deduped"
+            )
+
+            # -- 3: warm replay under the latency budget ----------------
+            started = time.monotonic()
+            status, events = daemon.sweep(SWEEP)
+            elapsed = time.monotonic() - started
+            done = events[-1]
+            require(status == 200 and done["ok"], f"warm sweep failed: {done}")
+            require(
+                done["from_cache"] == num_points,
+                f"warm sweep not fully cached: {done}",
+            )
+            require(
+                elapsed < REPLAY_BUDGET_SECONDS,
+                f"warm replay took {elapsed * 1000:.1f}ms "
+                f"(budget {REPLAY_BUDGET_SECONDS * 1000:.0f}ms)",
+            )
+            print(f"[smoke] warm replay ok in {elapsed * 1000:.1f}ms")
+
+            # -- 4: SIGKILL a pool worker mid-sweep ---------------------
+            _, metrics = daemon.get("/metrics")
+            victims = metrics["worker_pids"]
+            require(bool(victims), f"no worker pids in metrics: {metrics}")
+            killer_done = threading.Event()
+
+            def kill_soon() -> None:
+                time.sleep(0.05)
+                try:
+                    os.kill(victims[0], signal.SIGKILL)
+                finally:
+                    killer_done.set()
+
+            kill_sweep = dict(SWEEP, instrs=2000, benchmarks=["AS", "canneal"])
+            threading.Thread(target=kill_soon).start()
+            status, events = daemon.sweep(kill_sweep)
+            killer_done.wait(timeout=10)
+            done = events[-1]
+            kill_points = len(kill_sweep["benchmarks"]) * len(SWEEP["policies"])
+            require(status == 200 and done["ok"], f"kill sweep failed: {done}")
+            require(
+                done["from_cache"] + done["simulated"] == kill_points,
+                f"kill sweep dropped points: {done}",
+            )
+            _, metrics = daemon.get("/metrics")
+            require(
+                metrics["worker_restarts"] >= 1,
+                f"pool was never rebuilt after SIGKILL: {metrics}",
+            )
+            print(
+                f"[smoke] survived SIGKILLed worker "
+                f"(restarts={metrics['worker_restarts']})"
+            )
+        finally:
+            code = daemon.stop()
+        require(code == 0, f"daemon exited {code} on SIGTERM")
+        print("[smoke] clean SIGTERM shutdown")
+    print("[smoke] PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

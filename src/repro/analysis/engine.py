@@ -24,13 +24,14 @@ from __future__ import annotations
 import dataclasses
 import gc
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.analysis import runner as _runner
 from repro.analysis.runner import ExperimentScale, run_benchmark
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, PartialSweepError
 from repro.core.policy import (
     ALL_POLICIES,
     BASELINE,
@@ -229,8 +230,35 @@ def run_batch(points: Iterable[Point]) -> dict[Point, ResultSummary]:
     return resolved
 
 
+#: Times :func:`prefetch` will replace a broken worker pool before
+#: giving up and surfacing the partial result.
+POOL_REBUILD_LIMIT = 1
+
+#: Process-lifetime count of worker-pool rebuilds (serve metrics reads
+#: this; tests reset it via :func:`_reset_pool_rebuilds`).
+_POOL_REBUILDS = 0
+
+
+def pool_rebuild_count() -> int:
+    """How many times this process has replaced a crashed worker pool."""
+    return _POOL_REBUILDS
+
+
+def _note_pool_rebuild() -> None:
+    global _POOL_REBUILDS
+    _POOL_REBUILDS += 1
+
+
+def _reset_pool_rebuilds() -> None:
+    global _POOL_REBUILDS
+    _POOL_REBUILDS = 0
+
+
 def prefetch(
-    points: Iterable[Point], jobs: Optional[int] = None
+    points: Iterable[Point],
+    jobs: Optional[int] = None,
+    *,
+    pool_rebuilds: int = POOL_REBUILD_LIMIT,
 ) -> dict[Point, ResultSummary]:
     """Resolve ``points`` with up to ``jobs`` worker processes.
 
@@ -241,19 +269,58 @@ def prefetch(
     worker process applies the same GC tuning once at startup and runs
     its share of points as an in-process batch of its own.
     Returns the summaries of the points that were actually resolved.
+
+    A crashed worker (OOM kill, SIGKILL, segfault) breaks the whole
+    ``ProcessPoolExecutor`` — every in-flight future, not just the
+    crasher's.  Completed points are never lost to that: results are
+    memoized as each future finishes, the broken pool is replaced up to
+    ``pool_rebuilds`` times, and only the unfinished points are
+    resubmitted.  If the budget runs out with points still unresolved,
+    :class:`~repro.common.errors.PartialSweepError` surfaces the
+    completed summaries and lists the failed points.
     """
     pending = [p for p in dict.fromkeys(points) if _runner.memoized(*p) is None]
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(pending) <= 1:
         return run_batch(pending)
     resolved: dict[Point, ResultSummary] = {}
-    workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_tune_gc_for_simulation
-    ) as pool:
-        for point, summary in pool.map(_run_point, pending):
-            _runner.memoize(*point, summary=summary)
-            resolved[point] = summary
+    remaining = list(pending)
+    rebuilds_left = pool_rebuilds
+    while remaining:
+        broke = False
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(remaining)),
+                initializer=_tune_gc_for_simulation,
+            ) as pool:
+                futures = {pool.submit(_run_point, p): p for p in remaining}
+                for future in as_completed(futures):
+                    try:
+                        point, summary = future.result()
+                    except BrokenProcessPool:
+                        # This future died with the pool; later ones may
+                        # still carry results computed before the break.
+                        broke = True
+                        continue
+                    _runner.memoize(*point, summary=summary)
+                    resolved[point] = summary
+        except BrokenProcessPool:
+            broke = True  # pool broke at submit/shutdown time
+        remaining = [p for p in remaining if p not in resolved]
+        if not remaining:
+            break
+        if not broke:  # pragma: no cover - defensive; futures all resolved
+            break
+        if rebuilds_left <= 0:
+            raise PartialSweepError(
+                f"worker pool broke {1 + pool_rebuilds} time(s); "
+                f"{len(resolved)}/{len(pending)} points completed, "
+                f"unresolved: {[(p[0], p[1]) for p in remaining]}",
+                completed=resolved,
+                failed=remaining,
+            )
+        rebuilds_left -= 1
+        _note_pool_rebuild()
     return resolved
 
 

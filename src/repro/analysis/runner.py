@@ -220,13 +220,34 @@ def memoize(
     _CACHE[(benchmark, policy_name, scale, core_preset)] = summary
 
 
+def _summary_from_disk(disk: ResultCache, disk_key: str) -> ResultSummary | None:
+    """Deserialize a disk entry; corrupt/old entries read as misses."""
+    payload = disk.get(disk_key)
+    if payload is None:
+        return None
+    try:
+        return ResultSummary.from_json_dict(payload)
+    except (KeyError, TypeError, ValueError):
+        return None  # corrupt/old entry: caller falls through and re-runs
+
+
 def run_benchmark(
     benchmark: str,
     policy: AtomicPolicy,
     scale: ExperimentScale,
     core_preset: str = "icelake",
 ) -> ResultSummary:
-    """Resolve one (benchmark, policy) point: memo, disk cache, or run."""
+    """Resolve one (benchmark, policy) point: memo, disk cache, or run.
+
+    Simulation is single-flight across processes: on a disk miss the
+    runner takes the cache's advisory per-key ``flock`` before
+    simulating, and re-checks the cache once the lock is held — so N
+    processes (pool workers, serve daemons, parallel shells) racing on
+    the same cold point elect one simulator and the rest replay its
+    entry.  The lock is advisory: where ``flock`` is unavailable the
+    race degrades to the old duplicated-work behaviour, never to a
+    wrong result.
+    """
     memo_key = (benchmark, policy.name, scale, core_preset)
     cached = _CACHE.get(memo_key)
     if cached is not None:
@@ -234,33 +255,33 @@ def run_benchmark(
 
     config, digest = bench_config_and_digest(scale, core_preset)
     disk_key = disk_cache_key(benchmark, policy.name, scale, core_preset, digest)
-    use_disk = cache_enabled()
-    disk = ResultCache() if use_disk else None
+    disk = ResultCache() if cache_enabled() else None
 
-    if disk is not None:
-        payload = disk.get(disk_key)
-        if payload is not None:
-            try:
-                summary = ResultSummary.from_json_dict(payload)
-            except (KeyError, TypeError, ValueError):
-                summary = None  # corrupt/old entry: fall through and re-run
-            if summary is not None:
-                _CACHE[memo_key] = summary
-                return summary
+    def simulate() -> ResultSummary:
+        workload = bench_workload(benchmark, scale)
+        result = run_workload(workload, policy=policy, config=config)
+        return result.summary(
+            meta={
+                "benchmark": benchmark,
+                "core_preset": core_preset,
+                "scale": dataclasses.asdict(scale),
+                "config_digest": digest,
+                "version": __version__,
+            }
+        )
 
-    workload = bench_workload(benchmark, scale)
-    result = run_workload(workload, policy=policy, config=config)
-    summary = result.summary(
-        meta={
-            "benchmark": benchmark,
-            "core_preset": core_preset,
-            "scale": dataclasses.asdict(scale),
-            "config_digest": digest,
-            "version": __version__,
-        }
-    )
-    if disk is not None:
-        disk.put(disk_key, summary.to_json_dict())
+    if disk is None:
+        summary = simulate()
+    else:
+        summary = _summary_from_disk(disk, disk_key)
+        if summary is None:
+            with disk.locked(disk_key) as held:
+                if held:
+                    # Someone may have filled the entry while we waited.
+                    summary = _summary_from_disk(disk, disk_key)
+                if summary is None:
+                    summary = simulate()
+                    disk.put(disk_key, summary.to_json_dict())
     _CACHE[memo_key] = summary
     return summary
 

@@ -14,9 +14,21 @@ Robustness guarantees:
   directory and ``os.replace``d into place, so readers (including
   concurrent pool workers) never observe a torn file;
 - **corruption tolerance**: unreadable or truncated entries behave as
-  misses (and are deleted best-effort), never as errors;
+  misses (and are deleted best-effort), never as errors.  Deletion only
+  removes the exact file version observed torn — an entry that a
+  concurrent ``put`` has just replaced with valid data is left alone
+  (see :meth:`ResultCache.get`);
 - **best-effort writes**: a read-only or full disk degrades to an
-  uncached run instead of failing the experiment.
+  uncached run instead of failing the experiment;
+- **orphan reaping**: a writer killed between ``mkstemp`` and
+  ``os.replace`` leaves a ``.{key}-*.tmp`` file behind; stale tmp files
+  are swept opportunistically on :meth:`ResultCache.put` and
+  unconditionally by :meth:`ResultCache.clear`;
+- **single-flight locking**: :meth:`ResultCache.locked` exposes an
+  advisory per-key ``flock`` sidecar, so N processes racing to fill the
+  same key can elect one simulator and have the rest replay its entry.
+  The lock is an optimization only — correctness never depends on it,
+  and it degrades to unlocked on filesystems without ``flock``.
 
 Environment knobs:
 
@@ -26,12 +38,19 @@ Environment knobs:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
 import tempfile
-from typing import Mapping, Optional
+import time
+from typing import Iterator, Mapping, Optional
+
+try:  # pragma: no cover - always present on the POSIX hosts we target
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 #: Simulator code version, mixed into every disk-cache key.
 #:
@@ -49,6 +68,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_TOGGLE_ENV = "REPRO_CACHE"
 
 _DISABLED_VALUES = {"off", "0", "no", "false"}
+
+#: Age beyond which an orphaned ``.tmp`` file is presumed dead.  A put
+#: holds its tmp file for milliseconds; ten minutes of margin means a
+#: live writer can never lose its file to a concurrent reaper, while a
+#: worker SIGKILLed mid-write stops leaking disk within one warm sweep.
+TMP_STALE_SECONDS = 600.0
 
 
 def cache_enabled() -> bool:
@@ -70,6 +95,16 @@ def content_key(payload: Mapping) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def _same_file_version(a: os.stat_result, b: os.stat_result) -> bool:
+    """Whether two stats observe the same inode *and* content version."""
+    return (
+        a.st_ino == b.st_ino
+        and a.st_dev == b.st_dev
+        and a.st_size == b.st_size
+        and a.st_mtime_ns == b.st_mtime_ns
+    )
+
+
 class ResultCache:
     """Content-addressed JSON blobs under one directory."""
 
@@ -80,23 +115,48 @@ class ResultCache:
         # Two-level fanout keeps directory listings manageable.
         return self.root / key[:2] / f"{key}.json"
 
+    def lock_path(self, key: str) -> pathlib.Path:
+        """Sidecar file backing the advisory per-key ``flock``."""
+        return self.root / key[:2] / f".{key}.lock"
+
     def get(self, key: str) -> Optional[dict]:
         """The stored payload, or None on miss or corrupt entry."""
         path = self.path_for(key)
         try:
-            text = path.read_text(encoding="utf-8")
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return None
+        try:
+            observed = os.fstat(fd)
+            with os.fdopen(fd, "r", encoding="utf-8") as handle:
+                text = handle.read()
         except OSError:
             return None
         try:
             payload = json.loads(text)
         except ValueError:
-            # Corrupt entry: drop it so it cannot mask future writes.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Corrupt entry: drop it so it cannot mask future writes —
+            # but only if it is still the exact file version we read.
+            # A concurrent put replaces the entry atomically (mkstemp +
+            # os.replace = new inode), so an unconditional unlink here
+            # could delete freshly-written valid data.
+            self._unlink_observed(path, observed)
             return None
         return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def _unlink_observed(path: pathlib.Path, observed: os.stat_result) -> None:
+        """Unlink ``path`` only if it is still the observed file version."""
+        try:
+            current = os.stat(path)
+        except OSError:
+            return
+        if not _same_file_version(current, observed):
+            return  # concurrently replaced: the torn version is already gone
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, payload: Mapping) -> None:
         """Atomically persist ``payload``; failures degrade to no-op."""
@@ -116,11 +176,88 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            # Opportunistic reap: writers killed between mkstemp and
+            # os.replace orphan their tmp file forever; sweeping this
+            # key's (small) fanout directory on every successful put
+            # bounds the leak without a dedicated janitor.
+            self._reap_tmp_dir(path.parent, older_than=TMP_STALE_SECONDS)
         except OSError:
             pass
 
+    @contextlib.contextmanager
+    def locked(self, key: str) -> Iterator[bool]:
+        """Advisory exclusive lock on ``key``; yields whether it is held.
+
+        Single-flight primitive for multi-process sweeps: the winner
+        simulates while the losers block, then re-check the cache and
+        replay the winner's entry.  Degrades to yielding ``False`` (no
+        lock held) when ``flock`` is unavailable or the cache directory
+        is unwritable — callers must treat the lock as an optimization,
+        never as a correctness guarantee.
+
+        The sidecar file is deliberately *not* unlinked on release:
+        unlink-after-unlock lets a late-arriving process lock a dead
+        inode while a third creates a fresh one, breaking exclusion.
+        :meth:`clear` reaps sidecars.
+        """
+        fd = None
+        if fcntl is not None:
+            lock = self.lock_path(key)
+            try:
+                lock.parent.mkdir(parents=True, exist_ok=True)
+                fd = os.open(lock, os.O_RDWR | os.O_CREAT, 0o644)
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                if fd is not None:
+                    with contextlib.suppress(OSError):
+                        os.close(fd)
+                    fd = None
+        try:
+            yield fd is not None
+        finally:
+            if fd is not None:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                with contextlib.suppress(OSError):
+                    os.close(fd)
+
+    def _reap_tmp_dir(
+        self, directory: pathlib.Path, older_than: float
+    ) -> int:
+        """Delete orphaned tmp files in one fanout dir; returns count."""
+        removed = 0
+        now = time.time()
+        try:
+            candidates = list(directory.glob(".*.tmp"))
+        except OSError:
+            return removed
+        for candidate in candidates:
+            try:
+                if now - candidate.stat().st_mtime < older_than:
+                    continue
+                candidate.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def reap_tmp(self, older_than: float = TMP_STALE_SECONDS) -> int:
+        """Sweep orphaned ``.tmp`` files cache-wide; returns count removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for subdir in self.root.iterdir():
+            if subdir.is_dir():
+                removed += self._reap_tmp_dir(subdir, older_than)
+        return removed
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also reaps orphaned ``.tmp`` files (regardless of age — clear is
+        explicitly destructive) and stale ``.lock`` sidecars; neither
+        counts toward the returned entry total.
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
@@ -130,4 +267,8 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self.reap_tmp(older_than=0.0)
+        for sidecar in self.root.glob("*/.*.lock"):
+            with contextlib.suppress(OSError):
+                sidecar.unlink()
         return removed

@@ -26,6 +26,24 @@ class SimulationError(ReproError):
     """
 
 
+class PartialSweepError(ReproError):
+    """A parallel sweep lost worker processes and could not finish.
+
+    Raised by :func:`repro.analysis.engine.prefetch` after its bounded
+    pool-rebuild budget is exhausted.  Completed points are *not* lost:
+    they are already memoized (and disk-cached) and available on
+    :attr:`completed`; :attr:`failed` lists the points still unresolved
+    so callers can retry exactly those.
+    """
+
+    def __init__(self, message: str, *, completed, failed) -> None:
+        super().__init__(message)
+        #: Mapping of point -> ResultSummary for the points that finished.
+        self.completed = dict(completed)
+        #: Tuple of the points that never produced a result.
+        self.failed = tuple(failed)
+
+
 class DeadlockError(SimulationError):
     """The system made no forward progress for a configured interval.
 

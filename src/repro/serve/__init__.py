@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: the ``repro.serve`` sweep daemon.
+
+A long-lived asyncio HTTP server (``python -m repro.serve``) that
+accepts schema-validated sweep/litmus/fuzz requests, shards simulation
+points across a persistent worker pool, streams per-point progress, and
+serves repeat requests straight out of the content-addressed disk cache
+— cache hits never touch the pool.  See ``docs/ARCHITECTURE.md`` §17.
+
+Submodules:
+
+- :mod:`repro.serve.app` — the daemon (HTTP front end, job execution,
+  broken-pool recovery);
+- :mod:`repro.serve.schemas` — request models and validation;
+- :mod:`repro.serve.queue` — bounded job queue (429 backpressure);
+- :mod:`repro.serve.singleflight` — in-daemon per-key future dedup;
+- :mod:`repro.serve.metrics` — the ``/metrics`` counters.
+"""
+
+from repro.serve.app import ServeApp, ServeConfig
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import Job, JobQueue, QueueFullError
+from repro.serve.schemas import (
+    FuzzRequest,
+    LitmusRequest,
+    SchemaError,
+    SweepRequest,
+    parse_fuzz,
+    parse_litmus,
+    parse_sweep,
+)
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "FuzzRequest",
+    "Job",
+    "JobQueue",
+    "LitmusRequest",
+    "QueueFullError",
+    "SchemaError",
+    "ServeApp",
+    "ServeConfig",
+    "ServeMetrics",
+    "SingleFlight",
+    "SweepRequest",
+    "parse_fuzz",
+    "parse_litmus",
+    "parse_sweep",
+]

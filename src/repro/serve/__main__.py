@@ -1,0 +1,96 @@
+"""``python -m repro.serve`` — run the sweep daemon.
+
+Examples::
+
+    python -m repro.serve                       # 127.0.0.1:8265, all cores
+    python -m repro.serve --port 0 --jobs 4     # ephemeral port, 4 workers
+    python -m repro.serve --queue-size 4        # aggressive backpressure
+
+The daemon prints one ``listening on http://host:port`` line once ready
+(scripts parse it — keep it stable) and exits 0 on SIGTERM/SIGINT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro.serve.app import ServeApp, ServeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve sweep/litmus/fuzz simulation requests over HTTP.",
+    )
+    defaults = ServeConfig()
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=defaults.port,
+        help=f"TCP port; 0 picks an ephemeral one (default {defaults.port})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=defaults.jobs,
+        help="worker processes (default 0 = all cores)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=defaults.queue_size,
+        help=f"max queued jobs before 429 (default {defaults.queue_size})",
+    )
+    parser.add_argument(
+        "--runners",
+        type=int,
+        default=defaults.runners,
+        help=f"jobs executed concurrently (default {defaults.runners})",
+    )
+    return parser
+
+
+async def _serve(config: ServeConfig) -> int:
+    app = ServeApp(config)
+    await app.start()
+    print(
+        f"[repro.serve] listening on http://{config.host}:{app.port} "
+        f"(workers={len(app.worker_pids())}, queue={config.queue_size})",
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, ValueError):
+            pass  # non-main thread or unsupported platform
+    await stop.wait()
+    print("[repro.serve] shutting down", flush=True)
+    await app.stop()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_size=args.queue_size,
+        runners=args.runners,
+    )
+    try:
+        return asyncio.run(_serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,660 @@
+"""The sweep daemon: an asyncio HTTP job server over the worker pool.
+
+Hand-rolled on ``asyncio.start_server`` — the image has no aiohttp, and
+the protocol surface we need (JSON in, JSON or chunked NDJSON out, one
+request per connection) is small enough that a framework would be
+mostly dead weight.
+
+Request lifecycle for a sweep::
+
+    POST /v1/sweep ── schema validation (400 on failure)
+        │
+        ├── every point's content key is computed *before* enqueue;
+        │   cache hits stream back immediately and never touch the pool
+        │
+        ├── bounded JobQueue admission ── 429 + Retry-After when full
+        │
+        └── runner task shards the missing points across the persistent
+            ProcessPoolExecutor; per-point progress streams back as
+            chunked NDJSON; concurrent requests for the same point are
+            deduped in-daemon (SingleFlight) and cross-process (the
+            cache's flock sidecar inside run_benchmark)
+
+A SIGKILLed pool worker breaks the whole executor; ``_execute`` catches
+that per submission, swaps in a fresh pool (once — concurrent failures
+coalesce on an identity check), and retries the interrupted points.
+Completed points were already streamed and cached, so nothing is lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis import runner as _runner
+from repro.analysis.engine import Point, _tune_gc_for_simulation, resolve_jobs
+from repro.common.cache import ResultCache, cache_enabled
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import END_OF_EVENTS, Job, JobQueue, QueueFullError
+from repro.serve.schemas import (
+    SchemaError,
+    parse_fuzz,
+    parse_litmus,
+    parse_sweep,
+)
+from repro.serve.singleflight import SingleFlight
+from repro.system.summary import ResultSummary
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon knobs (see ``python -m repro.serve --help``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8265
+    jobs: int = 0  # worker processes; < 1 = all cores
+    queue_size: int = 16
+    runners: int = 4  # concurrent jobs being executed
+    pool_rebuilds: int = 2  # per-submission broken-pool retries
+    max_body_bytes: int = 1 << 20
+    request_timeout: float = 30.0
+
+
+# ----------------------------------------------------------------------
+# pool worker entry points (module-level: must pickle by reference)
+
+
+def _pool_ping() -> int:
+    """Readiness probe: proves worker processes actually spawned."""
+    import os
+
+    return os.getpid()
+
+
+def _run_point_serve(point: Point) -> tuple[Point, ResultSummary]:
+    """Resolve one sweep point in a worker (cache-aware, single-flight)."""
+    from repro.core.policy import policy_by_name
+
+    benchmark, policy_name, scale, preset = point
+    summary = _runner.run_benchmark(
+        benchmark, policy_by_name(policy_name), scale, core_preset=preset
+    )
+    return point, summary
+
+
+def _run_litmus_serve(
+    test_name: str, policy_name: str, pads: Sequence[int]
+) -> dict:
+    """One litmus execution in a worker; returns named observations."""
+    from repro.consistency.litmus import LITMUS_TESTS, run_litmus
+    from repro.core.policy import policy_by_name
+
+    test = LITMUS_TESTS[test_name]
+    observations = run_litmus(test, policy_by_name(policy_name), tuple(pads))
+    return dict(observations)
+
+
+def _run_fuzz_serve(
+    tests: int, seed: int, policy_names: Sequence[str], fenced: bool
+) -> dict:
+    """A bounded fuzz campaign in a worker; returns the report digest."""
+    from repro.consistency.fuzz import fuzz_generated
+    from repro.core.policy import policy_by_name
+
+    policies = tuple(policy_by_name(name) for name in policy_names)
+    _, report = fuzz_generated(
+        tests, seed, policies=policies, jobs=1, fenced_baseline=fenced
+    )
+    return {
+        "ok": report.ok,
+        "runs": report.runs,
+        "num_violations": report.num_violations,
+        "interesting": report.interesting_count,
+        "skipped_checks": report.skipped_checks,
+        "columns": list(report.policies),
+    }
+
+
+def _disk_key_for(point: Point) -> str:
+    """The content key a point resolves to on disk (computed in-daemon)."""
+    benchmark, policy_name, scale, preset = point
+    _, digest = _runner.bench_config_and_digest(scale, preset)
+    return _runner.disk_cache_key(benchmark, policy_name, scale, preset, digest)
+
+
+# ----------------------------------------------------------------------
+# minimal HTTP plumbing
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[_Request]:
+    request_line = await reader.readline()
+    if not request_line:
+        return None  # client connected and went away
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest(400, "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise _BadRequest(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise _BadRequest(400, f"bad Content-Length {raw_length!r}") from None
+    if length > max_body:
+        raise _BadRequest(413, f"body exceeds {max_body} bytes")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return _Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def _write_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    extra_headers: Sequence[tuple[str, str]] = (),
+) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+
+
+def _start_chunked(writer: asyncio.StreamWriter, status: int = 200) -> None:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1"))
+
+
+async def _write_chunk(writer: asyncio.StreamWriter, payload: dict) -> None:
+    data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+def _end_chunked(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+
+
+# ----------------------------------------------------------------------
+# the daemon
+
+
+class ServeApp:
+    """One daemon: HTTP front end, job queue, worker pool, metrics."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.metrics = ServeMetrics()
+        self.queue = JobQueue(config.queue_size)
+        self.flights = SingleFlight()
+        self.cache: Optional[ResultCache] = (
+            ResultCache() if cache_enabled() else None
+        )
+        self.ready = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock: Optional[asyncio.Lock] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._runner_tasks: list[asyncio.Task] = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=resolve_jobs(self.config.jobs),
+            initializer=_tune_gc_for_simulation,
+        )
+
+    def worker_pids(self) -> list[int]:
+        pool = self._pool
+        processes = getattr(pool, "_processes", None) if pool else None
+        return sorted(processes) if processes else []
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._pool_lock = asyncio.Lock()
+        self._pool = self._new_pool()
+        # Force worker spawn before declaring readiness: a pool that
+        # cannot fork should fail startup, not the first request.
+        await loop.run_in_executor(self._pool, _pool_ping)
+        self._runner_tasks = [
+            loop.create_task(self._job_runner(), name=f"serve-runner-{i}")
+            for i in range(self.config.runners)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.ready = True
+
+    async def stop(self) -> None:
+        self.ready = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._runner_tasks:
+            task.cancel()
+        await asyncio.gather(*self._runner_tasks, return_exceptions=True)
+        if self._pool is not None:
+            # wait=True joins the executor's management thread — without
+            # it, interpreter-exit atexit hooks race its wakeup pipe and
+            # spew "Exception ignored" tracebacks over the clean exit.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- pool execution with broken-pool recovery -----------------------
+
+    async def _rebuild_pool(self, broken: ProcessPoolExecutor) -> None:
+        assert self._pool_lock is not None
+        async with self._pool_lock:
+            if self._pool is not broken:
+                return  # a concurrent failure already replaced it
+            # Joining a broken pool is fast (its threads are already
+            # unwinding) and keeps its dead wakeup pipe out of the
+            # interpreter's atexit hooks.
+            broken.shutdown(wait=True, cancel_futures=True)
+            self._pool = self._new_pool()
+            self.metrics.worker_restarts += 1
+
+    async def _execute(self, fn, *args):
+        """Run ``fn(*args)`` in the pool, surviving worker crashes.
+
+        A SIGKILLed worker breaks the whole executor and fails every
+        in-flight future; each affected submission lands here, the first
+        one swaps in a fresh pool (the rest no-op on the identity
+        check), and all retry.  Bounded by ``config.pool_rebuilds``.
+        """
+        loop = asyncio.get_running_loop()
+        last_error: Optional[BrokenProcessPool] = None
+        for _attempt in range(1 + self.config.pool_rebuilds):
+            pool = self._pool
+            assert pool is not None
+            try:
+                return await loop.run_in_executor(pool, fn, *args)
+            except BrokenProcessPool as exc:
+                last_error = exc
+                await self._rebuild_pool(pool)
+        assert last_error is not None
+        raise last_error
+
+    # -- job execution --------------------------------------------------
+
+    async def _job_runner(self) -> None:
+        while True:
+            job = await self.queue.get()
+            self.metrics.jobs_in_flight += 1
+            started = time.monotonic()
+            try:
+                if job.kind == "sweep":
+                    failed = await self._run_sweep(job)
+                elif job.kind == "litmus":
+                    failed = await self._run_litmus(job)
+                else:
+                    failed = await self._run_fuzz(job)
+                if failed:
+                    self.metrics.jobs_failed += 1
+                else:
+                    self.metrics.jobs_completed += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # job bug: report, keep serving
+                self.metrics.jobs_failed += 1
+                await job.emit({"event": "error", "error": str(exc)})
+            finally:
+                self.metrics.jobs_in_flight -= 1
+                self.metrics.record_job_seconds(time.monotonic() - started)
+                await job.finish()
+                self.queue.task_done()
+
+    def _cached_summary(self, key: str) -> Optional[ResultSummary]:
+        if self.cache is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        try:
+            return ResultSummary.from_json_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    @staticmethod
+    def _point_event(
+        point: Point,
+        key: str,
+        summary: ResultSummary,
+        source: str,
+        elapsed: float,
+    ) -> dict:
+        benchmark, policy_name, _scale, preset = point
+        return {
+            "event": "point",
+            "benchmark": benchmark,
+            "policy": policy_name,
+            "preset": preset,
+            "source": source,
+            "key": key,
+            "cycles": summary.cycles,
+            "committed": summary.committed_instructions,
+            "apki": round(summary.apki, 3),
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+        }
+
+    async def _resolve_point(
+        self, point: Point, key: str
+    ) -> tuple[Point, str, Optional[ResultSummary], str, float, Optional[str]]:
+        """(point, key, summary-or-None, source, elapsed, error)."""
+        started = time.monotonic()
+
+        async def compute() -> ResultSummary:
+            _point, summary = await self._execute(_run_point_serve, point)
+            return summary
+
+        try:
+            summary, leader = await self.flights.run(key, compute)
+        except Exception as exc:
+            return point, key, None, "sim", time.monotonic() - started, str(exc)
+        source = "sim" if leader else "singleflight"
+        if leader:
+            self.metrics.record_summary_health(summary)
+        else:
+            self.metrics.singleflight_hits += 1
+        return point, key, summary, source, time.monotonic() - started, None
+
+    async def _run_sweep(self, job: Job) -> bool:
+        """Stream per-point events; returns whether any point failed."""
+        started = time.monotonic()
+        points = job.request.points()
+        misses: list[tuple[Point, str]] = []
+        from_cache = 0
+        for point in points:
+            key = _disk_key_for(point)
+            summary = self._cached_summary(key)
+            if summary is not None:
+                self.metrics.cache_hits += 1
+                self.metrics.points_completed += 1
+                from_cache += 1
+                await job.emit(self._point_event(point, key, summary, "cache", 0.0))
+            else:
+                self.metrics.cache_misses += 1
+                misses.append((point, key))
+        tasks = [
+            asyncio.create_task(self._resolve_point(point, key))
+            for point, key in misses
+        ]
+        simulated = 0
+        failed: list[dict] = []
+        for next_done in asyncio.as_completed(tasks):
+            point, key, summary, source, elapsed, error = await next_done
+            if summary is None:
+                self.metrics.points_failed += 1
+                failure = {
+                    "event": "point_failed",
+                    "benchmark": point[0],
+                    "policy": point[1],
+                    "key": key,
+                    "error": error,
+                }
+                failed.append(failure)
+                await job.emit(failure)
+            else:
+                self.metrics.points_completed += 1
+                simulated += 1
+                await job.emit(
+                    self._point_event(point, key, summary, source, elapsed)
+                )
+        await job.emit(
+            {
+                "event": "done",
+                "job": job.id,
+                "ok": not failed,
+                "points": len(points),
+                "from_cache": from_cache,
+                "simulated": simulated,
+                "failed": [
+                    {"benchmark": f["benchmark"], "policy": f["policy"]}
+                    for f in failed
+                ],
+                "elapsed_ms": round((time.monotonic() - started) * 1000.0, 3),
+            }
+        )
+        return bool(failed)
+
+    async def _run_litmus(self, job: Job) -> bool:
+        from repro.consistency.litmus import LITMUS_TESTS
+
+        request = job.request
+        observations = await self._execute(
+            _run_litmus_serve, request.test, request.policy, request.pads
+        )
+        test = LITMUS_TESTS[request.test]
+        event = {
+            "event": "done",
+            "job": job.id,
+            "ok": True,
+            "test": request.test,
+            "policy": request.policy,
+            "pads": list(request.pads),
+            "observations": observations,
+            "forbidden": bool(test.forbidden(observations)),
+        }
+        if test.interesting is not None:
+            event["interesting"] = bool(test.interesting(observations))
+        await job.emit(event)
+        return False
+
+    async def _run_fuzz(self, job: Job) -> bool:
+        request = job.request
+        report = await self._execute(
+            _run_fuzz_serve,
+            request.tests,
+            request.seed,
+            request.policies,
+            request.fenced_baseline,
+        )
+        await job.emit(
+            {
+                "event": "done",
+                "job": job.id,
+                "seed": request.seed,
+                "tests": request.tests,
+                **report,
+            }
+        )
+        return not report["ok"]
+
+    # -- HTTP front end -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader, self.config.max_body_bytes),
+                    timeout=self.config.request_timeout,
+                )
+            except _BadRequest as exc:
+                self.metrics.requests_invalid += 1
+                _write_json(writer, exc.status, {"error": str(exc)})
+                return
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+            ):
+                return
+            if request is None:
+                return
+            self.metrics.requests_total += 1
+            await self._route(request, writer)
+        except ConnectionError:
+            pass  # client went away mid-response
+        finally:
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        method, path = request.method, request.path
+        if method == "GET":
+            if path == "/healthz":
+                _write_json(writer, 200, {"status": "ok"})
+                return
+            if path == "/readyz":
+                if self.ready:
+                    _write_json(writer, 200, {"status": "ready"})
+                else:
+                    _write_json(writer, 503, {"status": "starting"})
+                return
+            if path == "/metrics":
+                _write_json(
+                    writer,
+                    200,
+                    self.metrics.snapshot(self.queue.depth, self.worker_pids()),
+                )
+                return
+            if path.startswith("/v1/result/"):
+                self._serve_result(path[len("/v1/result/"):], writer)
+                return
+        elif method == "POST":
+            if path == "/v1/sweep":
+                await self._serve_job(request, writer, "sweep", parse_sweep)
+                return
+            if path == "/v1/litmus":
+                await self._serve_job(request, writer, "litmus", parse_litmus)
+                return
+            if path == "/v1/fuzz":
+                await self._serve_job(request, writer, "fuzz", parse_fuzz)
+                return
+        self.metrics.requests_invalid += 1
+        _write_json(writer, 404, {"error": f"no route for {method} {path}"})
+
+    def _serve_result(self, key: str, writer: asyncio.StreamWriter) -> None:
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            self.metrics.requests_invalid += 1
+            _write_json(writer, 400, {"error": "result key must be 64 hex chars"})
+            return
+        payload = self.cache.get(key) if self.cache is not None else None
+        if payload is None:
+            self.metrics.requests_invalid += 1
+            _write_json(writer, 404, {"error": "no cached result for key"})
+            return
+        _write_json(writer, 200, payload)
+
+    async def _serve_job(
+        self, request: _Request, writer: asyncio.StreamWriter, kind: str, parse
+    ) -> None:
+        try:
+            payload = json.loads(request.body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            self.metrics.requests_invalid += 1
+            _write_json(writer, 400, {"error": "request body is not valid JSON"})
+            return
+        try:
+            parsed = parse(payload)
+        except SchemaError as exc:
+            self.metrics.requests_invalid += 1
+            _write_json(writer, 400, {"errors": list(exc.errors)})
+            return
+        job = Job(kind=kind, request=parsed)
+        try:
+            self.queue.submit(
+                job, retry_after=self.metrics.retry_after(self.queue.depth + 1)
+            )
+        except QueueFullError as exc:
+            self.metrics.requests_rejected += 1
+            _write_json(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers=(("Retry-After", str(exc.retry_after)),),
+            )
+            return
+        if kind == "sweep":
+            await self._stream_job(job, writer)
+        else:
+            await self._await_job(job, writer)
+
+    async def _stream_job(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Chunked NDJSON: one line per event as the job progresses."""
+        _start_chunked(writer, 200)
+        while True:
+            event = await job.events.get()
+            if event is END_OF_EVENTS:
+                break
+            await _write_chunk(writer, event)
+        _end_chunked(writer)
+
+    async def _await_job(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """Single JSON response once the job reaches its terminal event."""
+        terminal: Optional[dict] = None
+        while True:
+            event = await job.events.get()
+            if event is END_OF_EVENTS:
+                break
+            terminal = event
+        if terminal is None or terminal.get("event") == "error":
+            message = (terminal or {}).get("error", "job produced no result")
+            _write_json(writer, 500, {"error": message})
+        else:
+            _write_json(writer, 200, terminal)

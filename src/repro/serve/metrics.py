@@ -1,0 +1,99 @@
+"""Daemon metrics: counters behind ``GET /metrics``.
+
+Single-threaded by construction (all mutation happens on the event
+loop), so plain ints suffice — no locks.  The snapshot is a flat JSON
+object so scrapers don't need a schema; rates that need two counters
+(hit rate) are precomputed.
+
+The ``health`` block aggregates the per-run health/stat signals the
+observability layer standardized (watchdog timeouts, squashes) across
+every summary the pool produced, so a scraper can spot a pathological
+workload mix without pulling individual results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Exponential-moving-average weight for per-job wall time.
+_EMA_ALPHA = 0.3
+
+
+@dataclass
+class ServeMetrics:
+    """Counters for one daemon process; see ``snapshot``."""
+
+    started: float = field(default_factory=time.monotonic)
+
+    # request / job accounting
+    requests_total: int = 0
+    requests_rejected: int = 0  # 429s (queue full)
+    requests_invalid: int = 0  # 400s (schema) + 404s
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_in_flight: int = 0
+
+    # point resolution
+    points_completed: int = 0
+    points_failed: int = 0
+    cache_hits: int = 0  # served pre-enqueue, never touched the pool
+    cache_misses: int = 0
+    singleflight_hits: int = 0  # deduped onto an in-flight computation
+
+    # worker pool
+    worker_restarts: int = 0
+
+    # aggregated run-health signals (PR 5 plumbing)
+    watchdog_timeouts: int = 0
+    squashes: int = 0
+
+    #: EMA of job wall-seconds; feeds the 429 Retry-After estimate.
+    avg_job_seconds: float = 0.0
+
+    def record_job_seconds(self, seconds: float) -> None:
+        if self.avg_job_seconds == 0.0:
+            self.avg_job_seconds = seconds
+        else:
+            self.avg_job_seconds += _EMA_ALPHA * (seconds - self.avg_job_seconds)
+
+    def record_summary_health(self, summary) -> None:
+        """Fold one ResultSummary's health signals into the aggregates."""
+        self.watchdog_timeouts += summary.timeouts
+        self.squashes += summary.squashes
+
+    def retry_after(self, queue_depth: int) -> int:
+        """Seconds a 429'd client should wait before retrying."""
+        per_job = self.avg_job_seconds if self.avg_job_seconds > 0 else 2.0
+        return max(1, round(queue_depth * per_job))
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else None
+
+    def snapshot(self, queue_depth: int, workers: list[int]) -> dict:
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "queue_depth": queue_depth,
+            "jobs_in_flight": self.jobs_in_flight,
+            "requests_total": self.requests_total,
+            "requests_rejected": self.requests_rejected,
+            "requests_invalid": self.requests_invalid,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "points_completed": self.points_completed,
+            "points_failed": self.points_failed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.hit_rate,
+            "singleflight_hits": self.singleflight_hits,
+            "worker_restarts": self.worker_restarts,
+            "worker_pids": workers,
+            "avg_job_seconds": round(self.avg_job_seconds, 6),
+            "health": {
+                "watchdog_timeouts": self.watchdog_timeouts,
+                "squashes": self.squashes,
+            },
+        }

@@ -1,0 +1,89 @@
+"""Bounded job queue with backpressure for the sweep daemon.
+
+Admission control happens here, not in the HTTP layer: a request
+becomes a :class:`Job` and is offered to the queue *without waiting* —
+if the queue is at capacity the daemon answers 429 with a
+``Retry-After`` estimate instead of building an unbounded backlog.
+Runner tasks (:meth:`repro.serve.app.ServeApp._job_runner`) drain the
+queue; each job carries its own event stream back to the waiting
+connection handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.common.errors import ReproError
+from repro.serve.schemas import FuzzRequest, LitmusRequest, SweepRequest
+
+#: End-of-stream sentinel pushed after a job's terminal event.
+END_OF_EVENTS = None
+
+Request = Union[SweepRequest, LitmusRequest, FuzzRequest]
+
+
+class QueueFullError(ReproError):
+    """The job queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"job queue full ({depth} queued); retry after {retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One admitted request and its event stream back to the client.
+
+    The runner pushes JSON-able event dicts onto :attr:`events` (for a
+    sweep: one per point, then a terminal ``done``/``error``), followed
+    by :data:`END_OF_EVENTS`.  The connection handler is the only
+    consumer, streaming sweep events as response chunks.
+    """
+
+    kind: str  # "sweep" | "litmus" | "fuzz"
+    request: Request
+    id: int = field(default_factory=lambda: next(_job_ids))
+    events: "asyncio.Queue[Optional[dict]]" = field(default_factory=asyncio.Queue)
+
+    async def emit(self, event: dict) -> None:
+        await self.events.put(event)
+
+    async def finish(self) -> None:
+        await self.events.put(END_OF_EVENTS)
+
+
+class JobQueue:
+    """An ``asyncio.Queue`` of jobs with non-blocking bounded admission."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"queue size must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue(maxsize)
+
+    @property
+    def depth(self) -> int:
+        """Jobs admitted but not yet picked up by a runner."""
+        return self._queue.qsize()
+
+    def submit(self, job: Job, retry_after: int = 2) -> None:
+        """Admit ``job`` or raise :class:`QueueFullError` immediately."""
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            raise QueueFullError(self.depth, retry_after) from None
+
+    async def get(self) -> Job:
+        return await self._queue.get()
+
+    def task_done(self) -> None:
+        self._queue.task_done()

@@ -1,0 +1,287 @@
+"""Schema-validated request models for the sweep daemon.
+
+Hand-rolled validation (stdlib only — no ``jsonschema`` in the image):
+each endpoint has a frozen request dataclass and a ``parse_*`` function
+that validates a decoded JSON payload against a small declarative field
+table, collecting *every* error before raising, so a client sees all
+its mistakes in one 400 instead of one per round-trip.
+
+Bounds are deliberately conservative: the daemon is a shared resource,
+so a single request may not ask for a paper-scale sweep (use the CLI
+for those) or an unbounded fuzz campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.engine import Point
+from repro.analysis.runner import ExperimentScale
+from repro.common.errors import ReproError
+from repro.core.policy import policy_names
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+#: Hard per-request ceilings (shared-resource protection).
+MAX_THREADS = 64
+MAX_INSTRUCTIONS = 200_000
+MAX_POINTS_PER_SWEEP = 64
+MAX_FUZZ_TESTS = 200
+
+#: Core presets the runner understands (mirrors ``bench_system_config``).
+CORE_PRESETS = ("icelake", "skylake")
+
+
+class SchemaError(ReproError):
+    """A request payload failed validation; ``errors`` lists why."""
+
+    def __init__(self, errors: Sequence[str]) -> None:
+        super().__init__("; ".join(errors))
+        self.errors = tuple(errors)
+
+
+class _Collector:
+    """Accumulates field errors so one response reports all of them."""
+
+    def __init__(self, payload: Mapping, known: Sequence[str]) -> None:
+        self.payload = payload
+        self.errors: list[str] = []
+        for field in payload:
+            if field not in known:
+                self.errors.append(f"unknown field {field!r}")
+
+    def int_field(
+        self,
+        name: str,
+        default: int,
+        minimum: int,
+        maximum: Optional[int] = None,
+    ) -> int:
+        value = self.payload.get(name, default)
+        if isinstance(value, bool) or not isinstance(value, int):
+            self.errors.append(f"{name} must be an integer, got {value!r}")
+            return default
+        if value < minimum or (maximum is not None and value > maximum):
+            bound = f">= {minimum}" if maximum is None else f"in [{minimum}, {maximum}]"
+            self.errors.append(f"{name} must be {bound}, got {value}")
+            return default
+        return value
+
+    def bool_field(self, name: str, default: bool) -> bool:
+        value = self.payload.get(name, default)
+        if not isinstance(value, bool):
+            self.errors.append(f"{name} must be a boolean, got {value!r}")
+            return default
+        return value
+
+    def choice_field(self, name: str, default: str, choices: Sequence[str]) -> str:
+        value = self.payload.get(name, default)
+        if not isinstance(value, str) or value not in choices:
+            self.errors.append(
+                f"{name} must be one of {sorted(choices)}, got {value!r}"
+            )
+            return default
+        return value
+
+    def name_list_field(
+        self,
+        name: str,
+        default: Sequence[str],
+        choices: Sequence[str],
+        what: str,
+    ) -> tuple[str, ...]:
+        value = self.payload.get(name, list(default))
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            self.errors.append(f"{name} must be a list of strings, got {value!r}")
+            return tuple(default)
+        if not value:
+            self.errors.append(f"{name} must not be empty")
+            return tuple(default)
+        unknown = sorted(set(value) - set(choices))
+        if unknown:
+            self.errors.append(f"unknown {what}(s) in {name}: {unknown}")
+            return tuple(default)
+        return tuple(dict.fromkeys(value))
+
+    def raise_if_failed(self) -> None:
+        if self.errors:
+            raise SchemaError(self.errors)
+
+
+def _scale_from(collector: _Collector) -> ExperimentScale:
+    """The scale sub-object shared by sweep requests."""
+    defaults = ExperimentScale()
+    return ExperimentScale(
+        num_threads=collector.int_field(
+            "threads", defaults.num_threads, 1, MAX_THREADS
+        ),
+        instructions_per_thread=collector.int_field(
+            "instrs", defaults.instructions_per_thread, 1, MAX_INSTRUCTIONS
+        ),
+        seed=collector.int_field("seed", defaults.seed, 0),
+        watchdog_cycles=collector.int_field(
+            "watchdog", defaults.watchdog_cycles, 1
+        ),
+        aq_entries=collector.int_field("aq", defaults.aq_entries, 1),
+        max_forward_chain=collector.int_field(
+            "fwd_chain", defaults.max_forward_chain, 1
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# POST /v1/sweep
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A (benchmarks x policies) sweep at one experiment scale."""
+
+    benchmarks: tuple[str, ...]
+    policies: tuple[str, ...]
+    scale: ExperimentScale
+    preset: str
+
+    def points(self) -> list[Point]:
+        return [
+            (benchmark, policy, self.scale, self.preset)
+            for benchmark in self.benchmarks
+            for policy in self.policies
+        ]
+
+    def to_jsonable(self) -> dict:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "policies": list(self.policies),
+            "scale": dataclasses.asdict(self.scale),
+            "preset": self.preset,
+        }
+
+
+_SWEEP_FIELDS = (
+    "benchmarks",
+    "policies",
+    "preset",
+    "threads",
+    "instrs",
+    "seed",
+    "watchdog",
+    "aq",
+    "fwd_chain",
+)
+
+
+def parse_sweep(payload: Mapping) -> SweepRequest:
+    """Validate a sweep payload; raises :class:`SchemaError`."""
+    if not isinstance(payload, Mapping):
+        raise SchemaError(["request body must be a JSON object"])
+    collector = _Collector(payload, _SWEEP_FIELDS)
+    benchmarks = collector.name_list_field(
+        "benchmarks", BENCHMARK_ORDER[:1], BENCHMARK_ORDER, "benchmark"
+    )
+    policies = collector.name_list_field(
+        "policies", policy_names()[:1], policy_names(), "policy"
+    )
+    preset = collector.choice_field("preset", "icelake", CORE_PRESETS)
+    scale = _scale_from(collector)
+    if len(benchmarks) * len(policies) > MAX_POINTS_PER_SWEEP:
+        collector.errors.append(
+            f"sweep too large: {len(benchmarks)} benchmarks x "
+            f"{len(policies)} policies > {MAX_POINTS_PER_SWEEP} points"
+        )
+    collector.raise_if_failed()
+    return SweepRequest(
+        benchmarks=benchmarks, policies=policies, scale=scale, preset=preset
+    )
+
+
+# ----------------------------------------------------------------------
+# POST /v1/litmus
+
+
+@dataclass(frozen=True)
+class LitmusRequest:
+    """One litmus execution under one policy with explicit pads."""
+
+    test: str
+    policy: str
+    pads: tuple[int, ...]
+
+    def to_jsonable(self) -> dict:
+        return {"test": self.test, "policy": self.policy, "pads": list(self.pads)}
+
+
+_LITMUS_FIELDS = ("test", "policy", "pads")
+
+
+def parse_litmus(payload: Mapping) -> LitmusRequest:
+    """Validate a litmus payload; raises :class:`SchemaError`."""
+    if not isinstance(payload, Mapping):
+        raise SchemaError(["request body must be a JSON object"])
+    from repro.consistency.litmus import LITMUS_TESTS
+
+    collector = _Collector(payload, _LITMUS_FIELDS)
+    names = tuple(sorted(LITMUS_TESTS))
+    test = collector.choice_field("test", names[0], names)
+    policy = collector.choice_field("policy", "free+fwd", policy_names())
+    threads = LITMUS_TESTS[test].num_threads if test in LITMUS_TESTS else 2
+    pads = payload.get("pads", [0] * threads)
+    if (
+        not isinstance(pads, list)
+        or not all(
+            isinstance(p, int) and not isinstance(p, bool) and 0 <= p <= 64
+            for p in pads
+        )
+        or len(pads) != threads
+    ):
+        collector.errors.append(
+            f"pads must be a list of {threads} integers in [0, 64], got {pads!r}"
+        )
+        pads = [0] * threads
+    collector.raise_if_failed()
+    return LitmusRequest(test=test, policy=policy, pads=tuple(pads))
+
+
+# ----------------------------------------------------------------------
+# POST /v1/fuzz
+
+
+@dataclass(frozen=True)
+class FuzzRequest:
+    """A bounded seeded fuzz campaign across the chosen policies."""
+
+    tests: int
+    seed: int
+    policies: tuple[str, ...]
+    fenced_baseline: bool
+
+    def to_jsonable(self) -> dict:
+        return {
+            "tests": self.tests,
+            "seed": self.seed,
+            "policies": list(self.policies),
+            "fenced_baseline": self.fenced_baseline,
+        }
+
+
+_FUZZ_FIELDS = ("tests", "seed", "policies", "fenced_baseline")
+
+
+def parse_fuzz(payload: Mapping) -> FuzzRequest:
+    """Validate a fuzz payload; raises :class:`SchemaError`."""
+    if not isinstance(payload, Mapping):
+        raise SchemaError(["request body must be a JSON object"])
+    collector = _Collector(payload, _FUZZ_FIELDS)
+    tests = collector.int_field("tests", 10, 1, MAX_FUZZ_TESTS)
+    seed = collector.int_field("seed", 0, 0)
+    policies = collector.name_list_field(
+        "policies", policy_names(), policy_names(), "policy"
+    )
+    fenced = collector.bool_field("fenced_baseline", True)
+    collector.raise_if_failed()
+    return FuzzRequest(
+        tests=tests, seed=seed, policies=policies, fenced_baseline=fenced
+    )

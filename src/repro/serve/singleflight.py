@@ -1,0 +1,72 @@
+"""In-daemon single-flight: dedupe concurrent computations per key.
+
+One of the two layers that make N concurrent requests for the same
+point simulate once:
+
+1. **this module** — within one daemon process, concurrent requests for
+   the same content key share one future, so the worker pool sees one
+   submission;
+2. **the flock sidecar** (:meth:`repro.common.cache.ResultCache.locked`,
+   taken inside :func:`repro.analysis.runner.run_benchmark`) — across
+   processes (several daemons, CLI sweeps, pool workers), the first
+   simulator holds the advisory lock while the rest block and then
+   replay its freshly-written cache entry.
+
+Layer 1 is not redundant with layer 2: without it, N requests would
+occupy N pool workers just to block on the same flock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def _mark_retrieved(future: "asyncio.Future") -> None:
+    # Touch the exception so a leader with no followers doesn't trip
+    # the "exception was never retrieved" warning.
+    if not future.cancelled():
+        future.exception()
+
+
+class SingleFlight:
+    """Keyed future dedup: one computation per key at a time."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable[T]]
+    ) -> tuple[T, bool]:
+        """``(result, leader)`` — leader is False for deduped followers.
+
+        The first caller for ``key`` becomes the leader: it runs
+        ``compute`` and broadcasts the outcome (result *or* exception)
+        to every follower that arrived while it was in flight.  The key
+        is released before the broadcast resolves, so a request arriving
+        after completion starts a fresh flight — results are *not*
+        cached here (that is the ``ResultCache``'s job).
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            return await asyncio.shield(existing), False
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        future.add_done_callback(_mark_retrieved)
+        self._inflight[key] = future
+        try:
+            result = await compute()
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+            raise
+        else:
+            future.set_result(result)
+            return result, True
+        finally:
+            self._inflight.pop(key, None)

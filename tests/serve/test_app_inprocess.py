@@ -1,0 +1,151 @@
+"""In-process ServeApp tests: routing, validation, backpressure.
+
+These boot the real app (real socket, real worker pool) inside the
+test's event loop, which makes daemon-internal state (queue depth,
+metrics) directly observable — that's what lets the 429 test fill the
+queue deterministically with ``runners=0`` (no job runner ever drains).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.app import ServeApp, ServeConfig
+
+
+def _raw_request(method: str, path: str, body=None) -> bytes:
+    payload = json.dumps(body).encode("utf-8") if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: test\r\nContent-Length: {len(payload)}\r\n\r\n"
+    )
+    return head.encode("latin-1") + payload
+
+
+async def _request(port: int, method: str, path: str, body=None):
+    """(status, headers, json-decoded body) over one raw connection."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(_raw_request(method, path, body))
+        await writer.drain()
+        data = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, payload = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(payload) if payload else None
+
+
+def _app(**overrides) -> ServeApp:
+    defaults = dict(port=0, jobs=1, queue_size=2, runners=0)
+    defaults.update(overrides)
+    return ServeApp(ServeConfig(**defaults))
+
+
+class TestRouting:
+    def test_probe_and_error_routes(self):
+        async def scenario():
+            app = _app()
+            assert not app.ready
+            await app.start()
+            try:
+                assert app.ready
+                status, _, body = await _request(app.port, "GET", "/healthz")
+                assert (status, body) == (200, {"status": "ok"})
+                status, _, body = await _request(app.port, "GET", "/readyz")
+                assert (status, body) == (200, {"status": "ready"})
+                status, _, body = await _request(app.port, "GET", "/metrics")
+                assert status == 200
+                assert body["worker_restarts"] == 0
+                assert body["queue_depth"] == 0
+                assert body["worker_pids"]
+                status, _, _ = await _request(app.port, "GET", "/nope")
+                assert status == 404
+                status, _, _ = await _request(app.port, "DELETE", "/healthz")
+                assert status == 404
+                status, _, body = await _request(
+                    app.port, "POST", "/v1/sweep", {"benchmarks": ["nope"]}
+                )
+                assert status == 400
+                assert any("nope" in e for e in body["errors"])
+                status, _, _ = await _request(
+                    app.port, "GET", "/v1/result/zz"
+                )
+                assert status == 400  # malformed key
+                status, _, _ = await _request(
+                    app.port, "GET", f"/v1/result/{'0' * 64}"
+                )
+                assert status == 404  # well-formed but absent
+                assert app.metrics.requests_invalid == 5
+            finally:
+                await app.stop()
+            assert not app.ready
+
+        asyncio.run(scenario())
+
+    def test_bad_json_body(self):
+        async def scenario():
+            app = _app()
+            await app.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", app.port
+                )
+                raw = b"not json"
+                writer.write(
+                    b"POST /v1/sweep HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {len(raw)}\r\n\r\n".encode()
+                    + raw
+                )
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                assert b"400" in data.split(b"\r\n", 1)[0]
+            finally:
+                await app.stop()
+
+        asyncio.run(scenario())
+
+
+class TestBackpressure:
+    def test_full_queue_yields_429_with_retry_after(self):
+        async def scenario():
+            # runners=0: nothing ever drains the queue, so two admitted
+            # sweeps fill it and the third must bounce.
+            app = _app(queue_size=2, runners=0)
+            await app.start()
+            parked = []
+            try:
+                for _ in range(2):
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", app.port
+                    )
+                    writer.write(_raw_request("POST", "/v1/sweep", {}))
+                    await writer.drain()
+                    parked.append((reader, writer))
+                for _ in range(200):
+                    if app.queue.depth == 2:
+                        break
+                    await asyncio.sleep(0.01)
+                assert app.queue.depth == 2
+                status, headers, body = await _request(
+                    app.port, "POST", "/v1/sweep", {}
+                )
+                assert status == 429
+                assert int(headers["retry-after"]) >= 1
+                assert body["retry_after"] == int(headers["retry-after"])
+                assert app.metrics.requests_rejected == 1
+            finally:
+                for _reader, writer in parked:
+                    writer.close()
+                await app.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,165 @@
+"""End-to-end daemon tests: a real ``python -m repro.serve`` subprocess.
+
+One module-scoped daemon serves every test here (boot costs ~2s); it
+gets its own cache directory so cold/warm behaviour is deterministic,
+and the teardown asserts a clean SIGTERM exit.  The heavier concurrency
+demos (single-flight under racing clients, SIGKILLed workers) live in
+``scripts/serve_smoke.py``, which CI runs as its own job.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+SWEEP = {
+    "benchmarks": ["AS"],
+    "policies": ["free+fwd"],
+    "threads": 2,
+    "instrs": 150,
+    "seed": 90001,  # this module's private cold point
+}
+
+
+class Daemon:
+    def __init__(self, proc: subprocess.Popen, port: int) -> None:
+        self.proc = proc
+        self.port = port
+
+    def get(self, path: str):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read().decode())
+        finally:
+            conn.close()
+
+    def post(self, path: str, payload: dict):
+        """(status, decoded-events-list) — handles chunked NDJSON too."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=180)
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = response.read().decode()
+            events = [json.loads(line) for line in body.splitlines() if line]
+            return response.status, events
+        finally:
+            conn.close()
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    env = dict(
+        os.environ,
+        REPRO_CACHE_DIR=str(tmp_path_factory.mktemp("serve-cache")),
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
+    env.pop("REPRO_CACHE", None)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0", "--jobs", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.monotonic() + 60
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        assert line, "daemon exited before listening"
+        if "listening on" in line:
+            port = int(line.rsplit(":", 1)[1].split()[0])
+            break
+    assert port is not None, "daemon never printed its listen line"
+    daemon = Daemon(proc, port)
+    yield daemon
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0, "daemon did not exit 0 on SIGTERM"
+
+
+def test_probes(daemon):
+    assert daemon.get("/healthz") == (200, {"status": "ok"})
+    assert daemon.get("/readyz") == (200, {"status": "ready"})
+
+
+def test_sweep_cold_then_warm(daemon):
+    status, events = daemon.post("/v1/sweep", SWEEP)
+    assert status == 200
+    done = events[-1]
+    assert done["event"] == "done" and done["ok"]
+    assert done["simulated"] + done["from_cache"] == 1
+    point = events[0]
+    assert point["event"] == "point"
+    assert point["benchmark"] == "AS" and point["cycles"] > 0
+
+    # Warm replay: pure cache, never touches the pool, fast.
+    started = time.monotonic()
+    status, events = daemon.post("/v1/sweep", SWEEP)
+    elapsed = time.monotonic() - started
+    assert status == 200
+    assert events[0]["source"] == "cache"
+    assert events[-1]["from_cache"] == 1
+    assert elapsed < 1.0  # generous CI bound; smoke asserts the 100ms SLO
+
+    # The point's content key resolves to the full stored summary.
+    status, payload = daemon.get(f"/v1/result/{events[0]['key']}")
+    assert status == 200
+    assert payload["policy_name"] == "free+fwd"
+    assert payload["cycles"] == events[0]["cycles"]
+
+
+def test_metrics_reflect_the_sweeps(daemon):
+    status, metrics = daemon.get("/metrics")
+    assert status == 200
+    assert metrics["cache_hits"] >= 1
+    assert metrics["points_completed"] >= 2
+    assert metrics["jobs_completed"] >= 2
+    assert metrics["worker_pids"]
+    assert set(metrics["health"]) == {"watchdog_timeouts", "squashes"}
+
+
+def test_litmus_endpoint(daemon):
+    status, events = daemon.post(
+        "/v1/litmus",
+        {"test": "atomic_increment", "policy": "free+fwd"},
+    )
+    assert status == 200
+    (result,) = events
+    assert result["ok"] and not result["forbidden"]
+    assert result["observations"]["counter"] == 96  # 4 threads x 24 adds
+
+
+def test_fuzz_endpoint(daemon):
+    status, events = daemon.post(
+        "/v1/fuzz",
+        {"tests": 1, "seed": 3, "policies": ["free+fwd"], "fenced_baseline": False},
+    )
+    assert status == 200
+    (report,) = events
+    assert report["ok"] is True
+    assert report["num_violations"] == 0
+    assert report["columns"] == ["free+fwd"]
+
+
+def test_schema_rejection(daemon):
+    status, events = daemon.post("/v1/sweep", {"threads": -1})
+    assert status == 400
+    assert any("threads" in error for error in events[0]["errors"])

@@ -1,0 +1,147 @@
+"""Unit tests for the job queue and the in-daemon single-flight."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.metrics import ServeMetrics
+from repro.serve.queue import Job, JobQueue, QueueFullError
+from repro.serve.schemas import parse_sweep
+from repro.serve.singleflight import SingleFlight
+
+
+def _job() -> Job:
+    return Job(kind="sweep", request=parse_sweep({}))
+
+
+class TestJobQueue:
+    def test_bounded_admission(self):
+        queue = JobQueue(2)
+        queue.submit(_job())
+        queue.submit(_job())
+        assert queue.depth == 2
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(_job(), retry_after=7)
+        assert excinfo.value.retry_after == 7
+        assert excinfo.value.depth == 2
+
+    def test_fifo_drain(self):
+        async def scenario():
+            queue = JobQueue(4)
+            first, second = _job(), _job()
+            queue.submit(first)
+            queue.submit(second)
+            assert (await queue.get()) is first
+            assert (await queue.get()) is second
+            assert queue.depth == 0
+
+        asyncio.run(scenario())
+
+    def test_rejects_silly_size(self):
+        with pytest.raises(ValueError):
+            JobQueue(0)
+
+    def test_job_ids_are_unique(self):
+        assert _job().id != _job().id
+
+
+class TestRetryAfterEstimate:
+    def test_defaults_without_history(self):
+        metrics = ServeMetrics()
+        assert metrics.retry_after(queue_depth=3) == 6  # 3 x 2s fallback
+
+    def test_uses_job_time_ema(self):
+        metrics = ServeMetrics()
+        metrics.record_job_seconds(10.0)
+        assert metrics.retry_after(queue_depth=2) == 20
+
+    def test_never_zero(self):
+        metrics = ServeMetrics()
+        metrics.record_job_seconds(0.001)
+        assert metrics.retry_after(queue_depth=1) == 1
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_dedupe(self):
+        async def scenario():
+            flights = SingleFlight()
+            computed = []
+            release = asyncio.Event()
+
+            async def compute():
+                computed.append(1)
+                await release.wait()
+                return "value"
+
+            async def call():
+                return await flights.run("key", compute)
+
+            tasks = [asyncio.create_task(call()) for _ in range(5)]
+            await asyncio.sleep(0)  # let every task reach the flight
+            assert flights.inflight == 1
+            release.set()
+            results = await asyncio.gather(*tasks)
+            assert len(computed) == 1
+            assert [value for value, _ in results] == ["value"] * 5
+            assert sum(leader for _, leader in results) == 1
+            assert flights.inflight == 0
+
+        asyncio.run(scenario())
+
+    def test_distinct_keys_fly_separately(self):
+        async def scenario():
+            flights = SingleFlight()
+            counts = {"a": 0, "b": 0}
+
+            async def make(key):
+                async def compute():
+                    counts[key] += 1
+                    return key
+
+                return await flights.run(key, compute)
+
+            results = await asyncio.gather(make("a"), make("b"))
+            assert counts == {"a": 1, "b": 1}
+            assert all(leader for _, leader in results)
+
+        asyncio.run(scenario())
+
+    def test_exception_broadcast_to_followers(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def compute():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            leader = asyncio.create_task(flights.run("key", compute))
+            await asyncio.sleep(0)
+            follower = asyncio.create_task(flights.run("key", compute))
+            await asyncio.sleep(0)
+            release.set()
+            for task in (leader, follower):
+                with pytest.raises(RuntimeError, match="boom"):
+                    await task
+            assert flights.inflight == 0  # key released for a retry
+
+        asyncio.run(scenario())
+
+    def test_sequential_calls_recompute(self):
+        async def scenario():
+            flights = SingleFlight()
+            computed = []
+
+            async def compute():
+                computed.append(1)
+                return len(computed)
+
+            first, first_leader = await flights.run("key", compute)
+            second, second_leader = await flights.run("key", compute)
+            # No caching here — that's the ResultCache's job.
+            assert (first, second) == (1, 2)
+            assert first_leader and second_leader
+
+        asyncio.run(scenario())

@@ -1,0 +1,138 @@
+"""Request-schema validation for the sweep daemon."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import ExperimentScale
+from repro.core.policy import policy_names
+from repro.serve.schemas import (
+    MAX_FUZZ_TESTS,
+    MAX_POINTS_PER_SWEEP,
+    MAX_THREADS,
+    SchemaError,
+    parse_fuzz,
+    parse_litmus,
+    parse_sweep,
+)
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+
+class TestParseSweep:
+    def test_minimal_payload_gets_defaults(self):
+        request = parse_sweep({})
+        assert request.benchmarks == tuple(BENCHMARK_ORDER[:1])
+        assert request.scale == ExperimentScale()
+        assert request.preset == "icelake"
+
+    def test_full_payload(self):
+        request = parse_sweep(
+            {
+                "benchmarks": ["AS", "watersp"],
+                "policies": ["baseline", "free+fwd"],
+                "threads": 4,
+                "instrs": 500,
+                "seed": 7,
+                "watchdog": 1000,
+                "aq": 2,
+                "fwd_chain": 8,
+                "preset": "skylake",
+            }
+        )
+        assert request.benchmarks == ("AS", "watersp")
+        assert request.policies == ("baseline", "free+fwd")
+        assert request.scale == ExperimentScale(4, 500, 7, 1000, 2, 8)
+        assert len(request.points()) == 4
+
+    def test_points_cross_product(self):
+        request = parse_sweep(
+            {"benchmarks": ["AS"], "policies": ["baseline", "free+fwd"]}
+        )
+        points = request.points()
+        assert [(p[0], p[1]) for p in points] == [
+            ("AS", "baseline"),
+            ("AS", "free+fwd"),
+        ]
+
+    def test_collects_every_error(self):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_sweep(
+                {"benchmarks": ["nope"], "threads": 0, "mystery": 1}
+            )
+        errors = "\n".join(excinfo.value.errors)
+        assert "nope" in errors
+        assert "threads" in errors
+        assert "mystery" in errors
+        assert len(excinfo.value.errors) == 3
+
+    def test_rejects_non_object(self):
+        with pytest.raises(SchemaError):
+            parse_sweep([1, 2, 3])
+
+    def test_rejects_bool_as_int(self):
+        with pytest.raises(SchemaError, match="threads"):
+            parse_sweep({"threads": True})
+
+    def test_rejects_oversized_thread_count(self):
+        with pytest.raises(SchemaError, match="threads"):
+            parse_sweep({"threads": MAX_THREADS + 1})
+
+    def test_rejects_empty_benchmarks(self):
+        with pytest.raises(SchemaError, match="must not be empty"):
+            parse_sweep({"benchmarks": []})
+
+    def test_rejects_too_many_points(self):
+        benchmarks = list(BENCHMARK_ORDER)
+        policies = list(policy_names())
+        assert len(benchmarks) * len(policies) > MAX_POINTS_PER_SWEEP
+        with pytest.raises(SchemaError, match="sweep too large"):
+            parse_sweep({"benchmarks": benchmarks, "policies": policies})
+
+    def test_deduplicates_names(self):
+        request = parse_sweep({"benchmarks": ["AS", "AS"]})
+        assert request.benchmarks == ("AS",)
+
+
+class TestParseLitmus:
+    def test_defaults(self):
+        request = parse_litmus({"test": "atomic_increment"})
+        assert request.policy == "free+fwd"
+        assert len(request.pads) == 4  # atomic_increment is 4-threaded
+
+    def test_unknown_test(self):
+        with pytest.raises(SchemaError, match="test"):
+            parse_litmus({"test": "not_a_test"})
+
+    def test_pads_length_must_match_threads(self):
+        with pytest.raises(SchemaError, match="pads"):
+            parse_litmus({"test": "atomic_increment", "pads": [1, 2]})
+
+    def test_pads_bounds(self):
+        with pytest.raises(SchemaError, match="pads"):
+            parse_litmus({"test": "dekker_atomics", "pads": [0, 1000]})
+
+    def test_valid_pads(self):
+        request = parse_litmus(
+            {"test": "dekker_atomics", "pads": [3, 9], "policy": "baseline"}
+        )
+        assert request.pads == (3, 9)
+
+
+class TestParseFuzz:
+    def test_defaults(self):
+        request = parse_fuzz({})
+        assert request.tests == 10
+        assert request.policies == policy_names()
+        assert request.fenced_baseline is True
+
+    def test_bounds(self):
+        with pytest.raises(SchemaError, match="tests"):
+            parse_fuzz({"tests": MAX_FUZZ_TESTS + 1})
+
+    def test_fenced_must_be_bool(self):
+        with pytest.raises(SchemaError, match="fenced_baseline"):
+            parse_fuzz({"fenced_baseline": "yes"})
+
+    def test_policy_subset(self):
+        request = parse_fuzz({"policies": ["baseline"], "tests": 3})
+        assert request.policies == ("baseline",)
